@@ -1,0 +1,94 @@
+package scorep_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandLineTools builds and exercises every cmd/ binary end to
+// end: profile a run, save it, render it, diff it, analyze it, and draw
+// its timeline. Skipped with -short.
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	dir := t.TempDir()
+
+	bin := map[string]string{}
+	for _, name := range []string{"scorep-bots", "scorep-exp", "scorep-report", "scorep-analyze", "scorep-timeline"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, b)
+		}
+		bin[name] = out
+	}
+
+	run := func(name string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bin[name], args...)
+		b, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, b)
+		}
+		return string(b)
+	}
+
+	repA := filepath.Join(dir, "a.json")
+	repB := filepath.Join(dir, "b.json")
+	tracePath := filepath.Join(dir, "t.jsonl")
+
+	// scorep-bots: run, verify, save profiles.
+	out := run("scorep-bots", "-code", "fib", "-size", "tiny", "-threads", "2", "-json", repA)
+	if !strings.Contains(out, "verification: OK") {
+		t.Errorf("scorep-bots did not verify:\n%s", out)
+	}
+	if !strings.Contains(out, "TASK TREES") {
+		t.Errorf("scorep-bots printed no task trees:\n%s", out)
+	}
+	run("scorep-bots", "-code", "fib", "-size", "tiny", "-threads", "4", "-cutoff", "-json", repB)
+
+	// scorep-report: render, CSV, diff.
+	out = run("scorep-report", "-in", repA)
+	if !strings.Contains(out, "fib.task") {
+		t.Errorf("report render missing task construct:\n%s", out)
+	}
+	out = run("scorep-report", "-in", repA, "-csv")
+	if !strings.Contains(out, "tree,path,kind") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+	out = run("scorep-report", "-in", repA, "-diff", repB, "-top", "5")
+	if !strings.Contains(out, "delta=") {
+		t.Errorf("diff output missing deltas:\n%s", out)
+	}
+
+	// scorep-exp: one quick table.
+	out = run("scorep-exp", "-table", "2", "-size", "tiny")
+	if !strings.Contains(out, "Table II") || !strings.Contains(out, "alignment") {
+		t.Errorf("scorep-exp table 2 malformed:\n%s", out)
+	}
+
+	// scorep-analyze: saved report and live run.
+	out = run("scorep-analyze", "-in", repA)
+	if !strings.Contains(out, "finding") && !strings.Contains(out, "no tasking inefficiencies") {
+		t.Errorf("scorep-analyze produced no verdict:\n%s", out)
+	}
+	out = run("scorep-analyze", "-code", "fib", "-size", "tiny", "-threads", "2")
+	if !strings.Contains(out, "management/execution ratio") {
+		t.Errorf("live analyze missing trace metrics:\n%s", out)
+	}
+
+	// scorep-timeline: live run with save, then re-render from file.
+	out = run("scorep-timeline", "-code", "sort", "-size", "tiny", "-threads", "2", "-save", tracePath)
+	if !strings.Contains(out, "legend:") {
+		t.Errorf("timeline missing legend:\n%s", out)
+	}
+	out = run("scorep-timeline", "-in", tracePath, "-width", "40")
+	if !strings.Contains(out, "thread") {
+		t.Errorf("timeline from saved trace failed:\n%s", out)
+	}
+}

@@ -1,0 +1,103 @@
+// Command scorep-analyze performs automatic diagnosis of tasking
+// inefficiencies — the Scalasca-style analysis the paper motivates.
+//
+// It either analyzes a saved profile report:
+//
+//	scorep-analyze -in report.json
+//
+// or runs a BOTS code live with combined profile + trace measurement and
+// reports both the profile findings and the trace-derived management
+// metrics (paper §VII):
+//
+//	scorep-analyze -code nqueens -size small -threads 4 [-cutoff]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	scorep "repro"
+	"repro/internal/analyze"
+	"repro/internal/bots"
+	"repro/internal/clock"
+	"repro/internal/cube"
+	"repro/internal/measure"
+	"repro/internal/omp"
+	"repro/internal/region"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "saved report JSON to analyze")
+		codeName = flag.String("code", "", "BOTS code to run and analyze live")
+		sizeName = flag.String("size", "small", "input size: tiny|small|medium")
+		threads  = flag.Int("threads", 4, "threads for live runs")
+		cutoff   = flag.Bool("cutoff", false, "use the cut-off variant")
+	)
+	flag.Parse()
+
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		rep, err := scorep.ReadReportJSON(f)
+		if err != nil {
+			fail(err)
+		}
+		analyze.Format(os.Stdout, analyze.Analyze(rep, analyze.Thresholds{}))
+
+	case *codeName != "":
+		spec := bots.ByName(*codeName)
+		if spec == nil {
+			fail(fmt.Errorf("unknown code %q", *codeName))
+		}
+		var size bots.Size
+		switch *sizeName {
+		case "tiny":
+			size = bots.SizeTiny
+		case "small":
+			size = bots.SizeSmall
+		case "medium":
+			size = bots.SizeMedium
+		default:
+			fail(fmt.Errorf("unknown size %q", *sizeName))
+		}
+		if *cutoff && !spec.HasCutoff {
+			fail(fmt.Errorf("%s has no cut-off variant", spec.Name))
+		}
+
+		// Combined profile + trace measurement via a Tee.
+		m := measure.New()
+		rec := trace.NewRecorder(clock.NewSystem())
+		rt := omp.NewRuntimeWithRegistry(trace.NewTee(m, rec), region.Default)
+
+		kernel := spec.Prepare(size, *cutoff)
+		result := kernel(rt, *threads)
+		if want := spec.Expected(size); result != want {
+			fail(fmt.Errorf("verification failed: %d != %d", result, want))
+		}
+		m.Finish()
+		rep := cube.Aggregate(m.Locations())
+
+		fmt.Printf("== profile analysis: %s size=%s threads=%d cutoff=%v ==\n",
+			spec.Name, *sizeName, *threads, *cutoff)
+		analyze.Format(os.Stdout, analyze.Analyze(rep, analyze.Thresholds{}))
+
+		fmt.Println()
+		trace.Analyze(rec.Finish()).Format(os.Stdout)
+
+	default:
+		fmt.Fprintln(os.Stderr, "need -in report.json or -code <bots code>")
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "%v\n", err)
+	os.Exit(1)
+}

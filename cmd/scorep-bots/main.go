@@ -1,0 +1,127 @@
+// Command scorep-bots runs one BOTS benchmark on the task runtime,
+// optionally instrumented with the task profiler, and prints the
+// CUBE-style profile and/or timing.
+//
+// Usage:
+//
+//	scorep-bots -code nqueens -size small -threads 4 [-cutoff]
+//	            [-uninstrumented] [-json report.json] [-csv report.csv]
+//	            [-per-thread] [-min-sum 1ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	scorep "repro"
+	"repro/internal/bots"
+)
+
+func main() {
+	var (
+		codeName  = flag.String("code", "fib", "BOTS code: alignment|fft|fib|floorplan|health|nqueens|sort|sparselu|strassen")
+		sizeName  = flag.String("size", "small", "input size: tiny|small|medium")
+		threads   = flag.Int("threads", 4, "number of threads")
+		cutoff    = flag.Bool("cutoff", false, "use the cut-off variant (fib, floorplan, health, nqueens, strassen)")
+		uninst    = flag.Bool("uninstrumented", false, "run without measurement (overhead baseline)")
+		jsonPath  = flag.String("json", "", "write the profile report as JSON to this file")
+		csvPath   = flag.String("csv", "", "write the profile report as CSV to this file")
+		perThread = flag.Bool("per-thread", false, "render per-thread breakdown")
+		minSum    = flag.Duration("min-sum", 0, "hide nodes below this inclusive time")
+		depthProf = flag.Bool("depth-param", false, "nqueens only: enable per-depth parameter instrumentation (Table IV)")
+	)
+	flag.Parse()
+
+	spec := bots.ByName(*codeName)
+	if spec == nil {
+		fmt.Fprintf(os.Stderr, "unknown code %q\n", *codeName)
+		os.Exit(2)
+	}
+	var size bots.Size
+	switch *sizeName {
+	case "tiny":
+		size = bots.SizeTiny
+	case "small":
+		size = bots.SizeSmall
+	case "medium":
+		size = bots.SizeMedium
+	default:
+		fmt.Fprintf(os.Stderr, "unknown size %q\n", *sizeName)
+		os.Exit(2)
+	}
+	if *cutoff && !spec.HasCutoff {
+		fmt.Fprintf(os.Stderr, "%s has no cut-off variant\n", spec.Name)
+		os.Exit(2)
+	}
+
+	kernel := spec.Prepare(size, *cutoff)
+	if *depthProf {
+		if spec.Name != "nqueens" {
+			fmt.Fprintln(os.Stderr, "-depth-param is only supported for nqueens")
+			os.Exit(2)
+		}
+		kernel = bots.NQueensDepthKernel(size)
+	}
+
+	var m *scorep.Measurement
+	var rt *scorep.Runtime
+	if *uninst {
+		rt = scorep.NewRuntime(nil)
+	} else {
+		m = scorep.NewMeasurement()
+		rt = scorep.NewRuntime(m)
+	}
+
+	start := time.Now()
+	result := kernel(rt, *threads)
+	elapsed := time.Since(start)
+
+	ok := "OK"
+	if result != spec.Expected(size) && !*depthProf {
+		ok = "FAILED"
+	}
+	fmt.Printf("%s size=%s threads=%d cutoff=%v instrumented=%v\n",
+		spec.Name, *sizeName, *threads, *cutoff, !*uninst)
+	fmt.Printf("kernel time: %v   verification: %s (result=%d)\n", elapsed, ok, result)
+	st := rt.LastTeamStats()
+	fmt.Printf("tasks created: %d   steals: %d   max inline nesting: %d\n\n",
+		st.TasksCreated, st.Steals, st.MaxStackDepth)
+
+	if m == nil {
+		return
+	}
+	m.Finish()
+	rep := scorep.AggregateReport(m.Locations())
+	if err := scorep.RenderReport(os.Stdout, rep, scorep.RenderOptions{
+		PerThread: *perThread,
+		MinSumNs:  int64(*minSum),
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "render: %v\n", err)
+		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		writeTo(*jsonPath, func(f *os.File) error { return scorep.WriteReportJSON(f, rep) })
+	}
+	if *csvPath != "" {
+		writeTo(*csvPath, func(f *os.File) error { return scorep.WriteReportCSV(f, rep) })
+	}
+	if ok == "FAILED" {
+		os.Exit(1)
+	}
+}
+
+func writeTo(path string, fn func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

@@ -1,0 +1,107 @@
+// Command scorep-exp regenerates the paper's evaluation: Figs. 13-15 and
+// Tables I-IV plus the Section VI case study.
+//
+// Usage:
+//
+//	scorep-exp -all -size medium          # the full evaluation
+//	scorep-exp -fig 13 -threads 1,2,4,8
+//	scorep-exp -table 3 -size small
+//	scorep-exp -casestudy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bots"
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "run the complete evaluation")
+		fig       = flag.Int("fig", 0, "figure to reproduce: 13, 14 or 15")
+		table     = flag.Int("table", 0, "table to reproduce: 1..4")
+		casestudy = flag.Bool("casestudy", false, "run the Section VI nqueens case study")
+		ablation  = flag.Bool("ablation", false, "run the scheduler ablation (central queue vs work stealing)")
+		memory    = flag.Bool("memory", false, "run the Section V-B memory-requirements evaluation")
+		sizeName  = flag.String("size", "small", "input size: tiny|small|medium")
+		threadstr = flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+		reps      = flag.Int("reps", 3, "timed repetitions per configuration (median)")
+		warmup    = flag.Int("warmup", 1, "warm-up runs per configuration")
+		statTh    = flag.Int("stat-threads", 4, "thread count for Tables I/II/IV")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Reps: *reps, Warmup: *warmup}
+	switch *sizeName {
+	case "tiny":
+		cfg.Size = bots.SizeTiny
+	case "small":
+		cfg.Size = bots.SizeSmall
+	case "medium":
+		cfg.Size = bots.SizeMedium
+	default:
+		fmt.Fprintf(os.Stderr, "unknown size %q\n", *sizeName)
+		os.Exit(2)
+	}
+	for _, part := range strings.Split(*threadstr, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bad thread count %q\n", part)
+			os.Exit(2)
+		}
+		cfg.Threads = append(cfg.Threads, n)
+	}
+
+	ran := false
+	if *all || *fig == 13 {
+		exp.FormatOverhead(os.Stdout,
+			"Fig. 13: task profiling overhead %, optimized (cut-off) versions", exp.Fig13Overhead(cfg))
+		ran = true
+	}
+	if *all || *fig == 14 {
+		exp.FormatOverhead(os.Stdout,
+			"Fig. 14: task profiling overhead %, non-cut-off versions", exp.Fig14Overhead(cfg))
+		ran = true
+	}
+	if *all || *fig == 15 {
+		exp.FormatScaling(os.Stdout, exp.Fig15RuntimeScaling(cfg))
+		ran = true
+	}
+	if *all || *table == 1 {
+		exp.FormatTable1(os.Stdout, exp.Table1TaskGranularity(cfg, *statTh))
+		ran = true
+	}
+	if *all || *table == 2 {
+		exp.FormatTable2(os.Stdout, exp.Table2ConcurrentTasks(cfg, *statTh))
+		ran = true
+	}
+	if *all || *table == 3 {
+		exp.FormatTable3(os.Stdout, exp.Table3NQueensRegions(cfg))
+		ran = true
+	}
+	if *all || *table == 4 {
+		exp.FormatTable4(os.Stdout, exp.Table4NQueensDepth(cfg, *statTh))
+		ran = true
+	}
+	if *all || *casestudy {
+		exp.FormatCaseStudy(os.Stdout, exp.CaseStudyNQueens(cfg, *statTh))
+		ran = true
+	}
+	if *ablation {
+		exp.FormatSchedulerAblation(os.Stdout, exp.SchedulerAblation(cfg))
+		ran = true
+	}
+	if *all || *memory {
+		exp.FormatMemory(os.Stdout, exp.MemoryRequirements(cfg, *statTh))
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -fig N, -table N or -casestudy")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,91 @@
+// Command scorep-report renders a saved profile report (JSON, written by
+// scorep-bots -json or scorep.WriteReportJSON) as a text tree or CSV —
+// the offline CUBE-viewer analog — or structurally diffs two reports
+// (the run-comparison workflow the paper's stable call-tree design
+// enables, Section IV-B3).
+//
+// Usage:
+//
+//	scorep-report -in report.json [-csv] [-per-thread] [-min-sum 1ms]
+//	scorep-report -in baseline.json -diff candidate.json [-top 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	scorep "repro"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "input report JSON (required; the baseline for -diff)")
+		diffPath  = flag.String("diff", "", "second report JSON to diff against -in")
+		top       = flag.Int("top", 0, "with -diff: print only the N largest deltas")
+		asCSV     = flag.Bool("csv", false, "emit CSV instead of a text tree")
+		perThread = flag.Bool("per-thread", false, "render per-thread breakdown")
+		minSum    = flag.Duration("min-sum", 0, "hide nodes below this inclusive time")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "missing -in report.json")
+		os.Exit(2)
+	}
+	rep := load(*in)
+
+	if *diffPath != "" {
+		cand := load(*diffPath)
+		rd := scorep.DiffReports(rep, cand)
+		if *top > 0 {
+			fmt.Printf("top %d deltas (baseline=%s candidate=%s):\n", *top, *in, *diffPath)
+			for _, d := range rd.TopRegressions(*top) {
+				fmt.Printf("  %-40s delta=%s\n", d.Name, formatNs(d.DeltaSum()))
+			}
+			return
+		}
+		if err := scorep.RenderReportDiff(os.Stdout, rd); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	var err error
+	if *asCSV {
+		err = scorep.WriteReportCSV(os.Stdout, rep)
+	} else {
+		err = scorep.RenderReport(os.Stdout, rep, scorep.RenderOptions{
+			PerThread: *perThread,
+			MinSumNs:  int64(*minSum),
+		})
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+func load(path string) *scorep.Report {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	rep, err := scorep.ReadReportJSON(f)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+	return rep
+}
+
+func formatNs(ns int64) string {
+	sign := ""
+	if ns >= 0 {
+		sign = "+"
+	}
+	return fmt.Sprintf("%s%.3gms", sign, float64(ns)/1e6)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "%v\n", err)
+	os.Exit(1)
+}

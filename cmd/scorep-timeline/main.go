@@ -1,0 +1,102 @@
+// Command scorep-timeline records an event trace of a BOTS run (or
+// loads a saved JSONL trace) and renders per-thread task timelines plus
+// a utilization table — the plain-text counterpart of the Vampir task
+// views the paper's related work uses (Schmidl et al. [16]).
+//
+// Usage:
+//
+//	scorep-timeline -code sort -size small -threads 4 [-width 120]
+//	scorep-timeline -in trace.jsonl [-width 120]
+//	scorep-timeline -code fib -size tiny -threads 4 -save trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bots"
+	"repro/internal/clock"
+	"repro/internal/omp"
+	"repro/internal/region"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "saved trace (JSONL) to render")
+		codeName = flag.String("code", "", "BOTS code to run and trace")
+		sizeName = flag.String("size", "small", "input size: tiny|small|medium")
+		threads  = flag.Int("threads", 4, "threads")
+		cutoff   = flag.Bool("cutoff", false, "use the cut-off variant")
+		width    = flag.Int("width", 100, "timeline width in characters")
+		save     = flag.String("save", "", "also save the recorded trace as JSONL")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		tr, err = trace.ReadJSONL(f, region.NewRegistry())
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	case *codeName != "":
+		spec := bots.ByName(*codeName)
+		if spec == nil {
+			fail(fmt.Errorf("unknown code %q", *codeName))
+		}
+		var size bots.Size
+		switch *sizeName {
+		case "tiny":
+			size = bots.SizeTiny
+		case "small":
+			size = bots.SizeSmall
+		case "medium":
+			size = bots.SizeMedium
+		default:
+			fail(fmt.Errorf("unknown size %q", *sizeName))
+		}
+		if *cutoff && !spec.HasCutoff {
+			fail(fmt.Errorf("%s has no cut-off variant", spec.Name))
+		}
+		rec := trace.NewRecorder(clock.NewSystem())
+		rt := omp.NewRuntimeWithRegistry(rec, region.Default)
+		kernel := spec.Prepare(size, *cutoff)
+		if got, want := kernel(rt, *threads), spec.Expected(size); got != want {
+			fail(fmt.Errorf("verification failed: %d != %d", got, want))
+		}
+		tr = rec.Finish()
+	default:
+		fmt.Fprintln(os.Stderr, "need -in trace.jsonl or -code <bots code>")
+		os.Exit(2)
+	}
+
+	if err := trace.RenderTimeline(os.Stdout, tr, trace.TimelineOptions{Width: *width, ShowLegend: true}); err != nil {
+		fail(err)
+	}
+	fmt.Println()
+	trace.FormatUtilization(os.Stdout, trace.ComputeUtilization(tr))
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := trace.WriteJSONL(f, tr); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nwrote %s (%d events)\n", *save, tr.NumEvents())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "%v\n", err)
+	os.Exit(1)
+}

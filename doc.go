@@ -1,0 +1,40 @@
+// Package scorep (module "repro") is a Go reproduction of "Profiling of
+// OpenMP Tasks with Score-P" (Lorenz, Philippen, Schmidl, Wolf;
+// ICPP 2012): the first call-path profiler that remains correct for
+// OpenMP 3.0 tied tasks.
+//
+// The package is the public facade over the internal implementation:
+//
+//   - an OpenMP-3.0-like tasking runtime (parallel regions, tied tasks,
+//     taskwait, task-draining barriers, if/final clauses),
+//   - the paper's task-aware call-path profiling algorithm (per-instance
+//     call trees, stub nodes under scheduling points, suspend/resume time
+//     subtraction, merged per-construct task trees),
+//   - OPARI2/POMP2-style instrumentation wrappers,
+//   - CUBE-like aggregation, rendering and serialization of profiles.
+//
+// # Quickstart
+//
+//	m := scorep.NewMeasurement()
+//	rt := scorep.NewRuntime(m)
+//
+//	par := scorep.RegisterRegion("my.parallel", "main.go", 10, scorep.RegionParallel)
+//	task := scorep.RegisterRegion("my.task", "main.go", 12, scorep.RegionTask)
+//	tw := scorep.RegisterRegion("my.taskwait", "main.go", 14, scorep.RegionTaskwait)
+//
+//	rt.Parallel(4, par, func(t *scorep.Thread) {
+//	    if t.ID == 0 {
+//	        for i := 0; i < 100; i++ {
+//	            t.NewTask(task, func(c *scorep.Thread) { work() })
+//	        }
+//	        t.Taskwait(tw)
+//	    }
+//	})
+//
+//	m.Finish()
+//	report := scorep.AggregateReport(m.Locations())
+//	scorep.RenderReport(os.Stdout, report, scorep.RenderOptions{})
+//
+// See examples/ for runnable programs and internal/exp for the harness
+// that regenerates every figure and table of the paper's evaluation.
+package scorep

@@ -1,0 +1,88 @@
+// granularity demonstrates the paper's central optimization message —
+// "the appropriate granularity of tasks is essential" — by sweeping the
+// cut-off depth of the fib benchmark and reporting, per depth:
+//
+//   - the number of tasks created,
+//   - the mean task execution time from the task profile,
+//   - the kernel runtime,
+//
+// showing the sweet spot between load balance (enough tasks) and
+// management overhead (not too many).
+//
+// Run: go run ./examples/granularity [-n 27] [-threads 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	scorep "repro"
+)
+
+var (
+	parR  = scorep.RegisterRegion("granularity.parallel", "granularity/main.go", 1, scorep.RegionParallel)
+	taskR = scorep.RegisterRegion("granularity.task", "granularity/main.go", 2, scorep.RegionTask)
+	twR   = scorep.RegisterRegion("granularity.taskwait", "granularity/main.go", 3, scorep.RegionTaskwait)
+)
+
+func fibSerial(n int) uint64 {
+	if n < 2 {
+		return uint64(n)
+	}
+	return fibSerial(n-1) + fibSerial(n-2)
+}
+
+func fibTasks(t *scorep.Thread, n, depth, cutoff int, out *uint64) {
+	if n < 2 {
+		*out = uint64(n)
+		return
+	}
+	if depth >= cutoff {
+		*out = fibSerial(n)
+		return
+	}
+	var a, b uint64
+	t.NewTask(taskR, func(c *scorep.Thread) { fibTasks(c, n-1, depth+1, cutoff, &a) })
+	t.NewTask(taskR, func(c *scorep.Thread) { fibTasks(c, n-2, depth+1, cutoff, &b) })
+	t.Taskwait(twR)
+	*out = a + b
+}
+
+func main() {
+	n := flag.Int("n", 27, "fib argument")
+	threads := flag.Int("threads", 8, "threads")
+	flag.Parse()
+
+	fmt.Printf("fib(%d) cut-off sweep, %d threads\n", *n, *threads)
+	fmt.Printf("%-8s %12s %14s %14s %12s\n", "cutoff", "tasks", "mean task", "kernel time", "result")
+
+	for cutoff := 1; cutoff <= *n; cutoff += 3 {
+		m := scorep.NewMeasurement()
+		rt := scorep.NewRuntime(m)
+		var result uint64
+		start := time.Now()
+		rt.Parallel(*threads, parR, func(t *scorep.Thread) {
+			if t.ID == 0 {
+				fibTasks(t, *n, 0, cutoff, &result)
+			}
+		})
+		elapsed := time.Since(start)
+		m.Finish()
+		rep := scorep.AggregateReport(m.Locations())
+		tree := rep.TaskTree("granularity.task")
+		var count int64
+		var mean float64
+		if tree != nil {
+			count = tree.Dur.Count
+			mean = tree.Dur.Mean()
+		}
+		fmt.Printf("%-8d %12d %13.2fµs %14v %12d\n", cutoff, count, mean/1e3, elapsed, result)
+		if count > 2_000_000 {
+			fmt.Println("(stopping sweep: task counts explode beyond this depth)")
+			break
+		}
+	}
+	fmt.Println("\nReading: too few tasks -> poor balance; too many -> management overhead")
+	fmt.Println("dominates (the paper's 'very small tasks may cause high overhead').")
+}

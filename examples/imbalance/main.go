@@ -1,0 +1,76 @@
+// imbalance shows how to read stub nodes — the paper's mechanism for
+// separating useful task execution from waiting/management time inside
+// barriers (Fig. 5: "113s of task execution happened inside the barrier.
+// 103s time is still spent inside the barrier not executing a task").
+//
+// A deliberately imbalanced workload (one thread creates a few large
+// tasks) is profiled; the per-thread breakdown of the implicit barrier
+// and its stub child shows which threads worked and which waited.
+//
+// Run: go run ./examples/imbalance
+package main
+
+import (
+	"fmt"
+	"os"
+
+	scorep "repro"
+)
+
+var (
+	parR  = scorep.RegisterRegion("imbalance.parallel", "imbalance/main.go", 1, scorep.RegionParallel)
+	taskR = scorep.RegisterRegion("imbalance.task", "imbalance/main.go", 2, scorep.RegionTask)
+)
+
+func burn(units int) int {
+	s := 0
+	for i := 0; i < units*1_000_000; i++ {
+		s += i % 13
+	}
+	return s
+}
+
+func main() {
+	const threads = 4
+	m := scorep.NewMeasurement()
+	rt := scorep.NewRuntime(m)
+
+	sink := 0
+	rt.Parallel(threads, parR, func(t *scorep.Thread) {
+		if t.ID != 0 {
+			return // everything happens in the implicit barrier
+		}
+		// Three large tasks for four threads: one thread must idle.
+		for i := 0; i < 3; i++ {
+			t.NewTask(taskR, func(c *scorep.Thread) { sink += burn(40) })
+		}
+	})
+	m.Finish()
+	rep := scorep.AggregateReport(m.Locations())
+
+	if err := scorep.RenderReport(os.Stdout, rep, scorep.RenderOptions{PerThread: true}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Programmatic reading of the imbalance: per-thread barrier time
+	// split into task execution (stub) and waiting (exclusive).
+	barrier := rep.Main.FindPath("imbalance.parallel", "imbalance.parallel (implicit barrier)")
+	if barrier == nil {
+		fmt.Fprintln(os.Stderr, "no implicit barrier node found")
+		os.Exit(1)
+	}
+	stub := barrier.Find("task imbalance.task")
+	fmt.Println("\nper-thread barrier decomposition (paper Fig. 5 reading):")
+	fmt.Printf("%-8s %16s %16s\n", "thread", "task execution", "waiting")
+	for tid := 0; tid < threads; tid++ {
+		var taskNs int64
+		if stub != nil {
+			taskNs = stub.PerThreadDur[tid].Sum
+		}
+		waitNs := barrier.ExclusiveSumThread(tid)
+		fmt.Printf("%-8d %15.1fms %15.1fms\n", tid, float64(taskNs)/1e6, float64(waitNs)/1e6)
+	}
+	fmt.Println("\nThreads with near-zero task time and large waiting time are starved:")
+	fmt.Println("too few (or too large) tasks — the load-balancing limit of large tasks.")
+}

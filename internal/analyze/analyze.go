@@ -1,0 +1,319 @@
+// Package analyze performs automatic performance diagnosis on task
+// profiles — the Scalasca-style "method to locate issues automatically
+// on a full application scale" the paper motivates in Section II, built
+// on the three tasking inefficiency patterns of Section III:
+//
+//   - very small tasks cause high management overhead,
+//   - very large tasks reduce the load-balancing effect,
+//   - task creation concentrated on few threads becomes a bottleneck.
+//
+// The analyzer walks an aggregated cube.Report and emits Findings with
+// severities, the evidence (metric values), and the optimization hint the
+// paper prescribes for the pattern.
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/region"
+	"repro/internal/stats"
+)
+
+// Kind enumerates the detected inefficiency patterns.
+type Kind int
+
+// Finding kinds.
+const (
+	// SmallTasks: mean task execution time is in the order of (or below)
+	// the per-task management cost — the fib/nqueens pathology.
+	SmallTasks Kind = iota
+	// CreationDominates: time spent inside task-creation regions rivals
+	// the exclusive task work (the paper's nqueens observation: "three
+	// quarters of the time inside the tasks is spent creating child
+	// tasks").
+	CreationDominates
+	// SingleCreator: task creation is concentrated on few threads,
+	// a scalability bottleneck at larger team sizes.
+	SingleCreator
+	// BarrierWaiting: threads spend a large share of scheduling-point
+	// time idle (not executing tasks) — load imbalance or task shortage.
+	BarrierWaiting
+	// LargeTasks: few coarse tasks relative to the team size limit load
+	// balancing (the alignment/imbalance pattern).
+	LargeTasks
+	// DeepConcurrency: the per-thread maximum of concurrently active
+	// task instances is high; memory for runtime and profiler grows with
+	// it (Section V-B: dependency chains / recursion depth).
+	DeepConcurrency
+)
+
+var kindNames = map[Kind]string{
+	SmallTasks:        "SMALL_TASKS",
+	CreationDominates: "CREATION_DOMINATES",
+	SingleCreator:     "SINGLE_CREATOR",
+	BarrierWaiting:    "BARRIER_WAITING",
+	LargeTasks:        "LARGE_TASKS",
+	DeepConcurrency:   "DEEP_CONCURRENCY",
+}
+
+// String returns the finding kind tag.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("KIND(%d)", int(k))
+}
+
+// Finding is one diagnosed inefficiency.
+type Finding struct {
+	Kind Kind
+	// Severity in [0,1]: fraction of the relevant time budget affected
+	// (or a normalized indicator for structural findings).
+	Severity float64
+	// Construct names the task construct (or region) concerned; empty
+	// for whole-program findings.
+	Construct string
+	// Evidence is a human-readable metric summary.
+	Evidence string
+	// Hint is the paper's optimization advice for the pattern.
+	Hint string
+}
+
+// Thresholds tune the detectors; zero values select defaults.
+type Thresholds struct {
+	// SmallTaskRatio: flag when mean management cost per task exceeds
+	// this fraction of mean task time (default 0.5).
+	SmallTaskRatio float64
+	// CreationShare: flag when creation time exceeds this fraction of
+	// total task time (default 0.25).
+	CreationShare float64
+	// CreatorImbalance: flag when fewer than this fraction of threads
+	// perform 90% of creations (default 0.5, only for teams > 1).
+	CreatorImbalance float64
+	// WaitingShare: flag when idle (exclusive) scheduling-point time
+	// exceeds this fraction of total scheduling-point time (default 0.3).
+	WaitingShare float64
+	// TasksPerThread: flag LargeTasks when instances per thread are
+	// below this (default 4).
+	TasksPerThread float64
+	// MaxConcurrent: flag DeepConcurrency above this (default 32).
+	MaxConcurrent int
+}
+
+func (th Thresholds) normalized() Thresholds {
+	if th.SmallTaskRatio == 0 {
+		th.SmallTaskRatio = 0.5
+	}
+	if th.CreationShare == 0 {
+		th.CreationShare = 0.25
+	}
+	if th.CreatorImbalance == 0 {
+		th.CreatorImbalance = 0.5
+	}
+	if th.WaitingShare == 0 {
+		th.WaitingShare = 0.3
+	}
+	if th.TasksPerThread == 0 {
+		th.TasksPerThread = 4
+	}
+	if th.MaxConcurrent == 0 {
+		th.MaxConcurrent = 32
+	}
+	return th
+}
+
+// Analyze diagnoses the report and returns findings ordered by severity.
+func Analyze(rep *cube.Report, th Thresholds) []Finding {
+	th = th.normalized()
+	var out []Finding
+	out = append(out, analyzeTaskGranularity(rep, th)...)
+	out = append(out, analyzeCreators(rep, th)...)
+	out = append(out, analyzeWaiting(rep, th)...)
+	out = append(out, analyzeConcurrency(rep, th)...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Severity > out[j].Severity })
+	return out
+}
+
+// analyzeTaskGranularity inspects each task construct's merged tree.
+func analyzeTaskGranularity(rep *cube.Report, th Thresholds) []Finding {
+	var out []Finding
+	for _, tree := range rep.Tasks {
+		name := tree.Region.Name
+		n := tree.Dur.Count
+		if n == 0 {
+			continue
+		}
+		meanTask := tree.Dur.Mean()
+
+		// Creation + taskwait management inside this construct; the
+		// useful work per task is what remains after subtracting it.
+		createSum := cube.SumInclusiveByType(tree, region.TaskCreate)
+		twSum := cube.SumExclusiveByType(tree, region.Taskwait)
+		mgmtPerTask := float64(createSum+twSum) / float64(n)
+		workPerTask := meanTask - mgmtPerTask
+
+		if workPerTask > 0 && mgmtPerTask/workPerTask > th.SmallTaskRatio {
+			sev := mgmtPerTask / (mgmtPerTask + meanTask)
+			out = append(out, Finding{
+				Kind:      SmallTasks,
+				Severity:  clamp01(sev),
+				Construct: name,
+				Evidence: fmt.Sprintf("mean task time %s vs. %s management per task (%d instances)",
+					stats.FormatNs(int64(meanTask)), stats.FormatNs(int64(mgmtPerTask)), n),
+				Hint: "create fewer but larger tasks, e.g. stop task creation below a recursion depth (cut-off)",
+			})
+		}
+
+		if tree.Dur.Sum > 0 {
+			share := float64(createSum) / float64(tree.Dur.Sum)
+			if share > th.CreationShare {
+				out = append(out, Finding{
+					Kind:      CreationDominates,
+					Severity:  clamp01(share),
+					Construct: name,
+					Evidence: fmt.Sprintf("%.0f%% of task time is task creation (%s of %s)",
+						100*share, stats.FormatNs(createSum), stats.FormatNs(tree.Dur.Sum)),
+					Hint: "reduce the number of created tasks; creation cost grows with thread count",
+				})
+			}
+		}
+
+		if rep.NumThreads > 1 && float64(n)/float64(rep.NumThreads) < th.TasksPerThread {
+			out = append(out, Finding{
+				Kind:      LargeTasks,
+				Severity:  clamp01(1 - float64(n)/(th.TasksPerThread*float64(rep.NumThreads))),
+				Construct: name,
+				Evidence: fmt.Sprintf("only %d instances for %d threads (mean %s)",
+					n, rep.NumThreads, stats.FormatNs(int64(meanTask))),
+				Hint: "split work into more tasks to give the scheduler room to balance load",
+			})
+		}
+	}
+	return out
+}
+
+// analyzeCreators detects creation concentrated on few threads by the
+// per-thread visit counts of task-creation regions across both trees.
+func analyzeCreators(rep *cube.Report, th Thresholds) []Finding {
+	if rep.NumThreads <= 1 {
+		return nil
+	}
+	perThread := make(map[int]int64)
+	var total int64
+	count := func(root *cube.Node) {
+		root.Walk(func(n *cube.Node, _ int) {
+			if n.Kind == core.KindRegion && n.Region != nil && n.Region.Type == region.TaskCreate {
+				for tid, v := range n.PerThreadVisits {
+					perThread[tid] += v
+					total += v
+				}
+			}
+		})
+	}
+	count(rep.Main)
+	for _, t := range rep.Tasks {
+		count(t)
+	}
+	if total == 0 {
+		return nil
+	}
+	// How many threads cover 90% of creations?
+	counts := make([]int64, 0, len(perThread))
+	for _, v := range perThread {
+		counts = append(counts, v)
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	var acc int64
+	creators := 0
+	for _, v := range counts {
+		acc += v
+		creators++
+		if float64(acc) >= 0.9*float64(total) {
+			break
+		}
+	}
+	frac := float64(creators) / float64(rep.NumThreads)
+	if frac < th.CreatorImbalance {
+		return []Finding{{
+			Kind:     SingleCreator,
+			Severity: clamp01(1 - frac),
+			Evidence: fmt.Sprintf("%d of %d threads perform 90%% of %d task creations",
+				creators, rep.NumThreads, total),
+			Hint: "on larger scales task creation by few threads becomes a bottleneck; parallelize creation",
+		}}
+	}
+	return nil
+}
+
+// analyzeWaiting inspects scheduling-point nodes in the main tree: their
+// exclusive time is waiting/management, their stub children useful work.
+func analyzeWaiting(rep *cube.Report, th Thresholds) []Finding {
+	var syncTotal, syncIdle int64
+	rep.Main.Walk(func(n *cube.Node, _ int) {
+		if n.Kind != core.KindRegion || n.Region == nil {
+			return
+		}
+		switch n.Region.Type {
+		case region.Taskwait, region.Barrier, region.ImplicitBarrier:
+			syncTotal += n.Dur.Sum
+			syncIdle += n.ExclusiveSum()
+		}
+	})
+	if syncTotal == 0 {
+		return nil
+	}
+	share := float64(syncIdle) / float64(syncTotal)
+	if share > th.WaitingShare {
+		return []Finding{{
+			Kind:     BarrierWaiting,
+			Severity: clamp01(share),
+			Evidence: fmt.Sprintf("%.0f%% of scheduling-point time is idle/management (%s of %s)",
+				100*share, stats.FormatNs(syncIdle), stats.FormatNs(syncTotal)),
+			Hint: "threads starve at barriers/taskwaits: provide more tasks, balance task sizes, or reduce management overhead",
+		}}
+	}
+	return nil
+}
+
+// analyzeConcurrency flags deep instance nesting (memory pressure).
+func analyzeConcurrency(rep *cube.Report, th Thresholds) []Finding {
+	if rep.MaxConcurrent > th.MaxConcurrent {
+		return []Finding{{
+			Kind:     DeepConcurrency,
+			Severity: clamp01(float64(rep.MaxConcurrent) / float64(4*th.MaxConcurrent)),
+			Evidence: fmt.Sprintf("up to %d concurrently active task instances per thread", rep.MaxConcurrent),
+			Hint:     "long dependency chains (deep recursion) grow runtime and profiler memory; bound the recursion depth",
+		}}
+	}
+	return nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Format writes the findings report.
+func Format(w io.Writer, findings []Finding) {
+	if len(findings) == 0 {
+		fmt.Fprintln(w, "no tasking inefficiencies detected")
+		return
+	}
+	fmt.Fprintf(w, "%d finding(s):\n", len(findings))
+	for i, f := range findings {
+		fmt.Fprintf(w, "%2d. [%.2f] %s", i+1, f.Severity, f.Kind)
+		if f.Construct != "" {
+			fmt.Fprintf(w, " @ %s", f.Construct)
+		}
+		fmt.Fprintf(w, "\n      evidence: %s\n      hint:     %s\n", f.Evidence, f.Hint)
+	}
+}

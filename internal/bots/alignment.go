@@ -1,0 +1,129 @@
+package bots
+
+import (
+	"repro/internal/omp"
+	"repro/internal/region"
+)
+
+// alignment performs all-pairs protein sequence alignment. As in BOTS
+// (pairwise alignment with the Myers-Miller strategy), every sequence
+// pair is one task, created by a single thread from a doubly nested loop
+// inside a single construct. One dynamic-programming alignment per task
+// makes the tasks coarse and independent — the paper measures essentially
+// zero overhead and a maximum of one concurrent task per thread.
+
+var (
+	alPar    = region.MustRegister("alignment.parallel", "alignment.go", 20, region.Parallel)
+	alSingle = region.MustRegister("alignment.single", "alignment.go", 25, region.Single)
+	alTask   = region.MustRegister("alignment.task", "alignment.go", 30, region.Task)
+)
+
+// alignmentParams: number of sequences and sequence length.
+var alignmentParams = map[Size]struct{ nseq, slen int }{
+	SizeTiny:   {10, 32},
+	SizeSmall:  {24, 64},
+	SizeMedium: {48, 96},
+}
+
+// alSequences generates deterministic pseudo-protein sequences over a
+// 20-letter alphabet.
+func alSequences(size Size) [][]byte {
+	p := alignmentParams[size]
+	r := newLCG(uint64(p.nseq*p.slen) * 2654435761)
+	seqs := make([][]byte, p.nseq)
+	for i := range seqs {
+		s := make([]byte, p.slen)
+		for j := range s {
+			s[j] = byte(r.nextN(20))
+		}
+		seqs[i] = s
+	}
+	return seqs
+}
+
+// alignPair computes a global alignment score (Needleman-Wunsch with
+// affine-ish linear gap penalty) between two sequences using a
+// two-row DP.
+func alignPair(a, b []byte) int64 {
+	const (
+		match    = 2
+		mismatch = -1
+		gap      = -2
+	)
+	prev := make([]int64, len(b)+1)
+	cur := make([]int64, len(b)+1)
+	for j := range prev {
+		prev[j] = int64(j) * gap
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = int64(i) * gap
+		ca := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			s := int64(mismatch)
+			if ca == b[j-1] {
+				s = match
+			}
+			best := prev[j-1] + s
+			if d := prev[j] + gap; d > best {
+				best = d
+			}
+			if d := cur[j-1] + gap; d > best {
+				best = d
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// alignAll computes all pairwise scores into out (indexed linearly over
+// i<j pairs); with a thread, each pair is one task.
+func alignAll(t *omp.Thread, seqs [][]byte, out []int64) {
+	idx := 0
+	for i := 0; i < len(seqs); i++ {
+		for j := i + 1; j < len(seqs); j++ {
+			i, j, k := i, j, idx
+			if t != nil {
+				t.NewTask(alTask, func(*omp.Thread) { out[k] = alignPair(seqs[i], seqs[j]) })
+			} else {
+				out[k] = alignPair(seqs[i], seqs[j])
+			}
+			idx++
+		}
+	}
+	// No taskwait: the implicit barrier at the end of the parallel
+	// region completes the tasks (as in BOTS's single version).
+}
+
+func alignChecksum(out []int64) uint64 {
+	h := newFNV()
+	for _, v := range out {
+		h.add(uint64(v))
+	}
+	return h.sum()
+}
+
+// AlignmentSpec is the alignment benchmark.
+var AlignmentSpec = &Spec{
+	Name:      "alignment",
+	HasCutoff: false,
+	Prepare: func(size Size, _ bool) Kernel {
+		seqs := alSequences(size)
+		npairs := len(seqs) * (len(seqs) - 1) / 2
+		return func(rt *omp.Runtime, threads int) uint64 {
+			out := make([]int64, npairs)
+			rt.Parallel(threads, alPar, func(t *omp.Thread) {
+				t.Single(alSingle, func(s *omp.Thread) { alignAll(s, seqs, out) })
+			})
+			return alignChecksum(out)
+		}
+	},
+	Expected: func(size Size) uint64 {
+		seqs := alSequences(size)
+		npairs := len(seqs) * (len(seqs) - 1) / 2
+		out := make([]int64, npairs)
+		alignAll(nil, seqs, out)
+		return alignChecksum(out)
+	},
+}

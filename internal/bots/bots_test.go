@@ -1,0 +1,305 @@
+package bots
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cube"
+	"repro/internal/measure"
+	"repro/internal/omp"
+)
+
+// TestAllCodesVerify runs every code at tiny and small sizes, in all
+// variants, at 1 and 4 threads, uninstrumented, and checks the result
+// against the serial reference.
+func TestAllCodesVerify(t *testing.T) {
+	for _, spec := range All {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			for _, size := range []Size{SizeTiny, SizeSmall} {
+				want := spec.Expected(size)
+				variants := []bool{false}
+				if spec.HasCutoff {
+					variants = append(variants, true)
+				}
+				for _, cutoff := range variants {
+					kernel := spec.Prepare(size, cutoff)
+					for _, threads := range []int{1, 4} {
+						rt := omp.NewRuntime(nil)
+						got := kernel(rt, threads)
+						if got != want {
+							t.Errorf("%s size=%s cutoff=%v threads=%d: got %d, want %d",
+								spec.Name, size, cutoff, threads, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAllCodesVerifyInstrumented repeats verification with full profiling
+// attached: instrumentation must never change results.
+func TestAllCodesVerifyInstrumented(t *testing.T) {
+	for _, spec := range All {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			want := spec.Expected(SizeTiny)
+			kernel := spec.Prepare(SizeTiny, false)
+			m := measure.New()
+			rt := omp.NewRuntime(m)
+			got := kernel(rt, 4)
+			if got != want {
+				t.Errorf("instrumented %s: got %d, want %d", spec.Name, got, want)
+			}
+			m.Finish()
+			rep := cube.Aggregate(m.Locations())
+			if rep.NumThreads != 4 {
+				t.Errorf("aggregated %d threads, want 4", rep.NumThreads)
+			}
+			if len(rep.Tasks) == 0 {
+				t.Errorf("%s: no task trees in profile", spec.Name)
+			}
+		})
+	}
+}
+
+func TestFibTaskCount(t *testing.T) {
+	kernel := FibSpec.Prepare(SizeTiny, false) // fib(18)
+	rt := omp.NewRuntime(nil)
+	if got, want := kernel(rt, 2), FibSpec.Expected(SizeTiny); got != want {
+		t.Fatalf("fib = %d, want %d", got, want)
+	}
+	// Task count for fib(n) with tasks at every level:
+	// T(n) = T(n-1) + T(n-2) + 2, T(<2) = 0  =>  T(n) = 2*(fib(n+1)-1).
+	fib := func(n int) int64 {
+		a, b := int64(0), int64(1)
+		for i := 0; i < n; i++ {
+			a, b = b, a+b
+		}
+		return a
+	}
+	want := 2 * (fib(fibParams[SizeTiny]+1) - 1)
+	if st := rt.LastTeamStats(); st.TasksCreated != want {
+		t.Errorf("fib tasks created = %d, want %d", st.TasksCreated, want)
+	}
+}
+
+func TestCutoffReducesTaskCount(t *testing.T) {
+	for _, spec := range CutoffCodes() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			rt := omp.NewRuntime(nil)
+			spec.Prepare(SizeSmall, false)(rt, 2)
+			plain := rt.LastTeamStats().TasksCreated
+			spec.Prepare(SizeSmall, true)(rt, 2)
+			cut := rt.LastTeamStats().TasksCreated
+			if cut >= plain {
+				t.Errorf("cutoff did not reduce tasks: plain=%d cutoff=%d", plain, cut)
+			}
+			if cut == 0 {
+				t.Errorf("cutoff version created no tasks at all")
+			}
+		})
+	}
+}
+
+func TestCutoffSetMatchesPaper(t *testing.T) {
+	want := map[string]bool{
+		"fib": true, "floorplan": true, "health": true,
+		"nqueens": true, "strassen": true,
+		"alignment": false, "fft": false, "sort": false, "sparselu": false,
+	}
+	for _, spec := range All {
+		if spec.HasCutoff != want[spec.Name] {
+			t.Errorf("%s: HasCutoff = %v, want %v (paper Figs. 14/15, Table II)",
+				spec.Name, spec.HasCutoff, want[spec.Name])
+		}
+	}
+	if len(All) != 9 {
+		t.Errorf("BOTS has 9 codes, got %d", len(All))
+	}
+}
+
+func TestNQueensKnownSolutionCounts(t *testing.T) {
+	// Classic n-queens solution counts.
+	if got := nqueensSerial(nil, 8); got != 92 {
+		t.Errorf("nqueens(8) = %d, want 92", got)
+	}
+	if got := nqueensSerial(nil, 10); got != 724 {
+		t.Errorf("nqueens(10) = %d, want 724", got)
+	}
+}
+
+func TestNQueensDepthKernelProducesDepthParams(t *testing.T) {
+	m := measure.New()
+	rt := omp.NewRuntime(m)
+	kernel := NQueensDepthKernel(SizeTiny)
+	if got, want := kernel(rt, 2), NQueensSpec.Expected(SizeTiny); got != want {
+		t.Fatalf("depth-instrumented nqueens = %d, want %d", got, want)
+	}
+	m.Finish()
+	rep := cube.Aggregate(m.Locations())
+	tree := rep.TaskTree("nqueens.task")
+	if tree == nil {
+		t.Fatal("no nqueens task tree")
+	}
+	depths := cube.ParamChildren(tree, "depth")
+	if len(depths) != NQueensBoardSize(SizeTiny) {
+		t.Errorf("depth levels = %d, want %d", len(depths), NQueensBoardSize(SizeTiny))
+	}
+	var total int64
+	for _, d := range depths {
+		total += d.Dur.Count
+	}
+	if total != tree.Dur.Count {
+		t.Errorf("per-depth instance counts (%d) do not sum to total (%d)", total, tree.Dur.Count)
+	}
+}
+
+func TestStrassenAgreesWithClassic(t *testing.T) {
+	if err := StrassenMaxErrVsClassic(SizeTiny); err > 1e-9 {
+		t.Errorf("strassen vs classic max err = %g", err)
+	}
+	if err := StrassenMaxErrVsClassic(SizeSmall); err > 1e-8 {
+		t.Errorf("strassen vs classic max err = %g", err)
+	}
+}
+
+func TestSortHandlesAdversarialInputs(t *testing.T) {
+	check := func(name string, a []int32) {
+		t.Helper()
+		tmp := make([]int32, len(a))
+		sortSerialRec(a, tmp)
+		for i := 1; i < len(a); i++ {
+			if a[i-1] > a[i] {
+				t.Fatalf("%s: not sorted at %d", name, i)
+			}
+		}
+	}
+	n := 10000
+	asc := make([]int32, n)
+	desc := make([]int32, n)
+	same := make([]int32, n)
+	for i := 0; i < n; i++ {
+		asc[i] = int32(i)
+		desc[i] = int32(n - i)
+		same[i] = 7
+	}
+	check("ascending", asc)
+	check("descending", desc)
+	check("constant", same)
+	check("empty", nil)
+	check("single", []int32{42})
+}
+
+func TestAlignmentScoreProperties(t *testing.T) {
+	a := []byte("ACDEFGHIKL")
+	b := []byte("ACDEFGHIKL")
+	if s := alignPair(a, b); s != int64(len(a)*2) {
+		t.Errorf("self alignment score = %d, want %d", s, len(a)*2)
+	}
+	// Symmetry.
+	c := []byte("LMNPQ")
+	if alignPair(a, c) != alignPair(c, a) {
+		t.Error("alignment score not symmetric")
+	}
+	// Empty vs non-empty: pure gap cost.
+	if s := alignPair(nil, c); s != -2*int64(len(c)) {
+		t.Errorf("gap-only score = %d, want %d", s, -2*len(c))
+	}
+}
+
+func TestSparseLUPatternMatchesBOTS(t *testing.T) {
+	m := sluGenmat(6, 4)
+	// Diagonal and first off-diagonals always allocated.
+	for i := 0; i < 6; i++ {
+		if m.block(i, i) == nil {
+			t.Errorf("diagonal block (%d,%d) is nil", i, i)
+		}
+		if i+1 < 6 && m.block(i, i+1) == nil {
+			t.Errorf("superdiagonal block (%d,%d) is nil", i, i+1)
+		}
+		if i+1 < 6 && m.block(i+1, i) == nil {
+			t.Errorf("subdiagonal block (%d,%d) is nil", i+1, i)
+		}
+	}
+	// Sparsity: some blocks must be nil.
+	nils := 0
+	for _, b := range m.blocks {
+		if b == nil {
+			nils++
+		}
+	}
+	if nils == 0 {
+		t.Error("matrix is dense; genmat pattern broken")
+	}
+}
+
+func TestHealthDeterminism(t *testing.T) {
+	// Two parallel runs with different thread counts must agree: village
+	// state is only touched by its own task.
+	kernel := HealthSpec.Prepare(SizeTiny, false)
+	rt := omp.NewRuntime(nil)
+	r1 := kernel(rt, 1)
+	r2 := kernel(rt, 8)
+	if r1 != r2 {
+		t.Errorf("health nondeterministic across thread counts: %d vs %d", r1, r2)
+	}
+}
+
+func TestFloorplanOptimumStableAcrossThreads(t *testing.T) {
+	kernel := FloorplanSpec.Prepare(SizeSmall, false)
+	rt := omp.NewRuntime(nil)
+	want := FloorplanSpec.Expected(SizeSmall)
+	for _, th := range []int{1, 2, 8} {
+		if got := kernel(rt, th); got != want {
+			t.Errorf("floorplan threads=%d: got %d, want %d", th, got, want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("fib") != FibSpec {
+		t.Error("ByName(fib) wrong")
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName(nope) should be nil")
+	}
+}
+
+func TestFFTMatchesDirectDFT(t *testing.T) {
+	// Cross-check the FFT kernel against a direct O(n^2) DFT on a small
+	// input.
+	n := 64
+	r := newLCG(99)
+	a := make([]complex128, n)
+	for i := range a {
+		a[i] = complex(r.nextFloat()-0.5, r.nextFloat()-0.5)
+	}
+	want := directDFT(a)
+	got := make([]complex128, n)
+	copy(got, a)
+	tmp := make([]complex128, n)
+	fftSerialRec(got, tmp)
+	for i := range want {
+		d := want[i] - got[i]
+		if real(d)*real(d)+imag(d)*imag(d) > 1e-18 {
+			t.Fatalf("FFT mismatch at bin %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func directDFT(a []complex128) []complex128 {
+	n := len(a)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k*t) / float64(n)
+			acc += a[t] * complex(math.Cos(angle), math.Sin(angle))
+		}
+		out[k] = acc
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package bots
+
+import (
+	"math"
+	"math/cmplx"
+	"sync/atomic"
+
+	"repro/internal/omp"
+	"repro/internal/region"
+)
+
+// fft computes a one-dimensional complex FFT with recursive
+// decimation-in-time: each half transform becomes a task. BOTS's fft is
+// the Cilk multi-radix FFT; the radix-2 recursion preserves the task
+// structure the paper's measurements depend on (binary task recursion,
+// taskwait per level, serial leaves), which is what drives its 10-17%
+// overhead in Fig. 13.
+
+var (
+	fftPar  = region.MustRegister("fft.parallel", "fft.go", 20, region.Parallel)
+	fftTask = region.MustRegister("fft.task", "fft.go", 30, region.Task)
+	fftTW   = region.MustRegister("fft.taskwait", "fft.go", 40, region.Taskwait)
+)
+
+var fftParams = map[Size]int{
+	SizeTiny:   1 << 10,
+	SizeSmall:  1 << 14,
+	SizeMedium: 1 << 18,
+}
+
+// fftSerialThreshold is the leaf size below which the transform runs
+// serially (BOTS uses coefficient tables around this scale).
+const fftSerialThreshold = 256
+
+func fftInput(size Size) []complex128 {
+	n := fftParams[size]
+	r := newLCG(uint64(n) * 1299709)
+	a := make([]complex128, n)
+	for i := range a {
+		a[i] = complex(r.nextFloat()-0.5, r.nextFloat()-0.5)
+	}
+	return a
+}
+
+// fftSerialRec transforms a (length power of two) in place, using tmp as
+// scratch.
+func fftSerialRec(a, tmp []complex128) {
+	n := len(a)
+	if n == 1 {
+		return
+	}
+	if n <= fftSerialThreshold {
+		fftIterative(a)
+		return
+	}
+	h := n / 2
+	for i := 0; i < h; i++ {
+		tmp[i] = a[2*i]
+		tmp[h+i] = a[2*i+1]
+	}
+	copy(a, tmp)
+	fftSerialRec(a[:h], tmp[:h])
+	fftSerialRec(a[h:], tmp[h:])
+	fftCombine(a)
+}
+
+// fftTaskRec is the tasked version of fftSerialRec.
+func fftTaskRec(t *omp.Thread, a, tmp []complex128) {
+	n := len(a)
+	if n <= fftSerialThreshold {
+		fftIterative(a)
+		return
+	}
+	h := n / 2
+	for i := 0; i < h; i++ {
+		tmp[i] = a[2*i]
+		tmp[h+i] = a[2*i+1]
+	}
+	copy(a, tmp)
+	t.NewTask(fftTask, func(c *omp.Thread) { fftTaskRec(c, a[:h], tmp[:h]) })
+	t.NewTask(fftTask, func(c *omp.Thread) { fftTaskRec(c, a[h:], tmp[h:]) })
+	t.Taskwait(fftTW)
+	fftCombine(a)
+}
+
+// fftCombine merges two half-transforms with twiddle factors.
+func fftCombine(a []complex128) {
+	n := len(a)
+	h := n / 2
+	for k := 0; k < h; k++ {
+		w := cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
+		e, o := a[k], a[h+k]
+		a[k] = e + w*o
+		a[h+k] = e - w*o
+	}
+}
+
+// fftIterative is the serial leaf transform (iterative radix-2,
+// bit-reversal order).
+func fftIterative(a []complex128) {
+	n := len(a)
+	// bit reversal
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j &^= bit
+		}
+		j |= bit
+	}
+	for size := 2; size <= n; size <<= 1 {
+		ang := -2 * math.Pi / float64(size)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += size {
+			w := complex(1, 0)
+			for k := 0; k < size/2; k++ {
+				u := a[i+k]
+				v := a[i+k+size/2] * w
+				a[i+k] = u + v
+				a[i+k+size/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// fftChecksum quantizes the spectrum to survive last-bit FP differences.
+func fftChecksum(a []complex128) uint64 {
+	h := newFNV()
+	for _, v := range a {
+		h.add(uint64(int64(math.Round(real(v) * 1e6))))
+		h.add(uint64(int64(math.Round(imag(v) * 1e6))))
+	}
+	return h.sum()
+}
+
+// FFTSpec is the fft benchmark.
+var FFTSpec = &Spec{
+	Name:      "fft",
+	HasCutoff: false,
+	Prepare: func(size Size, _ bool) Kernel {
+		master := fftInput(size)
+		return func(rt *omp.Runtime, threads int) uint64 {
+			a := make([]complex128, len(master))
+			copy(a, master)
+			tmp := make([]complex128, len(master))
+			var started atomic.Bool
+			rt.Parallel(threads, fftPar, func(t *omp.Thread) {
+				if started.CompareAndSwap(false, true) {
+					fftTaskRec(t, a, tmp)
+				}
+			})
+			return fftChecksum(a)
+		}
+	},
+	Expected: func(size Size) uint64 {
+		a := fftInput(size)
+		tmp := make([]complex128, len(a))
+		fftSerialRec(a, tmp)
+		return fftChecksum(a)
+	},
+}

@@ -1,0 +1,89 @@
+package bots
+
+import (
+	"sync/atomic"
+
+	"repro/internal/omp"
+	"repro/internal/region"
+)
+
+// fib computes Fibonacci numbers with one task per recursive call and a
+// taskwait summing the results — BOTS's deliberately pathological
+// stress test: the tasks are tiny (1.49 µs mean in the paper's Table I)
+// and every level executes a taskwait, so instrumentation overhead is
+// maximal (310% in Fig. 13, 527% in Fig. 14).
+
+var (
+	fibPar  = region.MustRegister("fib.parallel", "fib.go", 20, region.Parallel)
+	fibTask = region.MustRegister("fib.task", "fib.go", 30, region.Task)
+	fibTW   = region.MustRegister("fib.taskwait", "fib.go", 40, region.Taskwait)
+)
+
+// fibParams: n per size; the cut-off variant stops task creation at
+// depth fibCutoffDepth (BOTS "manual" cut-off), recursing serially below.
+var fibParams = map[Size]int{
+	SizeTiny:   18,
+	SizeSmall:  23,
+	SizeMedium: 27,
+}
+
+const fibCutoffDepth = 8
+
+// fibSerialRec preserves the exponential call structure of the BOTS
+// serial version (an iterative fib would remove the work entirely).
+func fibSerialRec(n int) uint64 {
+	if n < 2 {
+		return uint64(n)
+	}
+	return fibSerialRec(n-1) + fibSerialRec(n-2)
+}
+
+func fibTaskRec(t *omp.Thread, n, depth, cutoff int, out *uint64) {
+	if n < 2 {
+		*out = uint64(n)
+		return
+	}
+	if cutoff > 0 && depth >= cutoff {
+		*out = fibSerialRec(n)
+		return
+	}
+	var a, b uint64
+	t.NewTask(fibTask, func(c *omp.Thread) { fibTaskRec(c, n-1, depth+1, cutoff, &a) })
+	t.NewTask(fibTask, func(c *omp.Thread) { fibTaskRec(c, n-2, depth+1, cutoff, &b) })
+	t.Taskwait(fibTW)
+	*out = a + b
+}
+
+// FibSpec is the fib benchmark.
+var FibSpec = &Spec{
+	Name:      "fib",
+	HasCutoff: true,
+	Prepare: func(size Size, cutoff bool) Kernel {
+		n := fibParams[size]
+		co := 0
+		if cutoff {
+			co = fibCutoffDepth
+		}
+		return func(rt *omp.Runtime, threads int) uint64 {
+			var result uint64
+			var started atomic.Bool
+			rt.Parallel(threads, fibPar, func(t *omp.Thread) {
+				// BOTS: #pragma omp parallel + single; the other threads
+				// pick up tasks in the implicit barrier.
+				if started.CompareAndSwap(false, true) {
+					fibTaskRec(t, n, 0, co, &result)
+				}
+			})
+			return result
+		}
+	},
+	Expected: func(size Size) uint64 {
+		// Iterative reference, independent of the recursive code paths.
+		n := fibParams[size]
+		a, b := uint64(0), uint64(1)
+		for i := 0; i < n; i++ {
+			a, b = b, a+b
+		}
+		return a
+	},
+}

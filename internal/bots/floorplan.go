@@ -1,0 +1,159 @@
+package bots
+
+import (
+	"sync/atomic"
+
+	"repro/internal/omp"
+	"repro/internal/region"
+)
+
+// floorplan is a branch-and-bound optimizer: place a sequence of
+// rectangular cells, each with several legal shapes, minimizing the area
+// of the enclosing floorplan. Every (cell shape × placement direction)
+// candidate becomes a task; branches are pruned against a shared atomic
+// best. As in BOTS, pruning makes the amount of parallel work
+// scheduling-dependent — the effect behind the paper's bimodal floorplan
+// measurements (class A/B in Section V-A) — while the optimum itself is
+// deterministic. The cut-off variant stops creating tasks below a depth.
+
+var (
+	fpPar  = region.MustRegister("floorplan.parallel", "floorplan.go", 20, region.Parallel)
+	fpTask = region.MustRegister("floorplan.task", "floorplan.go", 30, region.Task)
+	fpTW   = region.MustRegister("floorplan.taskwait", "floorplan.go", 40, region.Taskwait)
+)
+
+// fpCell is one cell: the legal (w,h) shape alternatives.
+type fpCell struct {
+	shapes [][2]int
+}
+
+// floorplanParams: number of cells per size.
+var floorplanParams = map[Size]int{
+	SizeTiny:   6,
+	SizeSmall:  9,
+	SizeMedium: 11,
+}
+
+const floorplanCutoffDepth = 4
+
+// fpCells generates the deterministic cell set: 2-3 shapes per cell with
+// dimensions 1..7 (transposes included, like the BOTS input decks).
+func fpCells(n int) []fpCell {
+	r := newLCG(uint64(n) * 65537)
+	cells := make([]fpCell, n)
+	for i := range cells {
+		ns := 2 + r.nextN(2)
+		shapes := make([][2]int, 0, ns)
+		for s := 0; s < ns; s++ {
+			w := 1 + r.nextN(7)
+			h := 1 + r.nextN(7)
+			shapes = append(shapes, [2]int{w, h})
+		}
+		cells[i].shapes = shapes
+	}
+	return cells
+}
+
+// fpState is a partial placement: the bounding box after placing a
+// prefix of the cells (cells extend the box right or below, the
+// "slicing" placement discipline).
+type fpState struct {
+	w, h int
+}
+
+// fpExtend returns the bounding box after adding a w×h cell in the given
+// direction (0 = right, 1 = below).
+func (s fpState) extend(w, h, dir int) fpState {
+	if dir == 0 {
+		nh := s.h
+		if h > nh {
+			nh = h
+		}
+		return fpState{s.w + w, nh}
+	}
+	nw := s.w
+	if w > nw {
+		nw = w
+	}
+	return fpState{nw, s.h + h}
+}
+
+func (s fpState) area() int { return s.w * s.h }
+
+// fpSerial explores the remaining cells serially, updating best.
+func fpSerial(cells []fpCell, idx int, st fpState, best *atomic.Int64) {
+	if int64(st.area()) >= best.Load() {
+		return // prune
+	}
+	if idx == len(cells) {
+		// New candidate optimum; CAS-min.
+		a := int64(st.area())
+		for {
+			cur := best.Load()
+			if a >= cur || best.CompareAndSwap(cur, a) {
+				return
+			}
+		}
+	}
+	for _, sh := range cells[idx].shapes {
+		for dir := 0; dir < 2; dir++ {
+			fpSerial(cells, idx+1, st.extend(sh[0], sh[1], dir), best)
+		}
+	}
+}
+
+// fpTaskRec explores with one task per candidate, pruning against the
+// shared best.
+func fpTaskRec(t *omp.Thread, cells []fpCell, idx int, st fpState, cutoff int, best *atomic.Int64) {
+	if int64(st.area()) >= best.Load() {
+		return
+	}
+	if idx == len(cells) {
+		fpSerial(cells, idx, st, best) // records the candidate
+		return
+	}
+	if cutoff > 0 && idx >= cutoff {
+		fpSerial(cells, idx, st, best)
+		return
+	}
+	for _, sh := range cells[idx].shapes {
+		for dir := 0; dir < 2; dir++ {
+			next := st.extend(sh[0], sh[1], dir)
+			t.NewTask(fpTask, func(c *omp.Thread) {
+				fpTaskRec(c, cells, idx+1, next, cutoff, best)
+			})
+		}
+	}
+	t.Taskwait(fpTW)
+}
+
+// FloorplanSpec is the floorplan benchmark.
+var FloorplanSpec = &Spec{
+	Name:      "floorplan",
+	HasCutoff: true,
+	Prepare: func(size Size, cutoff bool) Kernel {
+		cells := fpCells(floorplanParams[size])
+		co := 0
+		if cutoff {
+			co = floorplanCutoffDepth
+		}
+		return func(rt *omp.Runtime, threads int) uint64 {
+			var best atomic.Int64
+			best.Store(1 << 40)
+			var started atomic.Bool
+			rt.Parallel(threads, fpPar, func(t *omp.Thread) {
+				if started.CompareAndSwap(false, true) {
+					fpTaskRec(t, cells, 0, fpState{}, co, &best)
+				}
+			})
+			return uint64(best.Load())
+		}
+	},
+	Expected: func(size Size) uint64 {
+		cells := fpCells(floorplanParams[size])
+		var best atomic.Int64
+		best.Store(1 << 40)
+		fpSerial(cells, 0, fpState{}, &best)
+		return uint64(best.Load())
+	},
+}

@@ -1,0 +1,183 @@
+package bots
+
+import (
+	"sync/atomic"
+
+	"repro/internal/omp"
+	"repro/internal/region"
+)
+
+// health simulates the Columbian health-care system of BOTS: a tree of
+// villages, each with a hospital. Every simulated step descends the tree
+// with one task per child village (taskwait before the local work), then
+// processes the village's patients: new patients fall sick with some
+// probability, queue at the local hospital, are assessed, treated or
+// referred one level up. Tasks are small (2.35 µs mean in Table I), so
+// the non-cut-off version shows large profiling and runtime overhead.
+// The cut-off variant simulates subtrees below a depth serially.
+
+var (
+	hlPar  = region.MustRegister("health.parallel", "health.go", 20, region.Parallel)
+	hlTask = region.MustRegister("health.task", "health.go", 30, region.Task)
+	hlTW   = region.MustRegister("health.taskwait", "health.go", 40, region.Taskwait)
+)
+
+// healthParams: tree depth (levels), branching factor, simulation steps.
+var healthParams = map[Size]struct{ levels, branch, steps int }{
+	SizeTiny:   {3, 3, 20},
+	SizeSmall:  {5, 3, 40},
+	SizeMedium: {6, 4, 60},
+}
+
+const healthCutoffDepth = 2
+
+// patient is one queued patient: remaining treatment time units.
+type patient struct {
+	remaining int
+	next      *patient
+}
+
+// village is one node of the health system tree.
+type village struct {
+	children []*village
+	rng      lcg
+	level    int
+
+	waiting *patient // hospital queue (intrusive list)
+	free    *patient // recycled patient records
+
+	treated  int64 // statistics, also the checksum source
+	referred int64
+	arrived  int64
+}
+
+// buildVillages creates the deterministic village tree.
+func buildVillages(levels, branch int, seed uint64, level int) *village {
+	v := &village{rng: newLCG(seed), level: level}
+	if levels > 1 {
+		v.children = make([]*village, branch)
+		for i := range v.children {
+			v.children[i] = buildVillages(levels-1, branch, seed*uint64(branch+1)+uint64(i+1), level+1)
+		}
+	}
+	return v
+}
+
+// simStep processes one time step of a single village (local work only).
+func (v *village) simStep() {
+	// New arrivals: probability scaled by level (leaf villages are
+	// smaller). Deterministic via the village's own generator.
+	arrivals := v.rng.nextN(3 + v.level)
+	for i := 0; i < arrivals; i++ {
+		p := v.free
+		if p != nil {
+			v.free = p.next
+		} else {
+			p = &patient{}
+		}
+		p.remaining = 1 + v.rng.nextN(4)
+		p.next = v.waiting
+		v.waiting = p
+		v.arrived++
+	}
+	// Treat up to the hospital's capacity this step.
+	capacity := 4
+	var prev *patient
+	p := v.waiting
+	for p != nil && capacity > 0 {
+		p.remaining--
+		capacity--
+		if p.remaining <= 0 {
+			// 1 in 8 cases need referral upward (counted, then done).
+			if v.rng.nextN(8) == 0 {
+				v.referred++
+			} else {
+				v.treated++
+			}
+			next := p.next
+			if prev == nil {
+				v.waiting = next
+			} else {
+				prev.next = next
+			}
+			p.next = v.free
+			v.free = p
+			p = next
+			continue
+		}
+		prev = p
+		p = p.next
+	}
+}
+
+// simVillageSerial simulates one step of the whole subtree serially.
+func simVillageSerial(v *village) {
+	for _, c := range v.children {
+		simVillageSerial(c)
+	}
+	v.simStep()
+}
+
+// simVillageTask simulates one step with one task per child subtree,
+// mirroring BOTS sim_village_par.
+func simVillageTask(t *omp.Thread, v *village, cutoff int) {
+	for _, c := range v.children {
+		child := c
+		if cutoff > 0 && child.level >= cutoff {
+			t.NewTask(hlTask, func(*omp.Thread) { simVillageSerial(child) })
+			continue
+		}
+		t.NewTask(hlTask, func(ct *omp.Thread) { simVillageTask(ct, child, cutoff) })
+	}
+	t.Taskwait(hlTW)
+	v.simStep()
+}
+
+// healthChecksum folds the per-village statistics.
+func healthChecksum(v *village) uint64 {
+	h := newFNV()
+	var walk func(v *village)
+	walk = func(v *village) {
+		h.add(uint64(v.treated))
+		h.add(uint64(v.referred))
+		h.add(uint64(v.arrived))
+		for _, c := range v.children {
+			walk(c)
+		}
+	}
+	walk(v)
+	return h.sum()
+}
+
+// HealthSpec is the health benchmark.
+var HealthSpec = &Spec{
+	Name:      "health",
+	HasCutoff: true,
+	Prepare: func(size Size, cutoff bool) Kernel {
+		p := healthParams[size]
+		co := 0
+		if cutoff {
+			co = healthCutoffDepth
+		}
+		return func(rt *omp.Runtime, threads int) uint64 {
+			root := buildVillages(p.levels, p.branch, 42, 0)
+			var started atomic.Bool
+			rt.Parallel(threads, hlPar, func(t *omp.Thread) {
+				if started.CompareAndSwap(false, true) {
+					for s := 0; s < p.steps; s++ {
+						simVillageTask(t, root, co)
+					}
+				}
+			})
+			return healthChecksum(root)
+		}
+	},
+	Expected: func(size Size) uint64 {
+		p := healthParams[size]
+		root := buildVillages(p.levels, p.branch, 42, 0)
+		for s := 0; s < p.steps; s++ {
+			simVillageSerial(root)
+		}
+		return healthChecksum(root)
+	},
+}

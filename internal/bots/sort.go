@@ -1,0 +1,169 @@
+package bots
+
+import (
+	"sync/atomic"
+
+	"repro/internal/omp"
+	"repro/internal/region"
+)
+
+// sort is BOTS's cilksort descendant: recursive merge sort where each
+// half becomes a task, with serial quicksort below a threshold. BOTS
+// ships it with its thresholds built in, so the paper lists no separate
+// cut-off variant (it appears only in Fig. 13).
+
+var (
+	sortPar  = region.MustRegister("sort.parallel", "sort.go", 20, region.Parallel)
+	sortTask = region.MustRegister("sort.task", "sort.go", 30, region.Task)
+	sortTW   = region.MustRegister("sort.taskwait", "sort.go", 40, region.Taskwait)
+)
+
+var sortParams = map[Size]int{
+	SizeTiny:   1 << 12,
+	SizeSmall:  1 << 16,
+	SizeMedium: 1 << 20,
+}
+
+// sortSerialThreshold mirrors BOTS's quicksort cut-off of 2 KiB elements.
+const sortSerialThreshold = 2048
+
+func sortInput(size Size) []int32 {
+	n := sortParams[size]
+	r := newLCG(uint64(n) * 7919)
+	a := make([]int32, n)
+	for i := range a {
+		a[i] = int32(r.next())
+	}
+	return a
+}
+
+// quicksort is the serial base sorter (median-of-three).
+func quicksort(a []int32) {
+	for len(a) > 16 {
+		lo, hi := 0, len(a)-1
+		mid := len(a) / 2
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] < a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		pivot := a[mid]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < pivot {
+				i++
+			}
+			for a[j] > pivot {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		if j-lo < hi-i {
+			quicksort(a[lo : j+1])
+			a = a[i:]
+		} else {
+			quicksort(a[i:])
+			a = a[lo : j+1]
+		}
+	}
+	// insertion sort tail
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+func merge(dst, a, b []int32) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(dst[k:], a[i:])
+	copy(dst[k+len(a)-i:], b[j:])
+}
+
+// sortTaskRec sorts a in place using tmp as scratch of equal length.
+func sortTaskRec(t *omp.Thread, a, tmp []int32) {
+	if len(a) <= sortSerialThreshold {
+		quicksort(a)
+		return
+	}
+	h := len(a) / 2
+	t.NewTask(sortTask, func(c *omp.Thread) { sortTaskRec(c, a[:h], tmp[:h]) })
+	t.NewTask(sortTask, func(c *omp.Thread) { sortTaskRec(c, a[h:], tmp[h:]) })
+	t.Taskwait(sortTW)
+	merge(tmp, a[:h], a[h:])
+	copy(a, tmp)
+}
+
+func sortSerialRec(a, tmp []int32) {
+	if len(a) <= sortSerialThreshold {
+		quicksort(a)
+		return
+	}
+	h := len(a) / 2
+	sortSerialRec(a[:h], tmp[:h])
+	sortSerialRec(a[h:], tmp[h:])
+	merge(tmp, a[:h], a[h:])
+	copy(a, tmp)
+}
+
+func sortChecksum(a []int32) uint64 {
+	h := newFNV()
+	for i := 1; i < len(a); i++ {
+		if a[i-1] > a[i] {
+			return 0 // not sorted: poison the checksum
+		}
+	}
+	for _, v := range a {
+		h.add(uint64(uint32(v)))
+	}
+	return h.sum()
+}
+
+// SortSpec is the sort benchmark.
+var SortSpec = &Spec{
+	Name:      "sort",
+	HasCutoff: false,
+	Prepare: func(size Size, _ bool) Kernel {
+		master := sortInput(size)
+		return func(rt *omp.Runtime, threads int) uint64 {
+			a := make([]int32, len(master))
+			copy(a, master)
+			tmp := make([]int32, len(master))
+			var started atomic.Bool
+			rt.Parallel(threads, sortPar, func(t *omp.Thread) {
+				if started.CompareAndSwap(false, true) {
+					sortTaskRec(t, a, tmp)
+				}
+			})
+			return sortChecksum(a)
+		}
+	},
+	Expected: func(size Size) uint64 {
+		a := sortInput(size)
+		tmp := make([]int32, len(a))
+		sortSerialRec(a, tmp)
+		return sortChecksum(a)
+	},
+}

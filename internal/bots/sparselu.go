@@ -1,0 +1,229 @@
+package bots
+
+import (
+	"math"
+
+	"repro/internal/omp"
+	"repro/internal/region"
+)
+
+// sparselu factorizes a sparse blocked matrix (LU without pivoting).
+// This is the BOTS "single" version the paper selected: one thread
+// creates all tasks of each phase inside a single construct, with
+// taskwaits separating the fwd/bdiv phase from bmod. Task creation by a
+// single thread is exactly the pattern the paper flags as a scalability
+// risk ("task creation may become a bottleneck if tasks are created only
+// by a small number of threads").
+
+var (
+	sluPar    = region.MustRegister("sparselu.parallel", "sparselu.go", 20, region.Parallel)
+	sluSingle = region.MustRegister("sparselu.single", "sparselu.go", 25, region.Single)
+	sluFwd    = region.MustRegister("sparselu.fwd.task", "sparselu.go", 30, region.Task)
+	sluBdiv   = region.MustRegister("sparselu.bdiv.task", "sparselu.go", 35, region.Task)
+	sluBmod   = region.MustRegister("sparselu.bmod.task", "sparselu.go", 40, region.Task)
+	sluTW     = region.MustRegister("sparselu.taskwait", "sparselu.go", 45, region.Taskwait)
+)
+
+// sparseLUParams: blocks per side (bn) and block dimension (bs).
+var sparseLUParams = map[Size]struct{ bn, bs int }{
+	SizeTiny:   {6, 8},
+	SizeSmall:  {10, 16},
+	SizeMedium: {20, 32},
+}
+
+// sluMatrix is the blocked sparse matrix: blocks[i*bn+j] is nil for
+// structurally empty blocks, following the BOTS genmat pattern.
+type sluMatrix struct {
+	bn, bs int
+	blocks [][]float64
+}
+
+// sluGenmat reproduces the BOTS sparsity pattern and initial values.
+func sluGenmat(bn, bs int) *sluMatrix {
+	m := &sluMatrix{bn: bn, bs: bs, blocks: make([][]float64, bn*bn)}
+	r := newLCG(uint64(bn*bs) * 31337)
+	for ii := 0; ii < bn; ii++ {
+		for jj := 0; jj < bn; jj++ {
+			null := false
+			if ii < jj && ii%3 != 0 {
+				null = true
+			}
+			if ii > jj && jj%3 != 0 {
+				null = true
+			}
+			if ii%2 == 1 {
+				null = true
+			}
+			if jj%2 == 1 {
+				null = true
+			}
+			if ii == jj {
+				null = false
+			}
+			if ii == jj-1 || ii-1 == jj {
+				null = false
+			}
+			if null {
+				continue
+			}
+			blk := make([]float64, bs*bs)
+			for k := range blk {
+				blk[k] = r.nextFloat() + 1 // keep diagonals well-conditioned
+			}
+			if ii == jj {
+				for d := 0; d < bs; d++ {
+					blk[d*bs+d] += float64(bs) // diagonal dominance
+				}
+			}
+			m.blocks[ii*bn+jj] = blk
+			_ = jj
+		}
+	}
+	return m
+}
+
+func (m *sluMatrix) block(i, j int) []float64 { return m.blocks[i*m.bn+j] }
+
+// lu0 factorizes a diagonal block in place.
+func lu0(diag []float64, bs int) {
+	for k := 0; k < bs; k++ {
+		for i := k + 1; i < bs; i++ {
+			diag[i*bs+k] /= diag[k*bs+k]
+			l := diag[i*bs+k]
+			for j := k + 1; j < bs; j++ {
+				diag[i*bs+j] -= l * diag[k*bs+j]
+			}
+		}
+	}
+}
+
+// fwd applies the lower factor of diag to a row block.
+func fwd(diag, row []float64, bs int) {
+	for k := 0; k < bs; k++ {
+		for i := k + 1; i < bs; i++ {
+			l := diag[i*bs+k]
+			for j := 0; j < bs; j++ {
+				row[i*bs+j] -= l * row[k*bs+j]
+			}
+		}
+	}
+}
+
+// bdiv applies the upper factor of diag to a column block.
+func bdiv(diag, col []float64, bs int) {
+	for i := 0; i < bs; i++ {
+		for k := 0; k < bs; k++ {
+			col[i*bs+k] /= diag[k*bs+k]
+			d := col[i*bs+k]
+			for j := k + 1; j < bs; j++ {
+				col[i*bs+j] -= d * diag[k*bs+j]
+			}
+		}
+	}
+}
+
+// bmod updates an inner block: inner -= row_part * col_part.
+func bmod(row, col, inner []float64, bs int) {
+	for i := 0; i < bs; i++ {
+		for k := 0; k < bs; k++ {
+			r := row[i*bs+k]
+			for j := 0; j < bs; j++ {
+				inner[i*bs+j] -= r * col[k*bs+j]
+			}
+		}
+	}
+}
+
+// sluFactorize runs the blocked factorization; when t is non-nil, phase
+// operations become tasks created by the single creator thread.
+func sluFactorize(t *omp.Thread, m *sluMatrix) {
+	bn, bs := m.bn, m.bs
+	for k := 0; k < bn; k++ {
+		kk := k
+		lu0(m.block(kk, kk), bs)
+		for j := k + 1; j < bn; j++ {
+			jj := j
+			if blk := m.block(kk, jj); blk != nil {
+				if t != nil {
+					t.NewTask(sluFwd, func(*omp.Thread) { fwd(m.block(kk, kk), blk, bs) })
+				} else {
+					fwd(m.block(kk, kk), blk, bs)
+				}
+			}
+		}
+		for i := k + 1; i < bn; i++ {
+			ii := i
+			if blk := m.block(ii, kk); blk != nil {
+				if t != nil {
+					t.NewTask(sluBdiv, func(*omp.Thread) { bdiv(m.block(kk, kk), blk, bs) })
+				} else {
+					bdiv(m.block(kk, kk), blk, bs)
+				}
+			}
+		}
+		if t != nil {
+			t.Taskwait(sluTW)
+		}
+		for i := k + 1; i < bn; i++ {
+			for j := k + 1; j < bn; j++ {
+				ii, jj := i, j
+				row := m.block(ii, kk)
+				col := m.block(kk, jj)
+				if row == nil || col == nil {
+					continue
+				}
+				// Fill-in: allocate the inner block on first touch.
+				if m.block(ii, jj) == nil {
+					m.blocks[ii*m.bn+jj] = make([]float64, bs*bs)
+				}
+				inner := m.block(ii, jj)
+				if t != nil {
+					t.NewTask(sluBmod, func(*omp.Thread) { bmod(row, col, inner, bs) })
+				} else {
+					bmod(row, col, inner, bs)
+				}
+			}
+		}
+		if t != nil {
+			t.Taskwait(sluTW)
+		}
+	}
+}
+
+func sluChecksum(m *sluMatrix) uint64 {
+	h := newFNV()
+	for idx, blk := range m.blocks {
+		if blk == nil {
+			continue
+		}
+		h.add(uint64(idx))
+		for _, v := range blk {
+			h.add(uint64(int64(math.Round(v * 1e6))))
+		}
+	}
+	return h.sum()
+}
+
+// SparseLUSpec is the sparselu benchmark (single-creator version).
+var SparseLUSpec = &Spec{
+	Name:      "sparselu",
+	HasCutoff: false,
+	Prepare: func(size Size, _ bool) Kernel {
+		p := sparseLUParams[size]
+		return func(rt *omp.Runtime, threads int) uint64 {
+			m := sluGenmat(p.bn, p.bs)
+			rt.Parallel(threads, sluPar, func(t *omp.Thread) {
+				// "#pragma omp single": one creator thread; the others
+				// fall through to the implicit barrier and steal tasks.
+				t.Single(sluSingle, func(s *omp.Thread) { sluFactorize(s, m) })
+			})
+			return sluChecksum(m)
+		}
+	},
+	Expected: func(size Size) uint64 {
+		p := sparseLUParams[size]
+		m := sluGenmat(p.bn, p.bs)
+		sluFactorize(nil, m)
+		return sluChecksum(m)
+	},
+}

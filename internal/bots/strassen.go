@@ -1,0 +1,220 @@
+package bots
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/omp"
+	"repro/internal/region"
+)
+
+// strassen multiplies dense square matrices with Strassen's algorithm:
+// the seven half-size products become tasks, joined by a taskwait before
+// the combination step. Tasks are coarse (149 µs mean in the paper's
+// Table I, two orders of magnitude above fib), which is why strassen
+// shows no measurable overhead in Figs. 13/14. The cut-off variant
+// limits task creation to the top recursion levels; below, the recursion
+// continues serially.
+
+var (
+	strPar  = region.MustRegister("strassen.parallel", "strassen.go", 20, region.Parallel)
+	strTask = region.MustRegister("strassen.task", "strassen.go", 30, region.Task)
+	strTW   = region.MustRegister("strassen.taskwait", "strassen.go", 40, region.Taskwait)
+)
+
+var strassenParams = map[Size]int{
+	SizeTiny:   128,
+	SizeSmall:  256,
+	SizeMedium: 512,
+}
+
+// strassenBase is the dimension below which classical multiplication is
+// used (algorithmic leaf, present in all variants, like BOTS). A 64x64
+// classical product keeps leaf tasks coarse (~100 µs), matching the
+// paper's 149 µs mean task time for strassen (Table I).
+const strassenBase = 64
+
+// strassenCutoffDepth limits task creation in the cut-off variant.
+const strassenCutoffDepth = 1
+
+// mat is a square matrix view into a flat backing slice.
+type mat struct {
+	d      []float64
+	stride int
+	n      int
+}
+
+func newMat(n int) mat { return mat{d: make([]float64, n*n), stride: n, n: n} }
+
+func (m mat) at(i, j int) float64     { return m.d[i*m.stride+j] }
+func (m mat) set(i, j int, v float64) { m.d[i*m.stride+j] = v }
+
+// quad returns the (qi,qj) quadrant view (qi,qj in {0,1}).
+func (m mat) quad(qi, qj int) mat {
+	h := m.n / 2
+	return mat{d: m.d[(qi*h)*m.stride+qj*h:], stride: m.stride, n: h}
+}
+
+func matAdd(dst, a, b mat) {
+	for i := 0; i < a.n; i++ {
+		ar := a.d[i*a.stride : i*a.stride+a.n]
+		br := b.d[i*b.stride : i*b.stride+a.n]
+		dr := dst.d[i*dst.stride : i*dst.stride+a.n]
+		for j := range dr {
+			dr[j] = ar[j] + br[j]
+		}
+	}
+}
+
+func matSub(dst, a, b mat) {
+	for i := 0; i < a.n; i++ {
+		ar := a.d[i*a.stride : i*a.stride+a.n]
+		br := b.d[i*b.stride : i*b.stride+a.n]
+		dr := dst.d[i*dst.stride : i*dst.stride+a.n]
+		for j := range dr {
+			dr[j] = ar[j] - br[j]
+		}
+	}
+}
+
+// matMulClassic computes dst = a*b with the cubic algorithm (ikj order).
+func matMulClassic(dst, a, b mat) {
+	for i := 0; i < a.n; i++ {
+		dr := dst.d[i*dst.stride : i*dst.stride+a.n]
+		for j := range dr {
+			dr[j] = 0
+		}
+		for k := 0; k < a.n; k++ {
+			av := a.at(i, k)
+			br := b.d[k*b.stride : k*b.stride+a.n]
+			for j := range dr {
+				dr[j] += av * br[j]
+			}
+		}
+	}
+}
+
+// strassenProducts computes the seven Strassen products of a and b into
+// freshly allocated matrices, calling mul for each product (serially or
+// as a task).
+func strassenStep(t *omp.Thread, dst, a, b mat, depth, cutoff int) {
+	if a.n <= strassenBase {
+		matMulClassic(dst, a, b)
+		return
+	}
+	h := a.n / 2
+	a11, a12, a21, a22 := a.quad(0, 0), a.quad(0, 1), a.quad(1, 0), a.quad(1, 1)
+	b11, b12, b21, b22 := b.quad(0, 0), b.quad(0, 1), b.quad(1, 0), b.quad(1, 1)
+
+	m := make([]mat, 7)
+	for i := range m {
+		m[i] = newMat(h)
+	}
+	// Left/right operands for M1..M7 (temporaries per product).
+	ops := [7]struct{ l, r mat }{}
+	tmpL := func(f func(dst mat)) mat { x := newMat(h); f(x); return x }
+	ops[0] = struct{ l, r mat }{tmpL(func(x mat) { matAdd(x, a11, a22) }), tmpL(func(x mat) { matAdd(x, b11, b22) })} // M1=(A11+A22)(B11+B22)
+	ops[1] = struct{ l, r mat }{tmpL(func(x mat) { matAdd(x, a21, a22) }), b11}                                       // M2=(A21+A22)B11
+	ops[2] = struct{ l, r mat }{a11, tmpL(func(x mat) { matSub(x, b12, b22) })}                                       // M3=A11(B12-B22)
+	ops[3] = struct{ l, r mat }{a22, tmpL(func(x mat) { matSub(x, b21, b11) })}                                       // M4=A22(B21-B11)
+	ops[4] = struct{ l, r mat }{tmpL(func(x mat) { matAdd(x, a11, a12) }), b22}                                       // M5=(A11+A12)B22
+	ops[5] = struct{ l, r mat }{tmpL(func(x mat) { matSub(x, a21, a11) }), tmpL(func(x mat) { matAdd(x, b11, b12) })} // M6
+	ops[6] = struct{ l, r mat }{tmpL(func(x mat) { matSub(x, a12, a22) }), tmpL(func(x mat) { matAdd(x, b21, b22) })} // M7
+
+	spawnTasks := t != nil && (cutoff <= 0 || depth < cutoff)
+	for i := 0; i < 7; i++ {
+		i := i
+		if spawnTasks {
+			t.NewTask(strTask, func(c *omp.Thread) {
+				strassenStep(c, m[i], ops[i].l, ops[i].r, depth+1, cutoff)
+			})
+		} else {
+			strassenStep(nil, m[i], ops[i].l, ops[i].r, depth+1, cutoff)
+		}
+	}
+	if spawnTasks {
+		t.Taskwait(strTW)
+	}
+
+	c11, c12, c21, c22 := dst.quad(0, 0), dst.quad(0, 1), dst.quad(1, 0), dst.quad(1, 1)
+	// C11 = M1+M4-M5+M7; C12 = M3+M5; C21 = M2+M4; C22 = M1-M2+M3+M6
+	matAdd(c11, m[0], m[3])
+	matSub(c11, c11, m[4])
+	matAdd(c11, c11, m[6])
+	matAdd(c12, m[2], m[4])
+	matAdd(c21, m[1], m[3])
+	matSub(c22, m[0], m[1])
+	matAdd(c22, c22, m[2])
+	matAdd(c22, c22, m[5])
+}
+
+func strassenInputs(size Size) (a, b mat) {
+	n := strassenParams[size]
+	r := newLCG(uint64(n) * 104729)
+	a, b = newMat(n), newMat(n)
+	for i := range a.d {
+		a.d[i] = r.nextFloat() - 0.5
+	}
+	for i := range b.d {
+		b.d[i] = r.nextFloat() - 0.5
+	}
+	return
+}
+
+// strassenChecksum quantizes the product against FP round-off.
+func strassenChecksum(c mat) uint64 {
+	h := newFNV()
+	for i := 0; i < c.n; i++ {
+		for j := 0; j < c.n; j++ {
+			h.add(uint64(int64(math.Round(c.at(i, j) * 1e6))))
+		}
+	}
+	return h.sum()
+}
+
+// StrassenSpec is the strassen benchmark.
+var StrassenSpec = &Spec{
+	Name:      "strassen",
+	HasCutoff: true,
+	Prepare: func(size Size, cutoff bool) Kernel {
+		a, b := strassenInputs(size)
+		co := 0
+		if cutoff {
+			co = strassenCutoffDepth
+		}
+		return func(rt *omp.Runtime, threads int) uint64 {
+			c := newMat(a.n)
+			var started atomic.Bool
+			rt.Parallel(threads, strPar, func(t *omp.Thread) {
+				if started.CompareAndSwap(false, true) {
+					strassenStep(t, c, a, b, 0, co)
+				}
+			})
+			return strassenChecksum(c)
+		}
+	},
+	Expected: func(size Size) uint64 {
+		a, b := strassenInputs(size)
+		c := newMat(a.n)
+		strassenStep(nil, c, a, b, 0, 0) // serial Strassen, identical FP order
+		return strassenChecksum(c)
+	},
+}
+
+// StrassenMaxErrVsClassic returns the maximum absolute element difference
+// between the serial Strassen product and the classical cubic product —
+// the algorithmic cross-check used by tests (must be tiny).
+func StrassenMaxErrVsClassic(size Size) float64 {
+	a, b := strassenInputs(size)
+	cs := newMat(a.n)
+	strassenStep(nil, cs, a, b, 0, 0)
+	cc := newMat(a.n)
+	matMulClassic(cc, a, b)
+	maxErr := 0.0
+	for i := range cs.d {
+		if d := math.Abs(cs.d[i] - cc.d[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	return maxErr
+}

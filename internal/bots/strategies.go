@@ -1,0 +1,146 @@
+package bots
+
+import (
+	"sync/atomic"
+
+	"repro/internal/omp"
+)
+
+// BOTS implements task-creation cut-offs with three strategies
+// (Duran et al., ICPP 2009): "manual" stops creating tasks below a
+// depth and recurses serially (what Spec.Prepare(cutoff=true) uses,
+// as the paper's evaluation does), "if_clause" keeps creating tasks but
+// with if(depth < limit) so deep tasks are undeferred, and "final"
+// marks tasks final(depth >= limit) so whole subtrees become included
+// tasks. The strategies stress different runtime paths with identical
+// results; this file provides them for fib and nqueens.
+
+// CutoffStrategy selects how the recursion cut-off is implemented.
+type CutoffStrategy int
+
+// Cut-off strategies, mirroring BOTS's -DMANUAL_CUTOFF,
+// -DIF_CUTOFF and -DFINAL_CUTOFF builds.
+const (
+	CutoffManual CutoffStrategy = iota
+	CutoffIf
+	CutoffFinal
+)
+
+// String names the strategy like the BOTS build flags.
+func (s CutoffStrategy) String() string {
+	switch s {
+	case CutoffManual:
+		return "manual"
+	case CutoffIf:
+		return "if_clause"
+	case CutoffFinal:
+		return "final"
+	}
+	return "unknown"
+}
+
+// Strategies lists all cut-off strategies.
+var Strategies = []CutoffStrategy{CutoffManual, CutoffIf, CutoffFinal}
+
+// fibStrategyRec is fibTaskRec generalized over the cut-off strategy.
+func fibStrategyRec(t *omp.Thread, n, depth, cutoff int, strat CutoffStrategy, out *uint64) {
+	if n < 2 {
+		*out = uint64(n)
+		return
+	}
+	switch strat {
+	case CutoffManual:
+		if depth >= cutoff {
+			*out = fibSerialRec(n)
+			return
+		}
+		var a, b uint64
+		t.NewTask(fibTask, func(c *omp.Thread) { fibStrategyRec(c, n-1, depth+1, cutoff, strat, &a) })
+		t.NewTask(fibTask, func(c *omp.Thread) { fibStrategyRec(c, n-2, depth+1, cutoff, strat, &b) })
+		t.Taskwait(fibTW)
+		*out = a + b
+	case CutoffIf:
+		var a, b uint64
+		deferTasks := depth < cutoff
+		t.NewTask(fibTask, func(c *omp.Thread) { fibStrategyRec(c, n-1, depth+1, cutoff, strat, &a) }, omp.If(deferTasks))
+		t.NewTask(fibTask, func(c *omp.Thread) { fibStrategyRec(c, n-2, depth+1, cutoff, strat, &b) }, omp.If(deferTasks))
+		t.Taskwait(fibTW)
+		*out = a + b
+	case CutoffFinal:
+		var a, b uint64
+		t.NewTask(fibTask, func(c *omp.Thread) { fibStrategyRec(c, n-1, depth+1, cutoff, strat, &a) }, omp.Final(depth+1 >= cutoff))
+		t.NewTask(fibTask, func(c *omp.Thread) { fibStrategyRec(c, n-2, depth+1, cutoff, strat, &b) }, omp.Final(depth+1 >= cutoff))
+		t.Taskwait(fibTW)
+		*out = a + b
+	}
+}
+
+// FibStrategyKernel returns a fib kernel using the given cut-off
+// strategy at the given depth limit.
+func FibStrategyKernel(size Size, strat CutoffStrategy, cutoff int) Kernel {
+	n := fibParams[size]
+	if cutoff <= 0 {
+		cutoff = fibCutoffDepth
+	}
+	return func(rt *omp.Runtime, threads int) uint64 {
+		var result uint64
+		var started atomic.Bool
+		rt.Parallel(threads, fibPar, func(t *omp.Thread) {
+			if started.CompareAndSwap(false, true) {
+				fibStrategyRec(t, n, 0, cutoff, strat, &result)
+			}
+		})
+		return result
+	}
+}
+
+// nqueensStrategyRec generalizes nqueensTaskRec over the strategy.
+func nqueensStrategyRec(t *omp.Thread, board []int8, n, cutoff int, strat CutoffStrategy, count *atomic.Int64) {
+	row := len(board)
+	if row == n {
+		count.Add(1)
+		return
+	}
+	if strat == CutoffManual && row >= cutoff {
+		count.Add(nqueensSerial(board, n))
+		return
+	}
+	for col := int8(0); int(col) < n; col++ {
+		if !nqOK(board, col) {
+			continue
+		}
+		child := make([]int8, row+1)
+		copy(child, board)
+		child[row] = col
+		var opts []omp.TaskOpt
+		switch strat {
+		case CutoffIf:
+			opts = append(opts, omp.If(row < cutoff))
+		case CutoffFinal:
+			opts = append(opts, omp.Final(row+1 >= cutoff))
+		}
+		t.NewTask(nqTask, func(c *omp.Thread) {
+			nqueensStrategyRec(c, child, n, cutoff, strat, count)
+		}, opts...)
+	}
+	t.Taskwait(nqTW)
+}
+
+// NQueensStrategyKernel returns an nqueens kernel using the given
+// cut-off strategy.
+func NQueensStrategyKernel(size Size, strat CutoffStrategy, cutoff int) Kernel {
+	n := nqueensParams[size]
+	if cutoff <= 0 {
+		cutoff = nqueensCutoffDepth
+	}
+	return func(rt *omp.Runtime, threads int) uint64 {
+		var count atomic.Int64
+		var started atomic.Bool
+		rt.Parallel(threads, nqPar, func(t *omp.Thread) {
+			if started.CompareAndSwap(false, true) {
+				nqueensStrategyRec(t, nil, n, cutoff, strat, &count)
+			}
+		})
+		return uint64(count.Load())
+	}
+}

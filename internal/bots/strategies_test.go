@@ -1,0 +1,92 @@
+package bots
+
+import (
+	"testing"
+
+	"repro/internal/cube"
+	"repro/internal/measure"
+	"repro/internal/omp"
+)
+
+func TestFibAllStrategiesCorrect(t *testing.T) {
+	want := FibSpec.Expected(SizeTiny)
+	for _, strat := range Strategies {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			kernel := FibStrategyKernel(SizeTiny, strat, 6)
+			for _, threads := range []int{1, 4} {
+				rt := omp.NewRuntime(nil)
+				if got := kernel(rt, threads); got != want {
+					t.Errorf("threads=%d: got %d, want %d", threads, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestNQueensAllStrategiesCorrect(t *testing.T) {
+	want := NQueensSpec.Expected(SizeTiny)
+	for _, strat := range Strategies {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			kernel := NQueensStrategyKernel(SizeTiny, strat, 3)
+			rt := omp.NewRuntime(nil)
+			if got := kernel(rt, 4); got != want {
+				t.Errorf("got %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestStrategyTaskCounts(t *testing.T) {
+	// manual creates the fewest tasks (none below the cut-off);
+	// if_clause and final create one task object per call (deep ones
+	// undeferred), so their created counts match the no-cut-off version.
+	rt := omp.NewRuntime(nil)
+
+	FibStrategyKernel(SizeTiny, CutoffManual, 6)(rt, 2)
+	manual := rt.LastTeamStats().TasksCreated
+
+	FibStrategyKernel(SizeTiny, CutoffIf, 6)(rt, 2)
+	ifc := rt.LastTeamStats().TasksCreated
+
+	FibSpec.Prepare(SizeTiny, false)(rt, 2)
+	plain := rt.LastTeamStats().TasksCreated
+
+	if manual >= ifc {
+		t.Errorf("manual (%d) should create fewer tasks than if_clause (%d)", manual, ifc)
+	}
+	if ifc != plain {
+		t.Errorf("if_clause creates %d task objects, want %d (same as plain)", ifc, plain)
+	}
+}
+
+func TestStrategiesInstrumented(t *testing.T) {
+	// All strategies must produce consistent profiles: instance count ==
+	// created count, and undeferred tasks still appear as instances.
+	for _, strat := range Strategies {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			m := measure.New()
+			rt := omp.NewRuntime(m)
+			kernel := FibStrategyKernel(SizeTiny, strat, 5)
+			if got, want := kernel(rt, 2), FibSpec.Expected(SizeTiny); got != want {
+				t.Fatalf("wrong result %d", got)
+			}
+			created := rt.LastTeamStats().TasksCreated
+			m.Finish()
+			rep := cube.Aggregate(m.Locations())
+			tree := rep.TaskTree("fib.task")
+			if tree == nil || tree.Dur.Count != created {
+				t.Errorf("profile instances %v != created %d", tree, created)
+			}
+		})
+	}
+}
+
+func TestStrategyStringNames(t *testing.T) {
+	if CutoffManual.String() != "manual" || CutoffIf.String() != "if_clause" ||
+		CutoffFinal.String() != "final" || CutoffStrategy(9).String() != "unknown" {
+		t.Error("strategy names wrong")
+	}
+}

@@ -1,0 +1,96 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSystemMonotonic(t *testing.T) {
+	c := NewSystem()
+	prev := c.Now()
+	for i := 0; i < 1000; i++ {
+		now := c.Now()
+		if now < prev {
+			t.Fatalf("clock went backwards: %d -> %d", prev, now)
+		}
+		prev = now
+	}
+}
+
+func TestSystemAdvances(t *testing.T) {
+	c := NewSystem()
+	start := c.Now()
+	time.Sleep(2 * time.Millisecond)
+	if d := c.Now() - start; d < int64(time.Millisecond) {
+		t.Errorf("clock advanced only %dns over a 2ms sleep", d)
+	}
+}
+
+func TestSystemZeroValue(t *testing.T) {
+	var c System
+	first := c.Now()
+	if first < 0 {
+		t.Errorf("zero-value clock returned negative time %d", first)
+	}
+	if second := c.Now(); second < first {
+		t.Errorf("zero-value clock not monotonic: %d then %d", first, second)
+	}
+}
+
+func TestManualBasics(t *testing.T) {
+	m := NewManual(100)
+	if m.Now() != 100 {
+		t.Errorf("start = %d, want 100", m.Now())
+	}
+	if got := m.Advance(50); got != 150 {
+		t.Errorf("Advance returned %d, want 150", got)
+	}
+	m.Set(200)
+	if m.Now() != 200 {
+		t.Errorf("after Set: %d, want 200", m.Now())
+	}
+}
+
+func TestManualRejectsBackwards(t *testing.T) {
+	m := NewManual(10)
+	for _, fn := range []func(){
+		func() { m.Advance(-1) },
+		func() { m.Set(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on backwards time")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestManualConcurrentAdvance(t *testing.T) {
+	m := NewManual(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Advance(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Now() != 8000 {
+		t.Errorf("concurrent advances lost updates: %d, want 8000", m.Now())
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	n := int64(41)
+	var c Clock = Func(func() int64 { n++; return n })
+	if c.Now() != 42 {
+		t.Error("Func adapter broken")
+	}
+}

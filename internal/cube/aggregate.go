@@ -1,0 +1,286 @@
+// Package cube aggregates per-thread profiles into a report and renders
+// it — the role the CUBE profile format and browser play for Score-P
+// (paper Fig. 5). It computes the derived metrics the paper's analyses
+// need: exclusive times (inclusive minus children), per-thread
+// distributions, per-construct task statistics, and the maximum number of
+// concurrently active task instances.
+package cube
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/region"
+	"repro/internal/stats"
+)
+
+// Node is an aggregated call-tree node: metrics are summed over all
+// threads, with the per-thread breakdown retained (CUBE's system
+// dimension).
+type Node struct {
+	Kind       core.NodeKind
+	Region     *region.Region
+	ParamName  string
+	ParamValue int64
+	ParamStr   string
+
+	Visits int64
+	Dur    stats.Dur
+
+	PerThreadDur    map[int]stats.Dur
+	PerThreadVisits map[int]int64
+
+	Parent   *Node
+	Children []*Node
+}
+
+// Name renders the node's display name.
+func (n *Node) Name() string {
+	switch n.Kind {
+	case core.KindParameter:
+		if n.ParamStr != "" {
+			return fmt.Sprintf("%s=%s", n.ParamName, n.ParamStr)
+		}
+		return fmt.Sprintf("%s=%d", n.ParamName, n.ParamValue)
+	case core.KindStub:
+		return "task " + n.Region.Name
+	default:
+		if n.Region == nil {
+			return "PROGRAM"
+		}
+		return n.Region.Name
+	}
+}
+
+// ExclusiveSum returns the time spent exclusively in this node across all
+// threads: inclusive sum minus the children's inclusive sums.
+func (n *Node) ExclusiveSum() int64 {
+	excl := n.Dur.Sum
+	for _, c := range n.Children {
+		excl -= c.Dur.Sum
+	}
+	return excl
+}
+
+// ExclusiveSumThread returns the exclusive time of one thread.
+func (n *Node) ExclusiveSumThread(tid int) int64 {
+	excl := n.PerThreadDur[tid].Sum
+	for _, c := range n.Children {
+		excl -= c.PerThreadDur[tid].Sum
+	}
+	return excl
+}
+
+// Find returns the first direct child whose Name matches, or nil.
+func (n *Node) Find(name string) *Node {
+	for _, c := range n.Children {
+		if c.Name() == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// FindPath descends through children by display name.
+func (n *Node) FindPath(names ...string) *Node {
+	cur := n
+	for _, nm := range names {
+		cur = cur.Find(nm)
+		if cur == nil {
+			return nil
+		}
+	}
+	return cur
+}
+
+// Walk visits the subtree in depth-first pre-order.
+func (n *Node) Walk(fn func(n *Node, depth int)) { n.walk(fn, 0) }
+
+func (n *Node) walk(fn func(*Node, int), depth int) {
+	fn(n, depth)
+	for _, c := range n.Children {
+		c.walk(fn, depth+1)
+	}
+}
+
+// Path returns the display names from the tree root to n.
+func (n *Node) Path() []string {
+	var rev []string
+	for c := n; c != nil; c = c.Parent {
+		rev = append(rev, c.Name())
+	}
+	out := make([]string, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// Report is the aggregated profile of one measured run.
+type Report struct {
+	// Main is the merged implicit-task call tree: a synthetic PROGRAM
+	// root whose subtree merges all threads' implicit trees by call path.
+	Main *Node
+	// Tasks holds the aggregate task trees, one per task construct,
+	// "presented above the main call tree" in the paper's visualization.
+	Tasks []*Node
+
+	// NumThreads is the number of locations aggregated.
+	NumThreads int
+	// MaxConcurrentPerThread maps thread ID to the maximum number of
+	// concurrently active task-instance trees on it (Table II input).
+	MaxConcurrentPerThread map[int]int
+	// MaxConcurrent is the maximum over all threads (Table II value).
+	MaxConcurrent int
+	// SwitchesPerThread maps thread ID to task-switch transition counts.
+	SwitchesPerThread map[int]int64
+}
+
+// Aggregate merges per-thread profiles into a report. The profiles must
+// be finished.
+func Aggregate(locs []*core.ThreadProfile) *Report {
+	rep := &Report{
+		Main:                   &Node{Kind: core.KindRegion},
+		NumThreads:             len(locs),
+		MaxConcurrentPerThread: make(map[int]int, len(locs)),
+		SwitchesPerThread:      make(map[int]int64, len(locs)),
+	}
+	taskIdx := make(map[*region.Region]*Node)
+	for _, loc := range locs {
+		if !loc.Finished() {
+			panic("cube: Aggregate on unfinished profile")
+		}
+		tid := loc.ThreadID
+		rep.MaxConcurrentPerThread[tid] = loc.MaxActiveInstances()
+		if loc.MaxActiveInstances() > rep.MaxConcurrent {
+			rep.MaxConcurrent = loc.MaxActiveInstances()
+		}
+		rep.SwitchesPerThread[tid] = loc.Switches()
+
+		// The thread root node itself becomes the PROGRAM root's metrics.
+		mergeCore(rep.Main, loc.Root(), tid)
+
+		for _, tr := range loc.TaskRoots() {
+			agg, ok := taskIdx[tr.Region]
+			if !ok {
+				agg = &Node{Kind: core.KindRegion, Region: tr.Region}
+				taskIdx[tr.Region] = agg
+				rep.Tasks = append(rep.Tasks, agg)
+			}
+			mergeCore(agg, tr, tid)
+		}
+	}
+	sort.SliceStable(rep.Tasks, func(i, j int) bool {
+		return rep.Tasks[i].Region.ID < rep.Tasks[j].Region.ID
+	})
+	return rep
+}
+
+// mergeCore folds one thread's core node (and subtree) into an aggregate
+// node with the same key.
+func mergeCore(dst *Node, src *core.Node, tid int) {
+	dst.Visits += src.Visits
+	dst.Dur.Merge(src.Dur)
+	if dst.PerThreadDur == nil {
+		dst.PerThreadDur = make(map[int]stats.Dur)
+		dst.PerThreadVisits = make(map[int]int64)
+	}
+	d := dst.PerThreadDur[tid]
+	d.Merge(src.Dur)
+	dst.PerThreadDur[tid] = d
+	dst.PerThreadVisits[tid] += src.Visits
+
+	for _, sc := range src.Children {
+		dc := findOrAddChild(dst, sc)
+		mergeCore(dc, sc, tid)
+	}
+}
+
+func findOrAddChild(n *Node, src *core.Node) *Node {
+	for _, c := range n.Children {
+		if c.Kind == src.Kind {
+			switch src.Kind {
+			case core.KindParameter:
+				if c.ParamName == src.ParamName && c.ParamValue == src.ParamValue && c.ParamStr == src.ParamStr {
+					return c
+				}
+			default:
+				if c.Region == src.Region {
+					return c
+				}
+			}
+		}
+	}
+	c := &Node{
+		Kind:       src.Kind,
+		Region:     src.Region,
+		ParamName:  src.ParamName,
+		ParamValue: src.ParamValue,
+		ParamStr:   src.ParamStr,
+		Parent:     n,
+	}
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// TaskTree returns the aggregate task tree for the construct with the
+// given region name, or nil.
+func (r *Report) TaskTree(name string) *Node {
+	for _, t := range r.Tasks {
+		if t.Region.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// SumExclusiveByType walks a tree and sums the exclusive time of all
+// nodes whose region has the given type. Used for Table III (taskwait,
+// create, barrier shares).
+func SumExclusiveByType(root *Node, typ region.Type) int64 {
+	var sum int64
+	root.Walk(func(n *Node, _ int) {
+		if n.Kind == core.KindRegion && n.Region != nil && n.Region.Type == typ {
+			sum += n.ExclusiveSum()
+		}
+	})
+	return sum
+}
+
+// SumInclusiveByType sums Dur.Sum over nodes of the given region type.
+func SumInclusiveByType(root *Node, typ region.Type) int64 {
+	var sum int64
+	root.Walk(func(n *Node, _ int) {
+		if n.Kind == core.KindRegion && n.Region != nil && n.Region.Type == typ {
+			sum += n.Dur.Sum
+		}
+	})
+	return sum
+}
+
+// SumStubTime sums the inclusive time of all stub nodes in a tree: the
+// total task-execution time inside scheduling points (Fig. 5's reading:
+// "113s of task execution happened inside the barrier").
+func SumStubTime(root *Node) int64 {
+	var sum int64
+	root.Walk(func(n *Node, _ int) {
+		if n.Kind == core.KindStub {
+			sum += n.Dur.Sum
+		}
+	})
+	return sum
+}
+
+// ParamChildren returns the parameter children of a node sorted by value
+// (Table IV rows: one per depth level).
+func ParamChildren(n *Node, name string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Kind == core.KindParameter && c.ParamName == name {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ParamValue < out[j].ParamValue })
+	return out
+}

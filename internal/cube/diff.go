@@ -1,0 +1,216 @@
+package cube
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// The paper chooses a runtime-independent call-tree structure precisely
+// so that "results from multiple performance runs" stay comparable
+// (Section IV-B3). Diff exploits that: two reports of the same program
+// merge node-by-node along identical paths, exposing regressions per
+// region — the workflow of the Section VI case study (before/after the
+// cut-off) as a first-class operation.
+
+// DiffNode is one node of a structural report diff. A and B are nil when
+// the node is missing on that side.
+type DiffNode struct {
+	Name     string
+	Kind     core.NodeKind
+	A, B     *Node
+	Children []*DiffNode
+}
+
+// DeltaSum returns B's inclusive sum minus A's (missing side = 0).
+func (d *DiffNode) DeltaSum() int64 {
+	var a, b int64
+	if d.A != nil {
+		a = d.A.Dur.Sum
+	}
+	if d.B != nil {
+		b = d.B.Dur.Sum
+	}
+	return b - a
+}
+
+// DeltaVisits returns B's visits minus A's.
+func (d *DiffNode) DeltaVisits() int64 {
+	var a, b int64
+	if d.A != nil {
+		a = d.A.Visits
+	}
+	if d.B != nil {
+		b = d.B.Visits
+	}
+	return b - a
+}
+
+// Ratio returns B/A for the inclusive sums (0 when A is missing/zero).
+func (d *DiffNode) Ratio() float64 {
+	if d.A == nil || d.A.Dur.Sum == 0 {
+		return 0
+	}
+	var b int64
+	if d.B != nil {
+		b = d.B.Dur.Sum
+	}
+	return float64(b) / float64(d.A.Dur.Sum)
+}
+
+// Walk visits the diff tree depth-first pre-order.
+func (d *DiffNode) Walk(fn func(n *DiffNode, depth int)) { d.walk(fn, 0) }
+
+func (d *DiffNode) walk(fn func(*DiffNode, int), depth int) {
+	fn(d, depth)
+	for _, c := range d.Children {
+		c.walk(fn, depth+1)
+	}
+}
+
+// ReportDiff is the structural diff of two reports.
+type ReportDiff struct {
+	Main  *DiffNode
+	Tasks []*DiffNode
+}
+
+// Diff computes the structural diff of two reports (A = baseline,
+// B = candidate). Nodes are matched by display name and kind along the
+// path, which is stable across runs by the paper's design.
+func Diff(a, b *Report) *ReportDiff {
+	rd := &ReportDiff{Main: diffNodes(a.Main, b.Main)}
+	seen := map[string]bool{}
+	for _, ta := range a.Tasks {
+		name := ta.Name()
+		seen[name] = true
+		var tb *Node
+		if b != nil {
+			tb = b.TaskTree(ta.Region.Name)
+		}
+		rd.Tasks = append(rd.Tasks, diffNodes(ta, tb))
+	}
+	if b != nil {
+		for _, tb := range b.Tasks {
+			if !seen[tb.Name()] {
+				rd.Tasks = append(rd.Tasks, diffNodes(nil, tb))
+			}
+		}
+	}
+	return rd
+}
+
+// diffNodes merges two subtrees by child name+kind.
+func diffNodes(a, b *Node) *DiffNode {
+	d := &DiffNode{A: a, B: b}
+	switch {
+	case a != nil:
+		d.Name, d.Kind = a.Name(), a.Kind
+	case b != nil:
+		d.Name, d.Kind = b.Name(), b.Kind
+	}
+	type key struct {
+		name string
+		kind core.NodeKind
+	}
+	order := []key{}
+	av := map[key]*Node{}
+	bv := map[key]*Node{}
+	if a != nil {
+		for _, c := range a.Children {
+			k := key{c.Name(), c.Kind}
+			if _, ok := av[k]; !ok {
+				order = append(order, k)
+			}
+			av[k] = c
+		}
+	}
+	if b != nil {
+		for _, c := range b.Children {
+			k := key{c.Name(), c.Kind}
+			if _, ok := av[k]; !ok {
+				if _, ok2 := bv[k]; !ok2 {
+					order = append(order, k)
+				}
+			}
+			bv[k] = c
+		}
+	}
+	for _, k := range order {
+		d.Children = append(d.Children, diffNodes(av[k], bv[k]))
+	}
+	return d
+}
+
+// TopRegressions returns the n diff nodes with the largest absolute
+// inclusive-time delta, ordered by |delta| descending.
+func (rd *ReportDiff) TopRegressions(n int) []*DiffNode {
+	var all []*DiffNode
+	collect := func(root *DiffNode) {
+		root.Walk(func(d *DiffNode, _ int) { all = append(all, d) })
+	}
+	collect(rd.Main)
+	for _, t := range rd.Tasks {
+		collect(t)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		di, dj := rd.abs(all[i].DeltaSum()), rd.abs(all[j].DeltaSum())
+		return di > dj
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}
+
+func (rd *ReportDiff) abs(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// RenderDiff writes the diff as an indented tree: baseline, candidate,
+// delta and ratio per node. Nodes present on only one side are marked.
+func RenderDiff(w io.Writer, rd *ReportDiff) error {
+	ew := &errWriter{w: w}
+	fmt.Fprintln(ew, "=== MAIN TREE DIFF (A -> B) ===")
+	renderDiffNode(ew, rd.Main, 0)
+	if len(rd.Tasks) > 0 {
+		fmt.Fprintln(ew, "\n=== TASK TREE DIFFS ===")
+		for _, t := range rd.Tasks {
+			renderDiffNode(ew, t, 0)
+		}
+	}
+	return ew.err
+}
+
+func renderDiffNode(w io.Writer, d *DiffNode, depth int) {
+	indent := ""
+	for i := 0; i < depth; i++ {
+		indent += "  "
+	}
+	mark := ""
+	switch {
+	case d.A == nil:
+		mark = " [only in B]"
+	case d.B == nil:
+		mark = " [only in A]"
+	}
+	var aSum, bSum int64
+	if d.A != nil {
+		aSum = d.A.Dur.Sum
+	}
+	if d.B != nil {
+		bSum = d.B.Dur.Sum
+	}
+	fmt.Fprintf(w, "%-48s A=%-10s B=%-10s delta=%-11s visits%+d%s\n",
+		indent+d.Name,
+		stats.FormatNs(aSum), stats.FormatNs(bSum),
+		stats.FormatNs(d.DeltaSum()), d.DeltaVisits(), mark)
+	for _, c := range d.Children {
+		renderDiffNode(w, c, depth+1)
+	}
+}

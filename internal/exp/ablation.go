@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bots"
+	"repro/internal/omp"
+	"repro/internal/stats"
+)
+
+// SchedulerRow compares the two task schedulers on one code: the
+// central team queue (the GCC 4.6 libgomp model the paper measured) vs.
+// per-thread work-stealing deques.
+type SchedulerRow struct {
+	Code      string
+	Threads   []int
+	CentralNs []int64
+	StealNs   []int64
+	// SpeedupSteal[i] = CentralNs[i] / StealNs[i].
+	SpeedupSteal []float64
+}
+
+// SchedulerAblation quantifies how much of the paper's observed tasking
+// pathology (Fig. 15's runtime growth with threads) is the runtime's
+// central-queue design: the same non-cut-off codes run under both
+// schedulers, uninstrumented.
+func SchedulerAblation(cfg Config) []SchedulerRow {
+	cfg = cfg.normalized()
+	rows := make([]SchedulerRow, 0, 5)
+	for _, spec := range bots.CutoffCodes() {
+		kernel := spec.Prepare(cfg.Size, false)
+		row := SchedulerRow{Code: spec.Name, Threads: cfg.Threads}
+		for _, th := range cfg.Threads {
+			rtC := omp.NewRuntime(nil)
+			rtC.Sched = omp.SchedCentralQueue
+			c := timeKernel(kernel, rtC, th, cfg.Warmup, cfg.Reps)
+			rtS := omp.NewRuntime(nil)
+			rtS.Sched = omp.SchedWorkStealing
+			s := timeKernel(kernel, rtS, th, cfg.Warmup, cfg.Reps)
+			row.CentralNs = append(row.CentralNs, c)
+			row.StealNs = append(row.StealNs, s)
+			sp := 0.0
+			if s > 0 {
+				sp = float64(c) / float64(s)
+			}
+			row.SpeedupSteal = append(row.SpeedupSteal, sp)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatSchedulerAblation prints the scheduler comparison.
+func FormatSchedulerAblation(w io.Writer, rows []SchedulerRow) {
+	fmt.Fprintln(w, "Ablation: central queue (libgomp model) vs. work stealing, non-cut-off codes, uninstrumented")
+	fmt.Fprintf(w, "%-12s", "code")
+	if len(rows) > 0 {
+		for _, th := range rows[0].Threads {
+			fmt.Fprintf(w, " %22s", fmt.Sprintf("%d thr (central/steal)", th))
+		}
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s", r.Code)
+		for i := range r.Threads {
+			fmt.Fprintf(w, " %10s/%-7s %3.1fx",
+				stats.FormatNs(r.CentralNs[i]), stats.FormatNs(r.StealNs[i]), r.SpeedupSteal[i])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,254 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bots"
+)
+
+func TestFig13OverheadSmoke(t *testing.T) {
+	rows := Fig13Overhead(QuickConfig())
+	if len(rows) != 9 {
+		t.Fatalf("Fig13 rows = %d, want 9 (all BOTS codes)", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.OverheadPct) != 2 {
+			t.Errorf("%s: %d thread columns, want 2", r.Code, len(r.OverheadPct))
+		}
+		for i, ns := range r.UninstNs {
+			if ns <= 0 {
+				t.Errorf("%s: nonpositive uninstrumented time at col %d", r.Code, i)
+			}
+		}
+	}
+	cutoffs := 0
+	for _, r := range rows {
+		if r.Cutoff {
+			cutoffs++
+		}
+	}
+	if cutoffs != 5 {
+		t.Errorf("Fig13 cut-off variants used = %d, want 5", cutoffs)
+	}
+	var buf bytes.Buffer
+	FormatOverhead(&buf, "Fig. 13", rows)
+	if !strings.Contains(buf.String(), "fib (cut-off)") {
+		t.Error("formatted output missing fib (cut-off) row")
+	}
+}
+
+func TestFig14OverheadSmoke(t *testing.T) {
+	rows := Fig14Overhead(QuickConfig())
+	if len(rows) != 5 {
+		t.Fatalf("Fig14 rows = %d, want 5 (cut-off codes, non-cut-off run)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Cutoff {
+			t.Errorf("%s: Fig14 must run the non-cut-off variant", r.Code)
+		}
+	}
+}
+
+func TestFig15ScalingSmoke(t *testing.T) {
+	rows := Fig15RuntimeScaling(QuickConfig())
+	if len(rows) != 5 {
+		t.Fatalf("Fig15 rows = %d, want 5", len(rows))
+	}
+	for _, r := range rows {
+		foundMax := false
+		for _, p := range r.PctOfMax {
+			if p < 0 || p > 100.000001 {
+				t.Errorf("%s: pct of max out of range: %v", r.Code, r.PctOfMax)
+			}
+			if p > 99.999 {
+				foundMax = true
+			}
+		}
+		if !foundMax {
+			t.Errorf("%s: no column at 100%%", r.Code)
+		}
+	}
+	var buf bytes.Buffer
+	FormatScaling(&buf, rows)
+	if !strings.Contains(buf.String(), "Fig. 15") {
+		t.Error("missing header")
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	rows := Table1TaskGranularity(QuickConfig(), 2)
+	if len(rows) != 5 {
+		t.Fatalf("Table I rows = %d, want 5", len(rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		if r.NumTasks <= 0 {
+			t.Errorf("%s: no tasks recorded", r.Code)
+		}
+		if r.MeanTimeNs < 0 {
+			t.Errorf("%s: negative mean", r.Code)
+		}
+		byName[r.Code] = r
+	}
+	// Shape check from the paper's Table I: strassen tasks are orders of
+	// magnitude coarser than fib tasks, and fib creates the most tasks
+	// among fib/strassen.
+	if byName["strassen"].MeanTimeNs <= byName["fib"].MeanTimeNs {
+		t.Errorf("strassen mean (%f) should exceed fib mean (%f)",
+			byName["strassen"].MeanTimeNs, byName["fib"].MeanTimeNs)
+	}
+	if byName["fib"].NumTasks <= byName["strassen"].NumTasks {
+		t.Errorf("fib tasks (%d) should exceed strassen tasks (%d)",
+			byName["fib"].NumTasks, byName["strassen"].NumTasks)
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	rows := Table2ConcurrentTasks(QuickConfig(), 2)
+	if len(rows) != 14 {
+		t.Fatalf("Table II rows = %d, want 14 (9 codes + 5 cut-off variants)", len(rows))
+	}
+	byKey := map[string]int{}
+	for _, r := range rows {
+		if r.MaxTasks < 1 {
+			t.Errorf("%s cutoff=%v: max tasks = %d, want >= 1", r.Code, r.Cutoff, r.MaxTasks)
+		}
+		k := r.Code
+		if r.Cutoff {
+			k += "+cut"
+		}
+		byKey[k] = r.MaxTasks
+	}
+	// Paper shape: alignment has exactly 1 (independent coarse tasks,
+	// no nesting); cut-off versions never exceed their plain versions.
+	if byKey["alignment"] != 1 {
+		t.Errorf("alignment max tasks = %d, want 1", byKey["alignment"])
+	}
+	for _, code := range []string{"fib", "floorplan", "health", "nqueens", "strassen"} {
+		if byKey[code+"+cut"] > byKey[code] {
+			t.Errorf("%s: cut-off max (%d) exceeds plain max (%d)", code, byKey[code+"+cut"], byKey[code])
+		}
+	}
+}
+
+func TestTable3Smoke(t *testing.T) {
+	cfg := QuickConfig()
+	rows := Table3NQueensRegions(cfg)
+	if len(rows) != len(cfg.normalized().Threads) {
+		t.Fatalf("Table III rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.TaskNs < 0 || r.TaskwaitNs < 0 || r.CreateNs < 0 || r.BarrierNs < 0 {
+			t.Errorf("negative exclusive time in Table III row %+v", r)
+		}
+		if r.TaskNs == 0 {
+			t.Errorf("threads=%d: task exclusive time is zero", r.Threads)
+		}
+	}
+}
+
+func TestTable4Smoke(t *testing.T) {
+	rows := Table4NQueensDepth(QuickConfig(), 2)
+	n := bots.NQueensBoardSize(bots.SizeTiny)
+	if len(rows) != n {
+		t.Fatalf("Table IV rows = %d, want %d (one per depth level)", len(rows), n)
+	}
+	for i, r := range rows {
+		if r.Depth != int64(i) {
+			t.Errorf("row %d: depth = %d", i, r.Depth)
+		}
+		if r.NumTasks <= 0 {
+			t.Errorf("depth %d: no tasks", r.Depth)
+		}
+	}
+	// Shape from the paper: deep levels hold far more tasks than level 0,
+	// and the mean decreases from the top level to the deepest.
+	if rows[n-1].NumTasks <= rows[0].NumTasks {
+		t.Errorf("deepest level tasks (%d) should exceed level-0 tasks (%d)",
+			rows[n-1].NumTasks, rows[0].NumTasks)
+	}
+	if rows[n-1].MeanTimeNs >= rows[0].MeanTimeNs {
+		t.Errorf("mean time should decrease with depth: level0=%.0f deepest=%.0f",
+			rows[0].MeanTimeNs, rows[n-1].MeanTimeNs)
+	}
+}
+
+func TestCaseStudySmoke(t *testing.T) {
+	r := CaseStudyNQueens(Config{Size: bots.SizeSmall, Threads: []int{2}, Reps: 1}, 2)
+	if r.PlainNs <= 0 || r.CutoffNs <= 0 {
+		t.Fatalf("invalid case study timings: %+v", r)
+	}
+	if r.Speedup <= 1 {
+		t.Errorf("cut-off gave no speedup at small size: %.2fx (plain=%d cut=%d)",
+			r.Speedup, r.PlainNs, r.CutoffNs)
+	}
+	var buf bytes.Buffer
+	FormatCaseStudy(&buf, r)
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Error("missing speedup line")
+	}
+}
+
+func TestMemoryRequirementsSmoke(t *testing.T) {
+	rows := MemoryRequirements(QuickConfig(), 2)
+	if len(rows) != 14 {
+		t.Fatalf("memory rows = %d, want 14", len(rows))
+	}
+	for _, r := range rows {
+		if r.TasksCreated <= 0 {
+			t.Errorf("%s: no tasks", r.Code)
+		}
+		if r.InstancesAllocated <= 0 || r.NodesAllocated <= 0 {
+			t.Errorf("%s: zero allocations recorded", r.Code)
+		}
+		// The Section V-B claim: allocations bounded by concurrency, far
+		// below the task count for task-heavy codes.
+		if r.TasksCreated > 1000 && r.InstancesAllocated > r.TasksCreated/10 {
+			t.Errorf("%s: instance allocations (%d) not amortized vs %d tasks",
+				r.Code, r.InstancesAllocated, r.TasksCreated)
+		}
+	}
+	var buf bytes.Buffer
+	FormatMemory(&buf, rows)
+	if !strings.Contains(buf.String(), "reuse") {
+		t.Error("memory format missing reuse column")
+	}
+}
+
+func TestSchedulerAblationSmoke(t *testing.T) {
+	rows := SchedulerAblation(QuickConfig())
+	if len(rows) != 5 {
+		t.Fatalf("ablation rows = %d, want 5", len(rows))
+	}
+	for _, r := range rows {
+		for i := range r.Threads {
+			if r.CentralNs[i] <= 0 || r.StealNs[i] <= 0 {
+				t.Errorf("%s: nonpositive time", r.Code)
+			}
+			if r.SpeedupSteal[i] <= 0 {
+				t.Errorf("%s: bad speedup", r.Code)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	FormatSchedulerAblation(&buf, rows)
+	if !strings.Contains(buf.String(), "central") {
+		t.Error("ablation format missing header")
+	}
+}
+
+func TestFormatTablesSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	FormatTable1(&buf, []Table1Row{{Code: "fib", MeanTimeNs: 1490, NumTasks: 1000}})
+	FormatTable2(&buf, []Table2Row{{Code: "fib", Cutoff: true, MaxTasks: 4}})
+	FormatTable3(&buf, []Table3Row{{Threads: 1, TaskNs: 1, TaskwaitNs: 2, CreateNs: 3, BarrierNs: 4}})
+	FormatTable4(&buf, []Table4Row{{Depth: 0, MeanTimeNs: 25500, SumNs: 360000, NumTasks: 14}})
+	out := buf.String()
+	for _, want := range []string{"Table I", "Table II", "Table III", "Table IV", "fib (cut-off)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted tables missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bots"
+	"repro/internal/measure"
+	"repro/internal/omp"
+)
+
+// MemoryRow quantifies the Section V-B memory argument for one code:
+// because completed instance trees are merged and their nodes recycled,
+// the profiler's allocations track the *maximum concurrency*, not the
+// task count.
+type MemoryRow struct {
+	Code   string
+	Cutoff bool
+	// TasksCreated is the number of task instances executed.
+	TasksCreated int64
+	// MaxConcurrent is the per-thread maximum of simultaneously active
+	// instance trees (Table II).
+	MaxConcurrent int
+	// InstancesAllocated counts TaskInstance structs ever allocated
+	// across all threads (pool misses).
+	InstancesAllocated int64
+	// NodesAllocated counts call-tree nodes ever allocated across all
+	// threads (pool misses), including the persistent main/task trees.
+	NodesAllocated int64
+}
+
+// MemoryRequirements reproduces the Section V-B evaluation: instrumented
+// runs of every code/variant, reporting allocation counters against task
+// counts.
+func MemoryRequirements(cfg Config, threads int) []MemoryRow {
+	cfg = cfg.normalized()
+	var rows []MemoryRow
+	for _, spec := range bots.All {
+		variants := []bool{false}
+		if spec.HasCutoff {
+			variants = append(variants, true)
+		}
+		for _, cutoff := range variants {
+			kernel := spec.Prepare(cfg.Size, cutoff)
+			m := measure.New()
+			rt := omp.NewRuntime(m)
+			kernel(rt, threads)
+			created := rt.LastTeamStats().TasksCreated
+			m.Finish()
+			row := MemoryRow{
+				Code:         spec.Name,
+				Cutoff:       cutoff,
+				TasksCreated: created,
+			}
+			for _, loc := range m.Locations() {
+				if loc.MaxActiveInstances() > row.MaxConcurrent {
+					row.MaxConcurrent = loc.MaxActiveInstances()
+				}
+				row.InstancesAllocated += loc.InstancesAllocated()
+				row.NodesAllocated += loc.NodesAllocated()
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// FormatMemory prints the Section V-B table.
+func FormatMemory(w io.Writer, rows []MemoryRow) {
+	fmt.Fprintln(w, "Section V-B: profiler memory — allocations track concurrency, not task count")
+	fmt.Fprintf(w, "%-24s %12s %10s %12s %12s %10s\n",
+		"code", "tasks", "max conc.", "inst alloc", "node alloc", "reuse")
+	for _, r := range rows {
+		name := r.Code
+		if r.Cutoff {
+			name += " (cut-off)"
+		}
+		reuse := "-"
+		if r.InstancesAllocated > 0 {
+			reuse = fmt.Sprintf("%.0fx", float64(r.TasksCreated)/float64(r.InstancesAllocated))
+		}
+		fmt.Fprintf(w, "%-24s %12d %10d %12d %12d %10s\n",
+			name, r.TasksCreated, r.MaxConcurrent, r.InstancesAllocated, r.NodesAllocated, reuse)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,238 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/bots"
+	"repro/internal/cube"
+	"repro/internal/omp"
+	"repro/internal/region"
+	"repro/internal/stats"
+)
+
+// Table1Row is one row of Table I: mean task execution time and number
+// of tasks for the non-cut-off code versions.
+type Table1Row struct {
+	Code       string
+	MeanTimeNs float64
+	NumTasks   int64
+}
+
+// Table1TaskGranularity reproduces Table I from instrumented runs of the
+// non-cut-off versions: the merged task trees provide instance counts
+// and mean inclusive execution times per construct; the row aggregates
+// over all constructs of the code.
+func Table1TaskGranularity(cfg Config, threads int) []Table1Row {
+	cfg = cfg.normalized()
+	rows := make([]Table1Row, 0, 5)
+	for _, spec := range bots.CutoffCodes() {
+		kernel := spec.Prepare(cfg.Size, false)
+		rep := runInstrumented(kernel, threads)
+		var count, sum int64
+		for _, tree := range rep.Tasks {
+			count += tree.Dur.Count
+			sum += tree.Dur.Sum
+		}
+		mean := 0.0
+		if count > 0 {
+			mean = float64(sum) / float64(count)
+		}
+		rows = append(rows, Table1Row{Code: spec.Name, MeanTimeNs: mean, NumTasks: count})
+	}
+	return rows
+}
+
+// Table2Row is one row of Table II: the maximum number of concurrently
+// executing task instances per thread.
+type Table2Row struct {
+	Code     string
+	Cutoff   bool
+	MaxTasks int
+}
+
+// Table2ConcurrentTasks reproduces Table II: for every code (and its
+// cut-off variant where provided) the per-thread maximum of concurrently
+// active task-instance trees, which bounds the profiling system's memory
+// (Section V-B).
+func Table2ConcurrentTasks(cfg Config, threads int) []Table2Row {
+	cfg = cfg.normalized()
+	var rows []Table2Row
+	for _, spec := range bots.All {
+		variants := []bool{false}
+		if spec.HasCutoff {
+			variants = append(variants, true)
+		}
+		for _, cutoff := range variants {
+			kernel := spec.Prepare(cfg.Size, cutoff)
+			rep := runInstrumented(kernel, threads)
+			rows = append(rows, Table2Row{Code: spec.Name, Cutoff: cutoff, MaxTasks: rep.MaxConcurrent})
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Code != rows[j].Code {
+			return rows[i].Code < rows[j].Code
+		}
+		return !rows[i].Cutoff && rows[j].Cutoff
+	})
+	return rows
+}
+
+// Table3Row is one column of Table III: the exclusive times of the task,
+// taskwait and task-create regions inside the nqueens task construct and
+// of the barrier in the main tree, for one thread count.
+type Table3Row struct {
+	Threads    int
+	TaskNs     int64
+	TaskwaitNs int64
+	CreateNs   int64
+	BarrierNs  int64
+}
+
+// Table3NQueensRegions reproduces Table III with instrumented runs of
+// the non-cut-off nqueens.
+func Table3NQueensRegions(cfg Config) []Table3Row {
+	cfg = cfg.normalized()
+	kernel := bots.NQueensSpec.Prepare(cfg.Size, false)
+	rows := make([]Table3Row, 0, len(cfg.Threads))
+	for _, th := range cfg.Threads {
+		rep := runInstrumented(kernel, th)
+		row := Table3Row{Threads: th}
+		if tree := rep.TaskTree("nqueens.task"); tree != nil {
+			row.TaskNs = tree.ExclusiveSum()
+			row.TaskwaitNs = cube.SumExclusiveByType(tree, region.Taskwait)
+			row.CreateNs = cube.SumExclusiveByType(tree, region.TaskCreate)
+		}
+		row.BarrierNs = cube.SumExclusiveByType(rep.Main, region.ImplicitBarrier) +
+			cube.SumExclusiveByType(rep.Main, region.Barrier)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table4Row is one row of Table IV: per-recursion-depth statistics of
+// the nqueens task from parameter instrumentation.
+type Table4Row struct {
+	Depth      int64
+	MeanTimeNs float64
+	SumNs      int64
+	NumTasks   int64
+}
+
+// Table4NQueensDepth reproduces Table IV: the non-cut-off nqueens with
+// parameter instrumentation splitting the task tree by recursion depth.
+func Table4NQueensDepth(cfg Config, threads int) []Table4Row {
+	cfg = cfg.normalized()
+	kernel := bots.NQueensDepthKernel(cfg.Size)
+	rep := runInstrumented(kernel, threads)
+	tree := rep.TaskTree("nqueens.task")
+	if tree == nil {
+		return nil
+	}
+	var rows []Table4Row
+	for _, d := range cube.ParamChildren(tree, "depth") {
+		rows = append(rows, Table4Row{
+			Depth:      d.ParamValue,
+			MeanTimeNs: d.Dur.Mean(),
+			SumNs:      d.Dur.Sum,
+			NumTasks:   d.Dur.Count,
+		})
+	}
+	return rows
+}
+
+// CaseStudyResult captures the Section VI optimization outcome: runtime
+// of the uninstrumented nqueens with and without the depth-3 cut-off.
+type CaseStudyResult struct {
+	Threads   int
+	PlainNs   int64
+	CutoffNs  int64
+	Speedup   float64
+	BoardSize int
+}
+
+// CaseStudyNQueens reproduces the Section VI conclusion: applying the
+// cut-off at recursion level 3 yields a large speedup (16x in the paper)
+// of the uninstrumented computing kernel.
+func CaseStudyNQueens(cfg Config, threads int) CaseStudyResult {
+	cfg = cfg.normalized()
+	plain := timeKernel(bots.NQueensSpec.Prepare(cfg.Size, false), omp.NewRuntime(nil), threads, cfg.Warmup, cfg.Reps)
+	cut := timeKernel(bots.NQueensSpec.Prepare(cfg.Size, true), omp.NewRuntime(nil), threads, cfg.Warmup, cfg.Reps)
+	speedup := 0.0
+	if cut > 0 {
+		speedup = float64(plain) / float64(cut)
+	}
+	return CaseStudyResult{
+		Threads:   threads,
+		PlainNs:   plain,
+		CutoffNs:  cut,
+		Speedup:   speedup,
+		BoardSize: bots.NQueensBoardSize(cfg.Size),
+	}
+}
+
+// FormatTable1 prints Table I.
+func FormatTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table I: mean task execution time and number of tasks (non-cut-off)")
+	fmt.Fprintf(w, "%-14s %14s %16s\n", "code", "mean time", "number of tasks")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %14s %16d\n", r.Code, stats.FormatNs(int64(r.MeanTimeNs)), r.NumTasks)
+	}
+	fmt.Fprintln(w)
+}
+
+// FormatTable2 prints Table II.
+func FormatTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "Table II: maximum number of concurrently executing tasks per thread")
+	fmt.Fprintf(w, "%-24s %9s\n", "code", "max tasks")
+	for _, r := range rows {
+		name := r.Code
+		if r.Cutoff {
+			name += " (cut-off)"
+		}
+		fmt.Fprintf(w, "%-24s %9d\n", name, r.MaxTasks)
+	}
+	fmt.Fprintln(w)
+}
+
+// FormatTable3 prints Table III.
+func FormatTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintln(w, "Table III: nqueens exclusive times per region (non-cut-off, instrumented)")
+	fmt.Fprintf(w, "%-12s", "region")
+	for _, r := range rows {
+		fmt.Fprintf(w, " %12s", fmt.Sprintf("%d thread(s)", r.Threads))
+	}
+	fmt.Fprintln(w)
+	line := func(name string, get func(Table3Row) int64) {
+		fmt.Fprintf(w, "%-12s", name)
+		for _, r := range rows {
+			fmt.Fprintf(w, " %12s", stats.FormatNs(get(r)))
+		}
+		fmt.Fprintln(w)
+	}
+	line("task", func(r Table3Row) int64 { return r.TaskNs })
+	line("taskwait", func(r Table3Row) int64 { return r.TaskwaitNs })
+	line("create task", func(r Table3Row) int64 { return r.CreateNs })
+	line("barrier", func(r Table3Row) int64 { return r.BarrierNs })
+	fmt.Fprintln(w)
+}
+
+// FormatTable4 prints Table IV.
+func FormatTable4(w io.Writer, rows []Table4Row) {
+	fmt.Fprintln(w, "Table IV: nqueens task statistics per recursion depth (parameter instrumentation)")
+	fmt.Fprintf(w, "%-6s %12s %12s %16s\n", "depth", "mean time", "sum", "number of tasks")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6d %12s %12s %16d\n",
+			r.Depth, stats.FormatNs(int64(r.MeanTimeNs)), stats.FormatNs(r.SumNs), r.NumTasks)
+	}
+	fmt.Fprintln(w)
+}
+
+// FormatCaseStudy prints the Section VI result.
+func FormatCaseStudy(w io.Writer, r CaseStudyResult) {
+	fmt.Fprintf(w, "Section VI case study: nqueens n=%d, %d threads, uninstrumented\n", r.BoardSize, r.Threads)
+	fmt.Fprintf(w, "  without cut-off: %s\n", stats.FormatNs(r.PlainNs))
+	fmt.Fprintf(w, "  with cut-off at depth 3: %s\n", stats.FormatNs(r.CutoffNs))
+	fmt.Fprintf(w, "  speedup: %.1fx (paper: 16x)\n\n", r.Speedup)
+}

@@ -1,0 +1,96 @@
+package measure
+
+import (
+	"strings"
+
+	"repro/internal/omp"
+	"repro/internal/region"
+)
+
+// Filter implements Score-P's measurement filtering: user regions that
+// match the filter are excluded from profiling, which is the standard
+// remedy when instrumentation of small, frequently-called functions
+// dominates the overhead (the fib situation of the paper's Fig. 13 —
+// every event that is never generated costs nothing).
+//
+// A Filter wraps a Measurement as the runtime listener. Only
+// user-function Enter/Exit events are filtered; construct regions
+// (parallel, task, barriers, taskwaits) are structural for the task
+// profiling algorithm and always pass through.
+type Filter struct {
+	m *Measurement
+
+	excludePrefixes []string
+	excludeNames    map[string]bool
+}
+
+// NewFilter creates a filtering listener around m. Patterns ending in
+// '*' exclude by prefix, others by exact region name — mirroring the
+// SCOREP_FILTERING_FILE syntax in spirit.
+func NewFilter(m *Measurement, patterns ...string) *Filter {
+	f := &Filter{m: m, excludeNames: make(map[string]bool)}
+	for _, p := range patterns {
+		if strings.HasSuffix(p, "*") {
+			f.excludePrefixes = append(f.excludePrefixes, strings.TrimSuffix(p, "*"))
+		} else {
+			f.excludeNames[p] = true
+		}
+	}
+	return f
+}
+
+// Excluded reports whether events for r are dropped.
+func (f *Filter) Excluded(r *region.Region) bool {
+	if r.Type != region.UserFunction {
+		return false
+	}
+	if f.excludeNames[r.Name] {
+		return true
+	}
+	for _, p := range f.excludePrefixes {
+		if strings.HasPrefix(r.Name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Measurement returns the wrapped measurement.
+func (f *Filter) Measurement() *Measurement { return f.m }
+
+// ThreadBegin implements omp.Listener.
+func (f *Filter) ThreadBegin(t *omp.Thread) { f.m.ThreadBegin(t) }
+
+// ThreadEnd implements omp.Listener.
+func (f *Filter) ThreadEnd(t *omp.Thread) { f.m.ThreadEnd(t) }
+
+// Enter implements omp.Listener, dropping excluded user regions.
+func (f *Filter) Enter(t *omp.Thread, r *region.Region) {
+	if f.Excluded(r) {
+		return
+	}
+	f.m.Enter(t, r)
+}
+
+// Exit implements omp.Listener, dropping excluded user regions.
+func (f *Filter) Exit(t *omp.Thread, r *region.Region) {
+	if f.Excluded(r) {
+		return
+	}
+	f.m.Exit(t, r)
+}
+
+// TaskCreateBegin implements omp.Listener.
+func (f *Filter) TaskCreateBegin(t *omp.Thread, r *region.Region) { f.m.TaskCreateBegin(t, r) }
+
+// TaskCreateEnd implements omp.Listener.
+func (f *Filter) TaskCreateEnd(t *omp.Thread, tk *omp.Task) { f.m.TaskCreateEnd(t, tk) }
+
+// TaskBegin implements omp.Listener.
+func (f *Filter) TaskBegin(t *omp.Thread, tk *omp.Task) { f.m.TaskBegin(t, tk) }
+
+// TaskEnd implements omp.Listener.
+func (f *Filter) TaskEnd(t *omp.Thread, tk *omp.Task) { f.m.TaskEnd(t, tk) }
+
+// TaskSwitch implements omp.Listener.
+func (f *Filter) TaskSwitch(t *omp.Thread, tk *omp.Task) { f.m.TaskSwitch(t, tk) }

@@ -1,0 +1,190 @@
+// Package measure is the measurement-system core: it implements the
+// runtime's Listener interface and translates the POMP2-style event
+// stream into per-thread task-aware profiles using internal/core — the
+// role Score-P's measurement core plays between OPARI2 instrumentation
+// and the profile (paper Section IV-A).
+package measure
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/omp"
+	"repro/internal/region"
+)
+
+// Measurement owns the per-thread locations (profiles) of one measured
+// program run. Attach it to a runtime via omp.NewRuntime(m); after the
+// measured code finished, call Finish and hand Locations to
+// internal/cube for aggregation and reporting.
+//
+// Locations persist across successive parallel regions (threads with the
+// same ID map to the same location), matching Score-P's thread pool
+// model. Concurrent (nested) parallel regions are not supported by the
+// measurement layer.
+type Measurement struct {
+	clk clock.Clock
+	reg *region.Registry
+
+	mu        sync.Mutex
+	locations map[int]*core.ThreadProfile
+	order     []int
+
+	createMu      sync.RWMutex
+	createRegions map[*region.Region]*region.Region
+
+	finished bool
+}
+
+// New creates a measurement reading time from the system clock and
+// interning derived regions in the default registry.
+func New() *Measurement {
+	return NewWithClock(clock.NewSystem(), region.Default)
+}
+
+// NewWithClock creates a measurement with an explicit clock and registry;
+// tests use a manual clock for deterministic profiles.
+func NewWithClock(clk clock.Clock, reg *region.Registry) *Measurement {
+	return &Measurement{
+		clk:           clk,
+		reg:           reg,
+		locations:     make(map[int]*core.ThreadProfile),
+		createRegions: make(map[*region.Region]*region.Region),
+	}
+}
+
+// profile returns the location attached to t.
+func profile(t *omp.Thread) *core.ThreadProfile {
+	p, _ := t.ProfData.(*core.ThreadProfile)
+	return p
+}
+
+// Profile exposes the location attached to a thread, or nil when the
+// thread is not measured. Instrumentation wrappers use it.
+func Profile(t *omp.Thread) *core.ThreadProfile { return profile(t) }
+
+// CreateRegion returns (and interns on first use) the task-creation
+// region derived from a task region, as OPARI2 generates it alongside
+// the task construct region.
+func (m *Measurement) CreateRegion(r *region.Region) *region.Region {
+	m.createMu.RLock()
+	cr, ok := m.createRegions[r]
+	m.createMu.RUnlock()
+	if ok {
+		return cr
+	}
+	m.createMu.Lock()
+	defer m.createMu.Unlock()
+	if cr, ok = m.createRegions[r]; ok {
+		return cr
+	}
+	cr = m.reg.Register(r.Name+" (create)", r.File, r.Line, region.TaskCreate)
+	m.createRegions[r] = cr
+	return cr
+}
+
+// ThreadBegin implements omp.Listener: it binds the location for the
+// thread ID to the thread.
+func (m *Measurement) ThreadBegin(t *omp.Thread) {
+	m.mu.Lock()
+	p, ok := m.locations[t.ID]
+	if !ok {
+		p = core.NewThreadProfile(t.ID, m.clk)
+		m.locations[t.ID] = p
+		m.order = append(m.order, t.ID)
+	}
+	m.mu.Unlock()
+	t.ProfData = p
+}
+
+// ThreadEnd implements omp.Listener. The location stays open so that a
+// later parallel region can continue it; Finish closes all locations.
+func (m *Measurement) ThreadEnd(t *omp.Thread) {
+	t.ProfData = nil
+}
+
+// Enter implements omp.Listener.
+func (m *Measurement) Enter(t *omp.Thread, r *region.Region) {
+	profile(t).Enter(r)
+}
+
+// Exit implements omp.Listener.
+func (m *Measurement) Exit(t *omp.Thread, r *region.Region) {
+	profile(t).Exit(r)
+}
+
+// TaskCreateBegin implements omp.Listener: enter the derived
+// task-creation region (creation-time metric, Section III).
+func (m *Measurement) TaskCreateBegin(t *omp.Thread, r *region.Region) {
+	profile(t).Enter(m.CreateRegion(r))
+}
+
+// TaskCreateEnd implements omp.Listener.
+func (m *Measurement) TaskCreateEnd(t *omp.Thread, tk *omp.Task) {
+	profile(t).Exit(m.CreateRegion(tk.Region))
+}
+
+// TaskBegin implements omp.Listener: create the instance profile and
+// store it in the task's context, exactly as OPARI2 stores instance IDs
+// inside the task.
+func (m *Measurement) TaskBegin(t *omp.Thread, tk *omp.Task) {
+	tk.ProfData = profile(t).TaskBegin(tk.Region)
+}
+
+// TaskEnd implements omp.Listener.
+func (m *Measurement) TaskEnd(t *omp.Thread, tk *omp.Task) {
+	profile(t).TaskEnd()
+	tk.ProfData = nil
+}
+
+// TaskSwitch implements omp.Listener: resume a suspended instance (or the
+// implicit task for tk == nil).
+func (m *Measurement) TaskSwitch(t *omp.Thread, tk *omp.Task) {
+	p := profile(t)
+	if tk == nil {
+		p.TaskSwitchTo(nil)
+		return
+	}
+	ti, ok := tk.ProfData.(*core.TaskInstance)
+	if !ok {
+		panic(fmt.Sprintf("measure: TaskSwitch to task %d without instance data", tk.ID))
+	}
+	p.TaskSwitchTo(ti)
+}
+
+// Finish closes all locations. Call after the measured code completed.
+func (m *Measurement) Finish() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.finished {
+		return
+	}
+	for _, id := range m.order {
+		m.locations[id].Finish()
+	}
+	m.finished = true
+}
+
+// Locations returns the per-thread profiles ordered by thread ID
+// (creation order equals ID order for contiguous teams).
+func (m *Measurement) Locations() []*core.ThreadProfile {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*core.ThreadProfile, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.locations[id])
+	}
+	return out
+}
+
+// Location returns the profile of one thread ID, or nil.
+func (m *Measurement) Location(id int) *core.ThreadProfile {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.locations[id]
+}
+
+// Clock returns the measurement's time source.
+func (m *Measurement) Clock() clock.Clock { return m.clk }

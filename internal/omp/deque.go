@@ -1,0 +1,100 @@
+package omp
+
+import "sync"
+
+// claimEntry is a queue reference to a task: the task pointer plus the
+// claim word observed when the task was published. Tasks are referenced
+// from two places at once — the global queue (central queue or a
+// per-thread deque) and the parent's child list used by taskwait's
+// tied-task scheduling constraint. Whoever CASes the claim word first
+// executes the task; the stale reference in the other container is
+// discarded lazily when its claim fails. The claim word carries a
+// generation in its upper bits so recycled Task structs can never be
+// claimed through a stale entry (ABA safety).
+type claimEntry struct {
+	task *Task
+	word uint64
+}
+
+// tryClaim attempts to take exclusive execution rights for the entry.
+func (e claimEntry) tryClaim() bool {
+	return e.task.claim.CompareAndSwap(e.word, e.word|1)
+}
+
+// deque is a task queue of claim entries. The runtime uses it in two
+// roles: as the single team-wide queue of the central-queue scheduler
+// (the GCC 4.6 libgomp model the paper measured — one lock, which is
+// exactly the contention the paper attributes its Fig. 15 slowdowns to)
+// and as the per-thread deques of the work-stealing scheduler (owner
+// pushes/pops LIFO at the tail, thieves steal FIFO at the head).
+type deque struct {
+	mu    sync.Mutex
+	buf   []claimEntry
+	head  int // index of oldest element
+	count int
+}
+
+const dequeInitialCap = 64
+
+// push appends e at the tail.
+func (d *deque) push(e claimEntry) {
+	d.mu.Lock()
+	if d.count == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.count)%len(d.buf)] = e
+	d.count++
+	d.mu.Unlock()
+}
+
+// grow doubles the buffer. Caller holds d.mu.
+func (d *deque) grow() {
+	newCap := dequeInitialCap
+	if len(d.buf) > 0 {
+		newCap = 2 * len(d.buf)
+	}
+	nb := make([]claimEntry, newCap)
+	for i := 0; i < d.count; i++ {
+		nb[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = nb
+	d.head = 0
+}
+
+// pop removes and returns the newest entry; ok is false when empty.
+func (d *deque) pop() (claimEntry, bool) {
+	d.mu.Lock()
+	if d.count == 0 {
+		d.mu.Unlock()
+		return claimEntry{}, false
+	}
+	d.count--
+	i := (d.head + d.count) % len(d.buf)
+	e := d.buf[i]
+	d.buf[i] = claimEntry{}
+	d.mu.Unlock()
+	return e, true
+}
+
+// steal removes and returns the oldest entry; ok is false when empty.
+func (d *deque) steal() (claimEntry, bool) {
+	d.mu.Lock()
+	if d.count == 0 {
+		d.mu.Unlock()
+		return claimEntry{}, false
+	}
+	e := d.buf[d.head]
+	d.buf[d.head] = claimEntry{}
+	d.head = (d.head + 1) % len(d.buf)
+	d.count--
+	d.mu.Unlock()
+	return e, true
+}
+
+// size returns the current number of queued entries (racy snapshot).
+func (d *deque) size() int {
+	d.mu.Lock()
+	n := d.count
+	d.mu.Unlock()
+	return n
+}

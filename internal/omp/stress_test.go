@@ -1,0 +1,240 @@
+package omp
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/region"
+)
+
+// TestRandomTaskGraphsRunExactlyOnce drives randomly shaped task graphs
+// through both schedulers and verifies conservation: every created task
+// executes exactly once, on some thread, and the region always drains.
+func TestRandomTaskGraphsRunExactlyOnce(t *testing.T) {
+	reg := region.NewRegistry()
+	par := reg.Register("par", "s.go", 1, region.Parallel)
+	task := reg.Register("task", "s.go", 2, region.Task)
+	tw := reg.Register("tw", "s.go", 3, region.Taskwait)
+
+	for _, sched := range []SchedulerKind{SchedCentralQueue, SchedWorkStealing} {
+		for seed := int64(0); seed < 12; seed++ {
+			rt := NewRuntimeWithRegistry(nil, reg)
+			rt.Sched = sched
+			var executed atomic.Int64
+
+			var spawn func(th *Thread, rng *rand.Rand, depth int)
+			spawn = func(th *Thread, rng *rand.Rand, depth int) {
+				n := rng.Intn(4)
+				for i := 0; i < n; i++ {
+					childSeed := rng.Int63()
+					var opts []TaskOpt
+					switch rng.Intn(5) {
+					case 0:
+						opts = append(opts, If(false))
+					case 1:
+						opts = append(opts, Final(depth > 2))
+					}
+					th.NewTask(task, func(c *Thread) {
+						executed.Add(1)
+						if depth < 4 {
+							spawn(c, rand.New(rand.NewSource(childSeed)), depth+1)
+							if childSeed%2 == 0 {
+								c.Taskwait(tw)
+							}
+						}
+					}, opts...)
+				}
+				if rng.Intn(2) == 0 {
+					th.Taskwait(tw)
+				}
+			}
+
+			threads := 1 + int(seed%4)
+			rt.Parallel(threads, par, func(th *Thread) {
+				spawn(th, rand.New(rand.NewSource(seed*31+int64(th.ID))), 0)
+			})
+			created := rt.LastTeamStats().TasksCreated
+			if executed.Load() != created {
+				t.Fatalf("sched=%v seed=%d: executed %d of %d created tasks",
+					sched, seed, executed.Load(), created)
+			}
+		}
+	}
+}
+
+// TestQuickTaskCountConservation: property over arbitrary creation
+// plans — a plan is a list of per-thread child counts; the total
+// executed must match.
+func TestQuickTaskCountConservation(t *testing.T) {
+	reg := region.NewRegistry()
+	par := reg.Register("qpar", "s.go", 1, region.Parallel)
+	task := reg.Register("qtask", "s.go", 2, region.Task)
+
+	f := func(plan []uint8, schedCentral bool) bool {
+		if len(plan) > 64 {
+			plan = plan[:64]
+		}
+		rt := NewRuntimeWithRegistry(nil, reg)
+		if !schedCentral {
+			rt.Sched = SchedWorkStealing
+		}
+		var executed atomic.Int64
+		var want int64
+		for _, c := range plan {
+			want += int64(c % 8)
+		}
+		rt.Parallel(4, par, func(th *Thread) {
+			// Thread i takes plan entries i, i+4, i+8, ...
+			for idx := th.ID; idx < len(plan); idx += 4 {
+				for j := 0; j < int(plan[idx]%8); j++ {
+					th.NewTask(task, func(c *Thread) {
+						executed.Add(1)
+						// Half the tasks create one nested child.
+						if j := executed.Load(); j%2 == 0 {
+							c.NewTask(task, func(*Thread) { executed.Add(1) })
+						}
+					})
+				}
+			}
+		})
+		created := rt.LastTeamStats().TasksCreated
+		return executed.Load() == created && executed.Load() >= want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRepeatedBarriersInterleavedWithTasks stresses the sense-reversing
+// barrier across many generations with task churn.
+func TestRepeatedBarriersInterleavedWithTasks(t *testing.T) {
+	reg := region.NewRegistry()
+	par := reg.Register("bpar", "s.go", 1, region.Parallel)
+	task := reg.Register("btask", "s.go", 2, region.Task)
+	bar := reg.Register("bbar", "s.go", 3, region.Barrier)
+
+	rt := NewRuntimeWithRegistry(nil, reg)
+	const rounds = 50
+	counts := make([]atomic.Int64, rounds)
+	rt.Parallel(8, par, func(th *Thread) {
+		for r := 0; r < rounds; r++ {
+			r := r
+			th.NewTask(task, func(*Thread) { counts[r].Add(1) })
+			th.Barrier(bar)
+			// After each barrier, all 8 tasks of this round are done.
+			if got := counts[r].Load(); got != 8 {
+				t.Errorf("round %d: %d tasks after barrier, want 8", r, got)
+			}
+		}
+	})
+}
+
+// TestManySequentialParallelRegions checks the runtime is reusable.
+func TestManySequentialParallelRegions(t *testing.T) {
+	reg := region.NewRegistry()
+	par := reg.Register("mpar", "s.go", 1, region.Parallel)
+	task := reg.Register("mtask", "s.go", 2, region.Task)
+	rt := NewRuntimeWithRegistry(nil, reg)
+	var total atomic.Int64
+	for i := 0; i < 100; i++ {
+		n := 1 + i%8
+		rt.Parallel(n, par, func(th *Thread) {
+			th.NewTask(task, func(*Thread) { total.Add(1) })
+		})
+	}
+	var want int64
+	for i := 0; i < 100; i++ {
+		want += int64(1 + i%8)
+	}
+	if total.Load() != want {
+		t.Errorf("total tasks = %d, want %d", total.Load(), want)
+	}
+}
+
+// TestClaimContention hammers one published task set from many threads
+// through the barrier drain; every task must run exactly once despite
+// claim races between the child list and the global queue.
+func TestClaimContention(t *testing.T) {
+	reg := region.NewRegistry()
+	par := reg.Register("cpar", "s.go", 1, region.Parallel)
+	task := reg.Register("ctask", "s.go", 2, region.Task)
+	tw := reg.Register("ctw", "s.go", 3, region.Taskwait)
+	rt := NewRuntimeWithRegistry(nil, reg)
+
+	var executed atomic.Int64
+	rt.Parallel(8, par, func(th *Thread) {
+		if th.ID == 0 {
+			// Creator immediately taskwaits: it claims children from its
+			// child list while the other 7 threads claim the same tasks
+			// from the global queue.
+			for i := 0; i < 5000; i++ {
+				th.NewTask(task, func(*Thread) { executed.Add(1) })
+			}
+			th.Taskwait(tw)
+			if got := executed.Load(); got != 5000 {
+				t.Errorf("after taskwait: %d executed, want 5000", got)
+			}
+		}
+	})
+	if executed.Load() != 5000 {
+		t.Errorf("executed = %d, want 5000", executed.Load())
+	}
+}
+
+// TestFreeListIsolationBetweenThreads: recycled tasks must never leak
+// profiling data or identity across instances.
+func TestFreeListIsolationBetweenThreads(t *testing.T) {
+	reg := region.NewRegistry()
+	par := reg.Register("fpar", "s.go", 1, region.Parallel)
+	task := reg.Register("ftask", "s.go", 2, region.Task)
+	tw := reg.Register("ftw", "s.go", 3, region.Taskwait)
+	rt := NewRuntimeWithRegistry(nil, reg)
+	rt.Parallel(4, par, func(th *Thread) {
+		for i := 0; i < 200; i++ {
+			th.NewTask(task, func(c *Thread) {
+				cur := c.Current()
+				if cur.ProfData != nil {
+					t.Error("recycled task carries stale ProfData")
+				}
+				if cur.Region != task {
+					t.Error("recycled task carries stale region")
+				}
+			})
+			if i%10 == 0 {
+				th.Taskwait(tw)
+			}
+		}
+	})
+}
+
+// TestStressWithRaceSmall is a compact workload designed to be run under
+// -race in CI: all scheduler paths, nested taskwaits, final clauses.
+func TestStressWithRaceSmall(t *testing.T) {
+	reg := region.NewRegistry()
+	par := reg.Register("rpar", "s.go", 1, region.Parallel)
+	task := reg.Register("rtask", "s.go", 2, region.Task)
+	tw := reg.Register("rtw", "s.go", 3, region.Taskwait)
+	for _, sched := range []SchedulerKind{SchedCentralQueue, SchedWorkStealing} {
+		rt := NewRuntimeWithRegistry(nil, reg)
+		rt.Sched = sched
+		var sum atomic.Int64
+		rt.Parallel(8, par, func(th *Thread) {
+			for i := 0; i < 50; i++ {
+				th.NewTask(task, func(c *Thread) {
+					c.NewTask(task, func(*Thread) { sum.Add(1) }, Final(true))
+					c.NewTask(task, func(gc *Thread) {
+						gc.NewTask(task, func(*Thread) { sum.Add(1) })
+						gc.Taskwait(tw)
+					})
+					c.Taskwait(tw)
+					sum.Add(1)
+				})
+			}
+		})
+		if got := sum.Load(); got != 8*50*3 {
+			t.Errorf("sched=%v: sum = %d, want %d", sched, got, 8*50*3)
+		}
+	}
+}

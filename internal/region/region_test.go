@@ -1,0 +1,160 @@
+package region
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegisterInterns(t *testing.T) {
+	g := NewRegistry()
+	a := g.Register("foo", "f.go", 10, UserFunction)
+	b := g.Register("foo", "f.go", 10, UserFunction)
+	if a != b {
+		t.Error("same tuple registered twice returned different descriptors")
+	}
+	c := g.Register("foo", "f.go", 11, UserFunction)
+	if a == c {
+		t.Error("different line shared a descriptor")
+	}
+	d := g.Register("foo", "f.go", 10, Task)
+	if a == d {
+		t.Error("different type shared a descriptor")
+	}
+	if g.Len() != 3 {
+		t.Errorf("Len = %d, want 3", g.Len())
+	}
+}
+
+func TestIDsAreDenseAndOrdered(t *testing.T) {
+	g := NewRegistry()
+	for i := 0; i < 100; i++ {
+		r := g.Register(fmt.Sprintf("r%d", i), "f.go", i, Task)
+		if r.ID != int32(i) {
+			t.Fatalf("region %d got ID %d", i, r.ID)
+		}
+	}
+	all := g.All()
+	for i, r := range all {
+		if r.ID != int32(i) {
+			t.Fatalf("All() not ordered by ID at %d", i)
+		}
+	}
+	if g.Get(50).Name != "r50" {
+		t.Error("Get(50) wrong region")
+	}
+	if g.Get(-1) != nil || g.Get(1000) != nil {
+		t.Error("out-of-range Get did not return nil")
+	}
+}
+
+func TestConcurrentRegistration(t *testing.T) {
+	g := NewRegistry()
+	var wg sync.WaitGroup
+	results := make([][]*Region, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rs := make([]*Region, 100)
+			for i := 0; i < 100; i++ {
+				rs[i] = g.Register(fmt.Sprintf("r%d", i), "f.go", i, Task)
+			}
+			results[w] = rs
+		}(w)
+	}
+	wg.Wait()
+	if g.Len() != 100 {
+		t.Fatalf("Len = %d, want 100 (duplicates interned)", g.Len())
+	}
+	for w := 1; w < 8; w++ {
+		for i := 0; i < 100; i++ {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("worker %d saw a different descriptor for r%d", w, i)
+			}
+		}
+	}
+}
+
+// TestUniqueIDsProperty: property — any registration sequence yields
+// unique IDs and lookup consistency.
+func TestUniqueIDsProperty(t *testing.T) {
+	f := func(names []string, lines []uint8) bool {
+		g := NewRegistry()
+		seen := make(map[int32]bool)
+		for i, name := range names {
+			line := 0
+			if i < len(lines) {
+				line = int(lines[i])
+			}
+			r := g.Register(name, "f.go", line, UserFunction)
+			if g.Get(r.ID) != r {
+				return false
+			}
+			if seen[r.ID] && g.Register(name, "f.go", line, UserFunction) != r {
+				return false
+			}
+			seen[r.ID] = true
+		}
+		return g.Len() <= len(names) || len(names) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for typ := UserFunction; typ <= Parameter; typ++ {
+		if s := typ.String(); s == "" || s[0] == 't' && s != "task" && s != "taskwait" {
+			// all names must be defined (no "type(N)" fallback)
+			if len(s) > 5 && s[:5] == "type(" {
+				t.Errorf("type %d has no name", typ)
+			}
+		}
+	}
+	if Type(99).String() != "type(99)" {
+		t.Error("unknown type fallback broken")
+	}
+}
+
+func TestSchedulingPoint(t *testing.T) {
+	want := map[Type]bool{
+		Taskwait:        true,
+		Barrier:         true,
+		ImplicitBarrier: true,
+		TaskCreate:      true,
+		UserFunction:    false,
+		Parallel:        false,
+		Task:            false,
+		Single:          false,
+	}
+	for typ, exp := range want {
+		if got := typ.SchedulingPoint(); got != exp {
+			t.Errorf("%s.SchedulingPoint() = %v, want %v", typ, got, exp)
+		}
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	g := NewRegistry()
+	r := g.Register("foo", "f.go", 7, Task)
+	if r.String() != "foo@f.go:7(task)" {
+		t.Errorf("String = %q", r.String())
+	}
+	r2 := g.Register("bar", "", 0, Barrier)
+	if r2.String() != "bar(barrier)" {
+		t.Errorf("String = %q", r2.String())
+	}
+	var nilR *Region
+	if nilR.String() != "<nil region>" {
+		t.Error("nil String broken")
+	}
+}
+
+func TestDefaultRegistryMustRegister(t *testing.T) {
+	r := MustRegister("test.unique.region.xyz", "t.go", 1, Task)
+	if Default.Get(r.ID) != r {
+		t.Error("MustRegister did not intern into Default")
+	}
+}

@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/region"
+	"repro/internal/stats"
+)
+
+// Analysis holds the trace-derived metrics the paper's conclusion calls
+// for: "the time between the enter of the last synchronization point and
+// the task switch event would be of interest. In this way it would be
+// possible to calculate the ratio of overall management time to
+// exclusive execution time for tasks."
+type Analysis struct {
+	// PerThread maps thread ID to its metrics.
+	PerThread map[int]*ThreadAnalysis
+	// DispatchLatency aggregates, over all threads, the time from
+	// entering a scheduling point (or finishing the previous task
+	// fragment) to the next task-begin/switch — the runtime's task
+	// dispatch/management latency.
+	DispatchLatency stats.Dur
+	// TaskExecution aggregates task fragment durations (begin/switch to
+	// end/switch) over all threads.
+	TaskExecution stats.Dur
+	// ManagementRatio is total dispatch latency over total task
+	// execution time (the paper's proposed ratio); 0 when no task ran.
+	ManagementRatio float64
+	// CreationTime aggregates task-creation region durations.
+	CreationTime stats.Dur
+	// Switches counts task switch transitions observed.
+	Switches int64
+}
+
+// ThreadAnalysis carries the per-thread breakdown.
+type ThreadAnalysis struct {
+	ThreadID        int
+	DispatchLatency stats.Dur
+	TaskExecution   stats.Dur
+	CreationTime    stats.Dur
+	Fragments       int64
+	// SyncRegionTime is total time inside scheduling-point regions
+	// (taskwait/barrier), including task execution within them.
+	SyncRegionTime int64
+	// IdleInSync is sync-region time not covered by task fragments or
+	// dispatch: pure waiting with an empty queue.
+	IdleInSync int64
+}
+
+// Analyze derives the metrics from a recorded trace. Each thread's
+// stream is processed independently (the analysis needs no cross-thread
+// ordering, like Scalasca's parallel trace analysis).
+func Analyze(tr *Trace) *Analysis {
+	a := &Analysis{PerThread: make(map[int]*ThreadAnalysis, len(tr.Threads))}
+	for tid, events := range tr.Threads {
+		ta := analyzeThread(tid, events)
+		a.PerThread[tid] = ta
+		a.DispatchLatency.Merge(ta.DispatchLatency)
+		a.TaskExecution.Merge(ta.TaskExecution)
+		a.CreationTime.Merge(ta.CreationTime)
+		a.Switches += ta.Fragments
+	}
+	if a.TaskExecution.Sum > 0 {
+		a.ManagementRatio = float64(a.DispatchLatency.Sum) / float64(a.TaskExecution.Sum)
+	}
+	return a
+}
+
+// analyzeThread walks one thread's event sequence.
+func analyzeThread(tid int, events []Event) *ThreadAnalysis {
+	ta := &ThreadAnalysis{ThreadID: tid}
+
+	// State while scanning.
+	var (
+		syncDepth      int   // nesting of scheduling-point regions
+		readyAt        int64 // when the thread last became ready to dispatch
+		readyValid     bool
+		fragmentStart  int64
+		inFragment     bool
+		createStart    int64
+		inCreate       bool
+		syncEnter      int64
+		taskTimeInSync int64 // fragment+dispatch time inside current sync
+	)
+
+	schedulingPoint := func(r *region.Region) bool {
+		if r == nil {
+			return false
+		}
+		switch r.Type {
+		case region.Taskwait, region.Barrier, region.ImplicitBarrier:
+			return true
+		}
+		return false
+	}
+
+	endFragment := func(t int64) {
+		if inFragment {
+			d := t - fragmentStart
+			ta.TaskExecution.Add(d)
+			if syncDepth > 0 {
+				taskTimeInSync += d
+			}
+			ta.Fragments++
+			inFragment = false
+		}
+	}
+	beginFragment := func(t int64) {
+		if readyValid {
+			d := t - readyAt
+			ta.DispatchLatency.Add(d)
+			if syncDepth > 0 {
+				taskTimeInSync += d
+			}
+			readyValid = false
+		}
+		fragmentStart = t
+		inFragment = true
+	}
+
+	for _, ev := range events {
+		switch ev.Type {
+		case EvEnter:
+			if schedulingPoint(ev.Region) {
+				if syncDepth == 0 {
+					syncEnter = ev.Time
+					taskTimeInSync = 0
+				}
+				syncDepth++
+				// Entering a scheduling point makes the thread ready to
+				// pick up tasks: the paper's "enter of the last
+				// synchronization point".
+				readyAt = ev.Time
+				readyValid = true
+			}
+		case EvExit:
+			if schedulingPoint(ev.Region) {
+				syncDepth--
+				readyValid = false
+				if syncDepth == 0 {
+					total := ev.Time - syncEnter
+					ta.SyncRegionTime += total
+					if idle := total - taskTimeInSync; idle > 0 {
+						ta.IdleInSync += idle
+					}
+				}
+			}
+		case EvTaskCreateBegin:
+			createStart = ev.Time
+			inCreate = true
+		case EvTaskCreateEnd:
+			if inCreate {
+				ta.CreationTime.Add(ev.Time - createStart)
+				inCreate = false
+			}
+		case EvTaskBegin:
+			// Beginning a task while a fragment is open means the open
+			// task was suspended at a scheduling point: the begin event
+			// is the suspension boundary (the trace carries no separate
+			// suspend record, as in the paper's instrumentation).
+			endFragment(ev.Time)
+			beginFragment(ev.Time)
+		case EvTaskEnd:
+			endFragment(ev.Time)
+			// After a task ends inside a sync region the thread is
+			// immediately ready for the next dispatch.
+			if syncDepth > 0 {
+				readyAt = ev.Time
+				readyValid = true
+			}
+		case EvTaskSwitch:
+			// A switch ends the current fragment (if any) and begins a
+			// fragment of the resumed task, unless it resumes the
+			// implicit task (TaskID 0, Region nil).
+			endFragment(ev.Time)
+			if ev.TaskID != 0 {
+				beginFragment(ev.Time)
+			} else if syncDepth > 0 {
+				readyAt = ev.Time
+				readyValid = true
+			}
+		}
+	}
+	return ta
+}
+
+// Format writes the analysis in a human-readable layout.
+func (a *Analysis) Format(w io.Writer) {
+	fmt.Fprintln(w, "Trace analysis (paper §VII: management vs. execution time)")
+	fmt.Fprintf(w, "  task fragments executed: %d\n", a.Switches)
+	fmt.Fprintf(w, "  task execution:    %s\n", a.TaskExecution.String())
+	fmt.Fprintf(w, "  dispatch latency:  %s\n", a.DispatchLatency.String())
+	fmt.Fprintf(w, "  task creation:     %s\n", a.CreationTime.String())
+	fmt.Fprintf(w, "  management/execution ratio: %.4f\n", a.ManagementRatio)
+	ids := make([]int, 0, len(a.PerThread))
+	for id := range a.PerThread {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		ta := a.PerThread[id]
+		fmt.Fprintf(w, "  thread %d: fragments=%d exec=%s dispatch=%s sync=%s idle-in-sync=%s\n",
+			id, ta.Fragments,
+			stats.FormatNs(ta.TaskExecution.Sum),
+			stats.FormatNs(ta.DispatchLatency.Sum),
+			stats.FormatNs(ta.SyncRegionTime),
+			stats.FormatNs(ta.IdleInSync))
+	}
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/omp"
+	"repro/internal/region"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	reg := region.NewRegistry()
+	rec := NewRecorder(clock.NewSystem())
+	rt := omp.NewRuntimeWithRegistry(rec, reg)
+	par := reg.Register("par", "io.go", 1, region.Parallel)
+	task := reg.Register("work", "io.go", 2, region.Task)
+	tw := reg.Register("tw", "io.go", 3, region.Taskwait)
+	rt.Parallel(2, par, func(th *omp.Thread) {
+		if th.ID == 0 {
+			for i := 0; i < 7; i++ {
+				th.NewTask(task, func(*omp.Thread) {})
+			}
+			th.Taskwait(tw)
+		}
+	})
+	tr := rec.Finish()
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf, region.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEvents() != tr.NumEvents() {
+		t.Fatalf("round trip: %d events, want %d", got.NumEvents(), tr.NumEvents())
+	}
+	for _, tid := range tr.ThreadIDs() {
+		a, b := tr.Threads[tid], got.Threads[tid]
+		if len(a) != len(b) {
+			t.Fatalf("thread %d: %d vs %d events", tid, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Time != b[i].Time || a[i].Type != b[i].Type || a[i].TaskID != b[i].TaskID {
+				t.Fatalf("thread %d event %d mismatch: %+v vs %+v", tid, i, a[i], b[i])
+			}
+			if (a[i].Region == nil) != (b[i].Region == nil) {
+				t.Fatalf("thread %d event %d region presence mismatch", tid, i)
+			}
+			if a[i].Region != nil && (a[i].Region.Name != b[i].Region.Name ||
+				a[i].Region.Type != b[i].Region.Type) {
+				t.Fatalf("thread %d event %d region mismatch", tid, i)
+			}
+		}
+	}
+	// Analysis of the round-tripped trace must match the original.
+	a1, a2 := Analyze(tr), Analyze(got)
+	if a1.TaskExecution != a2.TaskExecution || a1.DispatchLatency != a2.DispatchLatency {
+		t.Error("analysis differs after round trip")
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{bad json\n"), region.NewRegistry()); err == nil {
+		t.Error("garbage line accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"t":0,"ts":1,"ev":"BOGUS"}`+"\n"), region.NewRegistry()); err == nil {
+		t.Error("unknown event type accepted")
+	}
+}
+
+func TestReadJSONLSkipsBlankLines(t *testing.T) {
+	in := `{"t":0,"ts":1,"ev":"THREAD_BEGIN"}` + "\n\n" + `{"t":0,"ts":2,"ev":"THREAD_END"}` + "\n"
+	tr, err := ReadJSONL(strings.NewReader(in), region.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumEvents() != 2 {
+		t.Errorf("events = %d, want 2", tr.NumEvents())
+	}
+}

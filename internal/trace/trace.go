@@ -1,0 +1,283 @@
+// Package trace records the runtime's event stream as an event trace —
+// the OTF2/tracing side of Score-P, which the paper's conclusion names
+// as the next step: "Automated trace analysis, like Scalasca does for
+// other programming paradigms, might provide some additional
+// information", specifically "the time between the enter of the last
+// synchronization point and the task switch event" and "the ratio of
+// overall management time to exclusive execution time for tasks".
+//
+// The Recorder implements omp.Listener; it can be combined with the
+// profiling measurement through a Tee. Analyses over recorded traces
+// live in analysis.go.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/omp"
+	"repro/internal/region"
+)
+
+// EventType enumerates trace record types.
+type EventType uint8
+
+// Trace event types, mirroring the POMP2-style runtime events.
+const (
+	EvEnter EventType = iota
+	EvExit
+	EvTaskCreateBegin
+	EvTaskCreateEnd
+	EvTaskBegin
+	EvTaskEnd
+	EvTaskSwitch // resumption of a suspended task (or the implicit task)
+	EvThreadBegin
+	EvThreadEnd
+)
+
+var evNames = map[EventType]string{
+	EvEnter:           "ENTER",
+	EvExit:            "EXIT",
+	EvTaskCreateBegin: "TASK_CREATE_BEGIN",
+	EvTaskCreateEnd:   "TASK_CREATE_END",
+	EvTaskBegin:       "TASK_BEGIN",
+	EvTaskEnd:         "TASK_END",
+	EvTaskSwitch:      "TASK_SWITCH",
+	EvThreadBegin:     "THREAD_BEGIN",
+	EvThreadEnd:       "THREAD_END",
+}
+
+// String returns the OTF2-style record name.
+func (e EventType) String() string {
+	if s, ok := evNames[e]; ok {
+		return s
+	}
+	return fmt.Sprintf("EV(%d)", uint8(e))
+}
+
+// Event is one trace record. Region is nil for pure task events; TaskID
+// is 0 for region events of the implicit task and for a switch back to
+// the implicit task.
+type Event struct {
+	Time   int64
+	Type   EventType
+	Region *region.Region
+	TaskID uint64
+}
+
+// Trace is a finished recording: per-thread event sequences ordered by
+// time (each thread's stream is naturally ordered; no cross-thread order
+// is implied, as in any distributed trace).
+type Trace struct {
+	Threads map[int][]Event
+}
+
+// NumEvents returns the total record count.
+func (tr *Trace) NumEvents() int {
+	n := 0
+	for _, evs := range tr.Threads {
+		n += len(evs)
+	}
+	return n
+}
+
+// ThreadIDs returns the recorded thread IDs in ascending order.
+func (tr *Trace) ThreadIDs() []int {
+	ids := make([]int, 0, len(tr.Threads))
+	for id := range tr.Threads {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Recorder collects events from the runtime. It implements omp.Listener.
+// Like the profiling system it keeps strictly per-thread buffers to
+// avoid locking on the hot path; the map of buffers itself is guarded
+// because threads register concurrently.
+type Recorder struct {
+	clk clock.Clock
+
+	mu      sync.Mutex
+	buffers map[int]*buffer
+}
+
+type buffer struct {
+	events []Event
+}
+
+// NewRecorder creates a trace recorder reading time from clk (use
+// clock.NewSystem() for wall-clock traces).
+func NewRecorder(clk clock.Clock) *Recorder {
+	return &Recorder{clk: clk, buffers: make(map[int]*buffer)}
+}
+
+// buffer returns the per-thread buffer attached to t, creating it on
+// first use (also when ThreadBegin was bypassed, e.g. in unit tests).
+func (r *Recorder) buffer(t *omp.Thread) *buffer {
+	if b, ok := t.ProfData.(*buffer); ok {
+		return b
+	}
+	r.mu.Lock()
+	b, ok := r.buffers[t.ID]
+	if !ok {
+		b = &buffer{}
+		r.buffers[t.ID] = b
+	}
+	r.mu.Unlock()
+	// Claim the fast path only if no other listener (e.g. the profiling
+	// measurement under a Tee) owns the thread's ProfData slot.
+	if t.ProfData == nil {
+		t.ProfData = b
+	}
+	return b
+}
+
+func (r *Recorder) record(t *omp.Thread, typ EventType, reg *region.Region, task uint64) {
+	b := r.buffer(t)
+	b.events = append(b.events, Event{Time: r.clk.Now(), Type: typ, Region: reg, TaskID: task})
+}
+
+// ThreadBegin implements omp.Listener.
+func (r *Recorder) ThreadBegin(t *omp.Thread) { r.record(t, EvThreadBegin, nil, 0) }
+
+// ThreadEnd implements omp.Listener.
+func (r *Recorder) ThreadEnd(t *omp.Thread) {
+	r.record(t, EvThreadEnd, nil, 0)
+	t.ProfData = nil
+}
+
+// Enter implements omp.Listener.
+func (r *Recorder) Enter(t *omp.Thread, reg *region.Region) { r.record(t, EvEnter, reg, 0) }
+
+// Exit implements omp.Listener.
+func (r *Recorder) Exit(t *omp.Thread, reg *region.Region) { r.record(t, EvExit, reg, 0) }
+
+// TaskCreateBegin implements omp.Listener.
+func (r *Recorder) TaskCreateBegin(t *omp.Thread, reg *region.Region) {
+	r.record(t, EvTaskCreateBegin, reg, 0)
+}
+
+// TaskCreateEnd implements omp.Listener.
+func (r *Recorder) TaskCreateEnd(t *omp.Thread, tk *omp.Task) {
+	r.record(t, EvTaskCreateEnd, tk.Region, tk.ID)
+}
+
+// TaskBegin implements omp.Listener.
+func (r *Recorder) TaskBegin(t *omp.Thread, tk *omp.Task) {
+	r.record(t, EvTaskBegin, tk.Region, tk.ID)
+}
+
+// TaskEnd implements omp.Listener.
+func (r *Recorder) TaskEnd(t *omp.Thread, tk *omp.Task) {
+	r.record(t, EvTaskEnd, tk.Region, tk.ID)
+}
+
+// TaskSwitch implements omp.Listener.
+func (r *Recorder) TaskSwitch(t *omp.Thread, tk *omp.Task) {
+	if tk == nil {
+		r.record(t, EvTaskSwitch, nil, 0)
+		return
+	}
+	r.record(t, EvTaskSwitch, tk.Region, tk.ID)
+}
+
+// Finish returns the recorded trace. The recorder can be reused after
+// Finish; subsequent events start fresh buffers.
+func (r *Recorder) Finish() *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tr := &Trace{Threads: make(map[int][]Event, len(r.buffers))}
+	for id, b := range r.buffers {
+		tr.Threads[id] = b.events
+	}
+	r.buffers = make(map[int]*buffer)
+	return tr
+}
+
+// Tee fans one runtime event stream out to several listeners (e.g.
+// profile + trace simultaneously, like Score-P's combined mode).
+type Tee struct {
+	Listeners []omp.Listener
+}
+
+// NewTee combines listeners; nil entries are dropped.
+func NewTee(ls ...omp.Listener) *Tee {
+	t := &Tee{}
+	for _, l := range ls {
+		if l != nil {
+			t.Listeners = append(t.Listeners, l)
+		}
+	}
+	return t
+}
+
+// ThreadBegin implements omp.Listener.
+//
+// ProfData note: both the profiling measurement and the trace recorder
+// want to stash per-thread state in Thread.ProfData. Under a Tee the
+// profiling measurement owns ProfData; the trace recorder falls back to
+// its internal map (see Recorder.buffer).
+func (te *Tee) ThreadBegin(t *omp.Thread) {
+	for i := len(te.Listeners) - 1; i >= 0; i-- {
+		te.Listeners[i].ThreadBegin(t)
+	}
+}
+
+// ThreadEnd implements omp.Listener.
+func (te *Tee) ThreadEnd(t *omp.Thread) {
+	for _, l := range te.Listeners {
+		l.ThreadEnd(t)
+	}
+}
+
+// Enter implements omp.Listener.
+func (te *Tee) Enter(t *omp.Thread, reg *region.Region) {
+	for _, l := range te.Listeners {
+		l.Enter(t, reg)
+	}
+}
+
+// Exit implements omp.Listener.
+func (te *Tee) Exit(t *omp.Thread, reg *region.Region) {
+	for _, l := range te.Listeners {
+		l.Exit(t, reg)
+	}
+}
+
+// TaskCreateBegin implements omp.Listener.
+func (te *Tee) TaskCreateBegin(t *omp.Thread, reg *region.Region) {
+	for _, l := range te.Listeners {
+		l.TaskCreateBegin(t, reg)
+	}
+}
+
+// TaskCreateEnd implements omp.Listener.
+func (te *Tee) TaskCreateEnd(t *omp.Thread, tk *omp.Task) {
+	for _, l := range te.Listeners {
+		l.TaskCreateEnd(t, tk)
+	}
+}
+
+// TaskBegin implements omp.Listener.
+func (te *Tee) TaskBegin(t *omp.Thread, tk *omp.Task) {
+	for _, l := range te.Listeners {
+		l.TaskBegin(t, tk)
+	}
+}
+
+// TaskEnd implements omp.Listener.
+func (te *Tee) TaskEnd(t *omp.Thread, tk *omp.Task) {
+	for _, l := range te.Listeners {
+		l.TaskEnd(t, tk)
+	}
+}
+
+// TaskSwitch implements omp.Listener.
+func (te *Tee) TaskSwitch(t *omp.Thread, tk *omp.Task) {
+	for _, l := range te.Listeners {
+		l.TaskSwitch(t, tk)
+	}
+}

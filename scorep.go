@@ -1,0 +1,245 @@
+package scorep
+
+import (
+	"io"
+
+	"repro/internal/analyze"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/measure"
+	"repro/internal/omp"
+	"repro/internal/pomp"
+	"repro/internal/region"
+	"repro/internal/trace"
+)
+
+// Runtime is the OpenMP-like tasking runtime executing parallel regions
+// and explicit tied tasks.
+type Runtime = omp.Runtime
+
+// Thread is one worker of a team; it is the execution context handed to
+// parallel-region bodies and task bodies.
+type Thread = omp.Thread
+
+// Task is one explicit task instance.
+type Task = omp.Task
+
+// TaskFunc is an explicit task body.
+type TaskFunc = omp.TaskFunc
+
+// TaskOpt is a task-creation clause (If, Final, Untied).
+type TaskOpt = omp.TaskOpt
+
+// Listener receives the runtime's POMP2-style event stream.
+type Listener = omp.Listener
+
+// Measurement translates runtime events into per-thread task-aware
+// profiles (the Score-P measurement core).
+type Measurement = measure.Measurement
+
+// ThreadProfile is one thread's (location's) profile.
+type ThreadProfile = core.ThreadProfile
+
+// ProfileNode is a call-tree node of a thread profile.
+type ProfileNode = core.Node
+
+// TaskInstance is the profiling state of one active task instance.
+type TaskInstance = core.TaskInstance
+
+// Report is an aggregated cross-thread profile.
+type Report = cube.Report
+
+// ReportNode is a node of the aggregated profile.
+type ReportNode = cube.Node
+
+// RenderOptions controls text rendering of reports.
+type RenderOptions = cube.RenderOptions
+
+// Region is an interned source-region descriptor.
+type Region = region.Region
+
+// RegionType classifies regions.
+type RegionType = region.Type
+
+// Clock is the measurement time source interface.
+type Clock = clock.Clock
+
+// Region types, re-exported for instrumentation code.
+const (
+	RegionFunction        = region.UserFunction
+	RegionParallel        = region.Parallel
+	RegionTask            = region.Task
+	RegionTaskCreate      = region.TaskCreate
+	RegionTaskwait        = region.Taskwait
+	RegionBarrier         = region.Barrier
+	RegionImplicitBarrier = region.ImplicitBarrier
+	RegionSingle          = region.Single
+	RegionMaster          = region.Master
+	RegionCritical        = region.Critical
+	RegionLoop            = region.Loop
+)
+
+// NewRuntime creates a runtime emitting events to l. Pass a
+// *Measurement to profile, or nil for an uninstrumented runtime.
+func NewRuntime(l Listener) *Runtime {
+	if l == nil {
+		// An explicitly nil listener must also compare equal to nil
+		// through the interface, so plain nil is passed on.
+		return omp.NewRuntime(nil)
+	}
+	return omp.NewRuntime(l)
+}
+
+// NewMeasurement creates a measurement using the monotonic system clock.
+func NewMeasurement() *Measurement { return measure.New() }
+
+// NewMeasurementWithClock creates a measurement with an explicit clock
+// (tests use a manual clock for deterministic profiles).
+func NewMeasurementWithClock(clk Clock) *Measurement {
+	return measure.NewWithClock(clk, region.Default)
+}
+
+// NewManualClock returns a deterministic test clock starting at start.
+func NewManualClock(start int64) *clock.Manual { return clock.NewManual(start) }
+
+// RegisterRegion interns a region descriptor in the default registry.
+func RegisterRegion(name, file string, line int, typ RegionType) *Region {
+	return region.MustRegister(name, file, line, typ)
+}
+
+// AggregateReport merges per-thread profiles into a report.
+func AggregateReport(locations []*ThreadProfile) *Report {
+	return cube.Aggregate(locations)
+}
+
+// RenderReport writes a report as a text tree (the CUBE-view analog).
+func RenderReport(w io.Writer, r *Report, opt RenderOptions) error {
+	return cube.Render(w, r, opt)
+}
+
+// WriteReportJSON serializes a report.
+func WriteReportJSON(w io.Writer, r *Report) error { return cube.WriteJSON(w, r) }
+
+// ReadReportJSON deserializes a report written by WriteReportJSON.
+func ReadReportJSON(rd io.Reader) (*Report, error) {
+	return cube.ReadJSON(rd, region.NewRegistry())
+}
+
+// WriteReportCSV emits the report as CSV rows.
+func WriteReportCSV(w io.Writer, r *Report) error { return cube.WriteCSV(w, r) }
+
+// InstrumentFunction wraps a user function body with enter/exit events
+// (compiler-instrumentation analog).
+func InstrumentFunction(t *Thread, r *Region, fn func()) { pomp.Function(t, r, fn) }
+
+// ParameterInt records parameter instrumentation on the current call
+// path (the paper's Table IV mechanism).
+func ParameterInt(t *Thread, name string, value int64) { pomp.ParameterInt(t, name, value) }
+
+// ParameterString records string-valued parameter instrumentation.
+func ParameterString(t *Thread, name, value string) { pomp.ParameterString(t, name, value) }
+
+// SchedulerKind selects the runtime's task scheduler.
+type SchedulerKind = omp.SchedulerKind
+
+// Scheduler kinds: the central team queue models the libgomp version the
+// paper evaluated (default); work stealing is the modern alternative
+// exposed for ablations.
+const (
+	SchedCentralQueue = omp.SchedCentralQueue
+	SchedWorkStealing = omp.SchedWorkStealing
+)
+
+// TraceRecorder records the runtime's event stream as an event trace
+// (the OTF2/tracing side of Score-P).
+type TraceRecorder = trace.Recorder
+
+// Trace is a finished event-trace recording.
+type Trace = trace.Trace
+
+// TraceAnalysis holds trace-derived management/execution metrics.
+type TraceAnalysis = trace.Analysis
+
+// NewTraceRecorder creates an event-trace recorder on the system clock.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder(clock.NewSystem()) }
+
+// NewTee fans the runtime event stream out to several listeners, e.g. a
+// Measurement and a TraceRecorder simultaneously.
+func NewTee(listeners ...Listener) Listener { return trace.NewTee(listeners...) }
+
+// AnalyzeTrace derives the paper's §VII metrics (dispatch latency,
+// management/execution ratio) from a recorded trace.
+func AnalyzeTrace(tr *Trace) *TraceAnalysis { return trace.Analyze(tr) }
+
+// WriteTraceJSONL serializes a trace as JSON Lines.
+func WriteTraceJSONL(w io.Writer, tr *Trace) error { return trace.WriteJSONL(w, tr) }
+
+// ReadTraceJSONL deserializes a trace written by WriteTraceJSONL.
+func ReadTraceJSONL(r io.Reader) (*Trace, error) {
+	return trace.ReadJSONL(r, region.NewRegistry())
+}
+
+// ReportDiff is a structural diff of two reports of the same program —
+// the run-comparison workflow enabled by the paper's runtime-independent
+// call-tree structure (Section IV-B3).
+type ReportDiff = cube.ReportDiff
+
+// DiffNode is one node of a report diff.
+type DiffNode = cube.DiffNode
+
+// DiffReports structurally diffs baseline a against candidate b.
+func DiffReports(a, b *Report) *ReportDiff { return cube.Diff(a, b) }
+
+// RenderReportDiff writes a report diff as a text tree.
+func RenderReportDiff(w io.Writer, rd *ReportDiff) error { return cube.RenderDiff(w, rd) }
+
+// Filter wraps a Measurement and drops events of excluded user regions —
+// Score-P's measurement filtering, the standard remedy when
+// instrumentation of small functions dominates overhead.
+type Filter = measure.Filter
+
+// NewFilter creates a filtering listener around m; patterns ending in
+// '*' exclude by prefix, others by exact region name. Construct regions
+// (parallel/task/barriers/taskwaits) always pass through.
+func NewFilter(m *Measurement, patterns ...string) *Filter {
+	return measure.NewFilter(m, patterns...)
+}
+
+// TimelineOptions controls trace timeline rendering.
+type TimelineOptions = trace.TimelineOptions
+
+// RenderTimeline writes per-thread task timelines of a trace (the
+// plain-text Vampir-view counterpart).
+func RenderTimeline(w io.Writer, tr *Trace, opt TimelineOptions) error {
+	return trace.RenderTimeline(w, tr, opt)
+}
+
+// Utilization is a per-thread share-of-time summary of a trace.
+type Utilization = trace.Utilization
+
+// ComputeUtilization derives per-thread utilization from a trace.
+func ComputeUtilization(tr *Trace) []Utilization { return trace.ComputeUtilization(tr) }
+
+// Finding is one automatically diagnosed tasking inefficiency.
+type Finding = analyze.Finding
+
+// AnalyzeReport diagnoses tasking inefficiencies in a report using the
+// paper's Section III patterns (small tasks, creation overhead, single
+// creator, barrier waiting, task shortage) with default thresholds.
+func AnalyzeReport(r *Report) []Finding {
+	return analyze.Analyze(r, analyze.Thresholds{})
+}
+
+// FormatFindings renders findings as text.
+func FormatFindings(w io.Writer, fs []Finding) { analyze.Format(w, fs) }
+
+// If models the OpenMP if(expr) task clause.
+func If(expr bool) TaskOpt { return omp.If(expr) }
+
+// Final models the OpenMP final(expr) task clause.
+func Final(expr bool) TaskOpt { return omp.Final(expr) }
+
+// Untied models the untied clause; tasks are demoted to tied, the
+// paper's Section IV-D work-around.
+func Untied() TaskOpt { return omp.Untied() }
