@@ -29,12 +29,13 @@ const benchSize = bots.SizeSmall
 
 var benchThreads = []int{1, 4}
 
-// benchKernel runs one prepared kernel per iteration.
-func benchKernel(b *testing.B, kernel bots.Kernel, instrumented bool, threads int) {
+// benchKernel runs one prepared kernel per iteration. It returns the
+// last iteration's runtime so callers can report its TeamStats.
+func benchKernel(b *testing.B, kernel bots.Kernel, instrumented bool, threads int) *omp.Runtime {
 	b.Helper()
 	var sink uint64
+	var rt *omp.Runtime
 	for i := 0; i < b.N; i++ {
-		var rt *omp.Runtime
 		var m *measure.Measurement
 		if instrumented {
 			m = measure.New()
@@ -47,6 +48,7 @@ func benchKernel(b *testing.B, kernel bots.Kernel, instrumented bool, threads in
 	if sink == 0 {
 		b.Fatal("kernel produced zero checksum")
 	}
+	return rt
 }
 
 // BenchmarkFig13OverheadCutoff: instrumented vs. uninstrumented runtime
@@ -87,15 +89,30 @@ func BenchmarkFig14OverheadNoCutoff(b *testing.B) {
 	}
 }
 
+// reportSchedulerContention attaches the scheduler-contention counters
+// of the last region run by rt — steals, wasted steal synchronization,
+// parks — as per-op custom metrics, so the ablation output shows *why*
+// a configuration is slow, not just its ns/op.
+func reportSchedulerContention(b *testing.B, rt *omp.Runtime) {
+	b.Helper()
+	st := rt.LastTeamStats()
+	b.ReportMetric(float64(st.Steals), "steals/op")
+	b.ReportMetric(float64(st.FailedSteals), "failed-steals/op")
+	b.ReportMetric(float64(st.Parks), "parks/op")
+	b.ReportMetric(float64(st.Wakes), "wakes/op")
+}
+
 // BenchmarkFig15RuntimeScaling: uninstrumented non-cut-off runtimes per
 // thread count (paper Fig. 15: runtime grows with threads for ill-sized
-// tasks).
+// tasks). The contention metrics expose the central queue's management
+// overhead growing with the thread count.
 func BenchmarkFig15RuntimeScaling(b *testing.B) {
 	for _, spec := range bots.CutoffCodes() {
 		kernel := spec.Prepare(benchSize, false)
 		for _, th := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("%s/threads=%d", spec.Name, th), func(b *testing.B) {
-				benchKernel(b, kernel, false, th)
+				rt := benchKernel(b, kernel, false, th)
+				reportSchedulerContention(b, rt)
 			})
 		}
 	}
@@ -212,12 +229,13 @@ func BenchmarkAblationScheduler(b *testing.B) {
 		for _, th := range []int{1, 8} {
 			b.Run(fmt.Sprintf("%s/threads=%d", sched, th), func(b *testing.B) {
 				var sink uint64
+				rt := omp.NewRuntime(nil)
+				rt.Sched = sched
 				for i := 0; i < b.N; i++ {
-					rt := omp.NewRuntime(nil)
-					rt.Sched = sched
 					sink += kernel(rt, th)
 				}
 				_ = sink
+				reportSchedulerContention(b, rt)
 			})
 		}
 	}

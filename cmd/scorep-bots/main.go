@@ -86,8 +86,10 @@ func main() {
 		spec.Name, *sizeName, *threads, *cutoff, !*uninst)
 	fmt.Printf("kernel time: %v   verification: %s (result=%d)\n", elapsed, ok, result)
 	st := rt.LastTeamStats()
-	fmt.Printf("tasks created: %d   steals: %d   max inline nesting: %d\n\n",
+	fmt.Printf("tasks created: %d   steals: %d   max inline nesting: %d\n",
 		st.TasksCreated, st.Steals, st.MaxStackDepth)
+	fmt.Printf("scheduler: steal attempts: %d   failed steals: %d   parks: %d   wakes: %d   steals by thread: %v\n\n",
+		st.StealAttempts, st.FailedSteals, st.Parks, st.Wakes, st.ThreadSteals)
 
 	if m == nil {
 		return

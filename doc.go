@@ -35,6 +35,27 @@
 //	report := scorep.AggregateReport(m.Locations())
 //	scorep.RenderReport(os.Stdout, report, scorep.RenderOptions{})
 //
+// # Scheduler design
+//
+// The runtime ships two task schedulers. The default central queue —
+// one mutex-protected team-wide queue — models the GCC 4.6 libgomp the
+// paper measured, whose lock contention is the root cause of the
+// paper's Fig. 15 slowdowns and Table III management-time explosion;
+// it is kept as the ablation baseline. The work-stealing scheduler
+// gives each thread a lock-free Chase–Lev deque: the owner pushes and
+// pops newest-first (LIFO) at the bottom without locks or — except for
+// the last element — CAS, keeping it on cache-hot recently created
+// tasks, while thieves steal oldest-first (FIFO) at the top via a CAS,
+// taking the largest pending piece of work per synchronization.
+//
+// Threads that run out of work descend a spin→yield→park ladder:
+// bounded spinning, a few cooperative yields, then parking on a
+// per-team notifier signaled by task publication, task completion and
+// barrier release. A parked thief is woken the moment work appears, at
+// any GOMAXPROCS, and an idle team burns no CPU at barriers. TeamStats
+// reports steal/steal-attempt/park/wake counters and a per-thread
+// steal histogram so benchmarks can quantify scheduler contention.
+//
 // See examples/ for runnable programs and internal/exp for the harness
 // that regenerates every figure and table of the paper's evaluation.
 package scorep

@@ -149,3 +149,27 @@ func TestFacadeSchedulerKinds(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeTeamStats checks that the scheduler-observability counters
+// surface through the facade's TeamStats re-export.
+func TestFacadeTeamStats(t *testing.T) {
+	par := scorep.RegisterRegion("fs.parallel", "facade_test.go", 30, scorep.RegionParallel)
+	task := scorep.RegisterRegion("fs.task", "facade_test.go", 31, scorep.RegionTask)
+	rt := scorep.NewRuntime(nil)
+	rt.Sched = scorep.SchedWorkStealing
+	rt.Parallel(2, par, func(th *scorep.Thread) {
+		for i := 0; i < 10; i++ {
+			th.NewTask(task, func(*scorep.Thread) {})
+		}
+	})
+	var st scorep.TeamStats = rt.LastTeamStats()
+	if st.TasksCreated != 20 {
+		t.Errorf("TasksCreated = %d, want 20", st.TasksCreated)
+	}
+	if len(st.ThreadSteals) != 2 {
+		t.Errorf("ThreadSteals has %d entries, want one per thread (2)", len(st.ThreadSteals))
+	}
+	if st.StealAttempts < st.Steals {
+		t.Errorf("StealAttempts = %d < Steals = %d", st.StealAttempts, st.Steals)
+	}
+}

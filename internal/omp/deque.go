@@ -1,6 +1,9 @@
 package omp
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // claimEntry is a queue reference to a task: the task pointer plus the
 // claim word observed when the task was published. Tasks are referenced
@@ -21,13 +24,18 @@ func (e claimEntry) tryClaim() bool {
 	return e.task.claim.CompareAndSwap(e.word, e.word|1)
 }
 
-// deque is a task queue of claim entries. The runtime uses it in two
-// roles: as the single team-wide queue of the central-queue scheduler
-// (the GCC 4.6 libgomp model the paper measured — one lock, which is
-// exactly the contention the paper attributes its Fig. 15 slowdowns to)
-// and as the per-thread deques of the work-stealing scheduler (owner
-// pushes/pops LIFO at the tail, thieves steal FIFO at the head).
-type deque struct {
+// ---------------------------------------------------------------------
+// Locked central queue (the libgomp model the paper measured)
+// ---------------------------------------------------------------------
+
+// lockedDeque is a mutex-protected ring buffer of claim entries. It is
+// the single team-wide queue of the central-queue scheduler — the
+// GCC 4.6 libgomp design whose one-lock contention is exactly what the
+// paper attributes its Fig. 15 slowdowns and Table III management-time
+// explosion to. The work-stealing scheduler deliberately does NOT use
+// this type (see wsDeque); keeping the locked variant around preserves
+// the paper's ablation baseline.
+type lockedDeque struct {
 	mu    sync.Mutex
 	buf   []claimEntry
 	head  int // index of oldest element
@@ -37,7 +45,7 @@ type deque struct {
 const dequeInitialCap = 64
 
 // push appends e at the tail.
-func (d *deque) push(e claimEntry) {
+func (d *lockedDeque) push(e claimEntry) {
 	d.mu.Lock()
 	if d.count == len(d.buf) {
 		d.grow()
@@ -48,7 +56,7 @@ func (d *deque) push(e claimEntry) {
 }
 
 // grow doubles the buffer. Caller holds d.mu.
-func (d *deque) grow() {
+func (d *lockedDeque) grow() {
 	newCap := dequeInitialCap
 	if len(d.buf) > 0 {
 		newCap = 2 * len(d.buf)
@@ -62,7 +70,7 @@ func (d *deque) grow() {
 }
 
 // pop removes and returns the newest entry; ok is false when empty.
-func (d *deque) pop() (claimEntry, bool) {
+func (d *lockedDeque) pop() (claimEntry, bool) {
 	d.mu.Lock()
 	if d.count == 0 {
 		d.mu.Unlock()
@@ -77,7 +85,7 @@ func (d *deque) pop() (claimEntry, bool) {
 }
 
 // steal removes and returns the oldest entry; ok is false when empty.
-func (d *deque) steal() (claimEntry, bool) {
+func (d *lockedDeque) steal() (claimEntry, bool) {
 	d.mu.Lock()
 	if d.count == 0 {
 		d.mu.Unlock()
@@ -92,9 +100,151 @@ func (d *deque) steal() (claimEntry, bool) {
 }
 
 // size returns the current number of queued entries (racy snapshot).
-func (d *deque) size() int {
+func (d *lockedDeque) size() int {
 	d.mu.Lock()
 	n := d.count
 	d.mu.Unlock()
 	return n
+}
+
+// ---------------------------------------------------------------------
+// Lock-free Chase–Lev work-stealing deque
+// ---------------------------------------------------------------------
+
+// wsDeque is a lock-free work-stealing deque of claim entries after
+// Chase & Lev ("Dynamic Circular Work-Stealing Deque", SPAA 2005) in
+// the formulation of Lê et al. (PPoPP 2013). One thread owns the deque:
+// only the owner may push and pop, both at the bottom (LIFO, so the
+// owner keeps working on the cache-hot, most recently created tasks).
+// Any other thread may steal from the top (FIFO, so thieves take the
+// oldest — typically largest — piece of work), racing with each other
+// and with the owner's pop of the last element through a CAS on top.
+//
+// top and bottom are monotonically interpreted indices into an infinite
+// array; the backing circular buffer stores index i at slot i&mask and
+// is swapped out wholesale (atomic.Pointer) when full, so thieves can
+// keep reading a stale buffer: the [top, bottom) window is copied and
+// slots of a retired buffer are never overwritten.
+//
+// Slots are stored as two machine words accessed atomically. A thief
+// may observe a torn pair (task of one generation, claim word of
+// another) only when its slot was recycled after a buffer wrap-around —
+// which requires top to have already advanced past the thief's
+// snapshot, so the thief's CAS on top is then guaranteed to fail and
+// the torn value is discarded. Consumed slots are not cleared (thieves
+// may still be reading them); the Task structs they pin are recycled
+// through per-thread free lists anyway, so nothing leaks.
+type wsDeque struct {
+	top    atomic.Int64 // next index to steal (oldest entry)
+	bottom atomic.Int64 // next index to push; owner-only writes
+	buf    atomic.Pointer[wsBuffer]
+}
+
+// wsBuffer is one circular backing array; len(slots) is a power of two.
+type wsBuffer struct {
+	mask  int64
+	slots []wsSlot
+}
+
+type wsSlot struct {
+	task atomic.Pointer[Task]
+	word atomic.Uint64
+}
+
+const wsDequeInitialCap = 64 // must be a power of two
+
+func newWSBuffer(capacity int64) *wsBuffer {
+	return &wsBuffer{mask: capacity - 1, slots: make([]wsSlot, capacity)}
+}
+
+func (b *wsBuffer) put(i int64, e claimEntry) {
+	s := &b.slots[i&b.mask]
+	s.task.Store(e.task)
+	s.word.Store(e.word)
+}
+
+func (b *wsBuffer) get(i int64) claimEntry {
+	s := &b.slots[i&b.mask]
+	return claimEntry{task: s.task.Load(), word: s.word.Load()}
+}
+
+// stealOutcome discriminates the three results of wsDeque.steal.
+type stealOutcome int
+
+const (
+	stealOK    stealOutcome = iota // entry returned
+	stealEmpty                     // deque observed empty
+	stealRace                      // lost the top CAS; retrying may succeed
+)
+
+// push appends e at the bottom. Owner only; never blocks, never locks.
+func (d *wsDeque) push(e claimEntry) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	buf := d.buf.Load()
+	if buf == nil {
+		buf = newWSBuffer(wsDequeInitialCap)
+		d.buf.Store(buf)
+	} else if b-t > buf.mask {
+		// Full: copy the live window into a buffer twice the size. The
+		// old buffer stays valid for concurrent thieves.
+		nb := newWSBuffer(2 * (buf.mask + 1))
+		for i := t; i < b; i++ {
+			nb.put(i, buf.get(i))
+		}
+		buf = nb
+		d.buf.Store(buf)
+	}
+	buf.put(b, e)
+	d.bottom.Store(b + 1)
+}
+
+// pop removes and returns the newest entry. Owner only; lock-free, and
+// CAS-free except when taking the last remaining entry (where it races
+// with thieves).
+func (d *wsDeque) pop() (claimEntry, bool) {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: undo the reservation.
+		d.bottom.Store(b + 1)
+		return claimEntry{}, false
+	}
+	e := d.buf.Load().get(b)
+	if t == b {
+		// Last entry: win it against concurrent thieves via top.
+		ok := d.top.CompareAndSwap(t, t+1)
+		d.bottom.Store(b + 1)
+		if !ok {
+			return claimEntry{}, false
+		}
+		return e, true
+	}
+	return e, true
+}
+
+// steal removes and returns the oldest entry. Any thread; lock-free.
+func (d *wsDeque) steal() (claimEntry, stealOutcome) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return claimEntry{}, stealEmpty
+	}
+	buf := d.buf.Load()
+	e := buf.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return claimEntry{}, stealRace
+	}
+	return e, stealOK
+}
+
+// size returns the current number of queued entries (racy snapshot).
+func (d *wsDeque) size() int {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b < t {
+		return 0
+	}
+	return int(b - t)
 }

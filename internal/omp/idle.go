@@ -1,0 +1,121 @@
+package omp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// idleNotifier is a per-team eventcount: the blocking half of the
+// adaptive idle strategy. Threads that ran out of work at a scheduling
+// point park here instead of spinning; every event that can unblock a
+// waiter — task publication, task completion, barrier release — bumps
+// the sequence and wakes the sleepers. This removes the 100%-CPU
+// busy-wait at barriers and, more importantly, fixes starvation on
+// small GOMAXPROCS: a parked thief becomes runnable the moment work is
+// published instead of waiting to be preemption-scheduled past a
+// spinning creator.
+//
+// The protocol is the classic ticket/eventcount Dekker handshake.
+// Waiter: take a ticket (seq snapshot), re-check the wait condition,
+// then park(ticket) — the park is a no-op if seq moved. Signaler:
+// mutate state, bump seq, wake sleepers if any. The waiter publishes
+// parked+1 before re-reading seq and the signaler bumps seq before
+// reading parked (both seq-cst), so at least one side always observes
+// the other and no wakeup is lost.
+type idleNotifier struct {
+	seq    atomic.Uint64 // bumped on every signal
+	parked atomic.Int32  // threads committed to sleeping
+	wakes  atomic.Int64  // broadcasts that found sleepers (TeamStats.Wakes)
+	mu     sync.Mutex
+	cond   sync.Cond // lazily bound to mu
+	once   sync.Once
+}
+
+func (n *idleNotifier) init() { n.once.Do(func() { n.cond.L = &n.mu }) }
+
+// ticket snapshots the publication sequence. The caller must re-check
+// its wait condition after taking the ticket and before parking.
+func (n *idleNotifier) ticket() uint64 { return n.seq.Load() }
+
+// park blocks until a signal issued after the ticket was taken. It
+// returns immediately (false) when one already happened; true when the
+// thread actually slept.
+func (n *idleNotifier) park(ticket uint64) bool {
+	n.init()
+	slept := false
+	n.mu.Lock()
+	n.parked.Add(1)
+	for n.seq.Load() == ticket {
+		n.cond.Wait()
+		slept = true
+	}
+	n.parked.Add(-1)
+	n.mu.Unlock()
+	return slept
+}
+
+// signal publishes a state change that may unblock waiters. Cheap when
+// nobody sleeps: one atomic add plus one atomic load.
+func (n *idleNotifier) signal() {
+	n.seq.Add(1)
+	if n.parked.Load() > 0 {
+		n.init()
+		n.mu.Lock()
+		n.cond.Broadcast()
+		n.mu.Unlock()
+		n.wakes.Add(1)
+	}
+}
+
+// Idle-ladder thresholds: how many fruitless passes through a wait loop
+// a thread makes at each rung before descending to the next.
+const (
+	idleSpinPasses  = 64 // rung 1: pure spin, re-checking the condition
+	idleYieldPasses = 16 // rung 2: runtime.Gosched between re-checks
+)
+
+// idleLadder drives one thread's spin→yield→park progression at a
+// scheduling point (barrier wait, taskwait). Each fruitless pass of the
+// enclosing wait loop calls step; finding work calls reset. The ladder
+// spins first (a task often arrives within microseconds), yields next
+// (lets co-scheduled goroutines publish work on small GOMAXPROCS), then
+// arms an idleNotifier ticket and — after one more full re-check of the
+// wait condition by the enclosing loop — parks until signaled.
+//
+// With Runtime.SpinYield disabled the ladder degrades to the pure
+// busy-wait of the runtime the paper measured (the spin-wait ablation).
+type idleLadder struct {
+	passes int
+	ticket uint64
+	armed  bool
+}
+
+func (l *idleLadder) reset() { l.passes, l.armed = 0, false }
+
+// step performs one rung of idle waiting on behalf of thread t.
+func (l *idleLadder) step(t *Thread) {
+	if !t.team.rt.SpinYield {
+		return // spin-wait ablation: burn the CPU, never yield or park
+	}
+	l.passes++
+	switch {
+	case l.passes <= idleSpinPasses:
+		// rung 1: spin — the enclosing loop re-checks the condition.
+	case l.passes <= idleSpinPasses+idleYieldPasses:
+		runtime.Gosched()
+	default:
+		n := &t.team.idle
+		if !l.armed {
+			// Arm a ticket; the enclosing loop makes one more full pass
+			// over the wait condition before we dare to sleep.
+			l.ticket = n.ticket()
+			l.armed = true
+			return
+		}
+		l.armed = false
+		if n.park(l.ticket) {
+			t.parks++
+		}
+	}
+}

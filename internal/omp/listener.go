@@ -12,6 +12,12 @@ import "repro/internal/region"
 // Thread.ProfData without locking. A nil listener on the Runtime disables
 // measurement; this is the "uninstrumented" configuration used as the
 // baseline in the overhead experiments (Figs. 13 and 14).
+//
+// Idle waiting is invisible to listeners: a thread descending the
+// scheduler's spin→yield→park ladder at a barrier or taskwait emits no
+// events while idle or parked, so the time between Enter and Exit of a
+// synchronization region covers spinning and sleeping alike — matching
+// how Score-P attributes barrier wait time in the paper.
 type Listener interface {
 	// ThreadBegin fires when a team worker starts, before any other event
 	// from this thread. Measurement systems create the thread's location

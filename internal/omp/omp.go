@@ -11,6 +11,30 @@
 // instance runs on the thread that started it, and suspension/resumption
 // nests exactly like the event streams in the paper's Figs. 2 and 4.
 //
+// # Scheduler design
+//
+// Two schedulers are provided. SchedCentralQueue routes every task
+// through one mutex-protected team queue (lockedDeque) — the GCC 4.6
+// libgomp design whose lock contention the paper identifies as the
+// cause of its Fig. 15 slowdowns; it is kept as the ablation baseline.
+// SchedWorkStealing gives each thread a lock-free Chase–Lev deque
+// (wsDeque): the owner pushes and pops LIFO at the bottom with plain
+// atomic loads/stores (no lock, no CAS except for the last element), so
+// it keeps working on its cache-hot, most recently created tasks, while
+// thieves steal FIFO at the top through a CAS — taking the oldest and
+// typically largest piece of work, which amortizes the steal over the
+// most useful-work per synchronization. Execution rights are decided by
+// the generation-tagged claim word on the task, so an entry reachable
+// both from a deque and from a parent's child list runs exactly once.
+//
+// Idle threads descend a spin→yield→park ladder (idleLadder): a bounded
+// spin for work that arrives within microseconds, a few runtime.Gosched
+// passes, then parking on the team's idleNotifier. Task publication,
+// task completion and barrier release signal the notifier, so a parked
+// thief wakes the moment work exists regardless of GOMAXPROCS — the
+// fix for single-core starvation, where a spinning creator could drain
+// its own deque before a thief was ever scheduled.
+//
 // The runtime emits the POMP2-style event stream (enter/exit,
 // task-create, task-begin/end/switch) through the Listener interface;
 // with a nil listener it is the "uninstrumented" baseline of the
@@ -19,7 +43,6 @@ package omp
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -100,12 +123,34 @@ func (rt *Runtime) Instrumented() bool { return rt.listener != nil }
 func (rt *Runtime) UntiedCount() int64 { return rt.untiedDemoted.Load() }
 
 // TeamStats captures runtime-internal counters of one parallel region,
-// used by tests and by the ablation benchmarks.
+// used by tests and by the ablation benchmarks. Beyond task totals it
+// reports scheduler contention — steal attempts and failures, parks and
+// wakes — so the ablation benchmarks can show *why* a configuration is
+// slow, not just that it is.
 type TeamStats struct {
-	Threads       int
-	TasksCreated  int64
-	Steals        int64
+	Threads      int
+	TasksCreated int64
+
+	// Steals counts successful steals (work-stealing scheduler only).
+	Steals int64
+	// StealAttempts counts calls to a victim deque's steal operation,
+	// successful or not; StealAttempts-Steals is wasted synchronization.
+	StealAttempts int64
+	// FailedSteals counts attempts lost to contention: a top-CAS race
+	// with another thief (or the victim's pop of its last entry), or an
+	// entry whose claim was won elsewhere.
+	FailedSteals int64
+
+	// Parks counts times a thread actually slept on the team's idle
+	// notifier; Wakes counts broadcasts that found sleepers.
+	Parks int64
+	Wakes int64
+
 	MaxStackDepth int // deepest inline task nesting observed on any thread
+
+	// ThreadSteals is the per-thread histogram of successful steals,
+	// indexed by thread ID: the imbalance fingerprint of the region.
+	ThreadSteals []int64
 }
 
 // LastTeamStats returns the counters of the most recently completed
@@ -122,11 +167,14 @@ type Team struct {
 	threads []*Thread
 
 	// central is the team-wide task queue used by SchedCentralQueue.
-	central deque
+	central lockedDeque
+
+	// idle is the team's eventcount: threads out of work park here and
+	// are signaled on task publication, completion and barrier release.
+	idle idleNotifier
 
 	pending    atomic.Int64 // created but not yet completed tasks
 	created    atomic.Int64
-	steals     atomic.Int64
 	nextTaskID atomic.Uint64
 
 	barrier centralBarrier
@@ -135,7 +183,26 @@ type Team struct {
 	criticals  map[*region.Region]*sync.Mutex
 
 	singleMu  sync.Mutex
-	singleGen map[int64]bool
+	singleGen map[int64]*singleState
+}
+
+// singleState tracks one lexical Single encounter: whether its body was
+// claimed and how many team threads have passed it. The entry is pruned
+// once every thread arrived, keeping the map bounded by the number of
+// in-flight encounters instead of growing monotonically.
+type singleState struct {
+	claimed bool
+	arrived int
+}
+
+// signalWork wakes idle-parked teammates after task publication or
+// completion. In a single-thread team nobody can ever be parked while
+// the thread itself makes progress, so the (two-atomic-op) signal is
+// skipped — it would otherwise tax every task on the hot path.
+func (tm *Team) signalWork() {
+	if len(tm.threads) > 1 {
+		tm.idle.signal()
+	}
 }
 
 // Thread is one worker of a team — the analog of an OpenMP thread. All
@@ -149,7 +216,7 @@ type Thread struct {
 	ProfData any
 
 	team    *Team
-	deque   deque
+	deque   wsDeque
 	current *Task // task being executed; nil -> implicit task
 
 	implicitChildren atomic.Int32 // incomplete children of the implicit task
@@ -162,6 +229,13 @@ type Thread struct {
 	stackDepth    int
 	maxStackDepth int
 	singleSeq     int64
+
+	// Scheduler counters, owner-written only (no synchronization on the
+	// hot path); aggregated into TeamStats when the region ends.
+	steals        int64
+	stealAttempts int64
+	failedSteals  int64
+	parks         int64
 }
 
 // Team returns the thread's team.
@@ -180,13 +254,6 @@ func (t *Thread) Current() *Task { return t.current }
 // InTask reports whether an explicit task is being executed.
 func (t *Thread) InTask() bool { return t.current != nil }
 
-// idleSpin lets the thread wait politely at a scheduling point.
-func (t *Thread) idleSpin() {
-	if t.team.rt.SpinYield {
-		runtime.Gosched()
-	}
-}
-
 // Parallel executes body on a team of n threads, modelling
 // "#pragma omp parallel num_threads(n)". Every thread runs body as its
 // implicit task; an implicit task-draining barrier closes the region.
@@ -200,7 +267,7 @@ func (rt *Runtime) Parallel(n int, r *region.Region, body func(t *Thread)) {
 		rt:        rt,
 		threads:   make([]*Thread, n),
 		criticals: make(map[*region.Region]*sync.Mutex),
-		singleGen: make(map[int64]bool),
+		singleGen: make(map[int64]*singleState),
 	}
 	team.barrier.n = int32(n)
 	for i := 0; i < n; i++ {
@@ -231,19 +298,24 @@ func (rt *Runtime) Parallel(n int, r *region.Region, body func(t *Thread)) {
 	if p := team.pending.Load(); p != 0 {
 		panic(fmt.Sprintf("omp: parallel region ended with %d pending tasks", p))
 	}
-	maxDepth := 0
+	st := TeamStats{
+		Threads:      n,
+		TasksCreated: team.created.Load(),
+		Wakes:        team.idle.wakes.Load(),
+		ThreadSteals: make([]int64, n),
+	}
 	for _, t := range team.threads {
-		if t.maxStackDepth > maxDepth {
-			maxDepth = t.maxStackDepth
+		if t.maxStackDepth > st.MaxStackDepth {
+			st.MaxStackDepth = t.maxStackDepth
 		}
+		st.Steals += t.steals
+		st.StealAttempts += t.stealAttempts
+		st.FailedSteals += t.failedSteals
+		st.Parks += t.parks
+		st.ThreadSteals[t.ID] = t.steals
 	}
 	rt.statsMu.Lock()
-	rt.lastStats = TeamStats{
-		Threads:       n,
-		TasksCreated:  team.created.Load(),
-		Steals:        team.steals.Load(),
-		MaxStackDepth: maxDepth,
-	}
+	rt.lastStats = st
 	rt.statsMu.Unlock()
 }
 
@@ -297,9 +369,17 @@ func (t *Thread) Single(r *region.Region, fn func(t *Thread)) {
 	t.singleSeq++
 	team := t.team
 	team.singleMu.Lock()
-	claimed := team.singleGen[seq]
-	if !claimed {
-		team.singleGen[seq] = true
+	st := team.singleGen[seq]
+	if st == nil {
+		st = &singleState{}
+		team.singleGen[seq] = st
+	}
+	claimed := st.claimed
+	st.claimed = true
+	st.arrived++
+	if st.arrived == len(team.threads) {
+		// Every thread passed this encounter; no one can look it up again.
+		delete(team.singleGen, seq)
 	}
 	team.singleMu.Unlock()
 	if claimed {
@@ -366,6 +446,19 @@ func (t *Thread) For(r *region.Region, n int, fn func(t *Thread, i int)) {
 // waiting at the barrier execute queued tasks, and the barrier releases
 // only when all threads arrived AND no task is pending — the OpenMP
 // guarantee that all explicit tasks complete at barriers.
+//
+// The n-th arriver of each generation — unique, determined by the value
+// arrived.Add(1) returns — is the designated releaser: it drains the
+// task pool to pending == 0, resets the arrival count and advances the
+// generation. An earlier design instead let any thread race a CAS on
+// gen once it observed arrived >= n, which was unsound across
+// generations: between a releaser's gen CAS and its arrived -= n
+// bookkeeping, fast threads could re-arrive and observe a stale count
+// that still included the previous generation, releasing the next
+// barrier before all its threads arrived and corrupting the count for
+// every round after (the single-designated-releaser structure makes
+// that window impossible: arrivals for generation g+1 cannot begin
+// until the releaser of g has already reset the count).
 type centralBarrier struct {
 	n       int32
 	arrived atomic.Int32
@@ -373,26 +466,44 @@ type centralBarrier struct {
 }
 
 func (b *centralBarrier) wait(t *Thread) {
-	g := b.gen.Load()
-	b.arrived.Add(1)
 	team := t.team
+	// gen is stable here: this generation cannot release before this
+	// thread's arrival below is counted.
+	g := b.gen.Load()
+	pos := b.arrived.Add(1)
+	var lad idleLadder
+	if pos == b.n {
+		// Designated releaser: every thread has arrived, so no new
+		// tasks can appear once pending reaches zero (tasks are only
+		// created by the region body or by running tasks, and a running
+		// task keeps pending above zero until it completes).
+		for team.pending.Load() != 0 {
+			if tk := t.findTask(); tk != nil {
+				t.runTask(tk)
+				lad.reset()
+				continue
+			}
+			lad.step(t)
+		}
+		// Reset strictly before advancing gen: a thread re-arrives for
+		// the next generation only after it observes the new gen, so
+		// the count it increments is never the stale one.
+		b.arrived.Add(-b.n)
+		b.gen.Add(1)
+		// Release parked waiters of this generation.
+		team.signalWork()
+		return
+	}
 	for {
 		// Drain tasks first: useful work shortens the barrier for all.
 		if tk := t.findTask(); tk != nil {
 			t.runTask(tk)
+			lad.reset()
 			continue
 		}
 		if b.gen.Load() != g {
 			return
 		}
-		if b.arrived.Load() >= b.n && team.pending.Load() == 0 {
-			if b.gen.CompareAndSwap(g, g+1) {
-				// Subtract n rather than reset: arrivals for the next
-				// generation may already have been counted.
-				b.arrived.Add(-b.n)
-			}
-			return
-		}
-		t.idleSpin()
+		lad.step(t)
 	}
 }

@@ -1,6 +1,7 @@
 package omp
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -230,6 +231,12 @@ func TestTaskDepth(t *testing.T) {
 }
 
 func TestWorkStealingHappens(t *testing.T) {
+	// Pin GOMAXPROCS so the test means the same thing everywhere. On a
+	// single-proc setting the seed runtime starved thieves forever (the
+	// creator drained its own deque before a thief ever ran); with the
+	// idle notifier a parked thief is woken as soon as work is published,
+	// so steals happen at any GOMAXPROCS.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
 	par, task, _, _, reg := testRegions(t)
 	rt := NewRuntimeWithRegistry(nil, reg)
 	rt.Sched = SchedWorkStealing
@@ -249,11 +256,98 @@ func TestWorkStealingHappens(t *testing.T) {
 				}
 			}
 		})
-		if rt.LastTeamStats().Steals > 0 {
+		st := rt.LastTeamStats()
+		if st.Steals > 0 {
+			if st.StealAttempts < st.Steals {
+				t.Errorf("StealAttempts = %d < Steals = %d", st.StealAttempts, st.Steals)
+			}
+			var histTotal int64
+			for id, s := range st.ThreadSteals {
+				if id == 0 && s != 0 {
+					t.Errorf("creator thread recorded %d steals of its own work", s)
+				}
+				histTotal += s
+			}
+			if histTotal != st.Steals {
+				t.Errorf("ThreadSteals sums to %d, want %d", histTotal, st.Steals)
+			}
 			return
 		}
 	}
 	t.Error("single-creator workload with 4 threads never recorded a steal in 10 regions")
+}
+
+// TestWorkStealingConservationAcrossGOMAXPROCS runs the work-stealing
+// scheduler's conservation check pinned to 1, 2 and 4 procs. The
+// single-proc case is the regression guard for the starvation bug: the
+// seed runtime deadlocked thieves out of ever stealing there, and any
+// lost-wakeup bug in the park/signal protocol would hang this test.
+func TestWorkStealingConservationAcrossGOMAXPROCS(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	par, task, tw, _, reg := testRegions(t)
+	for _, procs := range []int{1, 2, 4} {
+		runtime.GOMAXPROCS(procs)
+		rt := NewRuntimeWithRegistry(nil, reg)
+		rt.Sched = SchedWorkStealing
+		var executed atomic.Int64
+		var rec func(th *Thread, d int)
+		rec = func(th *Thread, d int) {
+			if d == 6 {
+				return
+			}
+			for i := 0; i < 2; i++ {
+				th.NewTask(task, func(c *Thread) {
+					executed.Add(1)
+					rec(c, d+1)
+					c.Taskwait(tw)
+				})
+			}
+		}
+		rt.Parallel(4, par, func(th *Thread) {
+			if th.ID == 0 {
+				rec(th, 0)
+				th.Taskwait(tw)
+			}
+		})
+		st := rt.LastTeamStats()
+		if executed.Load() != st.TasksCreated {
+			t.Errorf("procs=%d: executed %d of %d created tasks",
+				procs, executed.Load(), st.TasksCreated)
+		}
+		if st.TasksCreated != 2*(1<<6-1) {
+			t.Errorf("procs=%d: created %d tasks, want %d", procs, st.TasksCreated, 2*(1<<6-1))
+		}
+	}
+}
+
+// TestSingleGenPruned guards the singleGen leak fix: once all team
+// threads passed a Single encounter its bookkeeping entry must be
+// deleted, so the map stays bounded by in-flight encounters instead of
+// growing by one entry per encounter forever.
+func TestSingleGenPruned(t *testing.T) {
+	par, _, _, bar, reg := testRegions(t)
+	single := reg.Register("single-leak", "t.go", 10, region.Single)
+	rt := NewRuntimeWithRegistry(nil, reg)
+	var team *Team
+	var count atomic.Int64
+	rt.Parallel(4, par, func(th *Thread) {
+		if th.ID == 0 {
+			team = th.Team()
+		}
+		for i := 0; i < 200; i++ {
+			th.Single(single, func(*Thread) { count.Add(1) })
+			th.Barrier(bar)
+		}
+	})
+	if count.Load() != 200 {
+		t.Errorf("single bodies executed %d times, want 200", count.Load())
+	}
+	team.singleMu.Lock()
+	left := len(team.singleGen)
+	team.singleMu.Unlock()
+	if left != 0 {
+		t.Errorf("singleGen holds %d entries after region end, want 0 (leak)", left)
+	}
 }
 
 func TestBothSchedulersProduceSameResults(t *testing.T) {
@@ -492,8 +586,8 @@ func TestPendingZeroAfterRegion(t *testing.T) {
 	// Parallel panics internally if pending != 0; reaching here is a pass.
 }
 
-func TestDequeLIFOAndStealFIFO(t *testing.T) {
-	var d deque
+func TestLockedDequeLIFOAndStealFIFO(t *testing.T) {
+	var d lockedDeque
 	mk := func(id uint64) claimEntry { return claimEntry{task: &Task{ID: id}} }
 	for i := uint64(1); i <= 5; i++ {
 		d.push(mk(i))
@@ -520,8 +614,8 @@ func TestDequeLIFOAndStealFIFO(t *testing.T) {
 	}
 }
 
-func TestDequeGrowthPreservesOrder(t *testing.T) {
-	var d deque
+func TestLockedDequeGrowthPreservesOrder(t *testing.T) {
+	var d lockedDeque
 	const n = 1000
 	for i := uint64(0); i < n; i++ {
 		d.push(claimEntry{task: &Task{ID: i}})

@@ -55,10 +55,28 @@ func TestRandomTaskGraphsRunExactlyOnce(t *testing.T) {
 			rt.Parallel(threads, par, func(th *Thread) {
 				spawn(th, rand.New(rand.NewSource(seed*31+int64(th.ID))), 0)
 			})
-			created := rt.LastTeamStats().TasksCreated
-			if executed.Load() != created {
+			st := rt.LastTeamStats()
+			if executed.Load() != st.TasksCreated {
 				t.Fatalf("sched=%v seed=%d: executed %d of %d created tasks",
-					sched, seed, executed.Load(), created)
+					sched, seed, executed.Load(), st.TasksCreated)
+			}
+			// Scheduler-counter consistency: every steal() call is one
+			// attempt resolving to at most one success or failure, and
+			// the per-thread histogram must account for every success.
+			if st.StealAttempts < st.Steals+st.FailedSteals {
+				t.Fatalf("sched=%v seed=%d: attempts %d < steals %d + failed %d",
+					sched, seed, st.StealAttempts, st.Steals, st.FailedSteals)
+			}
+			var hist int64
+			for _, s := range st.ThreadSteals {
+				hist += s
+			}
+			if hist != st.Steals {
+				t.Fatalf("sched=%v seed=%d: ThreadSteals sums to %d, want %d",
+					sched, seed, hist, st.Steals)
+			}
+			if sched == SchedCentralQueue && st.Steals != 0 {
+				t.Fatalf("central queue recorded %d steals", st.Steals)
 			}
 		}
 	}

@@ -168,6 +168,8 @@ func (t *Thread) NewTask(r *region.Region, fn TaskFunc, opts ...TaskOpt) {
 	} else {
 		t.deque.push(e)
 	}
+	// Wake parked thieves: work exists now.
+	team.signalWork()
 }
 
 // Taskwait models "#pragma omp taskwait": the current task (implicit or
@@ -183,15 +185,18 @@ func (t *Thread) Taskwait(r *region.Region) {
 		l.Enter(t, r)
 	}
 	counter := t.childCounter()
+	var lad idleLadder
 	for counter.Load() > 0 {
 		if tk := t.claimChildTask(); tk != nil {
 			t.runTask(tk)
+			lad.reset()
 			continue
 		}
 		// Remaining children are running on (or claimed by) other
 		// threads; the tied-task constraint forbids picking up
-		// unrelated tasks here.
-		t.idleSpin()
+		// unrelated tasks here. Their completion signals the team
+		// notifier, so parking cannot miss the last decrement.
+		lad.step(t)
 	}
 	if l := team.rt.listener; l != nil {
 		l.Exit(t, r)
@@ -227,10 +232,28 @@ func (t *Thread) claimChildTask() *Task {
 		e := (*list)[n-1]
 		*list = (*list)[:n-1]
 		if e.tryClaim() {
+			t.dropClaimedFromDeque(e)
 			return e.task
 		}
 	}
 	return nil
+}
+
+// dropClaimedFromDeque keeps the own deque tidy after a child-list
+// claim. Both the child list and the deque are LIFO over the same
+// publications, so the entry just claimed at a taskwait is usually
+// still the newest entry of the own deque; popping it eagerly stops
+// stale entries from piling up until the next barrier drain — which on
+// deep task recursions would otherwise grow the deque (and the GC-
+// scanned heap) linearly with the total task count and feed thieves
+// mountains of already-claimed garbage.
+func (t *Thread) dropClaimedFromDeque(e claimEntry) {
+	if t.team.rt.Sched != SchedWorkStealing {
+		return
+	}
+	if pe, ok := t.deque.pop(); ok && (pe.task != e.task || pe.word != e.word) {
+		t.deque.push(pe) // a different publication, possibly live: restore it
+	}
 }
 
 // childCounter returns the incomplete-children counter of the task the
@@ -287,6 +310,9 @@ func (t *Thread) runTask(tk *Task) {
 	if tk.refs.Add(-1) == 0 {
 		t.freeTask(tk)
 	}
+	// Wake parked waiters: a taskwait may be blocked on this child, a
+	// barrier on the pending count reaching zero.
+	team.signalWork()
 }
 
 // findTask claims the next globally available task: from the central
@@ -323,19 +349,28 @@ func (t *Thread) findTask() *Task {
 	start := int(t.stealSeq)
 	t.stealSeq++
 	for i := 0; i < n-1; i++ {
+		// The offset 1+(start+i)%(n-1) lies in [1, n-1], so v covers
+		// every thread except t itself.
 		v := (t.ID + 1 + (start+i)%(n-1)) % n
-		if v == t.ID {
-			continue
-		}
+		victim := &team.threads[v].deque
 		for {
-			e, ok := team.threads[v].deque.steal()
-			if !ok {
+			t.stealAttempts++
+			e, outcome := victim.steal()
+			if outcome == stealEmpty {
 				break
 			}
+			if outcome == stealRace {
+				// Lost the top CAS to another thief (or the victim's
+				// pop of its last entry); the deque moved, so retry.
+				t.failedSteals++
+				continue
+			}
 			if e.tryClaim() {
-				team.steals.Add(1)
+				t.steals++
 				return e.task
 			}
+			// Entry already executed via the parent's child list.
+			t.failedSteals++
 		}
 	}
 	return nil

@@ -151,6 +151,11 @@ const (
 	SchedWorkStealing = omp.SchedWorkStealing
 )
 
+// TeamStats reports the scheduler counters of the last parallel region:
+// task totals, steal/steal-attempt/park/wake counts and the per-thread
+// steal histogram. Obtain it from Runtime.LastTeamStats.
+type TeamStats = omp.TeamStats
+
 // TraceRecorder records the runtime's event stream as an event trace
 // (the OTF2/tracing side of Score-P).
 type TraceRecorder = trace.Recorder
