@@ -1,6 +1,7 @@
 package scorep_test
 
 import (
+	"bytes"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -18,7 +19,7 @@ func TestCommandLineTools(t *testing.T) {
 	dir := t.TempDir()
 
 	bin := map[string]string{}
-	for _, name := range []string{"scorep-bots", "scorep-exp", "scorep-report", "scorep-analyze", "scorep-timeline"} {
+	for _, name := range []string{"scorep-bots", "scorep-exp", "scorep-report", "scorep-analyze", "scorep-timeline", "scorep-convert"} {
 		out := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
 		cmd.Env = os.Environ()
@@ -90,5 +91,53 @@ func TestCommandLineTools(t *testing.T) {
 	out = run("scorep-timeline", "-in", tracePath, "-width", "40")
 	if !strings.Contains(out, "thread") {
 		t.Errorf("timeline from saved trace failed:\n%s", out)
+	}
+
+	// scorep-convert: JSONL -> binary archive -> JSONL round trip with
+	// stats; the reconstructed JSONL must be byte-identical and the
+	// archive must hit the format's compression target (<= 1/8 the
+	// bytes/event of JSONL on a real BOTS trace). fib tiny records
+	// ~50k events, enough that the archive's fixed header/definition
+	// overhead is irrelevant.
+	fibTracePath := filepath.Join(dir, "fib.jsonl")
+	archivePath := filepath.Join(dir, "fib.otf2")
+	trace2Path := filepath.Join(dir, "fib2.jsonl")
+	run("scorep-timeline", "-code", "fib", "-size", "tiny", "-threads", "2", "-save", fibTracePath)
+	out = run("scorep-convert", "-in", fibTracePath, "-out", archivePath, "-stats")
+	if !strings.Contains(out, "format=otf2") {
+		t.Errorf("convert stats missing archive line:\n%s", out)
+	}
+	run("scorep-convert", "-in", archivePath, "-out", trace2Path)
+	a, err := os.ReadFile(fibTracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(trace2Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("JSONL -> archive -> JSONL is not lossless")
+	}
+	fiJSON, err := os.Stat(fibTracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fiBin, err := os.Stat(archivePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fiBin.Size()*8 > fiJSON.Size() {
+		t.Errorf("archive %d bytes vs JSONL %d bytes: compression below 8x", fiBin.Size(), fiJSON.Size())
+	}
+
+	// scorep-timeline and scorep-analyze both consume the archive.
+	out = run("scorep-timeline", "-in", archivePath, "-width", "40")
+	if !strings.Contains(out, "thread") {
+		t.Errorf("timeline from archive failed:\n%s", out)
+	}
+	out = run("scorep-analyze", "-trace", archivePath)
+	if !strings.Contains(out, "management/execution ratio") {
+		t.Errorf("streaming analyze of archive failed:\n%s", out)
 	}
 }

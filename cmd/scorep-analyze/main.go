@@ -5,14 +5,22 @@
 //
 //	scorep-analyze -in report.json
 //
+// a saved event trace (JSONL or binary otf2-style archive by
+// extension; archives are analyzed streaming, in bounded memory, so
+// they may be far larger than RAM):
+//
+//	scorep-analyze -trace trace.otf2
+//	scorep-analyze -trace trace.jsonl
+//
 // or runs a BOTS code live with combined profile + trace measurement and
 // reports both the profile findings and the trace-derived management
-// metrics (paper §VII):
+// metrics (paper §VII), optionally saving the trace:
 //
-//	scorep-analyze -code nqueens -size small -threads 4 [-cutoff]
+//	scorep-analyze -code nqueens -size small -threads 4 [-cutoff] [-save-trace trace.otf2]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,17 +32,20 @@ import (
 	"repro/internal/cube"
 	"repro/internal/measure"
 	"repro/internal/omp"
+	"repro/internal/otf2"
 	"repro/internal/region"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		in       = flag.String("in", "", "saved report JSON to analyze")
-		codeName = flag.String("code", "", "BOTS code to run and analyze live")
-		sizeName = flag.String("size", "small", "input size: tiny|small|medium")
-		threads  = flag.Int("threads", 4, "threads for live runs")
-		cutoff   = flag.Bool("cutoff", false, "use the cut-off variant")
+		in        = flag.String("in", "", "saved report JSON to analyze")
+		tracePath = flag.String("trace", "", "saved event trace to analyze (.otf2 = binary archive, otherwise JSONL)")
+		codeName  = flag.String("code", "", "BOTS code to run and analyze live")
+		sizeName  = flag.String("size", "small", "input size: tiny|small|medium")
+		threads   = flag.Int("threads", 4, "threads for live runs")
+		cutoff    = flag.Bool("cutoff", false, "use the cut-off variant")
+		saveTrace = flag.String("save-trace", "", "save the live run's trace (format by extension)")
 	)
 	flag.Parse()
 
@@ -50,6 +61,35 @@ func main() {
 			fail(err)
 		}
 		analyze.Format(os.Stdout, analyze.Analyze(rep, analyze.Thresholds{}))
+
+	case *tracePath != "":
+		var a *trace.Analysis
+		var err error
+		if otf2.IsArchivePath(*tracePath) {
+			// Streaming analysis: O(chunk) memory however large the archive.
+			var f *os.File
+			f, err = os.Open(*tracePath)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			a, err = otf2.Analyze(f)
+			if errors.Is(err, otf2.ErrTruncated) {
+				// A crashed run's archive: report the intact prefix.
+				fmt.Fprintf(os.Stderr, "warning: %v; analyzing the intact prefix\n", err)
+				err = nil
+			}
+		} else {
+			var tr *trace.Trace
+			tr, err = otf2.ReadFile(*tracePath, region.NewRegistry())
+			if err == nil {
+				a = trace.Analyze(tr)
+			}
+		}
+		if err != nil {
+			fail(err)
+		}
+		a.Format(os.Stdout)
 
 	case *codeName != "":
 		spec := bots.ByName(*codeName)
@@ -89,7 +129,15 @@ func main() {
 		analyze.Format(os.Stdout, analyze.Analyze(rep, analyze.Thresholds{}))
 
 		fmt.Println()
-		trace.Analyze(rec.Finish()).Format(os.Stdout)
+		tr := rec.Finish()
+		trace.Analyze(tr).Format(os.Stdout)
+
+		if *saveTrace != "" {
+			if err := otf2.WriteFile(*saveTrace, tr); err != nil {
+				fail(err)
+			}
+			fmt.Printf("\nwrote %s (%d events)\n", *saveTrace, tr.NumEvents())
+		}
 
 	default:
 		fmt.Fprintln(os.Stderr, "need -in report.json or -code <bots code>")

@@ -1,0 +1,155 @@
+// Command scorep-convert converts event traces between the JSONL
+// stand-in format and the binary otf2-style archive format, in either
+// direction, picking each side's codec by file extension (".otf2" is
+// binary, anything else JSONL). With -stats it reports size, event
+// count and bytes/event for both sides — the measurement behind the
+// format's compression claim.
+//
+// Usage:
+//
+//	scorep-convert -in trace.jsonl -out trace.otf2 [-stats]
+//	scorep-convert -in trace.otf2 -out trace.jsonl
+//	scorep-convert -in trace.otf2 -stats          (inspect only)
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/otf2"
+	"repro/internal/region"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		in    = flag.String("in", "", "input trace (.otf2 = binary archive, otherwise JSONL)")
+		out   = flag.String("out", "", "output trace; format chosen by extension (optional with -stats)")
+		stats = flag.Bool("stats", false, "print size/event-count/bytes-per-event statistics")
+	)
+	flag.Parse()
+
+	if *in == "" || (*out == "" && !*stats) {
+		fmt.Fprintln(os.Stderr, "need -in <trace> and -out <trace> (or -stats)")
+		os.Exit(2)
+	}
+
+	if *out == "" && otf2.IsArchivePath(*in) {
+		// Inspect-only on an archive: count events streaming, in
+		// O(chunk) memory, so archives larger than RAM can be sized up.
+		printStats("in", *in, countArchiveEvents(*in))
+		return
+	}
+
+	tr, err := otf2.ReadFile(*in, region.NewRegistry())
+	if errors.Is(err, otf2.ErrTruncated) {
+		fmt.Fprintf(os.Stderr, "warning: %v; converting the intact prefix (%d events)\n", err, tr.NumEvents())
+		err = nil
+	}
+	if err != nil {
+		fail(err)
+	}
+	events := tr.NumEvents()
+	if *stats {
+		printStats("in", *in, events)
+	}
+
+	if *out != "" {
+		if !otf2.IsArchivePath(*out) {
+			// JSONL cannot represent a region with an empty name (an
+			// empty "r" field reads back as no region); the binary
+			// format can. Flag the lossy case instead of hiding it.
+			if n := emptyNameRegionEvents(tr); n > 0 {
+				fmt.Fprintf(os.Stderr, "warning: %d events reference empty-named regions, which JSONL cannot represent; they will read back region-less\n", n)
+			}
+		}
+		if err := otf2.WriteFile(*out, tr); err != nil {
+			fail(err)
+		}
+		if *stats {
+			printStats("out", *out, events)
+			ratio(*in, *out)
+		} else {
+			fmt.Printf("wrote %s (%d events, %d threads)\n", *out, events, len(tr.Threads))
+		}
+	}
+}
+
+// emptyNameRegionEvents counts events whose region JSONL cannot round-trip.
+func emptyNameRegionEvents(tr *trace.Trace) int {
+	n := 0
+	for _, evs := range tr.Threads {
+		for _, ev := range evs {
+			if ev.Region != nil && ev.Region.Name == "" {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// countArchiveEvents iterates an archive without materializing it,
+// warning (but keeping the prefix count) on truncation.
+func countArchiveEvents(path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	rd, err := otf2.NewReader(f, region.NewRegistry())
+	events := 0
+	if err == nil {
+		for {
+			if _, _, err = rd.Next(); err != nil {
+				break
+			}
+			events++
+		}
+	}
+	if err != nil && err != io.EOF {
+		if !errors.Is(err, otf2.ErrTruncated) {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "warning: %v; counting the intact prefix\n", err)
+	}
+	return events
+}
+
+func printStats(label, path string, events int) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		fail(err)
+	}
+	format := "jsonl"
+	if otf2.IsArchivePath(path) {
+		format = "otf2"
+	}
+	perEvent := 0.0
+	if events > 0 {
+		perEvent = float64(fi.Size()) / float64(events)
+	}
+	fmt.Printf("%-3s %s: format=%s size=%d bytes events=%d bytes/event=%.2f\n",
+		label, path, format, fi.Size(), events, perEvent)
+}
+
+func ratio(in, out string) {
+	fi, err := os.Stat(in)
+	if err != nil {
+		fail(err)
+	}
+	fo, err := os.Stat(out)
+	if err != nil {
+		fail(err)
+	}
+	if fo.Size() > 0 {
+		fmt.Printf("size ratio in/out: %.2fx\n", float64(fi.Size())/float64(fo.Size()))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "%v\n", err)
+	os.Exit(1)
+}

@@ -1,16 +1,19 @@
 // Command scorep-timeline records an event trace of a BOTS run (or
-// loads a saved JSONL trace) and renders per-thread task timelines plus
-// a utilization table — the plain-text counterpart of the Vampir task
-// views the paper's related work uses (Schmidl et al. [16]).
+// loads a saved trace) and renders per-thread task timelines plus a
+// utilization table — the plain-text counterpart of the Vampir task
+// views the paper's related work uses (Schmidl et al. [16]). Trace
+// files are JSONL or binary otf2-style archives, chosen by extension
+// (".otf2" is binary).
 //
 // Usage:
 //
 //	scorep-timeline -code sort -size small -threads 4 [-width 120]
 //	scorep-timeline -in trace.jsonl [-width 120]
-//	scorep-timeline -code fib -size tiny -threads 4 -save trace.jsonl
+//	scorep-timeline -code fib -size tiny -threads 4 -save trace.otf2
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,31 +21,33 @@ import (
 	"repro/internal/bots"
 	"repro/internal/clock"
 	"repro/internal/omp"
+	"repro/internal/otf2"
 	"repro/internal/region"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		in       = flag.String("in", "", "saved trace (JSONL) to render")
+		in       = flag.String("in", "", "saved trace to render (.otf2 = binary archive, otherwise JSONL)")
 		codeName = flag.String("code", "", "BOTS code to run and trace")
 		sizeName = flag.String("size", "small", "input size: tiny|small|medium")
 		threads  = flag.Int("threads", 4, "threads")
 		cutoff   = flag.Bool("cutoff", false, "use the cut-off variant")
 		width    = flag.Int("width", 100, "timeline width in characters")
-		save     = flag.String("save", "", "also save the recorded trace as JSONL")
+		save     = flag.String("save", "", "also save the recorded trace (format by extension)")
 	)
 	flag.Parse()
 
 	var tr *trace.Trace
 	switch {
 	case *in != "":
-		f, err := os.Open(*in)
-		if err != nil {
-			fail(err)
+		var err error
+		tr, err = otf2.ReadFile(*in, region.NewRegistry())
+		if errors.Is(err, otf2.ErrTruncated) {
+			// A crashed run's archive: render the intact prefix.
+			fmt.Fprintf(os.Stderr, "warning: %v; rendering the intact prefix (%d events)\n", err, tr.NumEvents())
+			err = nil
 		}
-		tr, err = trace.ReadJSONL(f, region.NewRegistry())
-		f.Close()
 		if err != nil {
 			fail(err)
 		}
@@ -84,12 +89,7 @@ func main() {
 	trace.FormatUtilization(os.Stdout, trace.ComputeUtilization(tr))
 
 	if *save != "" {
-		f, err := os.Create(*save)
-		if err != nil {
-			fail(err)
-		}
-		defer f.Close()
-		if err := trace.WriteJSONL(f, tr); err != nil {
+		if err := otf2.WriteFile(*save, tr); err != nil {
 			fail(err)
 		}
 		fmt.Printf("\nwrote %s (%d events)\n", *save, tr.NumEvents())

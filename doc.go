@@ -56,6 +56,37 @@
 // reports steal/steal-attempt/park/wake counters and a per-thread
 // steal histogram so benchmarks can quantify scheduler contention.
 //
+// # Trace formats
+//
+// Beyond profiling, the runtime's event stream can be recorded as an
+// event trace (TraceRecorder) — the OTF2/tracing side of Score-P the
+// paper's conclusion points to. Two on-disk formats exist:
+//
+//   - JSONL: one JSON object per event ("{"t":0,"ts":123,"ev":"ENTER",
+//     "r":"fib.task",...}"), human-greppable, ~100 bytes/event
+//     (WriteTraceJSONL/ReadTraceJSONL).
+//   - Binary archive: an OTF2-style chunked binary format, ~5-6
+//     bytes/event (WriteTraceArchive/ReadTraceArchive). The archive is
+//     a "SPOTF2\x00" + version header followed by self-describing
+//     chunks (one byte kind, uvarint length, payload). Definition
+//     chunks intern strings and regions and declare clock properties;
+//     event chunks carry per-thread runs of records encoded as a type
+//     byte, a zig-zag varint delta to the thread's previous timestamp,
+//     a region reference and a task ID, all LEB128 varints. The full
+//     byte-level specification lives in the internal/otf2 package
+//     comment; the format is reimplementable from those docs alone.
+//
+// Because the archive is chunked and append-only, a crashed run still
+// yields a readable prefix, recording can run in bounded memory
+// (NewStreamingTraceRecorder flushes full per-thread chunks to a
+// TraceArchiveWriter instead of buffering the run in RAM), and
+// AnalyzeTraceArchive replays an archive through per-thread state
+// machines in O(chunk) memory — out-of-core analysis of traces far
+// larger than RAM. The scorep-convert command converts between the two
+// formats and reports size/event statistics; scorep-timeline and
+// scorep-analyze accept either format, chosen by file extension
+// (".otf2" is binary).
+//
 // See examples/ for runnable programs and internal/exp for the harness
 // that regenerates every figure and table of the paper's evaluation.
 package scorep

@@ -15,6 +15,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"sync/atomic"
 
 	scorep "repro"
 )
@@ -30,7 +31,7 @@ func run(label string, tasks, workUnits int) {
 	rec := scorep.NewTraceRecorder()
 	rt := scorep.NewRuntime(scorep.NewTee(m, rec))
 
-	sink := 0
+	var sink atomic.Int64
 	rt.Parallel(4, parR, func(t *scorep.Thread) {
 		if t.ID != 0 {
 			return
@@ -41,7 +42,7 @@ func run(label string, tasks, workUnits int) {
 				for j := 0; j < workUnits; j++ {
 					s += j % 7
 				}
-				sink += s
+				sink.Add(int64(s))
 			})
 		}
 		t.Taskwait(twR)
@@ -58,10 +59,70 @@ func run(label string, tasks, workUnits int) {
 	fmt.Println()
 }
 
+// runStreaming repeats the tiny-task workload with the bounded-memory
+// pipeline: events stream through per-thread chunks into a binary
+// otf2-style archive as they happen (nothing accumulates in RAM), and
+// the analysis then replays the archive in O(chunk) memory — the
+// configuration for traces far larger than memory.
+func runStreaming(tasks, workUnits int) {
+	f, err := os.CreateTemp("", "trace-*.otf2")
+	if err != nil {
+		panic(err)
+	}
+	defer os.Remove(f.Name())
+
+	aw := scorep.NewTraceArchiveWriter(f)
+	rec := scorep.NewStreamingTraceRecorder(aw, 1024)
+	rt := scorep.NewRuntime(rec)
+
+	var sink atomic.Int64
+	rt.Parallel(4, parR, func(t *scorep.Thread) {
+		if t.ID != 0 {
+			return
+		}
+		for i := 0; i < tasks; i++ {
+			t.NewTask(taskR, func(*scorep.Thread) {
+				s := 0
+				for j := 0; j < workUnits; j++ {
+					s += j % 7
+				}
+				sink.Add(int64(s))
+			})
+		}
+		t.Taskwait(twR)
+	})
+	rec.Finish()
+	if err := rec.Err(); err != nil {
+		panic(err)
+	}
+	if err := aw.Close(); err != nil {
+		panic(err)
+	}
+
+	fi, err := f.Stat()
+	if err != nil {
+		panic(err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		panic(err)
+	}
+	a, err := scorep.AnalyzeTraceArchive(f)
+	f.Close()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("== streamed to disk: %d tasks, archive %d bytes ==\n", tasks, fi.Size())
+	a.Format(os.Stdout)
+	fmt.Println()
+}
+
 func main() {
 	run("coarse tasks", 64, 2_000_000)
 	run("tiny tasks", 50_000, 40)
+	runStreaming(50_000, 40)
 	fmt.Println("Reading: with tiny tasks the dispatch latency rivals the execution time")
 	fmt.Println("(management/execution ratio near or above 1) — the paper's 'very small")
 	fmt.Println("tasks may cause high overhead' issue, now visible without a timeline GUI.")
+	fmt.Println("The streamed run shows the same metrics derived without ever holding the")
+	fmt.Println("trace in memory: recording and analysis both run in bounded space.")
 }

@@ -1,0 +1,145 @@
+package otf2
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/region"
+	"repro/internal/trace"
+)
+
+// benchTrace builds a realistic synthetic recording: nTasks task
+// lifecycles per thread inside a parallel+taskwait envelope, the event
+// mix a BOTS run produces.
+func benchTrace(threads, nTasks int) *trace.Trace {
+	reg := region.NewRegistry()
+	par := reg.Register("bench.parallel", "bench.go", 1, region.Parallel)
+	task := reg.Register("bench.task", "bench.go", 2, region.Task)
+	create := reg.Register("bench.create", "bench.go", 2, region.TaskCreate)
+	tw := reg.Register("bench.taskwait", "bench.go", 3, region.Taskwait)
+	tr := &trace.Trace{Threads: make(map[int][]trace.Event)}
+	var id uint64
+	for t := 0; t < threads; t++ {
+		now := int64(1000 * t)
+		tick := func() int64 { now += 740; return now }
+		evs := []trace.Event{
+			{Time: tick(), Type: trace.EvThreadBegin},
+			{Time: tick(), Type: trace.EvEnter, Region: par},
+			{Time: tick(), Type: trace.EvEnter, Region: tw},
+		}
+		for i := 0; i < nTasks; i++ {
+			id++
+			evs = append(evs,
+				trace.Event{Time: tick(), Type: trace.EvTaskCreateBegin, Region: create},
+				trace.Event{Time: tick(), Type: trace.EvTaskCreateEnd, Region: task, TaskID: id},
+				trace.Event{Time: tick(), Type: trace.EvTaskBegin, Region: task, TaskID: id},
+				trace.Event{Time: tick(), Type: trace.EvTaskEnd, Region: task, TaskID: id},
+			)
+		}
+		evs = append(evs,
+			trace.Event{Time: tick(), Type: trace.EvExit, Region: tw},
+			trace.Event{Time: tick(), Type: trace.EvExit, Region: par},
+			trace.Event{Time: tick(), Type: trace.EvThreadEnd},
+		)
+		tr.Threads[t] = evs
+	}
+	return tr
+}
+
+// BenchmarkEncode measures the binary codec's write path in isolation.
+func BenchmarkEncode(b *testing.B) {
+	tr := benchTrace(4, 2000)
+	events := tr.NumEvents()
+	var size int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n countingWriter
+		if err := Write(&n, tr); err != nil {
+			b.Fatal(err)
+		}
+		size = int64(n)
+	}
+	b.ReportMetric(float64(size)/float64(events), "bytes/event")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*events), "ns/event")
+}
+
+// BenchmarkDecode measures the binary codec's read path in isolation.
+func BenchmarkDecode(b *testing.B) {
+	tr := benchTrace(4, 2000)
+	events := tr.NumEvents()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadAll(bytes.NewReader(data), region.NewRegistry()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*events), "ns/event")
+}
+
+// BenchmarkStreamAnalyze measures the out-of-core analysis over an
+// in-memory archive image.
+func BenchmarkStreamAnalyze(b *testing.B) {
+	tr := benchTrace(4, 2000)
+	events := tr.NumEvents()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*events), "ns/event")
+}
+
+// BenchmarkWriteThroughput compares end-to-end trace serialization,
+// binary archive vs the JSONL stand-in, on the same recording. The
+// bytes/event metrics quantify the format's compression (acceptance:
+// binary ≤ 1/8 of JSONL).
+func BenchmarkWriteThroughput(b *testing.B) {
+	tr := benchTrace(4, 2000)
+	events := tr.NumEvents()
+	b.Run("binary", func(b *testing.B) {
+		var size int64
+		for i := 0; i < b.N; i++ {
+			var n countingWriter
+			if err := Write(&n, tr); err != nil {
+				b.Fatal(err)
+			}
+			size = int64(n)
+		}
+		b.SetBytes(size)
+		b.ReportMetric(float64(size)/float64(events), "bytes/event")
+	})
+	b.Run("jsonl", func(b *testing.B) {
+		var size int64
+		for i := 0; i < b.N; i++ {
+			var n countingWriter
+			if err := trace.WriteJSONL(&n, tr); err != nil {
+				b.Fatal(err)
+			}
+			size = int64(n)
+		}
+		b.SetBytes(size)
+		b.ReportMetric(float64(size)/float64(events), "bytes/event")
+	})
+}
+
+// countingWriter discards bytes, counting them.
+type countingWriter int64
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	*c += countingWriter(len(p))
+	return len(p), nil
+}
+
+var _ io.Writer = (*countingWriter)(nil)

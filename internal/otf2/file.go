@@ -1,0 +1,44 @@
+package otf2
+
+import (
+	"os"
+
+	"repro/internal/region"
+	"repro/internal/trace"
+)
+
+// ReadFile loads a trace file in the format chosen by its extension
+// (".otf2" is a binary archive, anything else JSONL), interning regions
+// into reg. An archive cut off mid-chunk (crashed run) is salvaged: the
+// intact prefix is returned together with an error wrapping
+// ErrTruncated, and the caller decides whether to use it.
+func ReadFile(path string, reg *region.Registry) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if IsArchivePath(path) {
+		return ReadAll(f, reg)
+	}
+	return trace.ReadJSONL(f, reg)
+}
+
+// WriteFile saves a trace to path in the format chosen by its
+// extension, creating or truncating the file.
+func WriteFile(path string, tr *trace.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if IsArchivePath(path) {
+		werr = Write(f, tr)
+	} else {
+		werr = trace.WriteJSONL(f, tr)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

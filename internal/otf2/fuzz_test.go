@@ -1,0 +1,53 @@
+package otf2
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/region"
+)
+
+// FuzzCodec throws arbitrary bytes at the archive reader: decoding must
+// never panic, and whatever decodes successfully must survive a
+// re-encode → re-decode round trip unchanged (the codec is a bijection
+// on its image).
+func FuzzCodec(f *testing.F) {
+	var valid bytes.Buffer
+	if err := Write(&valid, sampleTrace(region.NewRegistry())); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2])      // truncated archive
+	f.Add([]byte(magic + "\x01"))                    // header only
+	f.Add([]byte("SPOTF2\x00\x01D\x03\x01\x80\x01")) // tiny defs chunk
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadAll(bytes.NewReader(data), region.NewRegistry())
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("re-encoding decoded trace: %v", err)
+		}
+		tr2, err := ReadAll(bytes.NewReader(buf.Bytes()), region.NewRegistry())
+		if err != nil {
+			t.Fatalf("re-decoding re-encoded trace: %v", err)
+		}
+		if len(tr2.Threads) != len(tr.Threads) {
+			t.Fatalf("thread count changed: %d -> %d", len(tr.Threads), len(tr2.Threads))
+		}
+		for tid, evs := range tr.Threads {
+			evs2 := tr2.Threads[tid]
+			if len(evs2) != len(evs) {
+				t.Fatalf("thread %d: event count changed: %d -> %d", tid, len(evs), len(evs2))
+			}
+			for i := range evs {
+				if !eventsEqual(evs[i], evs2[i]) {
+					t.Fatalf("thread %d event %d changed: %+v -> %+v", tid, i, evs[i], evs2[i])
+				}
+			}
+		}
+	})
+}

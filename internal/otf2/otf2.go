@@ -1,0 +1,120 @@
+// Package otf2 implements a compact binary trace-archive format for the
+// runtime's event traces — the OTF2-style storage layer the paper's
+// tool chain (Score-P writing OTF2 archives, read by Scalasca/Vampir)
+// uses for event tracing. It replaces the verbose JSONL stand-in for
+// large runs: delta-encoded timestamps and LEB128 variable-length
+// integers bring the cost per event from ~100 bytes of JSON down to a
+// handful of bytes, and the chunked, streaming design lets both
+// recording and analysis run in bounded memory on traces far larger
+// than RAM.
+//
+// # Archive layout
+//
+// An archive is a header followed by a sequence of self-describing
+// chunks. All multi-byte integers are LEB128 varints as produced by
+// encoding/binary: "uvarint" below is binary.AppendUvarint, "varint" is
+// the zig-zag-encoded signed form binary.AppendVarint. There is no
+// archive-level trailer: a crashed or killed run leaves a truncated
+// final chunk, and every complete chunk before it remains readable (the
+// reader reports the cut as ErrTruncated).
+//
+//	archive := header chunk*
+//	header  := "SPOTF2\x00" version        // 7 magic bytes + 1 version byte (currently 1)
+//	chunk   := kind uvarint(len) payload   // kind is one byte; len = payload length in bytes
+//
+// Two chunk kinds exist in version 1; readers skip chunks with unknown
+// kinds so the format can grow.
+//
+//	kind 'D' — definitions
+//	kind 'E' — events
+//
+// # Definitions
+//
+// Definition chunks intern the static entities event records reference,
+// mirroring OTF2's global definitions. A definitions payload is a
+// sequence of records, each introduced by a one-byte tag:
+//
+//	0x01 clock  := uvarint(resolution) varint(globalOffset)
+//	0x02 string := uvarint(stringID) uvarint(byteLen) bytes
+//	0x03 region := uvarint(regionID) uvarint(nameStringID) uvarint(fileStringID)
+//	               uvarint(line) uvarint(regionType)
+//
+// The clock record states the timer resolution in ticks per second
+// (1e9 for this runtime's nanosecond clock) and the offset added to
+// timestamps to recover the recording epoch. String and region IDs are
+// dense, start at 0, and must be defined before the first event record
+// that references them; the writer emits definitions incrementally, in
+// a 'D' chunk immediately preceding the first 'E' chunk that needs
+// them, so the readable prefix of a truncated archive is always
+// self-contained. regionType is the ordinal of region.Type.
+//
+// # Events
+//
+// An event payload carries one run of events of a single thread:
+//
+//	events := varint(threadID) uvarint(count) event[count]
+//	event  := type varint(timeDelta) uvarint(regionRef) uvarint(taskID)
+//
+// type is one byte, the ordinal of trace.EventType. timeDelta is the
+// difference to the previous event of the same thread (across chunks;
+// the first event of a thread is a delta against 0). regionRef is 0 for
+// events without a region, otherwise regionID+1. Chunks of different
+// threads appear in flush order and carry no cross-thread ordering, as
+// in any distributed trace; per-thread order is the record order.
+//
+// # API
+//
+// Writer streams events into an archive with one in-memory chunk buffer
+// per thread (it implements trace.EventSink, so a trace.Recorder in
+// bounded-memory mode can flush straight into it). Reader iterates an
+// archive event by event via Next in O(chunk) memory; ReadAll loads a
+// whole archive into a trace.Trace, and Analyze runs the streaming
+// trace analysis without ever materializing the trace.
+package otf2
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/region"
+	"repro/internal/trace"
+)
+
+// Format constants. magic is 7 bytes so the header including the
+// version byte is 8 bytes total.
+const (
+	magic   = "SPOTF2\x00"
+	version = 1
+
+	chunkDefs   = 'D'
+	chunkEvents = 'E'
+
+	defClock  = 0x01
+	defString = 0x02
+	defRegion = 0x03
+
+	// maxChunkLen caps the declared payload length a reader will
+	// allocate, guarding against corrupt or hostile headers.
+	maxChunkLen = 1 << 26
+
+	// maxEventType is the highest trace.EventType ordinal in format
+	// version 1.
+	maxEventType = uint8(trace.EvThreadEnd)
+
+	// maxRegionType is the highest region.Type ordinal in format
+	// version 1.
+	maxRegionType = uint64(region.Parameter)
+)
+
+// Ext is the file extension conventionally used for archives.
+const Ext = ".otf2"
+
+// ErrTruncated marks an archive cut off mid-chunk — the typical state
+// after a crashed run. Every event returned before the error belongs to
+// the intact prefix and is valid.
+var ErrTruncated = errors.New("otf2: archive truncated")
+
+// corrupt builds a format-violation error.
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("otf2: corrupt archive: "+format, args...)
+}

@@ -1,0 +1,351 @@
+package otf2
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/region"
+	"repro/internal/trace"
+)
+
+// Reader iterates an archive event by event. It holds one chunk plus
+// the definition tables in memory, so arbitrarily large archives can be
+// analyzed out of core. Regions referenced by events are interned into
+// the registry passed to NewReader, giving read events the same
+// pointer-identity semantics as live-recorded ones.
+type Reader struct {
+	br  *bufio.Reader
+	reg *region.Registry
+
+	strings map[uint64]string
+	regions map[uint64]*region.Region
+
+	clockResolution uint64
+	clockOffset     int64
+
+	// Current event chunk being drained. curLast caches the current
+	// thread's running timestamp so the decode hot loop touches no
+	// maps; it is persisted to lastTime when the next event chunk
+	// begins.
+	payload   []byte
+	pos       int
+	curThread int
+	remaining uint64
+	curLast   int64
+	inEvents  bool
+
+	lastTime map[int]int64
+	err      error
+}
+
+// cutOrIOErr classifies a read failure: a clean or short end of input
+// is genuine truncation (salvageable, wrapped in ErrTruncated); any
+// other I/O error — a failing disk, a network filesystem hiccup — is
+// not a crashed-run artifact and must not be downgraded to a warning
+// by callers.
+func cutOrIOErr(what string, err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("%w: %s: %v", ErrTruncated, what, err)
+	}
+	return fmt.Errorf("otf2: %s: %w", what, err)
+}
+
+// NewReader opens an archive, validating the header.
+func NewReader(r io.Reader, reg *region.Registry) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [len(magic) + 1]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, cutOrIOErr("reading header", err)
+	}
+	if string(hdr[:len(magic)]) != magic {
+		return nil, corrupt("bad magic %q", hdr[:len(magic)])
+	}
+	if hdr[len(magic)] != version {
+		return nil, fmt.Errorf("otf2: unsupported format version %d (have %d)", hdr[len(magic)], version)
+	}
+	return &Reader{
+		br:       br,
+		reg:      reg,
+		strings:  make(map[uint64]string),
+		regions:  make(map[uint64]*region.Region),
+		lastTime: make(map[int]int64),
+	}, nil
+}
+
+// ClockResolution returns the timer ticks per second declared by the
+// archive's clock-properties record (0 before one has been read; the
+// writer emits it ahead of the first event chunk).
+func (r *Reader) ClockResolution() uint64 { return r.clockResolution }
+
+// ClockOffset returns the declared global timestamp offset.
+func (r *Reader) ClockOffset() int64 { return r.clockOffset }
+
+// fail latches and returns err.
+func (r *Reader) fail(err error) error {
+	if r.err == nil {
+		r.err = err
+	}
+	return r.err
+}
+
+// Next returns the next event and the thread it belongs to. At the end
+// of the archive it returns io.EOF; on an archive cut off mid-chunk it
+// returns an error wrapping ErrTruncated (all previously returned
+// events belong to the intact prefix). After any error Next keeps
+// returning the same error.
+func (r *Reader) Next() (int, trace.Event, error) {
+	if r.err != nil {
+		return 0, trace.Event{}, r.err
+	}
+	for r.remaining == 0 {
+		if err := r.nextChunk(); err != nil {
+			return 0, trace.Event{}, r.fail(err)
+		}
+	}
+	ev, err := r.decodeEvent()
+	if err != nil {
+		return 0, trace.Event{}, r.fail(err)
+	}
+	r.remaining--
+	return r.curThread, ev, nil
+}
+
+// nextChunk reads chunks until an event chunk is current or the archive
+// ends. Definition chunks update the tables in place; unknown chunk
+// kinds are skipped for forward compatibility.
+func (r *Reader) nextChunk() error {
+	kind, err := r.br.ReadByte()
+	if err == io.EOF {
+		return io.EOF // clean end between chunks
+	}
+	if err != nil {
+		return cutOrIOErr("reading chunk kind", err)
+	}
+	n, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return cutOrIOErr("reading chunk length", err)
+	}
+	if n > maxChunkLen {
+		return corrupt("chunk length %d exceeds limit", n)
+	}
+	if uint64(cap(r.payload)) < n {
+		r.payload = make([]byte, n)
+	}
+	r.payload = r.payload[:n]
+	if _, err := io.ReadFull(r.br, r.payload); err != nil {
+		return cutOrIOErr("chunk payload", err)
+	}
+	r.pos = 0
+	switch kind {
+	case chunkDefs:
+		return r.decodeDefs()
+	case chunkEvents:
+		tid, err := r.varint("event chunk thread")
+		if err != nil {
+			return err
+		}
+		count, err := r.uvarint("event chunk count")
+		if err != nil {
+			return err
+		}
+		if r.inEvents {
+			r.lastTime[r.curThread] = r.curLast
+		}
+		r.curThread = int(tid)
+		r.remaining = count
+		r.curLast = r.lastTime[r.curThread]
+		r.inEvents = true
+		return nil
+	default:
+		return nil // unknown chunk kind: skip
+	}
+}
+
+// uvarint decodes an unsigned varint from the current payload.
+func (r *Reader) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(r.payload[r.pos:])
+	if n <= 0 {
+		return 0, corrupt("bad uvarint in %s", what)
+	}
+	r.pos += n
+	return v, nil
+}
+
+// varint decodes a zig-zag signed varint from the current payload.
+func (r *Reader) varint(what string) (int64, error) {
+	v, n := binary.Varint(r.payload[r.pos:])
+	if n <= 0 {
+		return 0, corrupt("bad varint in %s", what)
+	}
+	r.pos += n
+	return v, nil
+}
+
+// decodeDefs consumes a definitions payload.
+func (r *Reader) decodeDefs() error {
+	for r.pos < len(r.payload) {
+		tag := r.payload[r.pos]
+		r.pos++
+		switch tag {
+		case defClock:
+			res, err := r.uvarint("clock resolution")
+			if err != nil {
+				return err
+			}
+			off, err := r.varint("clock offset")
+			if err != nil {
+				return err
+			}
+			r.clockResolution, r.clockOffset = res, off
+		case defString:
+			id, err := r.uvarint("string id")
+			if err != nil {
+				return err
+			}
+			n, err := r.uvarint("string length")
+			if err != nil {
+				return err
+			}
+			if uint64(len(r.payload)-r.pos) < n {
+				return corrupt("string %d overruns chunk", id)
+			}
+			r.strings[id] = string(r.payload[r.pos : r.pos+int(n)])
+			r.pos += int(n)
+		case defRegion:
+			id, err := r.uvarint("region id")
+			if err != nil {
+				return err
+			}
+			nameID, err := r.uvarint("region name")
+			if err != nil {
+				return err
+			}
+			fileID, err := r.uvarint("region file")
+			if err != nil {
+				return err
+			}
+			line, err := r.uvarint("region line")
+			if err != nil {
+				return err
+			}
+			typ, err := r.uvarint("region type")
+			if err != nil {
+				return err
+			}
+			name, ok := r.strings[nameID]
+			if !ok {
+				return corrupt("region %d references undefined string %d", id, nameID)
+			}
+			file, ok := r.strings[fileID]
+			if !ok {
+				return corrupt("region %d references undefined string %d", id, fileID)
+			}
+			if typ > maxRegionType {
+				return corrupt("region %d has unknown type %d", id, typ)
+			}
+			r.regions[id] = r.reg.Register(name, file, int(line), region.Type(typ))
+		default:
+			return corrupt("unknown definition tag %#x", tag)
+		}
+	}
+	return nil
+}
+
+// decodeEvent consumes one event record from the current chunk.
+func (r *Reader) decodeEvent() (trace.Event, error) {
+	if r.pos >= len(r.payload) {
+		return trace.Event{}, corrupt("event chunk shorter than declared count")
+	}
+	typ := r.payload[r.pos]
+	r.pos++
+	if typ > maxEventType {
+		return trace.Event{}, corrupt("unknown event type %d", typ)
+	}
+	dt, err := r.varint("event time delta")
+	if err != nil {
+		return trace.Event{}, err
+	}
+	ref, err := r.uvarint("event region ref")
+	if err != nil {
+		return trace.Event{}, err
+	}
+	task, err := r.uvarint("event task id")
+	if err != nil {
+		return trace.Event{}, err
+	}
+	ev := trace.Event{Type: trace.EventType(typ), TaskID: task}
+	r.curLast += dt
+	ev.Time = r.curLast
+	if ref != 0 {
+		reg, ok := r.regions[ref-1]
+		if !ok {
+			return trace.Event{}, corrupt("event references undefined region %d", ref-1)
+		}
+		ev.Region = reg
+	}
+	return ev, nil
+}
+
+// ReadAll loads a whole archive into memory as a trace.Trace, interning
+// regions into reg — the binary counterpart of trace.ReadJSONL. On an
+// archive cut off mid-chunk (a crashed run) it returns the decoded
+// prefix together with an error wrapping ErrTruncated, so the salvaged
+// events remain usable.
+func ReadAll(r io.Reader, reg *region.Registry) (*trace.Trace, error) {
+	tr := &trace.Trace{Threads: make(map[int][]trace.Event)}
+	rd, err := NewReader(r, reg)
+	if err != nil {
+		if errors.Is(err, ErrTruncated) {
+			// Archive cut within the header: the prefix is empty but
+			// the contract (non-nil trace alongside ErrTruncated) holds.
+			return tr, err
+		}
+		return nil, err
+	}
+	for {
+		tid, ev, err := rd.Next()
+		if err == io.EOF {
+			return tr, nil
+		}
+		if errors.Is(err, ErrTruncated) {
+			return tr, err
+		}
+		if err != nil {
+			return nil, err
+		}
+		tr.Threads[tid] = append(tr.Threads[tid], ev)
+	}
+}
+
+// Analyze runs the streaming trace analysis over an archive without
+// materializing it: per-thread state machines consume events chunk by
+// chunk, so memory use is O(threads + one chunk) regardless of archive
+// size — out-of-core analysis in the Scalasca sense. Like ReadAll it
+// returns the analysis of the intact prefix together with an error
+// wrapping ErrTruncated when the archive is cut off mid-chunk.
+func Analyze(r io.Reader) (*trace.Analysis, error) {
+	sa := trace.NewStreamAnalyzer()
+	rd, err := NewReader(r, region.NewRegistry())
+	if err != nil {
+		if errors.Is(err, ErrTruncated) {
+			return sa.Finish(), err
+		}
+		return nil, err
+	}
+	for {
+		tid, ev, err := rd.Next()
+		if err == io.EOF {
+			return sa.Finish(), nil
+		}
+		if errors.Is(err, ErrTruncated) {
+			return sa.Finish(), err
+		}
+		if err != nil {
+			return nil, err
+		}
+		sa.Observe(tid, ev)
+	}
+}

@@ -1,0 +1,271 @@
+package otf2
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/region"
+	"repro/internal/trace"
+)
+
+// DefaultChunkBytes is the per-thread chunk buffer threshold used by
+// NewWriter. A thread's buffered events are framed and written out once
+// their encoding reaches this size.
+const DefaultChunkBytes = 32 * 1024
+
+// IsArchivePath reports whether path names a binary archive by
+// extension (".otf2"); anything else is treated as JSONL by the tools.
+func IsArchivePath(p string) bool {
+	return strings.EqualFold(filepath.Ext(p), Ext)
+}
+
+// Writer streams an event trace into an archive. It keeps one chunk
+// buffer per thread plus the pending-definitions buffer in memory —
+// nothing proportional to trace length. Writer is safe for concurrent
+// use, so runtime threads can flush their recorder chunks into it
+// directly; it implements trace.EventSink.
+//
+// Errors from the underlying io.Writer are latched: the first error is
+// returned by every subsequent call, including Close.
+type Writer struct {
+	mu         sync.Mutex
+	bw         *bufio.Writer
+	chunkBytes int
+	err        error
+
+	strings    map[string]uint64
+	regions    map[*region.Region]uint64
+	defs       []byte // pending definition records, framed before the next event chunk
+	threads    map[int]*threadBuf
+	threadSeen []int // insertion order, for deterministic Flush
+}
+
+// threadBuf accumulates the encoded events of one thread until they
+// fill a chunk.
+type threadBuf struct {
+	buf      []byte
+	count    uint64
+	lastTime int64
+}
+
+// NewWriter starts an archive on w with the default chunk size, writing
+// the header and clock properties (nanosecond resolution, zero offset)
+// immediately.
+func NewWriter(w io.Writer) *Writer {
+	return NewWriterSize(w, DefaultChunkBytes)
+}
+
+// NewWriterSize is NewWriter with an explicit per-thread chunk buffer
+// threshold in bytes (clamped to [1 KiB, 16 MiB]; the threshold trades
+// archive-interleaving granularity against memory per thread). The
+// upper clamp keeps every emitted chunk well under the reader's
+// maxChunkLen sanity limit, so the Writer can never produce an archive
+// its own Reader rejects.
+func NewWriterSize(w io.Writer, chunkBytes int) *Writer {
+	if chunkBytes < 1024 {
+		chunkBytes = 1024
+	}
+	if chunkBytes > maxChunkLen/4 {
+		chunkBytes = maxChunkLen / 4
+	}
+	wr := &Writer{
+		bw:         bufio.NewWriter(w),
+		chunkBytes: chunkBytes,
+		strings:    make(map[string]uint64),
+		regions:    make(map[*region.Region]uint64),
+		threads:    make(map[int]*threadBuf),
+	}
+	_, wr.err = wr.bw.WriteString(magic)
+	if wr.err == nil {
+		wr.err = wr.bw.WriteByte(version)
+	}
+	// Clock properties: the runtime clock ticks in nanoseconds from an
+	// arbitrary epoch.
+	wr.defs = append(wr.defs, defClock)
+	wr.defs = binary.AppendUvarint(wr.defs, 1e9)
+	wr.defs = binary.AppendVarint(wr.defs, 0)
+	return wr
+}
+
+// internString interns s, queueing a definition record on first use.
+func (w *Writer) internString(s string) uint64 {
+	id, ok := w.strings[s]
+	if ok {
+		return id
+	}
+	if len(s) >= maxChunkLen/2 {
+		// A single definition record cannot be split across chunks, so
+		// a string this long would produce a 'D' chunk the Reader
+		// rejects; refuse it up front instead of writing an unreadable
+		// archive.
+		if w.err == nil {
+			w.err = fmt.Errorf("otf2: string of %d bytes exceeds the encodable limit", len(s))
+		}
+		return 0
+	}
+	id = uint64(len(w.strings))
+	w.strings[s] = id
+	w.defs = append(w.defs, defString)
+	w.defs = binary.AppendUvarint(w.defs, id)
+	w.defs = binary.AppendUvarint(w.defs, uint64(len(s)))
+	w.defs = append(w.defs, s...)
+	return id
+}
+
+// internRegion interns r, queueing string and region definition records
+// on first use, and returns the event-record regionRef (regionID+1).
+func (w *Writer) internRegion(r *region.Region) uint64 {
+	if r == nil {
+		return 0
+	}
+	id, ok := w.regions[r]
+	if !ok {
+		name := w.internString(r.Name)
+		file := w.internString(r.File)
+		id = uint64(len(w.regions))
+		w.regions[r] = id
+		w.defs = append(w.defs, defRegion)
+		w.defs = binary.AppendUvarint(w.defs, id)
+		w.defs = binary.AppendUvarint(w.defs, name)
+		w.defs = binary.AppendUvarint(w.defs, file)
+		w.defs = binary.AppendUvarint(w.defs, uint64(r.Line))
+		w.defs = binary.AppendUvarint(w.defs, uint64(r.Type))
+	}
+	return id + 1
+}
+
+// writeChunk frames one chunk whose payload is head followed by body
+// (either may be empty); splitting the payload lets emit prepend the
+// per-chunk event header without copying the chunk buffer. Caller
+// holds w.mu.
+func (w *Writer) writeChunk(kind byte, head, body []byte) {
+	if w.err != nil {
+		return
+	}
+	var hdr [binary.MaxVarintLen64 + 1]byte
+	hdr[0] = kind
+	n := binary.PutUvarint(hdr[1:], uint64(len(head)+len(body)))
+	if _, err := w.bw.Write(hdr[:1+n]); err != nil {
+		w.err = err
+		return
+	}
+	if len(head) > 0 {
+		if _, err := w.bw.Write(head); err != nil {
+			w.err = err
+			return
+		}
+	}
+	if len(body) > 0 {
+		if _, err := w.bw.Write(body); err != nil {
+			w.err = err
+		}
+	}
+}
+
+// flushDefs writes pending definition records as a chunk. Caller holds
+// w.mu. Emitting definitions early is always safe — the format only
+// requires them before the first event chunk that references them.
+func (w *Writer) flushDefs() {
+	if len(w.defs) > 0 {
+		w.writeChunk(chunkDefs, w.defs, nil)
+		w.defs = w.defs[:0]
+	}
+}
+
+// emit flushes pending definitions and then thread tid's buffered
+// events as chunks. Caller holds w.mu.
+func (w *Writer) emit(tid int, tb *threadBuf) {
+	if tb.count == 0 {
+		return
+	}
+	w.flushDefs()
+	var head []byte
+	head = binary.AppendVarint(head, int64(tid))
+	head = binary.AppendUvarint(head, tb.count)
+	w.writeChunk(chunkEvents, head, tb.buf)
+	tb.buf = tb.buf[:0]
+	tb.count = 0
+}
+
+// WriteEvents appends a batch of events of one thread, flushing full
+// chunks as the per-thread buffer fills. It implements trace.EventSink,
+// so it can serve as the flush target of a trace.Recorder in
+// bounded-memory mode.
+func (w *Writer) WriteEvents(thread int, events []trace.Event) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	tb, ok := w.threads[thread]
+	if !ok {
+		tb = &threadBuf{}
+		w.threads[thread] = tb
+		w.threadSeen = append(w.threadSeen, thread)
+	}
+	for _, ev := range events {
+		ref := w.internRegion(ev.Region)
+		tb.buf = append(tb.buf, byte(ev.Type))
+		tb.buf = binary.AppendVarint(tb.buf, ev.Time-tb.lastTime)
+		tb.buf = binary.AppendUvarint(tb.buf, ref)
+		tb.buf = binary.AppendUvarint(tb.buf, ev.TaskID)
+		tb.lastTime = ev.Time
+		tb.count++
+		if len(tb.buf) >= w.chunkBytes {
+			w.emit(thread, tb)
+		}
+		// Definitions accumulate independently of event chunks (many
+		// distinct regions, few events); bound them the same way so a
+		// 'D' chunk can never outgrow the reader's limit either.
+		if len(w.defs) >= w.chunkBytes {
+			w.flushDefs()
+		}
+	}
+	return w.err
+}
+
+// WriteEvent appends a single event of one thread.
+func (w *Writer) WriteEvent(thread int, ev trace.Event) error {
+	return w.WriteEvents(thread, []trace.Event{ev})
+}
+
+// Flush writes out every partially filled chunk buffer (in first-seen
+// thread order, for deterministic output) and flushes the underlying
+// buffered writer. The Writer remains usable.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, tid := range w.threadSeen {
+		w.emit(tid, w.threads[tid])
+	}
+	// An event-less archive still declares its clock properties.
+	w.flushDefs()
+	if w.err == nil {
+		w.err = w.bw.Flush()
+	}
+	return w.err
+}
+
+// Close flushes the archive. It does not close the underlying
+// io.Writer (the Writer did not open it).
+func (w *Writer) Close() error { return w.Flush() }
+
+// Write serializes a whole in-memory trace as an archive on w, ordered
+// by thread then time like WriteJSONL.
+func Write(w io.Writer, tr *trace.Trace) error {
+	aw := NewWriter(w)
+	ids := make([]int, 0, len(tr.Threads))
+	for id := range tr.Threads {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if err := aw.WriteEvents(id, tr.Threads[id]); err != nil {
+			return err
+		}
+	}
+	return aw.Close()
+}

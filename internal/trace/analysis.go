@@ -51,16 +51,60 @@ type ThreadAnalysis struct {
 
 // Analyze derives the metrics from a recorded trace. Each thread's
 // stream is processed independently (the analysis needs no cross-thread
-// ordering, like Scalasca's parallel trace analysis).
+// ordering, like Scalasca's parallel trace analysis). It is a
+// convenience over StreamAnalyzer for traces already in memory.
 func Analyze(tr *Trace) *Analysis {
-	a := &Analysis{PerThread: make(map[int]*ThreadAnalysis, len(tr.Threads))}
+	sa := NewStreamAnalyzer()
 	for tid, events := range tr.Threads {
-		ta := analyzeThread(tid, events)
-		a.PerThread[tid] = ta
-		a.DispatchLatency.Merge(ta.DispatchLatency)
-		a.TaskExecution.Merge(ta.TaskExecution)
-		a.CreationTime.Merge(ta.CreationTime)
-		a.Switches += ta.Fragments
+		st := sa.state(tid) // hoisted: one lookup per thread, not per event
+		for _, ev := range events {
+			st.step(ev)
+		}
+	}
+	return sa.Finish()
+}
+
+// StreamAnalyzer is the single-pass incremental form of Analyze: feed
+// events with Observe as they are read (or recorded) and call Finish at
+// end of stream. Per-thread streams must be fed in order, but events of
+// different threads may be interleaved arbitrarily — exactly the layout
+// of an otf2 archive's chunk sequence — so analysis of an on-disk trace
+// runs in O(threads) state, independent of trace length.
+type StreamAnalyzer struct {
+	threads map[int]*threadState
+}
+
+// NewStreamAnalyzer returns an analyzer with no events observed yet.
+func NewStreamAnalyzer() *StreamAnalyzer {
+	return &StreamAnalyzer{threads: make(map[int]*threadState)}
+}
+
+// Observe feeds one event of thread tid to the analysis. It is not safe
+// for concurrent use.
+func (sa *StreamAnalyzer) Observe(tid int, ev Event) {
+	sa.state(tid).step(ev)
+}
+
+// state returns thread tid's scan state, creating it on first use.
+func (sa *StreamAnalyzer) state(tid int) *threadState {
+	st, ok := sa.threads[tid]
+	if !ok {
+		st = &threadState{ta: &ThreadAnalysis{ThreadID: tid}}
+		sa.threads[tid] = st
+	}
+	return st
+}
+
+// Finish aggregates the per-thread state machines into the final
+// Analysis. The analyzer must not be reused afterwards.
+func (sa *StreamAnalyzer) Finish() *Analysis {
+	a := &Analysis{PerThread: make(map[int]*ThreadAnalysis, len(sa.threads))}
+	for tid, st := range sa.threads {
+		a.PerThread[tid] = st.ta
+		a.DispatchLatency.Merge(st.ta.DispatchLatency)
+		a.TaskExecution.Merge(st.ta.TaskExecution)
+		a.CreationTime.Merge(st.ta.CreationTime)
+		a.Switches += st.ta.Fragments
 	}
 	if a.TaskExecution.Sum > 0 {
 		a.ManagementRatio = float64(a.DispatchLatency.Sum) / float64(a.TaskExecution.Sum)
@@ -68,122 +112,119 @@ func Analyze(tr *Trace) *Analysis {
 	return a
 }
 
-// analyzeThread walks one thread's event sequence.
-func analyzeThread(tid int, events []Event) *ThreadAnalysis {
-	ta := &ThreadAnalysis{ThreadID: tid}
+// threadState is the per-thread scan state machine.
+type threadState struct {
+	ta *ThreadAnalysis
 
-	// State while scanning.
-	var (
-		syncDepth      int   // nesting of scheduling-point regions
-		readyAt        int64 // when the thread last became ready to dispatch
-		readyValid     bool
-		fragmentStart  int64
-		inFragment     bool
-		createStart    int64
-		inCreate       bool
-		syncEnter      int64
-		taskTimeInSync int64 // fragment+dispatch time inside current sync
-	)
+	syncDepth      int   // nesting of scheduling-point regions
+	readyAt        int64 // when the thread last became ready to dispatch
+	readyValid     bool
+	fragmentStart  int64
+	inFragment     bool
+	createStart    int64
+	inCreate       bool
+	syncEnter      int64
+	taskTimeInSync int64 // fragment+dispatch time inside current sync
+}
 
-	schedulingPoint := func(r *region.Region) bool {
-		if r == nil {
-			return false
-		}
-		switch r.Type {
-		case region.Taskwait, region.Barrier, region.ImplicitBarrier:
-			return true
-		}
+func schedulingPoint(r *region.Region) bool {
+	if r == nil {
 		return false
 	}
+	switch r.Type {
+	case region.Taskwait, region.Barrier, region.ImplicitBarrier:
+		return true
+	}
+	return false
+}
 
-	endFragment := func(t int64) {
-		if inFragment {
-			d := t - fragmentStart
-			ta.TaskExecution.Add(d)
-			if syncDepth > 0 {
-				taskTimeInSync += d
-			}
-			ta.Fragments++
-			inFragment = false
+func (st *threadState) endFragment(t int64) {
+	if st.inFragment {
+		d := t - st.fragmentStart
+		st.ta.TaskExecution.Add(d)
+		if st.syncDepth > 0 {
+			st.taskTimeInSync += d
 		}
+		st.ta.Fragments++
+		st.inFragment = false
 	}
-	beginFragment := func(t int64) {
-		if readyValid {
-			d := t - readyAt
-			ta.DispatchLatency.Add(d)
-			if syncDepth > 0 {
-				taskTimeInSync += d
-			}
-			readyValid = false
-		}
-		fragmentStart = t
-		inFragment = true
-	}
+}
 
-	for _, ev := range events {
-		switch ev.Type {
-		case EvEnter:
-			if schedulingPoint(ev.Region) {
-				if syncDepth == 0 {
-					syncEnter = ev.Time
-					taskTimeInSync = 0
+func (st *threadState) beginFragment(t int64) {
+	if st.readyValid {
+		d := t - st.readyAt
+		st.ta.DispatchLatency.Add(d)
+		if st.syncDepth > 0 {
+			st.taskTimeInSync += d
+		}
+		st.readyValid = false
+	}
+	st.fragmentStart = t
+	st.inFragment = true
+}
+
+func (st *threadState) step(ev Event) {
+	switch ev.Type {
+	case EvEnter:
+		if schedulingPoint(ev.Region) {
+			if st.syncDepth == 0 {
+				st.syncEnter = ev.Time
+				st.taskTimeInSync = 0
+			}
+			st.syncDepth++
+			// Entering a scheduling point makes the thread ready to
+			// pick up tasks: the paper's "enter of the last
+			// synchronization point".
+			st.readyAt = ev.Time
+			st.readyValid = true
+		}
+	case EvExit:
+		if schedulingPoint(ev.Region) {
+			st.syncDepth--
+			st.readyValid = false
+			if st.syncDepth == 0 {
+				total := ev.Time - st.syncEnter
+				st.ta.SyncRegionTime += total
+				if idle := total - st.taskTimeInSync; idle > 0 {
+					st.ta.IdleInSync += idle
 				}
-				syncDepth++
-				// Entering a scheduling point makes the thread ready to
-				// pick up tasks: the paper's "enter of the last
-				// synchronization point".
-				readyAt = ev.Time
-				readyValid = true
-			}
-		case EvExit:
-			if schedulingPoint(ev.Region) {
-				syncDepth--
-				readyValid = false
-				if syncDepth == 0 {
-					total := ev.Time - syncEnter
-					ta.SyncRegionTime += total
-					if idle := total - taskTimeInSync; idle > 0 {
-						ta.IdleInSync += idle
-					}
-				}
-			}
-		case EvTaskCreateBegin:
-			createStart = ev.Time
-			inCreate = true
-		case EvTaskCreateEnd:
-			if inCreate {
-				ta.CreationTime.Add(ev.Time - createStart)
-				inCreate = false
-			}
-		case EvTaskBegin:
-			// Beginning a task while a fragment is open means the open
-			// task was suspended at a scheduling point: the begin event
-			// is the suspension boundary (the trace carries no separate
-			// suspend record, as in the paper's instrumentation).
-			endFragment(ev.Time)
-			beginFragment(ev.Time)
-		case EvTaskEnd:
-			endFragment(ev.Time)
-			// After a task ends inside a sync region the thread is
-			// immediately ready for the next dispatch.
-			if syncDepth > 0 {
-				readyAt = ev.Time
-				readyValid = true
-			}
-		case EvTaskSwitch:
-			// A switch ends the current fragment (if any) and begins a
-			// fragment of the resumed task, unless it resumes the
-			// implicit task (TaskID 0, Region nil).
-			endFragment(ev.Time)
-			if ev.TaskID != 0 {
-				beginFragment(ev.Time)
-			} else if syncDepth > 0 {
-				readyAt = ev.Time
-				readyValid = true
 			}
 		}
+	case EvTaskCreateBegin:
+		st.createStart = ev.Time
+		st.inCreate = true
+	case EvTaskCreateEnd:
+		if st.inCreate {
+			st.ta.CreationTime.Add(ev.Time - st.createStart)
+			st.inCreate = false
+		}
+	case EvTaskBegin:
+		// Beginning a task while a fragment is open means the open
+		// task was suspended at a scheduling point: the begin event
+		// is the suspension boundary (the trace carries no separate
+		// suspend record, as in the paper's instrumentation).
+		st.endFragment(ev.Time)
+		st.beginFragment(ev.Time)
+	case EvTaskEnd:
+		st.endFragment(ev.Time)
+		// After a task ends inside a sync region the thread is
+		// immediately ready for the next dispatch.
+		if st.syncDepth > 0 {
+			st.readyAt = ev.Time
+			st.readyValid = true
+		}
+	case EvTaskSwitch:
+		// A switch ends the current fragment (if any) and begins a
+		// fragment of the resumed task, unless it resumes the
+		// implicit task (TaskID 0, Region nil).
+		st.endFragment(ev.Time)
+		if ev.TaskID != 0 {
+			st.beginFragment(ev.Time)
+		} else if st.syncDepth > 0 {
+			st.readyAt = ev.Time
+			st.readyValid = true
+		}
 	}
-	return ta
 }
 
 // Format writes the analysis in a human-readable layout.

@@ -87,7 +87,11 @@ func ReadJSONL(r io.Reader, reg *region.Registry) (*Trace, error) {
 		}
 		ev := Event{Time: je.Time, Type: typ, TaskID: je.TaskID}
 		if je.Region != "" {
-			ev.Region = reg.Register(je.Region, je.File, je.Line, regionTypeByName[je.RType])
+			rt, ok := regionTypeByName[je.RType]
+			if !ok {
+				return nil, fmt.Errorf("trace: line %d: unknown region type %q", line, je.RType)
+			}
+			ev.Region = reg.Register(je.Region, je.File, je.Line, rt)
 		}
 		tr.Threads[je.Thread] = append(tr.Threads[je.Thread], ev)
 	}

@@ -2,8 +2,11 @@ package trace
 
 import (
 	"bytes"
+	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
+	"testing/quick"
 
 	"repro/internal/clock"
 	"repro/internal/omp"
@@ -69,6 +72,101 @@ func TestReadJSONLRejectsGarbage(t *testing.T) {
 	}
 	if _, err := ReadJSONL(strings.NewReader(`{"t":0,"ts":1,"ev":"BOGUS"}`+"\n"), region.NewRegistry()); err == nil {
 		t.Error("unknown event type accepted")
+	}
+}
+
+func TestReadJSONLRejectsUnknownRegionType(t *testing.T) {
+	// A region-carrying line whose rt names no known region type must
+	// fail with a line-numbered error, not silently decode as the zero
+	// type (UserFunction).
+	in := `{"t":0,"ts":1,"ev":"THREAD_BEGIN"}` + "\n" +
+		`{"t":0,"ts":2,"ev":"ENTER","r":"par","f":"a.go","l":1,"rt":"nonsense"}` + "\n"
+	_, err := ReadJSONL(strings.NewReader(in), region.NewRegistry())
+	if err == nil {
+		t.Fatal("unknown region type accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "nonsense") {
+		t.Errorf("error %q does not name line and offending type", err)
+	}
+}
+
+// randomJSONLTrace generates arbitrary traces within the JSONL format's
+// representable set: regions must have non-empty names (an empty "r"
+// field means no region on read), everything else — times, task IDs,
+// event/region types, thread IDs — ranges freely. Includes empty traces
+// and region-less task events.
+func randomJSONLTrace(r *rand.Rand) *Trace {
+	reg := region.NewRegistry()
+	pool := []*region.Region{
+		nil,
+		reg.Register("f", "file.go", 1, region.UserFunction),
+		reg.Register("par", "file.go", 2, region.Parallel),
+		reg.Register("task", "", 0, region.Task),
+		reg.Register("tw", "x.go", 1<<20, region.Taskwait),
+		reg.Register("b", "y.go", 3, region.ImplicitBarrier),
+	}
+	tr := &Trace{Threads: make(map[int][]Event)}
+	for _, tid := range []int{0, 3, 1 << 16}[:r.Intn(4)] {
+		n := 1 + r.Intn(40)
+		evs := make([]Event, 0, n)
+		now := r.Int63n(1 << 32)
+		for i := 0; i < n; i++ {
+			now += r.Int63n(1<<40) - 1<<39
+			evs = append(evs, Event{
+				Time:   now,
+				Type:   EventType(r.Intn(int(EvThreadEnd) + 1)),
+				Region: pool[r.Intn(len(pool))],
+				TaskID: r.Uint64(),
+			})
+		}
+		tr.Threads[tid] = evs
+	}
+	return tr
+}
+
+func TestQuickJSONLRoundTrip(t *testing.T) {
+	prop := func(tr *Trace) bool {
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, tr); err != nil {
+			t.Logf("write: %v", err)
+			return false
+		}
+		got, err := ReadJSONL(&buf, region.NewRegistry())
+		if err != nil {
+			t.Logf("read: %v", err)
+			return false
+		}
+		for tid, wevs := range tr.Threads {
+			gevs := got.Threads[tid]
+			if len(gevs) != len(wevs) {
+				return false
+			}
+			for i := range wevs {
+				a, b := wevs[i], gevs[i]
+				if a.Time != b.Time || a.Type != b.Type || a.TaskID != b.TaskID {
+					return false
+				}
+				if (a.Region == nil) != (b.Region == nil) {
+					return false
+				}
+				if a.Region != nil && (a.Region.Name != b.Region.Name ||
+					a.Region.File != b.Region.File ||
+					a.Region.Line != b.Region.Line ||
+					a.Region.Type != b.Region.Type) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(randomJSONLTrace(r))
+		},
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/measure"
+	"repro/internal/omp"
+	"repro/internal/region"
+)
+
+// TestRecorderRaceUnderTee drives the contended ProfData fast-path
+// claim in Recorder.buffer: under a Tee with the profiling measurement,
+// both listeners want Thread.ProfData, threads register concurrently,
+// and the recorder must fall back to its locked map without racing.
+// Run with -race (CI does) to validate the claim.
+func TestRecorderRaceUnderTee(t *testing.T) {
+	for run := 0; run < 3; run++ {
+		reg := region.NewRegistry()
+		m := measure.New()
+		rec := NewRecorder(clock.NewSystem())
+		rt := omp.NewRuntimeWithRegistry(NewTee(m, rec), reg)
+		par := reg.Register("par", "race.go", 1, region.Parallel)
+		task := reg.Register("work", "race.go", 2, region.Task)
+		tw := reg.Register("tw", "race.go", 3, region.Taskwait)
+
+		const producers = 4
+		const tasksPer = 100
+		rt.Parallel(producers, par, func(th *omp.Thread) {
+			// Every thread both produces and executes tasks, so task
+			// events land on threads while they are still registering
+			// buffers and the measurement is claiming ProfData.
+			for i := 0; i < tasksPer; i++ {
+				th.NewTask(task, func(*omp.Thread) {})
+			}
+			th.Taskwait(tw)
+		})
+		m.Finish()
+
+		tr := rec.Finish()
+		counts := map[EventType]int{}
+		for _, evs := range tr.Threads {
+			for _, ev := range evs {
+				counts[ev.Type]++
+			}
+		}
+		want := producers * tasksPer
+		if counts[EvTaskBegin] != want || counts[EvTaskEnd] != want {
+			t.Fatalf("run %d: task begin/end = %d/%d, want %d/%d",
+				run, counts[EvTaskBegin], counts[EvTaskEnd], want, want)
+		}
+		if counts[EvThreadBegin] != producers {
+			t.Fatalf("run %d: thread begins = %d, want %d", run, counts[EvThreadBegin], producers)
+		}
+	}
+}
+
+// TestStreamingRecorderRaceUnderTee is the same contention pattern with
+// the bounded-memory recorder: per-thread chunks flush into a shared
+// sink while the measurement owns ProfData.
+func TestStreamingRecorderRaceUnderTee(t *testing.T) {
+	reg := region.NewRegistry()
+	sink := &countingSink{}
+	m := measure.New()
+	rec := NewStreamingRecorder(clock.NewSystem(), sink, 32)
+	rt := omp.NewRuntimeWithRegistry(NewTee(m, rec), reg)
+	par := reg.Register("par", "race.go", 1, region.Parallel)
+	task := reg.Register("work", "race.go", 2, region.Task)
+	tw := reg.Register("tw", "race.go", 3, region.Taskwait)
+
+	rt.Parallel(4, par, func(th *omp.Thread) {
+		for i := 0; i < 100; i++ {
+			th.NewTask(task, func(*omp.Thread) {})
+		}
+		th.Taskwait(tw)
+	})
+	m.Finish()
+	leftover := rec.Finish()
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n := leftover.NumEvents(); n != 0 {
+		t.Fatalf("streaming Finish retained %d events", n)
+	}
+	begins, ends := sink.count(EvTaskBegin), sink.count(EvTaskEnd)
+	if begins != 400 || ends != 400 {
+		t.Fatalf("task begin/end through sink = %d/%d, want 400/400", begins, ends)
+	}
+}
+
+// countingSink tallies flushed events by type; safe for concurrent
+// flushes like a real archive writer.
+type countingSink struct {
+	mu     sync.Mutex
+	counts map[EventType]int
+}
+
+func (s *countingSink) WriteEvents(thread int, evs []Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.counts == nil {
+		s.counts = make(map[EventType]int)
+	}
+	for _, ev := range evs {
+		s.counts[ev.Type]++
+	}
+	return nil
+}
+
+func (s *countingSink) count(t EventType) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[t]
+}

@@ -93,15 +93,33 @@ func (tr *Trace) ThreadIDs() []int {
 	return ids
 }
 
+// EventSink receives flushed per-thread event chunks from a Recorder in
+// bounded-memory mode. otf2.Writer implements it; implementations must
+// be safe for concurrent use, since runtime threads flush their chunks
+// independently. The events slice is only valid for the duration of the
+// call — the recorder reuses its backing array.
+type EventSink interface {
+	WriteEvents(thread int, events []Event) error
+}
+
 // Recorder collects events from the runtime. It implements omp.Listener.
 // Like the profiling system it keeps strictly per-thread buffers to
 // avoid locking on the hot path; the map of buffers itself is guarded
 // because threads register concurrently.
+//
+// In the default mode every event is kept in memory until Finish. With a
+// sink attached (NewStreamingRecorder), a thread's buffer is flushed to
+// the sink whenever it reaches the configured chunk size, so recording
+// holds at most one chunk per thread in memory regardless of run length.
 type Recorder struct {
 	clk clock.Clock
 
+	sink        EventSink
+	chunkEvents int
+
 	mu      sync.Mutex
 	buffers map[int]*buffer
+	sinkErr error
 }
 
 type buffer struct {
@@ -112,6 +130,53 @@ type buffer struct {
 // clock.NewSystem() for wall-clock traces).
 func NewRecorder(clk clock.Clock) *Recorder {
 	return &Recorder{clk: clk, buffers: make(map[int]*buffer)}
+}
+
+// DefaultChunkEvents is the per-thread flush threshold used by
+// NewStreamingRecorder when chunkEvents <= 0.
+const DefaultChunkEvents = 4096
+
+// NewStreamingRecorder creates a bounded-memory recorder: whenever a
+// thread has accumulated chunkEvents events they are handed to sink and
+// the buffer is reset. Finish flushes the remaining partial chunks and
+// returns an empty trace; the recording lives in whatever the sink
+// wrote. The first sink error is latched (see Err) and recording
+// continues by discarding flushed chunks, so a failing disk cannot
+// stall or OOM the instrumented run.
+func NewStreamingRecorder(clk clock.Clock, sink EventSink, chunkEvents int) *Recorder {
+	if chunkEvents <= 0 {
+		chunkEvents = DefaultChunkEvents
+	}
+	return &Recorder{clk: clk, sink: sink, chunkEvents: chunkEvents, buffers: make(map[int]*buffer)}
+}
+
+// Err returns the first sink error encountered while flushing chunks,
+// or nil. Events recorded after a sink error are dropped.
+func (r *Recorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sinkErr
+}
+
+// flush hands b's events for thread id to the sink and resets the
+// buffer in place, preserving its capacity.
+func (r *Recorder) flush(id int, b *buffer) {
+	if len(b.events) == 0 {
+		return
+	}
+	r.mu.Lock()
+	failed := r.sinkErr != nil
+	r.mu.Unlock()
+	if !failed {
+		if err := r.sink.WriteEvents(id, b.events); err != nil {
+			r.mu.Lock()
+			if r.sinkErr == nil {
+				r.sinkErr = err
+			}
+			r.mu.Unlock()
+		}
+	}
+	b.events = b.events[:0]
 }
 
 // buffer returns the per-thread buffer attached to t, creating it on
@@ -138,6 +203,9 @@ func (r *Recorder) buffer(t *omp.Thread) *buffer {
 func (r *Recorder) record(t *omp.Thread, typ EventType, reg *region.Region, task uint64) {
 	b := r.buffer(t)
 	b.events = append(b.events, Event{Time: r.clk.Now(), Type: typ, Region: reg, TaskID: task})
+	if r.sink != nil && len(b.events) >= r.chunkEvents {
+		r.flush(t.ID, b)
+	}
 }
 
 // ThreadBegin implements omp.Listener.
@@ -186,7 +254,24 @@ func (r *Recorder) TaskSwitch(t *omp.Thread, tk *omp.Task) {
 
 // Finish returns the recorded trace. The recorder can be reused after
 // Finish; subsequent events start fresh buffers.
+//
+// In streaming mode (NewStreamingRecorder) the remaining partial chunks
+// are flushed to the sink and the returned trace is empty: the
+// recording is whatever the sink wrote. Check Err (and close the sink)
+// afterwards.
 func (r *Recorder) Finish() *Trace {
+	if r.sink != nil {
+		// Snapshot the buffer map under the lock, flush outside it
+		// (flush retakes r.mu for error latching).
+		r.mu.Lock()
+		buffers := r.buffers
+		r.buffers = make(map[int]*buffer)
+		r.mu.Unlock()
+		for id, b := range buffers {
+			r.flush(id, b)
+		}
+		return &Trace{Threads: make(map[int][]Event)}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	tr := &Trace{Threads: make(map[int][]Event, len(r.buffers))}

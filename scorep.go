@@ -9,6 +9,7 @@ import (
 	"repro/internal/cube"
 	"repro/internal/measure"
 	"repro/internal/omp"
+	"repro/internal/otf2"
 	"repro/internal/pomp"
 	"repro/internal/region"
 	"repro/internal/trace"
@@ -184,6 +185,40 @@ func WriteTraceJSONL(w io.Writer, tr *Trace) error { return trace.WriteJSONL(w, 
 func ReadTraceJSONL(r io.Reader) (*Trace, error) {
 	return trace.ReadJSONL(r, region.NewRegistry())
 }
+
+// TraceEventSink receives per-thread event chunks flushed by a
+// streaming trace recorder; a TraceArchiveWriter is one.
+type TraceEventSink = trace.EventSink
+
+// TraceArchiveWriter streams events into a compact binary archive (the
+// OTF2-style format; see internal/otf2 for the layout specification).
+type TraceArchiveWriter = otf2.Writer
+
+// NewTraceArchiveWriter starts a binary trace archive on w.
+func NewTraceArchiveWriter(w io.Writer) *TraceArchiveWriter { return otf2.NewWriter(w) }
+
+// NewStreamingTraceRecorder creates a bounded-memory event-trace
+// recorder on the system clock: full per-thread chunks are flushed to
+// sink (typically a TraceArchiveWriter) instead of accumulating in RAM,
+// so trace size is limited by disk, not memory. chunkEvents <= 0 picks
+// a default. Call Finish, check Err, then close the sink.
+func NewStreamingTraceRecorder(sink TraceEventSink, chunkEvents int) *TraceRecorder {
+	return trace.NewStreamingRecorder(clock.NewSystem(), sink, chunkEvents)
+}
+
+// WriteTraceArchive serializes a trace in the binary archive format —
+// typically 15-20x smaller than WriteTraceJSONL.
+func WriteTraceArchive(w io.Writer, tr *Trace) error { return otf2.Write(w, tr) }
+
+// ReadTraceArchive deserializes a binary trace archive.
+func ReadTraceArchive(r io.Reader) (*Trace, error) {
+	return otf2.ReadAll(r, region.NewRegistry())
+}
+
+// AnalyzeTraceArchive runs the streaming trace analysis directly over a
+// binary archive in bounded memory, without loading the trace; the
+// result is identical to AnalyzeTrace of the same recording.
+func AnalyzeTraceArchive(r io.Reader) (*TraceAnalysis, error) { return otf2.Analyze(r) }
 
 // ReportDiff is a structural diff of two reports of the same program —
 // the run-comparison workflow enabled by the paper's runtime-independent
