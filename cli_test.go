@@ -140,4 +140,53 @@ func TestCommandLineTools(t *testing.T) {
 	if !strings.Contains(out, "management/execution ratio") {
 		t.Errorf("streaming analyze of archive failed:\n%s", out)
 	}
+
+	// Experiment archive round trip: one scorep-bots run writes the
+	// archive, every offline tool reads it back.
+	expDir := filepath.Join(dir, "exp-fib")
+	expJSON := filepath.Join(dir, "exp-live.json")
+	out = run("scorep-bots", "-code", "fib", "-size", "tiny", "-threads", "2", "-exp", expDir, "-json", expJSON)
+	if !strings.Contains(out, "wrote experiment "+expDir) {
+		t.Errorf("scorep-bots did not report the experiment:\n%s", out)
+	}
+	// The archived profile is byte-identical to the live run's -json.
+	liveJSON, err := os.ReadFile(expJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	archivedJSON, err := os.ReadFile(filepath.Join(expDir, "profile.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(liveJSON, archivedJSON) {
+		t.Error("experiment profile.json differs from the live report JSON")
+	}
+	out = run("scorep-report", "-exp", expDir)
+	if !strings.Contains(out, "fib.task") {
+		t.Errorf("report from experiment missing task construct:\n%s", out)
+	}
+	out = run("scorep-analyze", "-exp", expDir)
+	if !strings.Contains(out, "management/execution ratio") || !strings.Contains(out, "config:") {
+		t.Errorf("analyze of experiment incomplete:\n%s", out)
+	}
+	out = run("scorep-timeline", "-exp", expDir, "-width", "40")
+	if !strings.Contains(out, "thread") {
+		t.Errorf("timeline from experiment failed:\n%s", out)
+	}
+	out = run("scorep-convert", "-exp", expDir, "-stats")
+	if !strings.Contains(out, "format=otf2") {
+		t.Errorf("convert from experiment failed:\n%s", out)
+	}
+
+	// Ambiguous flag combinations are rejected, not silently resolved.
+	mustFail := func(name string, args ...string) {
+		t.Helper()
+		if b, err := exec.Command(bin[name], args...).CombinedOutput(); err == nil {
+			t.Errorf("%s %v should reject conflicting flags:\n%s", name, args, b)
+		}
+	}
+	mustFail("scorep-bots", "-code", "fib", "-size", "tiny", "-uninstrumented", "-exp", expDir)
+	mustFail("scorep-timeline", "-in", tracePath, "-exp", expDir)
+	mustFail("scorep-analyze", "-in", repA, "-trace", tracePath)
+	mustFail("scorep-convert", "-in", tracePath, "-exp", expDir, "-stats")
 }

@@ -1,7 +1,7 @@
 // Command scorep-analyze performs automatic diagnosis of tasking
 // inefficiencies — the Scalasca-style analysis the paper motivates.
 //
-// It either analyzes a saved profile report:
+// It analyzes a saved profile report:
 //
 //	scorep-analyze -in report.json
 //
@@ -12,42 +12,58 @@
 //	scorep-analyze -trace trace.otf2
 //	scorep-analyze -trace trace.jsonl
 //
-// or runs a BOTS code live with combined profile + trace measurement and
-// reports both the profile findings and the trace-derived management
-// metrics (paper §VII), optionally saving the trace:
+// an experiment archive (profile findings plus trace metrics; a trace
+// truncated by a crashed run is salvaged to its intact prefix):
 //
-//	scorep-analyze -code nqueens -size small -threads 4 [-cutoff] [-save-trace trace.otf2]
+//	scorep-analyze -exp scorep-run
+//
+// or runs a BOTS code live through a profiling+tracing session and
+// reports both the profile findings and the trace-derived management
+// metrics (paper §VII), optionally saving the trace or the whole
+// experiment:
+//
+//	scorep-analyze -code nqueens -size small -threads 4 [-cutoff]
+//	               [-save-trace trace.otf2] [-exp scorep-run]
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	scorep "repro"
-	"repro/internal/analyze"
 	"repro/internal/bots"
-	"repro/internal/clock"
-	"repro/internal/cube"
-	"repro/internal/measure"
-	"repro/internal/omp"
 	"repro/internal/otf2"
-	"repro/internal/region"
-	"repro/internal/trace"
+	"repro/internal/stats"
 )
 
 func main() {
+	rf := bots.RegisterRunFlags(flag.CommandLine, "")
 	var (
 		in        = flag.String("in", "", "saved report JSON to analyze")
 		tracePath = flag.String("trace", "", "saved event trace to analyze (.otf2 = binary archive, otherwise JSONL)")
-		codeName  = flag.String("code", "", "BOTS code to run and analyze live")
-		sizeName  = flag.String("size", "small", "input size: tiny|small|medium")
-		threads   = flag.Int("threads", 4, "threads for live runs")
-		cutoff    = flag.Bool("cutoff", false, "use the cut-off variant")
+		expDir    = flag.String("exp", "", "experiment directory: analyze it (without -code) or write the live run's archive to it (with -code)")
 		saveTrace = flag.String("save-trace", "", "save the live run's trace (format by extension)")
 	)
 	flag.Parse()
+
+	// -in, -trace and -code each select an analysis subject (-exp joins
+	// them as input only without -code); reject ambiguous combinations
+	// instead of silently picking one.
+	subjects := 0
+	for _, set := range []bool{*in != "", *tracePath != "", rf.Code != ""} {
+		if set {
+			subjects++
+		}
+	}
+	if subjects > 1 || (*expDir != "" && (*in != "" || *tracePath != "")) {
+		fmt.Fprintln(os.Stderr, "conflicting inputs: pick one of -in, -trace, -exp or -code (only -exp combines with -code, as output)")
+		os.Exit(2)
+	}
+	if *saveTrace != "" && rf.Code == "" {
+		fmt.Fprintln(os.Stderr, "-save-trace only applies to live runs (-code)")
+		os.Exit(2)
+	}
 
 	switch {
 	case *in != "":
@@ -60,88 +76,106 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		analyze.Format(os.Stdout, analyze.Analyze(rep, analyze.Thresholds{}))
+		scorep.FormatFindings(os.Stdout, scorep.AnalyzeReport(rep))
 
 	case *tracePath != "":
-		var a *trace.Analysis
-		var err error
-		if otf2.IsArchivePath(*tracePath) {
-			// Streaming analysis: O(chunk) memory however large the archive.
-			var f *os.File
-			f, err = os.Open(*tracePath)
-			if err != nil {
-				fail(err)
-			}
-			defer f.Close()
-			a, err = otf2.Analyze(f)
-			if errors.Is(err, otf2.ErrTruncated) {
-				// A crashed run's archive: report the intact prefix.
-				fmt.Fprintf(os.Stderr, "warning: %v; analyzing the intact prefix\n", err)
-				err = nil
-			}
-		} else {
-			var tr *trace.Trace
-			tr, err = otf2.ReadFile(*tracePath, region.NewRegistry())
-			if err == nil {
-				a = trace.Analyze(tr)
-			}
-		}
+		a, warning, err := otf2.AnalyzeFile(*tracePath)
 		if err != nil {
 			fail(err)
 		}
+		warn(warning)
 		a.Format(os.Stdout)
 
-	case *codeName != "":
-		spec := bots.ByName(*codeName)
-		if spec == nil {
-			fail(fmt.Errorf("unknown code %q", *codeName))
-		}
-		var size bots.Size
-		switch *sizeName {
-		case "tiny":
-			size = bots.SizeTiny
-		case "small":
-			size = bots.SizeSmall
-		case "medium":
-			size = bots.SizeMedium
-		default:
-			fail(fmt.Errorf("unknown size %q", *sizeName))
-		}
-		if *cutoff && !spec.HasCutoff {
-			fail(fmt.Errorf("%s has no cut-off variant", spec.Name))
+	case rf.Code == "" && *expDir != "":
+		analyzeExperiment(*expDir)
+
+	case rf.Code != "":
+		spec, size, err := rf.Resolve()
+		if err != nil {
+			fail(err)
 		}
 
-		// Combined profile + trace measurement via a Tee.
-		m := measure.New()
-		rec := trace.NewRecorder(clock.NewSystem())
-		rt := omp.NewRuntimeWithRegistry(trace.NewTee(m, rec), region.Default)
+		// One session records profile and trace simultaneously
+		// (Score-P's combined mode) and, with -exp, leaves the
+		// experiment archive behind.
+		opts := []scorep.Option{scorep.WithTracing()}
+		if *expDir != "" {
+			opts = append(opts, scorep.WithExperimentDirectory(*expDir))
+		}
+		s := scorep.NewSession(opts...)
 
-		kernel := spec.Prepare(size, *cutoff)
-		result := kernel(rt, *threads)
+		kernel := spec.Prepare(size, rf.Cutoff)
+		result := kernel(s.Runtime(), rf.Threads)
 		if want := spec.Expected(size); result != want {
 			fail(fmt.Errorf("verification failed: %d != %d", result, want))
 		}
-		m.Finish()
-		rep := cube.Aggregate(m.Locations())
+		res, err := s.End()
+		if err != nil {
+			fail(err)
+		}
 
 		fmt.Printf("== profile analysis: %s size=%s threads=%d cutoff=%v ==\n",
-			spec.Name, *sizeName, *threads, *cutoff)
-		analyze.Format(os.Stdout, analyze.Analyze(rep, analyze.Thresholds{}))
+			spec.Name, rf.Size, rf.Threads, rf.Cutoff)
+		scorep.FormatFindings(os.Stdout, res.Findings())
 
 		fmt.Println()
-		tr := rec.Finish()
-		trace.Analyze(tr).Format(os.Stdout)
+		res.TraceAnalysis().Format(os.Stdout)
 
 		if *saveTrace != "" {
-			if err := otf2.WriteFile(*saveTrace, tr); err != nil {
+			if err := otf2.WriteFile(*saveTrace, res.Trace()); err != nil {
 				fail(err)
 			}
-			fmt.Printf("\nwrote %s (%d events)\n", *saveTrace, tr.NumEvents())
+			fmt.Printf("\nwrote %s (%d events)\n", *saveTrace, res.Trace().NumEvents())
+		}
+		if *expDir != "" {
+			fmt.Printf("\nwrote experiment %s\n", *expDir)
 		}
 
 	default:
-		fmt.Fprintln(os.Stderr, "need -in report.json or -code <bots code>")
+		fmt.Fprintln(os.Stderr, "need -in report.json, -trace <trace>, -exp <dir> or -code <bots code>")
 		os.Exit(2)
+	}
+}
+
+// analyzeExperiment reports everything an experiment archive holds:
+// configuration summary, profile findings, trace metrics.
+func analyzeExperiment(dir string) {
+	exp, err := scorep.OpenExperiment(dir)
+	if err != nil {
+		fail(err)
+	}
+	m := exp.Meta
+	fmt.Printf("== experiment %s ==\n", dir)
+	fmt.Printf("config: profiling=%v tracing=%v scheduler=%s threads=%d tasks=%d wall=%s gomaxprocs=%d %s\n\n",
+		m.Config.Profiling, m.Config.Tracing, m.Config.Scheduler,
+		m.Threads, m.TasksCreated, stats.FormatNs(m.WallTimeNs), m.GOMAXPROCS, m.GoVersion)
+
+	if m.HasProfile {
+		findings, err := exp.Findings()
+		if err != nil {
+			fail(err)
+		}
+		scorep.FormatFindings(os.Stdout, findings)
+		fmt.Println()
+	}
+	if m.HasTrace {
+		a, err := exp.TraceAnalysis()
+		if err != nil {
+			fail(err)
+		}
+		for _, w := range exp.Warnings() {
+			warn(w)
+		}
+		a.Format(os.Stdout)
+	}
+	if !m.HasProfile && !m.HasTrace {
+		fmt.Println("experiment holds neither profile nor trace; nothing to analyze")
+	}
+}
+
+func warn(msg string) {
+	if msg != "" {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", msg)
 	}
 }
 

@@ -1,12 +1,15 @@
-// Command scorep-bots runs one BOTS benchmark on the task runtime,
-// optionally instrumented with the task profiler, and prints the
-// CUBE-style profile and/or timing.
+// Command scorep-bots runs one BOTS benchmark through a measurement
+// session, optionally instrumented with the task profiler, and prints
+// the CUBE-style profile and/or timing. With -exp it additionally
+// records an event trace and leaves a complete experiment archive
+// (profile.json + trace.otf2 + meta.json) for offline analysis by
+// scorep-report, scorep-analyze and scorep-timeline.
 //
 // Usage:
 //
 //	scorep-bots -code nqueens -size small -threads 4 [-cutoff]
 //	            [-uninstrumented] [-json report.json] [-csv report.csv]
-//	            [-per-thread] [-min-sum 1ms]
+//	            [-exp dir] [-per-thread] [-min-sum 1ms]
 package main
 
 import (
@@ -20,43 +23,24 @@ import (
 )
 
 func main() {
+	rf := bots.RegisterRunFlags(flag.CommandLine, "fib")
 	var (
-		codeName  = flag.String("code", "fib", "BOTS code: alignment|fft|fib|floorplan|health|nqueens|sort|sparselu|strassen")
-		sizeName  = flag.String("size", "small", "input size: tiny|small|medium")
-		threads   = flag.Int("threads", 4, "number of threads")
-		cutoff    = flag.Bool("cutoff", false, "use the cut-off variant (fib, floorplan, health, nqueens, strassen)")
 		uninst    = flag.Bool("uninstrumented", false, "run without measurement (overhead baseline)")
 		jsonPath  = flag.String("json", "", "write the profile report as JSON to this file")
 		csvPath   = flag.String("csv", "", "write the profile report as CSV to this file")
+		expDir    = flag.String("exp", "", "write an experiment archive (profile + trace + meta) to this directory")
 		perThread = flag.Bool("per-thread", false, "render per-thread breakdown")
 		minSum    = flag.Duration("min-sum", 0, "hide nodes below this inclusive time")
 		depthProf = flag.Bool("depth-param", false, "nqueens only: enable per-depth parameter instrumentation (Table IV)")
 	)
 	flag.Parse()
 
-	spec := bots.ByName(*codeName)
-	if spec == nil {
-		fmt.Fprintf(os.Stderr, "unknown code %q\n", *codeName)
+	spec, size, err := rf.Resolve()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(2)
 	}
-	var size bots.Size
-	switch *sizeName {
-	case "tiny":
-		size = bots.SizeTiny
-	case "small":
-		size = bots.SizeSmall
-	case "medium":
-		size = bots.SizeMedium
-	default:
-		fmt.Fprintf(os.Stderr, "unknown size %q\n", *sizeName)
-		os.Exit(2)
-	}
-	if *cutoff && !spec.HasCutoff {
-		fmt.Fprintf(os.Stderr, "%s has no cut-off variant\n", spec.Name)
-		os.Exit(2)
-	}
-
-	kernel := spec.Prepare(size, *cutoff)
+	kernel := spec.Prepare(size, rf.Cutoff)
 	if *depthProf {
 		if spec.Name != "nqueens" {
 			fmt.Fprintln(os.Stderr, "-depth-param is only supported for nqueens")
@@ -65,37 +49,60 @@ func main() {
 		kernel = bots.NQueensDepthKernel(size)
 	}
 
-	var m *scorep.Measurement
-	var rt *scorep.Runtime
-	if *uninst {
-		rt = scorep.NewRuntime(nil)
-	} else {
-		m = scorep.NewMeasurement()
-		rt = scorep.NewRuntime(m)
+	if *uninst && *expDir != "" {
+		// An experiment records measurement (at least the trace), which
+		// would silently invalidate the uninstrumented timing baseline.
+		fmt.Fprintln(os.Stderr, "-uninstrumented and -exp conflict: an experiment run is instrumented")
+		os.Exit(2)
 	}
+	if *uninst && (*jsonPath != "" || *csvPath != "") {
+		fmt.Fprintln(os.Stderr, "-uninstrumented and -json/-csv conflict: an uninstrumented run has no report")
+		os.Exit(2)
+	}
+	var opts []scorep.Option
+	if *uninst {
+		opts = append(opts, scorep.WithoutProfiling())
+	}
+	if *expDir != "" {
+		// The experiment archive ties profile and trace together, so an
+		// -exp run records both.
+		opts = append(opts, scorep.WithTracing(), scorep.WithExperimentDirectory(*expDir))
+	}
+	s := scorep.NewSession(opts...)
 
 	start := time.Now()
-	result := kernel(rt, *threads)
+	result := kernel(s.Runtime(), rf.Threads)
 	elapsed := time.Since(start)
+
+	res, err := s.End()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
 
 	ok := "OK"
 	if result != spec.Expected(size) && !*depthProf {
 		ok = "FAILED"
 	}
 	fmt.Printf("%s size=%s threads=%d cutoff=%v instrumented=%v\n",
-		spec.Name, *sizeName, *threads, *cutoff, !*uninst)
+		spec.Name, rf.Size, rf.Threads, rf.Cutoff, s.Profiling())
 	fmt.Printf("kernel time: %v   verification: %s (result=%d)\n", elapsed, ok, result)
-	st := rt.LastTeamStats()
+	st := res.TeamStats()
 	fmt.Printf("tasks created: %d   steals: %d   max inline nesting: %d\n",
 		st.TasksCreated, st.Steals, st.MaxStackDepth)
 	fmt.Printf("scheduler: steal attempts: %d   failed steals: %d   parks: %d   wakes: %d   steals by thread: %v\n\n",
 		st.StealAttempts, st.FailedSteals, st.Parks, st.Wakes, st.ThreadSteals)
+	if *expDir != "" {
+		fmt.Printf("wrote experiment %s\n", *expDir)
+	}
 
-	if m == nil {
+	rep := res.Report()
+	if rep == nil {
+		if ok == "FAILED" {
+			os.Exit(1)
+		}
 		return
 	}
-	m.Finish()
-	rep := scorep.AggregateReport(m.Locations())
 	if err := scorep.RenderReport(os.Stdout, rep, scorep.RenderOptions{
 		PerThread: *perThread,
 		MinSumNs:  int64(*minSum),

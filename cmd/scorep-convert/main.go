@@ -1,24 +1,25 @@
 // Command scorep-convert converts event traces between the JSONL
 // stand-in format and the binary otf2-style archive format, in either
 // direction, picking each side's codec by file extension (".otf2" is
-// binary, anything else JSONL). With -stats it reports size, event
-// count and bytes/event for both sides — the measurement behind the
-// format's compression claim.
+// binary, anything else JSONL). The input may also be an experiment
+// archive directory (-exp), whose trace.otf2 is used. With -stats it
+// reports size, event count and bytes/event for both sides — the
+// measurement behind the format's compression claim.
 //
 // Usage:
 //
 //	scorep-convert -in trace.jsonl -out trace.otf2 [-stats]
 //	scorep-convert -in trace.otf2 -out trace.jsonl
+//	scorep-convert -exp scorep-run -out trace.jsonl
 //	scorep-convert -in trace.otf2 -stats          (inspect only)
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 
+	scorep "repro"
 	"repro/internal/otf2"
 	"repro/internal/region"
 	"repro/internal/trace"
@@ -26,32 +27,49 @@ import (
 
 func main() {
 	var (
-		in    = flag.String("in", "", "input trace (.otf2 = binary archive, otherwise JSONL)")
-		out   = flag.String("out", "", "output trace; format chosen by extension (optional with -stats)")
-		stats = flag.Bool("stats", false, "print size/event-count/bytes-per-event statistics")
+		in     = flag.String("in", "", "input trace (.otf2 = binary archive, otherwise JSONL)")
+		expDir = flag.String("exp", "", "input experiment directory (its trace.otf2 is converted)")
+		out    = flag.String("out", "", "output trace; format chosen by extension (optional with -stats)")
+		stats  = flag.Bool("stats", false, "print size/event-count/bytes-per-event statistics")
 	)
 	flag.Parse()
 
+	if *in != "" && *expDir != "" {
+		fmt.Fprintln(os.Stderr, "-in conflicts with -exp: pick one input")
+		os.Exit(2)
+	}
+	if *in == "" && *expDir != "" {
+		exp, err := scorep.OpenExperiment(*expDir)
+		if err != nil {
+			fail(err)
+		}
+		if !exp.Meta.HasTrace {
+			fail(fmt.Errorf("%s: experiment holds no trace", *expDir))
+		}
+		*in = exp.TracePath()
+	}
 	if *in == "" || (*out == "" && !*stats) {
-		fmt.Fprintln(os.Stderr, "need -in <trace> and -out <trace> (or -stats)")
+		fmt.Fprintln(os.Stderr, "need -in <trace> (or -exp <dir>) and -out <trace> (or -stats)")
 		os.Exit(2)
 	}
 
 	if *out == "" && otf2.IsArchivePath(*in) {
 		// Inspect-only on an archive: count events streaming, in
 		// O(chunk) memory, so archives larger than RAM can be sized up.
-		printStats("in", *in, countArchiveEvents(*in))
+		events, warning, err := otf2.CountFileEvents(*in)
+		if err != nil {
+			fail(err)
+		}
+		warn(warning)
+		printStats("in", *in, events)
 		return
 	}
 
-	tr, err := otf2.ReadFile(*in, region.NewRegistry())
-	if errors.Is(err, otf2.ErrTruncated) {
-		fmt.Fprintf(os.Stderr, "warning: %v; converting the intact prefix (%d events)\n", err, tr.NumEvents())
-		err = nil
-	}
+	tr, warning, err := otf2.ReadFileLenient(*in, region.NewRegistry())
 	if err != nil {
 		fail(err)
 	}
+	warn(warning)
 	events := tr.NumEvents()
 	if *stats {
 		printStats("in", *in, events)
@@ -91,33 +109,6 @@ func emptyNameRegionEvents(tr *trace.Trace) int {
 	return n
 }
 
-// countArchiveEvents iterates an archive without materializing it,
-// warning (but keeping the prefix count) on truncation.
-func countArchiveEvents(path string) int {
-	f, err := os.Open(path)
-	if err != nil {
-		fail(err)
-	}
-	defer f.Close()
-	rd, err := otf2.NewReader(f, region.NewRegistry())
-	events := 0
-	if err == nil {
-		for {
-			if _, _, err = rd.Next(); err != nil {
-				break
-			}
-			events++
-		}
-	}
-	if err != nil && err != io.EOF {
-		if !errors.Is(err, otf2.ErrTruncated) {
-			fail(err)
-		}
-		fmt.Fprintf(os.Stderr, "warning: %v; counting the intact prefix\n", err)
-	}
-	return events
-}
-
 func printStats(label, path string, events int) {
 	fi, err := os.Stat(path)
 	if err != nil {
@@ -146,6 +137,12 @@ func ratio(in, out string) {
 	}
 	if fo.Size() > 0 {
 		fmt.Printf("size ratio in/out: %.2fx\n", float64(fi.Size())/float64(fo.Size()))
+	}
+}
+
+func warn(msg string) {
+	if msg != "" {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", msg)
 	}
 }
 

@@ -13,8 +13,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"repro/internal/bots"
 	"repro/internal/exp"
@@ -37,24 +35,16 @@ func main() {
 	flag.Parse()
 
 	cfg := exp.Config{Reps: *reps, Warmup: *warmup}
-	switch *sizeName {
-	case "tiny":
-		cfg.Size = bots.SizeTiny
-	case "small":
-		cfg.Size = bots.SizeSmall
-	case "medium":
-		cfg.Size = bots.SizeMedium
-	default:
-		fmt.Fprintf(os.Stderr, "unknown size %q\n", *sizeName)
+	size, err := bots.ParseSize(*sizeName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(2)
 	}
-	for _, part := range strings.Split(*threadstr, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 1 {
-			fmt.Fprintf(os.Stderr, "bad thread count %q\n", part)
-			os.Exit(2)
-		}
-		cfg.Threads = append(cfg.Threads, n)
+	cfg.Size = size
+	cfg.Threads, err = bots.ParseThreads(*threadstr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
 	}
 
 	ran := false

@@ -1,13 +1,18 @@
-// Command scorep-report renders a saved profile report (JSON, written by
-// scorep-bots -json or scorep.WriteReportJSON) as a text tree or CSV —
-// the offline CUBE-viewer analog — or structurally diffs two reports
-// (the run-comparison workflow the paper's stable call-tree design
-// enables, Section IV-B3).
+// Command scorep-report renders a saved profile report (JSON, written
+// by scorep-bots -json or scorep.WriteReportJSON) or the profile of an
+// experiment archive (written by scorep-bots -exp or
+// Results.SaveExperiment) as a text tree or CSV — the offline
+// CUBE-viewer analog — or structurally diffs two reports (the
+// run-comparison workflow the paper's stable call-tree design enables,
+// Section IV-B3). -in and -diff accept either a report JSON file or an
+// experiment directory.
 //
 // Usage:
 //
 //	scorep-report -in report.json [-csv] [-per-thread] [-min-sum 1ms]
+//	scorep-report -exp scorep-run [-csv]
 //	scorep-report -in baseline.json -diff candidate.json [-top 10]
+//	scorep-report -in scorep-base -diff scorep-cand [-top 10]
 package main
 
 import (
@@ -20,16 +25,24 @@ import (
 
 func main() {
 	var (
-		in        = flag.String("in", "", "input report JSON (required; the baseline for -diff)")
-		diffPath  = flag.String("diff", "", "second report JSON to diff against -in")
+		in        = flag.String("in", "", "input report JSON or experiment directory (the baseline for -diff)")
+		expDir    = flag.String("exp", "", "input experiment directory (alias for -in with an experiment)")
+		diffPath  = flag.String("diff", "", "second report JSON or experiment directory to diff against -in")
 		top       = flag.Int("top", 0, "with -diff: print only the N largest deltas")
 		asCSV     = flag.Bool("csv", false, "emit CSV instead of a text tree")
 		perThread = flag.Bool("per-thread", false, "render per-thread breakdown")
 		minSum    = flag.Duration("min-sum", 0, "hide nodes below this inclusive time")
 	)
 	flag.Parse()
+	if *in != "" && *expDir != "" {
+		fmt.Fprintln(os.Stderr, "-in conflicts with -exp: pick one input")
+		os.Exit(2)
+	}
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "missing -in report.json")
+		*in = *expDir
+	}
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "missing -in report.json (or -exp dir)")
 		os.Exit(2)
 	}
 	rep := load(*in)
@@ -64,7 +77,23 @@ func main() {
 	}
 }
 
+// load reads a report from either a JSON file or an experiment archive
+// directory.
 func load(path string) *scorep.Report {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		exp, err := scorep.OpenExperiment(path)
+		if err != nil {
+			fail(err)
+		}
+		rep, err := exp.Report()
+		if err != nil {
+			fail(err)
+		}
+		if rep == nil {
+			fail(fmt.Errorf("%s: experiment holds no profile (run was not profiled)", path))
+		}
+		return rep
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		fail(err)

@@ -1,84 +1,99 @@
 // Command scorep-timeline records an event trace of a BOTS run (or
-// loads a saved trace) and renders per-thread task timelines plus a
-// utilization table — the plain-text counterpart of the Vampir task
-// views the paper's related work uses (Schmidl et al. [16]). Trace
-// files are JSONL or binary otf2-style archives, chosen by extension
-// (".otf2" is binary).
+// loads a saved trace or experiment archive) and renders per-thread
+// task timelines plus a utilization table — the plain-text counterpart
+// of the Vampir task views the paper's related work uses (Schmidl et
+// al. [16]). Trace files are JSONL or binary otf2-style archives,
+// chosen by extension (".otf2" is binary); traces truncated by a
+// crashed run render their intact prefix.
 //
 // Usage:
 //
 //	scorep-timeline -code sort -size small -threads 4 [-width 120]
 //	scorep-timeline -in trace.jsonl [-width 120]
-//	scorep-timeline -code fib -size tiny -threads 4 -save trace.otf2
+//	scorep-timeline -exp scorep-run [-width 120]
+//	scorep-timeline -code fib -size tiny -threads 4 -save trace.otf2 [-exp scorep-run]
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"os"
 
+	scorep "repro"
 	"repro/internal/bots"
-	"repro/internal/clock"
-	"repro/internal/omp"
 	"repro/internal/otf2"
 	"repro/internal/region"
 	"repro/internal/trace"
 )
 
 func main() {
+	rf := bots.RegisterRunFlags(flag.CommandLine, "")
 	var (
-		in       = flag.String("in", "", "saved trace to render (.otf2 = binary archive, otherwise JSONL)")
-		codeName = flag.String("code", "", "BOTS code to run and trace")
-		sizeName = flag.String("size", "small", "input size: tiny|small|medium")
-		threads  = flag.Int("threads", 4, "threads")
-		cutoff   = flag.Bool("cutoff", false, "use the cut-off variant")
-		width    = flag.Int("width", 100, "timeline width in characters")
-		save     = flag.String("save", "", "also save the recorded trace (format by extension)")
+		in     = flag.String("in", "", "saved trace to render (.otf2 = binary archive, otherwise JSONL)")
+		expDir = flag.String("exp", "", "experiment directory: render its trace (without -code) or write the live run's archive to it (with -code)")
+		width  = flag.Int("width", 100, "timeline width in characters")
+		save   = flag.String("save", "", "also save the recorded trace (format by extension)")
 	)
 	flag.Parse()
 
-	var tr *trace.Trace
+	// -in, -exp (without -code) and -code each select the trace source;
+	// reject ambiguous combinations instead of silently picking one.
+	if *in != "" && (*expDir != "" || rf.Code != "") {
+		fmt.Fprintln(os.Stderr, "-in conflicts with -exp and -code: pick one trace source")
+		os.Exit(2)
+	}
+
+	var tr *scorep.Trace
+	wroteExp := false
 	switch {
 	case *in != "":
+		var warning string
 		var err error
-		tr, err = otf2.ReadFile(*in, region.NewRegistry())
-		if errors.Is(err, otf2.ErrTruncated) {
-			// A crashed run's archive: render the intact prefix.
-			fmt.Fprintf(os.Stderr, "warning: %v; rendering the intact prefix (%d events)\n", err, tr.NumEvents())
-			err = nil
-		}
+		tr, warning, err = otf2.ReadFileLenient(*in, region.NewRegistry())
 		if err != nil {
 			fail(err)
 		}
-	case *codeName != "":
-		spec := bots.ByName(*codeName)
-		if spec == nil {
-			fail(fmt.Errorf("unknown code %q", *codeName))
+		warn(warning)
+
+	case rf.Code == "" && *expDir != "":
+		exp, err := scorep.OpenExperiment(*expDir)
+		if err != nil {
+			fail(err)
 		}
-		var size bots.Size
-		switch *sizeName {
-		case "tiny":
-			size = bots.SizeTiny
-		case "small":
-			size = bots.SizeSmall
-		case "medium":
-			size = bots.SizeMedium
-		default:
-			fail(fmt.Errorf("unknown size %q", *sizeName))
+		tr, err = exp.Trace()
+		if err != nil {
+			fail(err)
 		}
-		if *cutoff && !spec.HasCutoff {
-			fail(fmt.Errorf("%s has no cut-off variant", spec.Name))
+		if tr == nil {
+			fail(fmt.Errorf("%s: experiment holds no trace", *expDir))
 		}
-		rec := trace.NewRecorder(clock.NewSystem())
-		rt := omp.NewRuntimeWithRegistry(rec, region.Default)
-		kernel := spec.Prepare(size, *cutoff)
-		if got, want := kernel(rt, *threads), spec.Expected(size); got != want {
+		for _, w := range exp.Warnings() {
+			warn(w)
+		}
+
+	case rf.Code != "":
+		spec, size, err := rf.Resolve()
+		if err != nil {
+			fail(err)
+		}
+		opts := []scorep.Option{scorep.WithoutProfiling(), scorep.WithTracing()}
+		if *expDir != "" {
+			opts = append(opts, scorep.WithExperimentDirectory(*expDir))
+		}
+		s := scorep.NewSession(opts...)
+		kernel := spec.Prepare(size, rf.Cutoff)
+		if got, want := kernel(s.Runtime(), rf.Threads), spec.Expected(size); got != want {
 			fail(fmt.Errorf("verification failed: %d != %d", got, want))
 		}
-		tr = rec.Finish()
+		res, err := s.End()
+		if err != nil {
+			fail(err)
+		}
+		tr = res.Trace()
+		wroteExp = *expDir != ""
+
 	default:
-		fmt.Fprintln(os.Stderr, "need -in trace.jsonl or -code <bots code>")
+		fmt.Fprintln(os.Stderr, "need -in <trace>, -exp <dir> or -code <bots code>")
 		os.Exit(2)
 	}
 
@@ -93,6 +108,15 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("\nwrote %s (%d events)\n", *save, tr.NumEvents())
+	}
+	if wroteExp {
+		fmt.Printf("\nwrote experiment %s\n", *expDir)
+	}
+}
+
+func warn(msg string) {
+	if msg != "" {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", msg)
 	}
 }
 

@@ -10,19 +10,24 @@
 //   - the paper's task-aware call-path profiling algorithm (per-instance
 //     call trees, stub nodes under scheduling points, suspend/resume time
 //     subtraction, merged per-construct task trees),
+//   - OTF2-style event tracing with bounded-memory recording and
+//     out-of-core analysis,
 //   - OPARI2/POMP2-style instrumentation wrappers,
 //   - CUBE-like aggregation, rendering and serialization of profiles.
 //
-// # Quickstart
+// # Session lifecycle
 //
-//	m := scorep.NewMeasurement()
-//	rt := scorep.NewRuntime(m)
+// Like Score-P, a measured run passes once through one configured
+// measurement environment and leaves one experiment archive behind. The
+// lifecycle is configure → run → End → Results → experiment archive:
+//
+//	s := scorep.NewSession(scorep.WithTracing())       // 1. configure
 //
 //	par := scorep.RegisterRegion("my.parallel", "main.go", 10, scorep.RegionParallel)
 //	task := scorep.RegisterRegion("my.task", "main.go", 12, scorep.RegionTask)
 //	tw := scorep.RegisterRegion("my.taskwait", "main.go", 14, scorep.RegionTaskwait)
 //
-//	rt.Parallel(4, par, func(t *scorep.Thread) {
+//	s.Parallel(4, par, func(t *scorep.Thread) {        // 2. run
 //	    if t.ID == 0 {
 //	        for i := 0; i < 100; i++ {
 //	            t.NewTask(task, func(c *scorep.Thread) { work() })
@@ -31,9 +36,55 @@
 //	    }
 //	})
 //
-//	m.Finish()
-//	report := scorep.AggregateReport(m.Locations())
-//	scorep.RenderReport(os.Stdout, report, scorep.RenderOptions{})
+//	res, err := s.End()                                // 3. finalize
+//	scorep.RenderReport(os.Stdout, res.Report(), scorep.RenderOptions{})
+//	res.TraceAnalysis()                                // §VII trace metrics
+//	res.Findings()                                     // automatic diagnosis
+//	err = res.SaveExperiment("scorep-myrun")           // 4. archive
+//
+// NewSession's functional options select the subsystems: WithProfiling
+// (on by default) / WithoutProfiling, WithTracing or
+// WithStreamingTrace(sink, chunkEvents) for traces larger than memory,
+// WithFilter(patterns...) for measurement filtering,
+// WithScheduler(kind), WithClock(clk), WithListener(extra) and
+// WithExperimentDirectory(dir) to save the archive automatically at
+// End.
+//
+// # Experiment archives
+//
+// Results.SaveExperiment(dir) writes the Score-P measurement-directory
+// analog: profile.json (the CUBE-style report), trace.otf2 (the binary
+// event trace) and meta.json (configuration, thread count, GOMAXPROCS,
+// scheduler, wall time, format versions). scorep.OpenExperiment(dir)
+// loads it back for offline analysis — scorep-report, scorep-analyze,
+// scorep-timeline and scorep-convert all accept -exp <dir>. A trace cut
+// off by a crashed run is salvaged to its intact prefix, reported via
+// Experiment.Warnings.
+//
+// # Environment variables
+//
+// NewSessionFromEnv configures a session the way Score-P instruments
+// are configured, from the environment (overriding any base options):
+//
+//   - SCOREP_ENABLE_PROFILING: enable call-path profiling
+//     (true/false, yes/no, on/off, 1/0; default true).
+//   - SCOREP_ENABLE_TRACING: record an event trace (same booleans;
+//     default false).
+//   - SCOREP_FILTERING: comma-separated region filter patterns;
+//     a trailing '*' matches by prefix ("noisy_*,tiny_helper").
+//   - SCOREP_EXPERIMENT_DIRECTORY: experiment archive directory;
+//     Session.End saves the archive there automatically.
+//   - SCOREP_TASK_SCHEDULER: "central-queue" (default, the libgomp
+//     model the paper measured) or "work-stealing".
+//
+// # Power-user layer
+//
+// The session owns the wiring; the pieces stay exported for custom
+// setups: NewMeasurement/NewMeasurementWithClock (profiling),
+// NewTraceRecorder/NewStreamingTraceRecorder (tracing), NewFilter,
+// NewTee (fan out one event stream to several listeners), NewRuntime,
+// and the report/trace serialization functions. Results.Locations
+// exposes the raw per-thread profiles behind Results.Report.
 //
 // # Scheduler design
 //
@@ -58,9 +109,9 @@
 //
 // # Trace formats
 //
-// Beyond profiling, the runtime's event stream can be recorded as an
-// event trace (TraceRecorder) — the OTF2/tracing side of Score-P the
-// paper's conclusion points to. Two on-disk formats exist:
+// The runtime's event stream can be recorded as an event trace — the
+// OTF2/tracing side of Score-P the paper's conclusion points to. Two
+// on-disk formats exist:
 //
 //   - JSONL: one JSON object per event ("{"t":0,"ts":123,"ev":"ENTER",
 //     "r":"fib.task",...}"), human-greppable, ~100 bytes/event
@@ -78,7 +129,7 @@
 //
 // Because the archive is chunked and append-only, a crashed run still
 // yields a readable prefix, recording can run in bounded memory
-// (NewStreamingTraceRecorder flushes full per-thread chunks to a
+// (WithStreamingTrace flushes full per-thread chunks to a
 // TraceArchiveWriter instead of buffering the run in RAM), and
 // AnalyzeTraceArchive replays an archive through per-thread state
 // machines in O(chunk) memory — out-of-core analysis of traces far
@@ -87,6 +138,7 @@
 // scorep-analyze accept either format, chosen by file extension
 // (".otf2" is binary).
 //
-// See examples/ for runnable programs and internal/exp for the harness
-// that regenerates every figure and table of the paper's evaluation.
+// See examples/ for runnable programs (quickstart is the Session-API
+// walkthrough) and internal/exp for the harness that regenerates every
+// figure and table of the paper's evaluation.
 package scorep

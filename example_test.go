@@ -1,0 +1,101 @@
+package scorep_test
+
+import (
+	"fmt"
+	"os"
+
+	scorep "repro"
+)
+
+// ExampleNewSession shows the whole measurement lifecycle: configure a
+// session, run instrumented code on its runtime, End it, read the
+// results.
+func ExampleNewSession() {
+	par := scorep.RegisterRegion("exdoc.parallel", "example_test.go", 10, scorep.RegionParallel)
+	task := scorep.RegisterRegion("exdoc.task", "example_test.go", 11, scorep.RegionTask)
+	tw := scorep.RegisterRegion("exdoc.taskwait", "example_test.go", 12, scorep.RegionTaskwait)
+
+	s := scorep.NewSession() // profiling on, tracing off: Score-P's defaults
+	s.Parallel(2, par, func(t *scorep.Thread) {
+		if t.ID != 0 {
+			return
+		}
+		for i := 0; i < 8; i++ {
+			t.NewTask(task, func(*scorep.Thread) { /* work */ })
+		}
+		t.Taskwait(tw)
+	})
+	res, err := s.End()
+	if err != nil {
+		fmt.Println("end:", err)
+		return
+	}
+
+	tree := res.Report().TaskTree("exdoc.task")
+	fmt.Printf("task instances: %d\n", tree.Dur.Count)
+	fmt.Printf("tasks created: %d\n", res.TeamStats().TasksCreated)
+	// res.SaveExperiment("scorep-run") would archive profile+meta on disk.
+
+	// Output:
+	// task instances: 8
+	// tasks created: 8
+}
+
+// ExampleNewSession_tracing records profile and event trace
+// simultaneously and derives the paper's §VII trace metrics.
+func ExampleNewSession_tracing() {
+	par := scorep.RegisterRegion("extr.parallel", "example_test.go", 20, scorep.RegionParallel)
+	task := scorep.RegisterRegion("extr.task", "example_test.go", 21, scorep.RegionTask)
+	tw := scorep.RegisterRegion("extr.taskwait", "example_test.go", 22, scorep.RegionTaskwait)
+
+	s := scorep.NewSession(scorep.WithTracing())
+	s.Parallel(2, par, func(t *scorep.Thread) {
+		if t.ID != 0 {
+			return
+		}
+		for i := 0; i < 16; i++ {
+			t.NewTask(task, func(*scorep.Thread) { /* work */ })
+		}
+		t.Taskwait(tw)
+	})
+	res, err := s.End()
+	if err != nil {
+		fmt.Println("end:", err)
+		return
+	}
+
+	a := res.TraceAnalysis()
+	fmt.Printf("task fragments: %d\n", a.TaskExecution.Count)
+	fmt.Printf("trace recorded: %v\n", res.Trace().NumEvents() > 0)
+
+	// Output:
+	// task fragments: 16
+	// trace recorded: true
+}
+
+// ExampleNewSessionFromEnv configures the measurement environment the
+// way Score-P instruments do: through SCOREP_* environment variables.
+func ExampleNewSessionFromEnv() {
+	os.Setenv("SCOREP_ENABLE_PROFILING", "false")
+	os.Setenv("SCOREP_ENABLE_TRACING", "true")
+	os.Setenv("SCOREP_TASK_SCHEDULER", "work-stealing")
+	defer os.Unsetenv("SCOREP_ENABLE_PROFILING")
+	defer os.Unsetenv("SCOREP_ENABLE_TRACING")
+	defer os.Unsetenv("SCOREP_TASK_SCHEDULER")
+
+	s, err := scorep.NewSessionFromEnv()
+	if err != nil {
+		fmt.Println("env:", err)
+		return
+	}
+	fmt.Printf("profiling: %v\n", s.Profiling())
+	fmt.Printf("tracing: %v\n", s.Tracing())
+	fmt.Printf("scheduler: %v\n", s.Scheduler())
+	// With SCOREP_EXPERIMENT_DIRECTORY set, s.End() would also save the
+	// experiment archive there.
+
+	// Output:
+	// profiling: false
+	// tracing: true
+	// scheduler: work-stealing
+}

@@ -58,19 +58,17 @@ func main() {
 	fmt.Printf("%-8s %12s %14s %14s %12s\n", "cutoff", "tasks", "mean task", "kernel time", "result")
 
 	for cutoff := 1; cutoff <= *n; cutoff += 3 {
-		m := scorep.NewMeasurement()
-		rt := scorep.NewRuntime(m)
+		s := scorep.NewSession() // one measurement environment per sweep point
 		var result uint64
 		start := time.Now()
-		rt.Parallel(*threads, parR, func(t *scorep.Thread) {
+		s.Parallel(*threads, parR, func(t *scorep.Thread) {
 			if t.ID == 0 {
 				fibTasks(t, *n, 0, cutoff, &result)
 			}
 		})
 		elapsed := time.Since(start)
-		m.Finish()
-		rep := scorep.AggregateReport(m.Locations())
-		tree := rep.TaskTree("granularity.task")
+		res, _ := s.End()
+		tree := res.Report().TaskTree("granularity.task")
 		var count int64
 		var mean float64
 		if tree != nil {

@@ -32,11 +32,10 @@ func burn(units int) int {
 
 func main() {
 	const threads = 4
-	m := scorep.NewMeasurement()
-	rt := scorep.NewRuntime(m)
+	s := scorep.NewSession()
 
 	sink := 0
-	rt.Parallel(threads, parR, func(t *scorep.Thread) {
+	s.Parallel(threads, parR, func(t *scorep.Thread) {
 		if t.ID != 0 {
 			return // everything happens in the implicit barrier
 		}
@@ -45,8 +44,8 @@ func main() {
 			t.NewTask(taskR, func(c *scorep.Thread) { sink += burn(40) })
 		}
 	})
-	m.Finish()
-	rep := scorep.AggregateReport(m.Locations())
+	res, _ := s.End()
+	rep := res.Report()
 
 	if err := scorep.RenderReport(os.Stdout, rep, scorep.RenderOptions{PerThread: true}); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -25,16 +25,9 @@ func main() {
 	threads := flag.Int("threads", 4, "threads for the profiling steps")
 	flag.Parse()
 
-	var size bots.Size
-	switch *sizeName {
-	case "tiny":
-		size = bots.SizeTiny
-	case "small":
-		size = bots.SizeSmall
-	case "medium":
-		size = bots.SizeMedium
-	default:
-		fmt.Fprintf(os.Stderr, "unknown size %q\n", *sizeName)
+	size, err := bots.ParseSize(*sizeName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(2)
 	}
 	cfg := exp.Config{Size: size, Threads: []int{1, 2, 4, 8}, Reps: 1, Warmup: 1}

@@ -1,16 +1,18 @@
-// Quickstart: instrument a small task program with the public API and
+// Quickstart: instrument a small task program with the Session API and
 // print the resulting task-aware profile.
 //
 // The program mirrors the paper's running example (Figs. 6-11): an
 // implicit task creates explicit tasks, the tasks suspend at taskwaits,
 // and the profile separates waiting time from task-execution time via
 // stub nodes while merging all instances of a construct into one task
-// tree.
+// tree. The whole measurement lifecycle is three calls: NewSession,
+// End, Report.
 //
-// Run: go run ./examples/quickstart
+// Run: go run ./examples/quickstart [-exp dir]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -34,15 +36,22 @@ func busywork(n int) int {
 }
 
 func main() {
-	// 1. Create a measurement and attach it to a runtime. Passing nil
-	//    instead of m gives the uninstrumented baseline.
-	m := scorep.NewMeasurement()
-	rt := scorep.NewRuntime(m)
+	expDir := flag.String("exp", "", "also save an experiment archive to this directory")
+	flag.Parse()
+
+	// 1. Create the measurement environment. Profiling is on by default;
+	//    add scorep.WithTracing() for an event trace, or use
+	//    scorep.NewSessionFromEnv() to configure via SCOREP_* variables.
+	var opts []scorep.Option
+	if *expDir != "" {
+		opts = append(opts, scorep.WithExperimentDirectory(*expDir))
+	}
+	s := scorep.NewSession(opts...)
 
 	// 2. Run a parallel region; thread 0 creates tasks of one construct,
 	//    each task does instrumented work and a nested child + taskwait.
 	sink := 0
-	rt.Parallel(4, parRegion, func(t *scorep.Thread) {
+	s.Parallel(4, parRegion, func(t *scorep.Thread) {
 		if t.ID != 0 {
 			return // other threads pick up tasks in the implicit barrier
 		}
@@ -64,9 +73,14 @@ func main() {
 		t.Taskwait(twRegion)
 	})
 
-	// 3. Finish the measurement and render the aggregated report.
-	m.Finish()
-	report := scorep.AggregateReport(m.Locations())
+	// 3. End the session (this also saves the experiment archive when
+	//    -exp is given) and render the aggregated report.
+	res, err := s.End()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	report := res.Report()
 	if err := scorep.RenderReport(os.Stdout, report, scorep.RenderOptions{}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -77,4 +91,7 @@ func main() {
 	fmt.Printf("\ntask instances: %d, mean execution time: %.1fµs (suspensions subtracted)\n",
 		tree.Dur.Count, tree.Dur.Mean()/1e3)
 	fmt.Printf("max concurrently active task instances per thread: %d\n", report.MaxConcurrent)
+	if *expDir != "" {
+		fmt.Printf("experiment archive written to %s (inspect with scorep-report -exp)\n", *expDir)
+	}
 }

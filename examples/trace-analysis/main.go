@@ -5,9 +5,10 @@
 // "ratio of overall management time to exclusive execution time".
 //
 // It runs the same workload twice, with coarse and with tiny tasks,
-// recording profile and trace simultaneously (a Tee, like Score-P's
-// combined mode), and shows the management ratio exploding for the tiny
-// tasks while the automatic profile analysis names the pattern.
+// through a session recording profile and trace simultaneously
+// (Score-P's combined mode), and shows the management ratio exploding
+// for the tiny tasks while the automatic profile analysis names the
+// pattern.
 //
 // Run: go run ./examples/trace-analysis
 package main
@@ -27,12 +28,12 @@ var (
 )
 
 func run(label string, tasks, workUnits int) {
-	m := scorep.NewMeasurement()
-	rec := scorep.NewTraceRecorder()
-	rt := scorep.NewRuntime(scorep.NewTee(m, rec))
+	// One session records profile and trace simultaneously (Score-P's
+	// combined mode; the session wires the tee internally).
+	s := scorep.NewSession(scorep.WithTracing())
 
 	var sink atomic.Int64
-	rt.Parallel(4, parR, func(t *scorep.Thread) {
+	s.Parallel(4, parR, func(t *scorep.Thread) {
 		if t.ID != 0 {
 			return
 		}
@@ -47,15 +48,13 @@ func run(label string, tasks, workUnits int) {
 		}
 		t.Taskwait(twR)
 	})
-	m.Finish()
+	res, _ := s.End()
 
 	fmt.Printf("== %s: %d tasks x %d work units ==\n", label, tasks, workUnits)
-	a := scorep.AnalyzeTrace(rec.Finish())
-	a.Format(os.Stdout)
+	res.TraceAnalysis().Format(os.Stdout)
 
-	rep := scorep.AggregateReport(m.Locations())
 	fmt.Println("\nautomatic profile diagnosis:")
-	scorep.FormatFindings(os.Stdout, scorep.AnalyzeReport(rep))
+	scorep.FormatFindings(os.Stdout, res.Findings())
 	fmt.Println()
 }
 
@@ -72,11 +71,10 @@ func runStreaming(tasks, workUnits int) {
 	defer os.Remove(f.Name())
 
 	aw := scorep.NewTraceArchiveWriter(f)
-	rec := scorep.NewStreamingTraceRecorder(aw, 1024)
-	rt := scorep.NewRuntime(rec)
+	s := scorep.NewSession(scorep.WithoutProfiling(), scorep.WithStreamingTrace(aw, 1024))
 
 	var sink atomic.Int64
-	rt.Parallel(4, parR, func(t *scorep.Thread) {
+	s.Parallel(4, parR, func(t *scorep.Thread) {
 		if t.ID != 0 {
 			return
 		}
@@ -91,8 +89,9 @@ func runStreaming(tasks, workUnits int) {
 		}
 		t.Taskwait(twR)
 	})
-	rec.Finish()
-	if err := rec.Err(); err != nil {
+	// End flushes the remaining partial chunks and surfaces the first
+	// sink write error; the caller still owns (and closes) the sink.
+	if _, err := s.End(); err != nil {
 		panic(err)
 	}
 	if err := aw.Close(); err != nil {

@@ -1,0 +1,315 @@
+package scorep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cube"
+	"repro/internal/otf2"
+	"repro/internal/region"
+)
+
+// Experiment archive layout — the analog of Score-P's scorep-<name>/
+// measurement directory: one directory holding the profile, the trace
+// and the metadata that ties them to the configuration that produced
+// them.
+const (
+	// ExperimentMetaVersion is the meta.json format version.
+	ExperimentMetaVersion = 1
+
+	experimentProfileFile = "profile.json"
+	experimentTraceFile   = "trace.otf2"
+	experimentMetaFile    = "meta.json"
+)
+
+// profileFormatName names the profile serialization (cube JSON as
+// written by WriteReportJSON).
+const profileFormatName = "cube-json-v1"
+
+// ExperimentConfig is the measurement configuration recorded in (and
+// loaded from) an experiment's meta.json.
+type ExperimentConfig struct {
+	Profiling      bool     `json:"profiling"`
+	Tracing        bool     `json:"tracing"`
+	StreamingTrace bool     `json:"streamingTrace,omitempty"`
+	FilterPatterns []string `json:"filterPatterns,omitempty"`
+	Scheduler      string   `json:"scheduler"`
+}
+
+// ExperimentMeta is the contents of an experiment's meta.json: the
+// configuration, environment and run statistics that make the archived
+// profile and trace interpretable offline.
+type ExperimentMeta struct {
+	// FormatVersion is ExperimentMetaVersion at write time.
+	FormatVersion int `json:"formatVersion"`
+	// CreatedUnixNs is the wall-clock time the experiment was saved.
+	CreatedUnixNs int64 `json:"createdUnixNs"`
+	// WallTimeNs is the measured wall time from NewSession to End.
+	WallTimeNs int64 `json:"wallTimeNs"`
+
+	// GOMAXPROCS, NumCPU and GoVersion describe the measured process.
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numCPU"`
+	GoVersion  string `json:"goVersion"`
+
+	// Config is the session configuration that produced the run.
+	Config ExperimentConfig `json:"config"`
+
+	// Threads and TasksCreated summarize the run's last parallel region.
+	Threads      int   `json:"threads"`
+	TasksCreated int64 `json:"tasksCreated"`
+
+	// HasProfile/HasTrace state which artifacts the directory holds;
+	// the format fields record their serialization versions.
+	HasProfile    bool   `json:"hasProfile"`
+	HasTrace      bool   `json:"hasTrace"`
+	ProfileFormat string `json:"profileFormat,omitempty"`
+	TraceFormat   string `json:"traceFormat,omitempty"`
+}
+
+// SaveExperiment writes the run's experiment archive to dir (created if
+// needed): profile.json (when the session profiled), trace.otf2 (when
+// it traced in memory) and meta.json. meta.json is written last, so a
+// directory with readable metadata is a completely saved experiment.
+// Load it back with OpenExperiment.
+func (r *Results) SaveExperiment(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiment: %w", err)
+	}
+	meta := ExperimentMeta{
+		FormatVersion: ExperimentMetaVersion,
+		CreatedUnixNs: time.Now().UnixNano(),
+		WallTimeNs:    int64(r.wall),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		GoVersion:     runtime.Version(),
+		Config: ExperimentConfig{
+			Profiling:      r.cfg.profiling,
+			Tracing:        r.cfg.tracing,
+			StreamingTrace: r.cfg.streamingSink != nil,
+			FilterPatterns: r.cfg.filters,
+			Scheduler:      r.cfg.sched.String(),
+		},
+		Threads:      r.stats.Threads,
+		TasksCreated: r.stats.TasksCreated,
+	}
+	if rep := r.Report(); rep != nil {
+		meta.HasProfile = true
+		meta.ProfileFormat = profileFormatName
+		if err := writeExperimentFile(dir, experimentProfileFile, func(f *os.File) error {
+			return cube.WriteJSON(f, rep)
+		}); err != nil {
+			return err
+		}
+	} else if err := removeExperimentFile(dir, experimentProfileFile); err != nil {
+		return err
+	}
+	if tr := r.Trace(); tr != nil {
+		meta.HasTrace = true
+		meta.TraceFormat = fmt.Sprintf("spotf2-v%d", otf2.FormatVersion)
+		if err := writeExperimentFile(dir, experimentTraceFile, func(f *os.File) error {
+			return otf2.Write(f, tr)
+		}); err != nil {
+			return err
+		}
+	} else if err := removeExperimentFile(dir, experimentTraceFile); err != nil {
+		return err
+	}
+	return writeExperimentFile(dir, experimentMetaFile, func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(meta)
+	})
+}
+
+// removeExperimentFile deletes an artifact a re-save into an existing
+// directory no longer produces, so stale files from a previous run
+// cannot sit next to a meta.json that disclaims them.
+func removeExperimentFile(dir, name string) error {
+	if err := os.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("experiment: %w", err)
+	}
+	return nil
+}
+
+func writeExperimentFile(dir, name string, write func(*os.File) error) error {
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiment: %w", err)
+	}
+	werr := write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("experiment: writing %s: %w", path, werr)
+	}
+	return nil
+}
+
+// Experiment is a loaded on-disk experiment archive. The metadata is
+// read eagerly by OpenExperiment; the profile and trace load lazily on
+// first use and are cached. An experiment whose trace.otf2 was cut off
+// by a crashed run is salvaged: the intact prefix is used and the cut
+// is reported through Warnings.
+type Experiment struct {
+	// Dir is the archive directory.
+	Dir string
+	// Meta is the decoded meta.json.
+	Meta ExperimentMeta
+
+	mu          sync.Mutex
+	report      *Report
+	trace       *Trace
+	traceLoaded bool
+	analysis    *TraceAnalysis
+	findings    []Finding
+	findingsSet bool
+	warnings    []string
+}
+
+// OpenExperiment loads the experiment archive at dir, the counterpart
+// of Results.SaveExperiment. Only meta.json is read eagerly; the
+// profile and trace are loaded on first access.
+func OpenExperiment(dir string) (*Experiment, error) {
+	f, err := os.Open(filepath.Join(dir, experimentMetaFile))
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	defer f.Close()
+	var meta ExperimentMeta
+	if err := json.NewDecoder(f).Decode(&meta); err != nil {
+		return nil, fmt.Errorf("experiment: decoding %s: %w", experimentMetaFile, err)
+	}
+	if meta.FormatVersion > ExperimentMetaVersion {
+		return nil, fmt.Errorf("experiment: %s has format version %d, this build reads <= %d",
+			dir, meta.FormatVersion, ExperimentMetaVersion)
+	}
+	return &Experiment{Dir: dir, Meta: meta}, nil
+}
+
+// ProfilePath returns the path of the archived profile JSON (which
+// exists only when Meta.HasProfile).
+func (e *Experiment) ProfilePath() string { return filepath.Join(e.Dir, experimentProfileFile) }
+
+// TracePath returns the path of the archived binary trace (which exists
+// only when Meta.HasTrace).
+func (e *Experiment) TracePath() string { return filepath.Join(e.Dir, experimentTraceFile) }
+
+// Report loads the archived profile report, or returns (nil, nil) when
+// the experiment holds none.
+func (e *Experiment) Report() (*Report, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.reportLocked()
+}
+
+func (e *Experiment) reportLocked() (*Report, error) {
+	if e.report != nil || !e.Meta.HasProfile {
+		return e.report, nil
+	}
+	f, err := os.Open(e.ProfilePath())
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	defer f.Close()
+	rep, err := cube.ReadJSON(f, region.NewRegistry())
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %s: %w", e.ProfilePath(), err)
+	}
+	e.report = rep
+	return rep, nil
+}
+
+// Trace loads the archived event trace, or returns (nil, nil) when the
+// experiment holds none. A trace truncated by a crashed run yields its
+// intact prefix; the cut is recorded in Warnings, not returned as an
+// error.
+func (e *Experiment) Trace() (*Trace, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.traceLoaded || !e.Meta.HasTrace {
+		return e.trace, nil
+	}
+	tr, warn, err := otf2.ReadFileLenient(e.TracePath(), region.NewRegistry())
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %s: %w", e.TracePath(), err)
+	}
+	e.addWarning(warn)
+	e.trace = tr
+	e.traceLoaded = true
+	return tr, nil
+}
+
+// TraceAnalysis derives the paper's §VII metrics from the archived
+// trace, or returns (nil, nil) when the experiment holds no trace. When
+// Trace already materialized the recording the analysis reuses it;
+// otherwise the archive is streamed in bounded memory without loading
+// the trace. Truncated traces are salvaged like in Trace.
+func (e *Experiment) TraceAnalysis() (*TraceAnalysis, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.analysis != nil || !e.Meta.HasTrace {
+		return e.analysis, nil
+	}
+	if e.traceLoaded {
+		e.analysis = AnalyzeTrace(e.trace)
+		return e.analysis, nil
+	}
+	a, warn, err := otf2.AnalyzeFile(e.TracePath())
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %s: %w", e.TracePath(), err)
+	}
+	e.addWarning(warn)
+	e.analysis = a
+	return a, nil
+}
+
+// Findings diagnoses tasking inefficiencies in the archived profile, or
+// returns (nil, nil) when the experiment holds none.
+func (e *Experiment) Findings() ([]Finding, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.findingsSet {
+		return e.findings, nil
+	}
+	rep, err := e.reportLocked()
+	if err != nil {
+		return nil, err
+	}
+	if rep != nil {
+		e.findings = AnalyzeReport(rep)
+	}
+	e.findingsSet = true
+	return e.findings, nil
+}
+
+// addWarning records a non-empty warning once (loading the trace twice
+// through different accessors must not duplicate it). Callers hold e.mu.
+func (e *Experiment) addWarning(w string) {
+	if w == "" {
+		return
+	}
+	for _, have := range e.warnings {
+		if have == w {
+			return
+		}
+	}
+	e.warnings = append(e.warnings, w)
+}
+
+// Warnings returns non-fatal conditions observed while loading the
+// archive (currently: a truncated trace salvaged to its intact prefix).
+// Warnings accumulate as artifacts are loaded, so check after the
+// accessors that interest you.
+func (e *Experiment) Warnings() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.warnings...)
+}

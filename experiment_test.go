@@ -1,0 +1,253 @@
+package scorep_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	scorep "repro"
+)
+
+// runExperimentWorkload drives a profiled+traced session through a
+// deterministic task workload and returns its finished results.
+func runExperimentWorkload(t *testing.T, prefix string, tasks int, opts ...scorep.Option) *scorep.Results {
+	t.Helper()
+	s := scorep.NewSession(opts...)
+	par := scorep.RegisterRegion(prefix+".parallel", "experiment_test.go", 1, scorep.RegionParallel)
+	task := scorep.RegisterRegion(prefix+".task", "experiment_test.go", 2, scorep.RegionTask)
+	tw := scorep.RegisterRegion(prefix+".taskwait", "experiment_test.go", 3, scorep.RegionTaskwait)
+	s.Parallel(2, par, func(th *scorep.Thread) {
+		if th.ID != 0 {
+			return
+		}
+		for i := 0; i < tasks; i++ {
+			th.NewTask(task, func(*scorep.Thread) {})
+		}
+		th.Taskwait(tw)
+	})
+	res, err := s.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestExperimentRoundTrip(t *testing.T) {
+	res := runExperimentWorkload(t, "er", 64, scorep.WithTracing())
+	dir := filepath.Join(t.TempDir(), "scorep-roundtrip")
+	if err := res.SaveExperiment(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	exp, err := scorep.OpenExperiment(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := exp.Meta
+	if m.FormatVersion != scorep.ExperimentMetaVersion {
+		t.Errorf("meta format version = %d, want %d", m.FormatVersion, scorep.ExperimentMetaVersion)
+	}
+	if !m.HasProfile || !m.HasTrace {
+		t.Fatalf("meta = %+v, want profile and trace present", m)
+	}
+	if !m.Config.Profiling || !m.Config.Tracing {
+		t.Errorf("config = %+v, want profiling and tracing recorded", m.Config)
+	}
+	if m.Config.Scheduler != scorep.SchedCentralQueue.String() {
+		t.Errorf("scheduler = %q, want %q", m.Config.Scheduler, scorep.SchedCentralQueue)
+	}
+	if m.Threads != 2 || m.TasksCreated != 64 {
+		t.Errorf("threads/tasks = %d/%d, want 2/64", m.Threads, m.TasksCreated)
+	}
+	if m.GOMAXPROCS != runtime.GOMAXPROCS(0) || m.GoVersion != runtime.Version() {
+		t.Errorf("environment meta = %+v, want current process values", m)
+	}
+	if m.WallTimeNs <= 0 || m.CreatedUnixNs <= 0 {
+		t.Errorf("timing meta = %+v, want positive wall and creation time", m)
+	}
+	if m.ProfileFormat == "" || m.TraceFormat == "" {
+		t.Errorf("format versions missing from meta: %+v", m)
+	}
+
+	// The archived report must round-trip byte-identically: serializing
+	// the live report, the file contents and serializing the reloaded
+	// report are all the same bytes.
+	var live bytes.Buffer
+	if err := scorep.WriteReportJSON(&live, res.Report()); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(exp.ProfilePath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(live.Bytes(), onDisk) {
+		t.Error("profile.json differs from the live report's serialization")
+	}
+	loaded, err := exp.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reloaded bytes.Buffer
+	if err := scorep.WriteReportJSON(&reloaded, loaded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(live.Bytes(), reloaded.Bytes()) {
+		t.Error("report JSON is not byte-identical after OpenExperiment")
+	}
+
+	// The archived trace must reproduce the live run's analysis exactly
+	// (the streaming analysis over trace.otf2 vs. the in-memory one).
+	liveA := res.TraceAnalysis()
+	loadedA, err := exp.TraceAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(liveA, loadedA) {
+		t.Errorf("trace analysis differs after round trip:\nlive:   %+v\nloaded: %+v", liveA, loadedA)
+	}
+	tr, err := exp.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumEvents() != res.Trace().NumEvents() {
+		t.Errorf("trace events = %d, want %d", tr.NumEvents(), res.Trace().NumEvents())
+	}
+	if len(exp.Warnings()) != 0 {
+		t.Errorf("unexpected warnings on an intact archive: %v", exp.Warnings())
+	}
+
+	// Findings derive from the same report on both sides.
+	expFindings, err := exp.Findings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expFindings) != len(res.Findings()) {
+		t.Errorf("findings = %d, want %d as live", len(expFindings), len(res.Findings()))
+	}
+}
+
+// TestOpenExperimentTruncatedTrace models the crashed-run case: the
+// experiment's trace.otf2 is cut off mid-chunk, and OpenExperiment
+// salvages the intact prefix instead of failing.
+func TestOpenExperimentTruncatedTrace(t *testing.T) {
+	// Enough tasks that thread 0's create events span multiple archive
+	// chunks (32 KiB each), so a truncated file retains a usable prefix.
+	res := runExperimentWorkload(t, "ec", 8000, scorep.WithTracing())
+	dir := filepath.Join(t.TempDir(), "scorep-crashed")
+	if err := res.SaveExperiment(dir); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "trace.otf2")
+	fi, err := os.Stat(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(tracePath, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	exp, err := scorep.OpenExperiment(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := exp.Trace()
+	if err != nil {
+		t.Fatalf("truncated trace must salvage, got error: %v", err)
+	}
+	if tr == nil || tr.NumEvents() == 0 {
+		t.Fatal("salvaged prefix holds no events")
+	}
+	if tr.NumEvents() >= res.Trace().NumEvents() {
+		t.Errorf("salvaged %d events, want fewer than the %d recorded", tr.NumEvents(), res.Trace().NumEvents())
+	}
+	if len(exp.Warnings()) == 0 {
+		t.Error("truncation must surface as a warning")
+	}
+	a, err := exp.TraceAnalysis()
+	if err != nil || a == nil {
+		t.Fatalf("streaming analysis of the salvaged prefix failed: %v", err)
+	}
+	if got := len(exp.Warnings()); got != 1 {
+		t.Errorf("warnings = %d (%v), want the truncation reported exactly once", got, exp.Warnings())
+	}
+	// The profile is unaffected by the trace truncation.
+	rep, err := exp.Report()
+	if err != nil || rep == nil {
+		t.Fatalf("report unreadable after trace truncation: %v", err)
+	}
+}
+
+func TestExperimentWithoutArtifacts(t *testing.T) {
+	res := runExperimentWorkload(t, "ee", 4, scorep.WithoutProfiling())
+	dir := filepath.Join(t.TempDir(), "scorep-bare")
+	if err := res.SaveExperiment(dir); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := scorep.OpenExperiment(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Meta.HasProfile || exp.Meta.HasTrace {
+		t.Fatalf("meta = %+v, want no artifacts", exp.Meta)
+	}
+	if rep, err := exp.Report(); rep != nil || err != nil {
+		t.Errorf("Report() = (%v, %v), want (nil, nil)", rep, err)
+	}
+	if tr, err := exp.Trace(); tr != nil || err != nil {
+		t.Errorf("Trace() = (%v, %v), want (nil, nil)", tr, err)
+	}
+	if fs, err := exp.Findings(); fs != nil || err != nil {
+		t.Errorf("Findings() = (%v, %v), want (nil, nil)", fs, err)
+	}
+}
+
+// TestSaveExperimentOverwriteRemovesStaleArtifacts re-saves a
+// profile-only run into a directory that previously held a traced run:
+// the orphaned trace.otf2 must not survive next to a meta.json that
+// disclaims it.
+func TestSaveExperimentOverwriteRemovesStaleArtifacts(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "scorep-reused")
+	traced := runExperimentWorkload(t, "eo1", 16, scorep.WithTracing())
+	if err := traced.SaveExperiment(dir); err != nil {
+		t.Fatal(err)
+	}
+	profiledOnly := runExperimentWorkload(t, "eo2", 16)
+	if err := profiledOnly.SaveExperiment(dir); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := scorep.OpenExperiment(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Meta.HasTrace {
+		t.Error("re-saved profile-only experiment still claims a trace")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "trace.otf2")); !os.IsNotExist(err) {
+		t.Errorf("stale trace.otf2 survived the re-save (stat err = %v)", err)
+	}
+	if rep, err := exp.Report(); err != nil || rep == nil {
+		t.Errorf("re-saved profile unreadable: %v", err)
+	}
+}
+
+func TestOpenExperimentErrors(t *testing.T) {
+	if _, err := scorep.OpenExperiment(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing directory accepted")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), []byte("{bogus"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scorep.OpenExperiment(dir); err == nil {
+		t.Error("corrupt meta.json accepted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), []byte(`{"formatVersion": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scorep.OpenExperiment(dir); err == nil {
+		t.Error("future meta format version accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package bots
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Names returns the code names in the paper's order, pipe-separated —
+// the flag help text shared by the CLIs.
+func Names() string {
+	parts := make([]string, 0, len(All))
+	for _, s := range All {
+		parts = append(parts, s.Name)
+	}
+	return strings.Join(parts, "|")
+}
+
+// ParseSize maps a size name to its Size.
+func ParseSize(name string) (Size, error) {
+	switch name {
+	case "tiny":
+		return SizeTiny, nil
+	case "small":
+		return SizeSmall, nil
+	case "medium":
+		return SizeMedium, nil
+	}
+	return 0, fmt.Errorf("unknown size %q (want tiny|small|medium)", name)
+}
+
+// ParseThreads parses a comma-separated list of positive thread counts
+// ("1,2,4,8"), the format of the experiment CLIs' -threads flag.
+func ParseThreads(list string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// RunFlags bundles the BOTS run flags every benchmark-driving CLI
+// repeats: which code, at which input size, on how many threads, with
+// or without the cut-off variant.
+type RunFlags struct {
+	Code    string
+	Size    string
+	Threads int
+	Cutoff  bool
+}
+
+// RegisterRunFlags declares -code/-size/-threads/-cutoff on fs with
+// shared help text. defaultCode may be "" for CLIs where -code selects
+// a mode (live run vs. file input).
+func RegisterRunFlags(fs *flag.FlagSet, defaultCode string) *RunFlags {
+	rf := &RunFlags{}
+	fs.StringVar(&rf.Code, "code", defaultCode, "BOTS code: "+Names())
+	fs.StringVar(&rf.Size, "size", "small", "input size: tiny|small|medium")
+	fs.IntVar(&rf.Threads, "threads", 4, "number of threads")
+	fs.BoolVar(&rf.Cutoff, "cutoff", false, "use the cut-off variant (fib, floorplan, health, nqueens, strassen)")
+	return rf
+}
+
+// Resolve validates the parsed flags into a spec and size: the code
+// must exist, the size must parse, the thread count must be positive
+// and -cutoff requires a code that provides the variant.
+func (rf *RunFlags) Resolve() (*Spec, Size, error) {
+	spec := ByName(rf.Code)
+	if spec == nil {
+		return nil, 0, fmt.Errorf("unknown code %q (want %s)", rf.Code, Names())
+	}
+	size, err := ParseSize(rf.Size)
+	if err != nil {
+		return nil, 0, err
+	}
+	if rf.Threads < 1 {
+		return nil, 0, fmt.Errorf("bad thread count %d", rf.Threads)
+	}
+	if rf.Cutoff && !spec.HasCutoff {
+		return nil, 0, fmt.Errorf("%s has no cut-off variant", spec.Name)
+	}
+	return spec, size, nil
+}

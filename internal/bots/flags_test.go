@@ -1,0 +1,73 @@
+package bots
+
+import (
+	"flag"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseSize(t *testing.T) {
+	for name, want := range map[string]Size{"tiny": SizeTiny, "small": SizeSmall, "medium": SizeMedium} {
+		got, err := ParseSize(name)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = (%v, %v), want (%v, nil)", name, got, err, want)
+		}
+	}
+	if _, err := ParseSize("huge"); err == nil {
+		t.Error("ParseSize accepted an unknown size")
+	}
+}
+
+func TestParseThreads(t *testing.T) {
+	got, err := ParseThreads("1, 2,4,8")
+	if err != nil || !reflect.DeepEqual(got, []int{1, 2, 4, 8}) {
+		t.Errorf("ParseThreads = (%v, %v)", got, err)
+	}
+	for _, bad := range []string{"", "0", "-1", "two", "1,,2"} {
+		if _, err := ParseThreads(bad); err == nil {
+			t.Errorf("ParseThreads(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if !strings.HasPrefix(names, "alignment|") || !strings.Contains(names, "|nqueens|") {
+		t.Errorf("Names() = %q, want the paper's code list", names)
+	}
+}
+
+func TestRunFlagsResolve(t *testing.T) {
+	parse := func(t *testing.T, args ...string) *RunFlags {
+		t.Helper()
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		rf := RegisterRunFlags(fs, "fib")
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return rf
+	}
+
+	rf := parse(t, "-code", "nqueens", "-size", "tiny", "-threads", "2", "-cutoff")
+	spec, size, err := rf.Resolve()
+	if err != nil || spec.Name != "nqueens" || size != SizeTiny {
+		t.Fatalf("Resolve = (%v, %v, %v)", spec, size, err)
+	}
+
+	// Defaults resolve too.
+	if spec, size, err := parse(t).Resolve(); err != nil || spec.Name != "fib" || size != SizeSmall {
+		t.Fatalf("default Resolve = (%v, %v, %v)", spec, size, err)
+	}
+
+	for _, bad := range [][]string{
+		{"-code", "doom"},
+		{"-size", "huge"},
+		{"-threads", "0"},
+		{"-code", "sort", "-cutoff"}, // sort has no cut-off variant
+	} {
+		if _, _, err := parse(t, bad...).Resolve(); err == nil {
+			t.Errorf("Resolve accepted %v", bad)
+		}
+	}
+}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"io"
 
+	scorep "repro"
 	"repro/internal/bots"
-	"repro/internal/omp"
 	"repro/internal/stats"
 )
 
@@ -32,11 +32,11 @@ func SchedulerAblation(cfg Config) []SchedulerRow {
 		kernel := spec.Prepare(cfg.Size, false)
 		row := SchedulerRow{Code: spec.Name, Threads: cfg.Threads}
 		for _, th := range cfg.Threads {
-			rtC := omp.NewRuntime(nil)
-			rtC.Sched = omp.SchedCentralQueue
+			rtC := scorep.NewSession(scorep.WithoutProfiling(),
+				scorep.WithScheduler(scorep.SchedCentralQueue)).Runtime()
 			c := timeKernel(kernel, rtC, th, cfg.Warmup, cfg.Reps)
-			rtS := omp.NewRuntime(nil)
-			rtS.Sched = omp.SchedWorkStealing
+			rtS := scorep.NewSession(scorep.WithoutProfiling(),
+				scorep.WithScheduler(scorep.SchedWorkStealing)).Runtime()
 			s := timeKernel(kernel, rtS, th, cfg.Warmup, cfg.Reps)
 			row.CentralNs = append(row.CentralNs, c)
 			row.StealNs = append(row.StealNs, s)

@@ -11,10 +11,9 @@ import (
 	"io"
 	"time"
 
+	scorep "repro"
 	"repro/internal/bots"
 	"repro/internal/cube"
-	"repro/internal/measure"
-	"repro/internal/omp"
 	"repro/internal/stats"
 )
 
@@ -51,9 +50,15 @@ func (c Config) normalized() Config {
 	return c
 }
 
+// uninstrumentedRuntime returns a baseline runtime (no listener) from a
+// profiling-disabled session — the overhead experiments' reference.
+func uninstrumentedRuntime() *scorep.Runtime {
+	return scorep.NewSession(scorep.WithoutProfiling()).Runtime()
+}
+
 // timeKernel runs the kernel reps times and returns the median wall time
 // of the parallel region in nanoseconds.
-func timeKernel(kernel bots.Kernel, rt *omp.Runtime, threads, warmup, reps int) int64 {
+func timeKernel(kernel bots.Kernel, rt *scorep.Runtime, threads, warmup, reps int) int64 {
 	for i := 0; i < warmup; i++ {
 		kernel(rt, threads)
 	}
@@ -66,14 +71,13 @@ func timeKernel(kernel bots.Kernel, rt *omp.Runtime, threads, warmup, reps int) 
 	return int64(stats.Median(times))
 }
 
-// runInstrumented executes the kernel once with full profiling and
-// returns the aggregated report (used by the table experiments).
+// runInstrumented executes the kernel once through a profiling session
+// and returns the aggregated report (used by the table experiments).
 func runInstrumented(kernel bots.Kernel, threads int) *cube.Report {
-	m := measure.New()
-	rt := omp.NewRuntime(m)
-	kernel(rt, threads)
-	m.Finish()
-	return cube.Aggregate(m.Locations())
+	s := scorep.NewSession()
+	kernel(s.Runtime(), threads)
+	res, _ := s.End() // no streaming sink, no experiment dir: End cannot fail
+	return res.Report()
 }
 
 // OverheadRow is one bar group of Fig. 13/14: the relative runtime
@@ -112,9 +116,8 @@ func overheadRows(cfg Config, specs []*bots.Spec, preferCutoff bool) []OverheadR
 		kernel := spec.Prepare(cfg.Size, cutoff)
 		row := OverheadRow{Code: spec.Name, Cutoff: cutoff, Threads: cfg.Threads}
 		for _, th := range cfg.Threads {
-			uninst := timeKernel(kernel, omp.NewRuntime(nil), th, cfg.Warmup, cfg.Reps)
-			m := measure.New()
-			inst := timeKernel(kernel, omp.NewRuntime(m), th, cfg.Warmup, cfg.Reps)
+			uninst := timeKernel(kernel, uninstrumentedRuntime(), th, cfg.Warmup, cfg.Reps)
+			inst := timeKernel(kernel, scorep.NewSession().Runtime(), th, cfg.Warmup, cfg.Reps)
 			row.UninstNs = append(row.UninstNs, uninst)
 			row.InstNs = append(row.InstNs, inst)
 			pct := 0.0
@@ -149,7 +152,7 @@ func Fig15RuntimeScaling(cfg Config) []ScalingRow {
 		row := ScalingRow{Code: spec.Name, Threads: cfg.Threads}
 		var maxNs int64
 		for _, th := range cfg.Threads {
-			ns := timeKernel(kernel, omp.NewRuntime(nil), th, cfg.Warmup, cfg.Reps)
+			ns := timeKernel(kernel, uninstrumentedRuntime(), th, cfg.Warmup, cfg.Reps)
 			row.RuntimeNs = append(row.RuntimeNs, ns)
 			if ns > maxNs {
 				maxNs = ns

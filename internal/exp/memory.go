@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"io"
 
+	scorep "repro"
 	"repro/internal/bots"
-	"repro/internal/measure"
-	"repro/internal/omp"
 )
 
 // MemoryRow quantifies the Section V-B memory argument for one code:
@@ -42,17 +41,15 @@ func MemoryRequirements(cfg Config, threads int) []MemoryRow {
 		}
 		for _, cutoff := range variants {
 			kernel := spec.Prepare(cfg.Size, cutoff)
-			m := measure.New()
-			rt := omp.NewRuntime(m)
-			kernel(rt, threads)
-			created := rt.LastTeamStats().TasksCreated
-			m.Finish()
+			s := scorep.NewSession()
+			kernel(s.Runtime(), threads)
+			res, _ := s.End()
 			row := MemoryRow{
 				Code:         spec.Name,
 				Cutoff:       cutoff,
-				TasksCreated: created,
+				TasksCreated: res.TeamStats().TasksCreated,
 			}
-			for _, loc := range m.Locations() {
+			for _, loc := range res.Locations() {
 				if loc.MaxActiveInstances() > row.MaxConcurrent {
 					row.MaxConcurrent = loc.MaxActiveInstances()
 				}

@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/bots"
 	"repro/internal/cube"
-	"repro/internal/omp"
 	"repro/internal/region"
 	"repro/internal/stats"
 )
@@ -157,8 +156,8 @@ type CaseStudyResult struct {
 // of the uninstrumented computing kernel.
 func CaseStudyNQueens(cfg Config, threads int) CaseStudyResult {
 	cfg = cfg.normalized()
-	plain := timeKernel(bots.NQueensSpec.Prepare(cfg.Size, false), omp.NewRuntime(nil), threads, cfg.Warmup, cfg.Reps)
-	cut := timeKernel(bots.NQueensSpec.Prepare(cfg.Size, true), omp.NewRuntime(nil), threads, cfg.Warmup, cfg.Reps)
+	plain := timeKernel(bots.NQueensSpec.Prepare(cfg.Size, false), uninstrumentedRuntime(), threads, cfg.Warmup, cfg.Reps)
+	cut := timeKernel(bots.NQueensSpec.Prepare(cfg.Size, true), uninstrumentedRuntime(), threads, cfg.Warmup, cfg.Reps)
 	speedup := 0.0
 	if cut > 0 {
 		speedup = float64(plain) / float64(cut)

@@ -1,6 +1,9 @@
 package otf2
 
 import (
+	"errors"
+	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/region"
@@ -22,6 +25,82 @@ func ReadFile(path string, reg *region.Registry) (*trace.Trace, error) {
 		return ReadAll(f, reg)
 	}
 	return trace.ReadJSONL(f, reg)
+}
+
+// ReadFileLenient is ReadFile with the warn-and-continue truncation
+// policy applied: an archive cut off mid-chunk (the typical state after
+// a crashed or killed run) yields the salvaged intact prefix and a
+// human-readable warning instead of an error. Anything else — I/O
+// failures, corruption, a bad JSONL line — still fails. The warning is
+// "" for an intact trace.
+func ReadFileLenient(path string, reg *region.Registry) (*trace.Trace, string, error) {
+	tr, err := ReadFile(path, reg)
+	if errors.Is(err, ErrTruncated) {
+		return tr, fmt.Sprintf("%v; using the intact prefix (%d events)", err, tr.NumEvents()), nil
+	}
+	return tr, "", err
+}
+
+// AnalyzeFile runs the trace analysis over a trace file in either
+// format (by extension, like ReadFile). Archives are replayed streaming
+// in O(chunk) memory, so they may be far larger than RAM. Truncated
+// archives are salvaged under the same lenient policy as
+// ReadFileLenient: the analysis of the intact prefix is returned with a
+// warning.
+func AnalyzeFile(path string) (*trace.Analysis, string, error) {
+	if !IsArchivePath(path) {
+		tr, warn, err := ReadFileLenient(path, region.NewRegistry())
+		if err != nil {
+			return nil, "", err
+		}
+		return trace.Analyze(tr), warn, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	a, err := Analyze(f)
+	if errors.Is(err, ErrTruncated) {
+		return a, fmt.Sprintf("%v; analyzing the intact prefix", err), nil
+	}
+	return a, "", err
+}
+
+// CountFileEvents counts a trace file's events. Archives are iterated
+// without materializing the trace, in O(chunk) memory; truncation is
+// salvaged leniently, returning the intact prefix's count plus a
+// warning.
+func CountFileEvents(path string) (int, string, error) {
+	if !IsArchivePath(path) {
+		tr, warn, err := ReadFileLenient(path, region.NewRegistry())
+		if err != nil {
+			return 0, "", err
+		}
+		return tr.NumEvents(), warn, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, "", err
+	}
+	defer f.Close()
+	rd, err := NewReader(f, region.NewRegistry())
+	events := 0
+	if err == nil {
+		for {
+			if _, _, err = rd.Next(); err != nil {
+				break
+			}
+			events++
+		}
+	}
+	if err != nil && err != io.EOF {
+		if !errors.Is(err, ErrTruncated) {
+			return 0, "", err
+		}
+		return events, fmt.Sprintf("%v; counting the intact prefix", err), nil
+	}
+	return events, "", nil
 }
 
 // WriteFile saves a trace to path in the format chosen by its

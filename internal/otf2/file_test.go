@@ -1,0 +1,153 @@
+package otf2
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/region"
+	"repro/internal/trace"
+)
+
+// fileTestTrace builds a deterministic single-thread trace with n task
+// executions.
+func fileTestTrace(reg *region.Registry, n int) *trace.Trace {
+	task := reg.Register("file.task", "file_test.go", 1, region.Task)
+	var evs []trace.Event
+	ts := int64(0)
+	next := func() int64 { ts += 10; return ts }
+	evs = append(evs, trace.Event{Time: next(), Type: trace.EvThreadBegin})
+	for i := 0; i < n; i++ {
+		id := uint64(i + 1)
+		evs = append(evs,
+			trace.Event{Time: next(), Type: trace.EvTaskCreateBegin, Region: task},
+			trace.Event{Time: next(), Type: trace.EvTaskCreateEnd, Region: task, TaskID: id},
+			trace.Event{Time: next(), Type: trace.EvTaskBegin, Region: task, TaskID: id},
+			trace.Event{Time: next(), Type: trace.EvTaskEnd, Region: task, TaskID: id},
+		)
+	}
+	evs = append(evs, trace.Event{Time: next(), Type: trace.EvThreadEnd})
+	return &trace.Trace{Threads: map[int][]trace.Event{0: evs}}
+}
+
+func TestReadFileLenientIntact(t *testing.T) {
+	dir := t.TempDir()
+	reg := region.NewRegistry()
+	tr := fileTestTrace(reg, 8)
+	for _, name := range []string{"t.otf2", "t.jsonl"} {
+		path := filepath.Join(dir, name)
+		if err := WriteFile(path, tr); err != nil {
+			t.Fatal(err)
+		}
+		got, warning, err := ReadFileLenient(path, region.NewRegistry())
+		if err != nil || warning != "" {
+			t.Fatalf("%s: ReadFileLenient = (_, %q, %v), want no warning, no error", name, warning, err)
+		}
+		if got.NumEvents() != tr.NumEvents() {
+			t.Errorf("%s: events = %d, want %d", name, got.NumEvents(), tr.NumEvents())
+		}
+		n, warning, err := CountFileEvents(path)
+		if err != nil || warning != "" || n != tr.NumEvents() {
+			t.Errorf("%s: CountFileEvents = (%d, %q, %v), want (%d, \"\", nil)", name, n, warning, err, tr.NumEvents())
+		}
+	}
+}
+
+// TestReadFileLenientTruncated cuts an archive mid-chunk and checks the
+// lenient helpers salvage the intact prefix with a warning.
+func TestReadFileLenientTruncated(t *testing.T) {
+	dir := t.TempDir()
+	reg := region.NewRegistry()
+	tr := fileTestTrace(reg, 2000) // multiple 1 KiB chunks
+
+	path := filepath.Join(dir, "cut.otf2")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriterSize(f, 1024)
+	if err := w.WriteEvents(0, tr.Threads[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	got, warning, err := ReadFileLenient(path, region.NewRegistry())
+	if err != nil {
+		t.Fatalf("truncated archive must salvage, got %v", err)
+	}
+	if warning == "" {
+		t.Error("truncation produced no warning")
+	}
+	if n := got.NumEvents(); n == 0 || n >= tr.NumEvents() {
+		t.Errorf("salvaged %d events, want a non-empty strict prefix of %d", n, tr.NumEvents())
+	}
+
+	n, warning2, err := CountFileEvents(path)
+	if err != nil || warning2 == "" {
+		t.Fatalf("CountFileEvents = (_, %q, %v), want warning and no error", warning2, err)
+	}
+	if n != got.NumEvents() {
+		t.Errorf("CountFileEvents = %d, ReadFileLenient salvaged %d", n, got.NumEvents())
+	}
+
+	a, warning3, err := AnalyzeFile(path)
+	if err != nil || warning3 == "" || a == nil {
+		t.Fatalf("AnalyzeFile = (%v, %q, %v), want analysis, warning, no error", a, warning3, err)
+	}
+	if want := trace.Analyze(got); !reflect.DeepEqual(a, want) {
+		t.Errorf("streaming analysis of the prefix differs from in-memory analysis")
+	}
+}
+
+// TestAnalyzeFileFormatsAgree checks the two on-disk formats yield the
+// same analysis for the same trace.
+func TestAnalyzeFileFormatsAgree(t *testing.T) {
+	dir := t.TempDir()
+	reg := region.NewRegistry()
+	tr := fileTestTrace(reg, 32)
+	jsonl := filepath.Join(dir, "t.jsonl")
+	archive := filepath.Join(dir, "t.otf2")
+	if err := WriteFile(jsonl, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(archive, tr); err != nil {
+		t.Fatal(err)
+	}
+	aj, _, err := AnalyzeFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aa, _, err := AnalyzeFile(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(aj, aa) {
+		t.Errorf("JSONL and archive analyses differ:\njsonl:   %+v\narchive: %+v", aj, aa)
+	}
+}
+
+func TestLenientHelpersRealErrors(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "missing.otf2")
+	if _, _, err := ReadFileLenient(missing, region.NewRegistry()); err == nil {
+		t.Error("ReadFileLenient accepted a missing file")
+	}
+	if _, _, err := AnalyzeFile(missing); err == nil {
+		t.Error("AnalyzeFile accepted a missing file")
+	}
+	if _, _, err := CountFileEvents(missing); err == nil {
+		t.Error("CountFileEvents accepted a missing file")
+	}
+}

@@ -109,6 +109,11 @@ const (
 // Ext is the file extension conventionally used for archives.
 const Ext = ".otf2"
 
+// FormatVersion is the archive format version this package writes —
+// the header's version byte. Experiment metadata records it so offline
+// tooling can tell which reader an archive needs.
+const FormatVersion = version
+
 // ErrTruncated marks an archive cut off mid-chunk — the typical state
 // after a crashed run. Every event returned before the error belongs to
 // the intact prefix and is valid.

@@ -1,0 +1,225 @@
+package scorep
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Option configures a Session. Options are applied in order; later
+// options override earlier ones, which lets NewSessionFromEnv layer the
+// environment over programmatic defaults.
+type Option func(*sessionConfig)
+
+// sessionConfig is the resolved measurement-environment configuration.
+// It is assembled by NewSession from the options and recorded verbatim
+// in the experiment archive's meta.json.
+type sessionConfig struct {
+	profiling      bool
+	tracing        bool
+	streamingSink  TraceEventSink
+	streamingChunk int
+	filters        []string
+	sched          SchedulerKind
+	clk            Clock
+	extra          []Listener
+	expDir         string
+}
+
+func defaultConfig() sessionConfig {
+	// Profiling on, tracing off: Score-P's defaults
+	// (SCOREP_ENABLE_PROFILING=true, SCOREP_ENABLE_TRACING=false).
+	return sessionConfig{profiling: true, sched: SchedCentralQueue}
+}
+
+// WithProfiling enables call-path profiling (the default). Session.End
+// then exposes the aggregated profile via Results.Report.
+func WithProfiling() Option {
+	return func(c *sessionConfig) { c.profiling = true }
+}
+
+// WithoutProfiling disables profiling — the uninstrumented baseline of
+// the overhead experiments, or a pure tracing run.
+func WithoutProfiling() Option {
+	return func(c *sessionConfig) { c.profiling = false }
+}
+
+// WithTracing enables in-memory event tracing. Session.End then exposes
+// the recording via Results.Trace and its derived metrics via
+// Results.TraceAnalysis. For runs whose trace may outgrow memory use
+// WithStreamingTrace instead.
+func WithTracing() Option {
+	return func(c *sessionConfig) {
+		c.tracing = true
+		c.streamingSink = nil
+	}
+}
+
+// WithoutTracing disables event tracing (the default), overriding an
+// earlier WithTracing/WithStreamingTrace — the programmatic form of
+// SCOREP_ENABLE_TRACING=false.
+func WithoutTracing() Option {
+	return func(c *sessionConfig) {
+		c.tracing = false
+		c.streamingSink = nil
+	}
+}
+
+// WithStreamingTrace enables bounded-memory event tracing: full
+// per-thread chunks of chunkEvents events are flushed to sink
+// (typically a TraceArchiveWriter) instead of accumulating in RAM.
+// chunkEvents <= 0 picks a default. The sink is owned by the caller:
+// close it after Session.End, which surfaces the first sink write error.
+// Results.Trace returns nil in this mode — the recording lives in
+// whatever the sink wrote.
+func WithStreamingTrace(sink TraceEventSink, chunkEvents int) Option {
+	return func(c *sessionConfig) {
+		c.tracing = true
+		c.streamingSink = sink
+		c.streamingChunk = chunkEvents
+	}
+}
+
+// WithFilter wraps the profiling measurement in a region filter —
+// Score-P's measurement filtering, the standard remedy when
+// instrumentation of small functions dominates overhead. Patterns
+// ending in '*' exclude by prefix, others by exact region name;
+// construct regions (parallel/task/barriers/taskwaits) always pass
+// through. The filter applies to profiling only; a trace records the
+// full event stream.
+func WithFilter(patterns ...string) Option {
+	return func(c *sessionConfig) { c.filters = append(c.filters, patterns...) }
+}
+
+// WithScheduler selects the runtime's task scheduler (default
+// SchedCentralQueue, the libgomp model the paper evaluated;
+// SchedWorkStealing is the modern alternative).
+func WithScheduler(kind SchedulerKind) Option {
+	return func(c *sessionConfig) { c.sched = kind }
+}
+
+// WithClock sets the measurement time source for profiles and traces
+// (default: the monotonic system clock). Tests use a manual clock for
+// deterministic results.
+func WithClock(clk Clock) Option {
+	return func(c *sessionConfig) { c.clk = clk }
+}
+
+// WithListener attaches an extra listener to the runtime's event
+// stream, alongside whatever the session itself wires up (custom
+// counters, debugging taps, ...).
+func WithListener(extra Listener) Option {
+	return func(c *sessionConfig) {
+		if extra != nil {
+			c.extra = append(c.extra, extra)
+		}
+	}
+}
+
+// WithExperimentDirectory sets the on-disk experiment archive
+// directory: Session.End automatically calls Results.SaveExperiment on
+// it, the analog of Score-P's scorep-<name>/ output directory
+// (SCOREP_EXPERIMENT_DIRECTORY).
+func WithExperimentDirectory(dir string) Option {
+	return func(c *sessionConfig) { c.expDir = dir }
+}
+
+// Score-P-style environment variables honored by NewSessionFromEnv.
+const (
+	EnvEnableProfiling     = "SCOREP_ENABLE_PROFILING"     // bool: profile the run (default true)
+	EnvEnableTracing       = "SCOREP_ENABLE_TRACING"       // bool: record an event trace (default false)
+	EnvFiltering           = "SCOREP_FILTERING"            // comma-separated region filter patterns
+	EnvExperimentDirectory = "SCOREP_EXPERIMENT_DIRECTORY" // experiment archive directory, saved at End
+	EnvTaskScheduler       = "SCOREP_TASK_SCHEDULER"       // "central-queue" or "work-stealing"
+)
+
+// NewSessionFromEnv creates a session configured from Score-P-style
+// environment variables, layered over the given base options (the
+// environment wins, like Score-P's runtime configuration overriding
+// compiled-in defaults). Unset variables leave the base configuration
+// untouched; malformed values are reported as errors rather than
+// silently ignored.
+func NewSessionFromEnv(opts ...Option) (*Session, error) {
+	envOpts, err := optionsFromEnv()
+	if err != nil {
+		return nil, err
+	}
+	return NewSession(append(append([]Option{}, opts...), envOpts...)...), nil
+}
+
+func optionsFromEnv() ([]Option, error) {
+	var opts []Option
+	if v, ok := os.LookupEnv(EnvEnableProfiling); ok {
+		on, err := parseEnvBool(EnvEnableProfiling, v)
+		if err != nil {
+			return nil, err
+		}
+		if on {
+			opts = append(opts, WithProfiling())
+		} else {
+			opts = append(opts, WithoutProfiling())
+		}
+	}
+	if v, ok := os.LookupEnv(EnvEnableTracing); ok {
+		on, err := parseEnvBool(EnvEnableTracing, v)
+		if err != nil {
+			return nil, err
+		}
+		if on {
+			// Unlike WithTracing, keep a programmatically configured
+			// streaming sink: the variable says "trace", not "trace in
+			// memory".
+			opts = append(opts, func(c *sessionConfig) { c.tracing = true })
+		} else {
+			opts = append(opts, WithoutTracing())
+		}
+	}
+	if v, ok := os.LookupEnv(EnvFiltering); ok {
+		var patterns []string
+		for _, p := range strings.Split(v, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				patterns = append(patterns, p)
+			}
+		}
+		// The environment wins: its pattern list replaces compiled-in
+		// filters (unlike WithFilter, which appends), and an empty value
+		// disables filtering altogether.
+		opts = append(opts, func(c *sessionConfig) { c.filters = patterns })
+	}
+	if v, ok := os.LookupEnv(EnvExperimentDirectory); ok && v != "" {
+		opts = append(opts, WithExperimentDirectory(v))
+	}
+	if v, ok := os.LookupEnv(EnvTaskScheduler); ok {
+		kind, err := parseSchedulerName(v)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", EnvTaskScheduler, err)
+		}
+		opts = append(opts, WithScheduler(kind))
+	}
+	return opts, nil
+}
+
+// parseEnvBool accepts the spellings Score-P's configuration system
+// does: true/false, yes/no, on/off, 1/0 (case-insensitive).
+func parseEnvBool(name, v string) (bool, error) {
+	switch strings.ToLower(strings.TrimSpace(v)) {
+	case "true", "yes", "on", "1":
+		return true, nil
+	case "false", "no", "off", "0":
+		return false, nil
+	}
+	return false, fmt.Errorf("%s: invalid boolean %q (want true/false, yes/no, on/off, 1/0)", name, v)
+}
+
+// parseSchedulerName maps a scheduler name (as printed by
+// SchedulerKind.String) back to its kind.
+func parseSchedulerName(v string) (SchedulerKind, error) {
+	switch strings.ToLower(strings.TrimSpace(v)) {
+	case "central-queue", "central":
+		return SchedCentralQueue, nil
+	case "work-stealing", "stealing":
+		return SchedWorkStealing, nil
+	}
+	return 0, fmt.Errorf("unknown scheduler %q (want %q or %q)",
+		v, SchedCentralQueue, SchedWorkStealing)
+}

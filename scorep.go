@@ -186,6 +186,9 @@ func ReadTraceJSONL(r io.Reader) (*Trace, error) {
 	return trace.ReadJSONL(r, region.NewRegistry())
 }
 
+// TraceEvent is one trace record, the unit a TraceEventSink receives.
+type TraceEvent = trace.Event
+
 // TraceEventSink receives per-thread event chunks flushed by a
 // streaming trace recorder; a TraceArchiveWriter is one.
 type TraceEventSink = trace.EventSink

@@ -1,0 +1,245 @@
+package scorep
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/measure"
+	"repro/internal/omp"
+	"repro/internal/region"
+	"repro/internal/trace"
+)
+
+// Session is one configured measurement environment — the role the
+// Score-P runtime plays for an instrumented program run. NewSession
+// wires the requested subsystems (profiling, tracing, filtering) to a
+// task runtime; the measured code runs through Session.Parallel (or
+// Session.Runtime for the full runtime surface); Session.End finalizes
+// all of them at once and hands back a Results value from which the
+// profile report, the event trace, the trace-derived metrics and the
+// automatic diagnosis are available consistently.
+//
+//	s := scorep.NewSession(scorep.WithTracing())
+//	s.Parallel(4, par, func(t *scorep.Thread) { ... })
+//	res, err := s.End()
+//	res.Report()        // aggregated call-path profile
+//	res.TraceAnalysis() // dispatch latency, management/execution ratio
+//	res.SaveExperiment("scorep-run") // the on-disk experiment archive
+//
+// A Session is for one run: End is idempotent but the session must not
+// record further work after it. The pieces it wires (NewMeasurement,
+// NewTraceRecorder, NewTee, NewRuntime, ...) remain exported as the
+// power-user layer for custom setups.
+type Session struct {
+	cfg sessionConfig
+	rt  *Runtime
+	m   *Measurement
+	rec *TraceRecorder
+
+	started time.Time
+
+	mu      sync.Mutex
+	results *Results
+	endErr  error
+}
+
+// NewSession creates a measurement environment from functional options.
+// With no options it profiles and does not trace — Score-P's defaults.
+// See NewSessionFromEnv for the environment-variable-driven variant.
+func NewSession(opts ...Option) *Session {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	clk := cfg.clk
+	if clk == nil {
+		clk = clock.NewSystem()
+	}
+
+	s := &Session{cfg: cfg, started: time.Now()}
+	var listeners []Listener
+	if cfg.profiling {
+		s.m = measure.NewWithClock(clk, region.Default)
+		var l Listener = s.m
+		if len(cfg.filters) > 0 {
+			l = measure.NewFilter(s.m, cfg.filters...)
+		}
+		listeners = append(listeners, l)
+	}
+	if cfg.tracing {
+		if cfg.streamingSink != nil {
+			s.rec = trace.NewStreamingRecorder(clk, cfg.streamingSink, cfg.streamingChunk)
+		} else {
+			s.rec = trace.NewRecorder(clk)
+		}
+		listeners = append(listeners, s.rec)
+	}
+	listeners = append(listeners, cfg.extra...)
+
+	var l Listener
+	switch len(listeners) {
+	case 0:
+		// Uninstrumented: the runtime skips all event emission.
+	case 1:
+		l = listeners[0]
+	default:
+		l = trace.NewTee(listeners...)
+	}
+	s.rt = omp.NewRuntime(l)
+	s.rt.Sched = cfg.sched
+	return s
+}
+
+// Runtime returns the session's task runtime, the execution engine the
+// measured code runs on.
+func (s *Session) Runtime() *Runtime { return s.rt }
+
+// Parallel runs a parallel region on the session's runtime — shorthand
+// for s.Runtime().Parallel.
+func (s *Session) Parallel(n int, r *Region, body func(t *Thread)) {
+	s.rt.Parallel(n, r, body)
+}
+
+// Profiling reports whether the session profiles.
+func (s *Session) Profiling() bool { return s.cfg.profiling }
+
+// Tracing reports whether the session records an event trace.
+func (s *Session) Tracing() bool { return s.cfg.tracing }
+
+// Scheduler returns the configured task scheduler.
+func (s *Session) Scheduler() SchedulerKind { return s.cfg.sched }
+
+// ExperimentDir returns the experiment archive directory End saves to,
+// or "" when no directory is configured.
+func (s *Session) ExperimentDir() string { return s.cfg.expDir }
+
+// End finalizes the measurement environment: it closes the profiling
+// locations, flushes and detaches the trace recorder, and captures the
+// runtime's scheduler statistics. The returned Results exposes every
+// product of the run; calling End again returns the same Results.
+//
+// The error reports a streaming-trace sink failure or, when an
+// experiment directory is configured (WithExperimentDirectory or
+// SCOREP_EXPERIMENT_DIRECTORY), a failure to save the experiment
+// archive. The Results is valid even when err != nil.
+func (s *Session) End() (*Results, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.results != nil {
+		return s.results, s.endErr
+	}
+
+	wall := time.Since(s.started)
+	if s.m != nil {
+		s.m.Finish()
+	}
+	var tr *Trace
+	var err error
+	if s.rec != nil {
+		tr = s.rec.Finish()
+		if s.cfg.streamingSink != nil {
+			// Streaming mode: the recording lives in the sink; the
+			// returned trace is empty by contract.
+			tr = nil
+			err = s.rec.Err()
+		}
+	}
+
+	s.results = &Results{
+		cfg:   s.cfg,
+		m:     s.m,
+		trace: tr,
+		stats: s.rt.LastTeamStats(),
+		wall:  wall,
+	}
+	if s.cfg.expDir != "" {
+		if serr := s.results.SaveExperiment(s.cfg.expDir); serr != nil {
+			err = errors.Join(err, serr)
+		}
+	}
+	s.endErr = err
+	return s.results, err
+}
+
+// Results exposes everything one measured run produced. All derived
+// values (report, findings, trace analysis) are computed lazily on
+// first use and cached, so repeated accessors observe consistent data.
+// Results is safe for concurrent use.
+type Results struct {
+	cfg   sessionConfig
+	m     *Measurement
+	trace *Trace
+	stats TeamStats
+	wall  time.Duration
+
+	mu          sync.Mutex
+	report      *Report
+	analysis    *TraceAnalysis
+	findings    []Finding
+	findingsSet bool
+}
+
+// Report returns the aggregated cross-thread profile, or nil when the
+// session did not profile.
+func (r *Results) Report() *Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reportLocked()
+}
+
+func (r *Results) reportLocked() *Report {
+	if r.report == nil && r.m != nil {
+		r.report = AggregateReport(r.m.Locations())
+	}
+	return r.report
+}
+
+// Trace returns the recorded event trace, or nil when the session did
+// not trace in memory (streaming traces live in their sink).
+func (r *Results) Trace() *Trace { return r.trace }
+
+// TraceAnalysis derives the paper's §VII metrics (dispatch latency,
+// management/execution ratio) from the recorded trace, or returns nil
+// when no in-memory trace exists.
+func (r *Results) TraceAnalysis() *TraceAnalysis {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.analysis == nil && r.trace != nil {
+		r.analysis = AnalyzeTrace(r.trace)
+	}
+	return r.analysis
+}
+
+// Findings diagnoses tasking inefficiencies in the profile using the
+// paper's Section III patterns, or returns nil when the session did not
+// profile.
+func (r *Results) Findings() []Finding {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.findingsSet {
+		if rep := r.reportLocked(); rep != nil {
+			r.findings = AnalyzeReport(rep)
+		}
+		r.findingsSet = true
+	}
+	return r.findings
+}
+
+// TeamStats returns the scheduler counters of the run's last parallel
+// region.
+func (r *Results) TeamStats() TeamStats { return r.stats }
+
+// WallTime returns the wall-clock duration from NewSession to End.
+func (r *Results) WallTime() time.Duration { return r.wall }
+
+// Locations returns the per-thread profiles, the raw input of Report —
+// the power-user view (allocation counters, per-location inspection).
+// Nil when the session did not profile.
+func (r *Results) Locations() []*ThreadProfile {
+	if r.m == nil {
+		return nil
+	}
+	return r.m.Locations()
+}
