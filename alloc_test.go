@@ -1,0 +1,131 @@
+// Allocation-regression tests for the per-event hot path: in steady
+// state (pools warm, caches populated, chunk buffers at capacity) no
+// event may allocate — the zero-alloc contract behind the overhead
+// numbers in doc.go's "Overhead" section and the scorep-bench gate in
+// CI.
+package scorep_test
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/measure"
+	"repro/internal/omp"
+	"repro/internal/pomp"
+	"repro/internal/region"
+	"repro/internal/trace"
+)
+
+type zeroAllocSink struct{}
+
+func (zeroAllocSink) WriteEvents(int, []trace.Event) error { return nil }
+
+func zeroAllocNopTask(*omp.Thread) {}
+
+func zeroAllocNopFn() {}
+
+// zeroAllocRegions interns one workload's regions in a fresh registry.
+type zeroAllocRegions struct {
+	par, work, task, tw *region.Region
+}
+
+func newZeroAllocRegions(reg *region.Registry) zeroAllocRegions {
+	return zeroAllocRegions{
+		par:  reg.Register("za.par", "alloc.go", 1, region.Parallel),
+		work: reg.Register("za.work", "alloc.go", 2, region.UserFunction),
+		task: reg.Register("za.task", "alloc.go", 3, region.Task),
+		tw:   reg.Register("za.tw", "alloc.go", 4, region.Taskwait),
+	}
+}
+
+// assertZeroAllocs runs the steady-state probes on one listener
+// configuration inside a single-thread parallel region.
+func assertZeroAllocs(t *testing.T, cfg string, l omp.Listener, reg *region.Registry, rs zeroAllocRegions) {
+	t.Helper()
+	rt := omp.NewRuntimeWithRegistry(l, reg)
+	rt.Parallel(1, rs.par, func(th *omp.Thread) {
+		// Warm every path this test measures: call-tree nodes, the
+		// create-region cache, task/instance pools, deque and
+		// child-entry capacity, and (streaming) chunk buffers across
+		// several flushes.
+		for i := 0; i < 1024; i++ {
+			pomp.Function(th, rs.work, zeroAllocNopFn)
+			th.NewTask(rs.task, zeroAllocNopTask, omp.If(false))
+			th.NewTask(rs.task, zeroAllocNopTask)
+			if i%32 == 31 {
+				th.Taskwait(rs.tw)
+			}
+		}
+		th.Taskwait(rs.tw)
+
+		if a := testing.AllocsPerRun(512, func() {
+			pomp.Function(th, rs.work, zeroAllocNopFn)
+		}); a != 0 {
+			t.Errorf("%s: steady-state Enter/Exit allocates %v/op, want 0", cfg, a)
+		}
+		if a := testing.AllocsPerRun(512, func() {
+			th.NewTask(rs.task, zeroAllocNopTask, omp.If(false))
+		}); a != 0 {
+			t.Errorf("%s: undeferred TaskBegin/TaskEnd allocates %v/op, want 0", cfg, a)
+		}
+		n := 0
+		if a := testing.AllocsPerRun(512, func() {
+			th.NewTask(rs.task, zeroAllocNopTask)
+			n++
+			if n%32 == 0 {
+				th.Taskwait(rs.tw)
+			}
+		}); a != 0 {
+			t.Errorf("%s: deferred spawn+execute allocates %v/op, want 0", cfg, a)
+		}
+		th.Taskwait(rs.tw)
+	})
+}
+
+// TestHotPathZeroAllocs asserts the zero-alloc contract for the
+// profiling listener alone, the streaming trace recorder alone
+// (amortized over chunk flushes), and the canonical fused
+// profiling+tracing Tee.
+func TestHotPathZeroAllocs(t *testing.T) {
+	t.Run("profile", func(t *testing.T) {
+		reg := region.NewRegistry()
+		rs := newZeroAllocRegions(reg)
+		m := measure.NewWithClock(clock.NewSystem(), reg)
+		assertZeroAllocs(t, "profile", m, reg, rs)
+		m.Finish()
+	})
+	t.Run("stream-trace", func(t *testing.T) {
+		reg := region.NewRegistry()
+		rs := newZeroAllocRegions(reg)
+		rec := trace.NewStreamingRecorder(clock.NewSystem(), zeroAllocSink{}, 256)
+		assertZeroAllocs(t, "stream-trace", rec, reg, rs)
+		rec.Finish()
+		if err := rec.Err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("fused-profile+trace", func(t *testing.T) {
+		reg := region.NewRegistry()
+		rs := newZeroAllocRegions(reg)
+		clk := clock.NewSystem()
+		m := measure.NewWithClock(clk, reg)
+		rec := trace.NewStreamingRecorder(clk, zeroAllocSink{}, 256)
+		assertZeroAllocs(t, "fused-profile+trace", trace.NewTee(m, rec), reg, rs)
+		m.Finish()
+		rec.Finish()
+		if err := rec.Err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("fused-profile+filter+trace", func(t *testing.T) {
+		reg := region.NewRegistry()
+		rs := newZeroAllocRegions(reg)
+		clk := clock.NewSystem()
+		m := measure.NewWithClock(clk, reg)
+		f := measure.NewFilter(m, "zz_never_*", "zz_nomatch")
+		rec := trace.NewStreamingRecorder(clk, zeroAllocSink{}, 256)
+		assertZeroAllocs(t, "fused-profile+filter+trace", trace.NewTee(f, rec), reg, rs)
+		m.Finish()
+		rec.Finish()
+	})
+}

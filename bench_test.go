@@ -21,29 +21,61 @@ import (
 	"repro/internal/measure"
 	"repro/internal/omp"
 	"repro/internal/region"
+	"repro/internal/trace"
 )
 
 // benchSize keeps `go test -bench=.` affordable; the cmd/scorep-exp tool
-// runs the full medium-size evaluation.
+// runs the full medium-size evaluation (and cmd/scorep-bench emits the
+// machine-readable perf trajectory).
 const benchSize = bots.SizeSmall
 
 var benchThreads = []int{1, 4}
 
+// benchListener wires one listener configuration: "uninst" (nil),
+// "inst" (profiling), "inst+trace" (the canonical fused
+// profiling+tracing pair on one clock, as NewSession(WithTracing())
+// builds it — in-memory recorder, so use it only where the workload
+// bounds the trace per iteration) or "inst+trace-stream" (the same
+// fused pair streaming into a discarding sink: bounded memory at any
+// b.N, for the open-loop micro benches). The finish func finalizes the
+// configuration.
+func benchListener(cfg string) (omp.Listener, func()) {
+	switch cfg {
+	case "uninst":
+		return nil, func() {}
+	case "inst":
+		m := measure.New()
+		return m, func() { m.Finish() }
+	case "inst+trace", "inst+trace-stream":
+		clk := clock.NewSystem()
+		m := measure.NewWithClock(clk, region.Default)
+		var rec *trace.Recorder
+		if cfg == "inst+trace" {
+			rec = trace.NewRecorder(clk)
+		} else {
+			rec = trace.NewStreamingRecorder(clk, discardEvents{}, 0)
+		}
+		return trace.NewTee(m, rec), func() { m.Finish(); rec.Finish() }
+	}
+	panic("unknown bench listener config " + cfg)
+}
+
+// discardEvents is a zero-cost streaming sink for benchmarks.
+type discardEvents struct{}
+
+func (discardEvents) WriteEvents(int, []trace.Event) error { return nil }
+
 // benchKernel runs one prepared kernel per iteration. It returns the
 // last iteration's runtime so callers can report its TeamStats.
-func benchKernel(b *testing.B, kernel bots.Kernel, instrumented bool, threads int) *omp.Runtime {
+func benchKernel(b *testing.B, kernel bots.Kernel, cfg string, threads int) *omp.Runtime {
 	b.Helper()
 	var sink uint64
 	var rt *omp.Runtime
 	for i := 0; i < b.N; i++ {
-		var m *measure.Measurement
-		if instrumented {
-			m = measure.New()
-			rt = omp.NewRuntime(m)
-		} else {
-			rt = omp.NewRuntime(nil)
-		}
+		l, fin := benchListener(cfg)
+		rt = omp.NewRuntime(l)
 		sink += kernel(rt, threads)
+		fin()
 	}
 	if sink == 0 {
 		b.Fatal("kernel produced zero checksum")
@@ -51,19 +83,16 @@ func benchKernel(b *testing.B, kernel bots.Kernel, instrumented bool, threads in
 	return rt
 }
 
-// BenchmarkFig13OverheadCutoff: instrumented vs. uninstrumented runtime
-// of all nine codes in optimized (cut-off) form — the paper's Fig. 13.
+// BenchmarkFig13OverheadCutoff: instrumented (profiling, and the fused
+// profiling+tracing pair) vs. uninstrumented runtime of all nine codes
+// in optimized (cut-off) form — the paper's Fig. 13.
 func BenchmarkFig13OverheadCutoff(b *testing.B) {
 	for _, spec := range bots.All {
 		kernel := spec.Prepare(benchSize, spec.HasCutoff)
 		for _, th := range benchThreads {
-			for _, inst := range []bool{false, true} {
-				label := "uninst"
-				if inst {
-					label = "inst"
-				}
-				b.Run(fmt.Sprintf("%s/threads=%d/%s", spec.Name, th, label), func(b *testing.B) {
-					benchKernel(b, kernel, inst, th)
+			for _, cfg := range []string{"uninst", "inst", "inst+trace"} {
+				b.Run(fmt.Sprintf("%s/threads=%d/%s", spec.Name, th, cfg), func(b *testing.B) {
+					benchKernel(b, kernel, cfg, th)
 				})
 			}
 		}
@@ -76,13 +105,9 @@ func BenchmarkFig14OverheadNoCutoff(b *testing.B) {
 	for _, spec := range bots.CutoffCodes() {
 		kernel := spec.Prepare(benchSize, false)
 		for _, th := range benchThreads {
-			for _, inst := range []bool{false, true} {
-				label := "uninst"
-				if inst {
-					label = "inst"
-				}
-				b.Run(fmt.Sprintf("%s/threads=%d/%s", spec.Name, th, label), func(b *testing.B) {
-					benchKernel(b, kernel, inst, th)
+			for _, cfg := range []string{"uninst", "inst"} {
+				b.Run(fmt.Sprintf("%s/threads=%d/%s", spec.Name, th, cfg), func(b *testing.B) {
+					benchKernel(b, kernel, cfg, th)
 				})
 			}
 		}
@@ -111,7 +136,7 @@ func BenchmarkFig15RuntimeScaling(b *testing.B) {
 		kernel := spec.Prepare(benchSize, false)
 		for _, th := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("%s/threads=%d", spec.Name, th), func(b *testing.B) {
-				rt := benchKernel(b, kernel, false, th)
+				rt := benchKernel(b, kernel, "uninst", th)
 				reportSchedulerContention(b, rt)
 			})
 		}
@@ -183,18 +208,18 @@ func BenchmarkTable3NqueensRegions(b *testing.B) {
 func BenchmarkTable4NqueensDepth(b *testing.B) {
 	kernel := bots.NQueensDepthKernel(benchSize)
 	plain := bots.NQueensSpec.Prepare(benchSize, false)
-	b.Run("with-depth-param", func(b *testing.B) { benchKernel(b, kernel, true, 4) })
-	b.Run("without-param", func(b *testing.B) { benchKernel(b, plain, true, 4) })
+	b.Run("with-depth-param", func(b *testing.B) { benchKernel(b, kernel, "inst", 4) })
+	b.Run("without-param", func(b *testing.B) { benchKernel(b, plain, "inst", 4) })
 }
 
 // BenchmarkCaseStudyNQueens: the Section VI outcome — cut-off vs. plain,
 // uninstrumented.
 func BenchmarkCaseStudyNQueens(b *testing.B) {
 	b.Run("plain", func(b *testing.B) {
-		benchKernel(b, bots.NQueensSpec.Prepare(benchSize, false), false, 4)
+		benchKernel(b, bots.NQueensSpec.Prepare(benchSize, false), "uninst", 4)
 	})
 	b.Run("cutoff-depth3", func(b *testing.B) {
-		benchKernel(b, bots.NQueensSpec.Prepare(benchSize, true), false, 4)
+		benchKernel(b, bots.NQueensSpec.Prepare(benchSize, true), "uninst", 4)
 	})
 }
 
@@ -266,8 +291,10 @@ func BenchmarkAblationNodePooling(b *testing.B) {
 }
 
 // BenchmarkAblationClockCost isolates the share of the profiling
-// overhead attributable to reading the clock: system clock vs. a
-// counter-based fake clock.
+// overhead attributable to reading the clock: system clock (anchored
+// and zero-value lazily anchored through the sync.Once path) vs. a
+// counter-based fake clock. The raw-read sub-benches measure Now alone,
+// outside the profiling engine.
 func BenchmarkAblationClockCost(b *testing.B) {
 	reg := region.NewRegistry()
 	work := reg.Register("clk.work", "b.go", 1, region.UserFunction)
@@ -280,10 +307,23 @@ func BenchmarkAblationClockCost(b *testing.B) {
 		}
 	}
 	b.Run("system-clock", func(b *testing.B) { run(b, clock.NewSystem()) })
+	b.Run("system-clock-zero-value", func(b *testing.B) { run(b, &clock.System{}) })
 	b.Run("counter-clock", func(b *testing.B) {
 		var c atomic.Int64
 		run(b, clock.Func(func() int64 { return c.Add(1) }))
 	})
+	rawRead := func(b *testing.B, clk clock.Clock) {
+		var sink int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sink += clk.Now()
+		}
+		if sink < 0 {
+			b.Fatal("clock went backwards")
+		}
+	}
+	b.Run("raw-read", func(b *testing.B) { rawRead(b, clock.NewSystem()) })
+	b.Run("raw-read-zero-value", func(b *testing.B) { rawRead(b, &clock.System{}) })
 }
 
 // BenchmarkAblationListenerNilCheck measures the uninstrumented event
@@ -309,30 +349,83 @@ func BenchmarkAblationListenerNilCheck(b *testing.B) {
 // Microbenchmarks of the measurement primitives
 // ---------------------------------------------------------------------
 
-// BenchmarkEnterExit measures one instrumented region visit.
+// microConfigs maps the micro-bench sub-benchmark labels to
+// benchListener configurations (streaming recorder: open benchmark
+// loops must not grow an in-memory trace).
+var microConfigs = []struct{ label, cfg string }{
+	{"profile", "inst"},
+	{"profile+trace", "inst+trace-stream"},
+}
+
+// BenchmarkEnterExit measures one instrumented region visit: in the
+// profiling engine alone (core), and through the full runtime->listener
+// per-event path for profiling and fused profiling+tracing.
 func BenchmarkEnterExit(b *testing.B) {
-	reg := region.NewRegistry()
-	work := reg.Register("micro.work", "b.go", 1, region.UserFunction)
-	p := core.NewThreadProfile(0, clock.NewSystem())
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p.Enter(work)
-		p.Exit(work)
+	b.Run("core", func(b *testing.B) {
+		reg := region.NewRegistry()
+		work := reg.Register("micro.work", "b.go", 1, region.UserFunction)
+		p := core.NewThreadProfile(0, clock.NewSystem())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Enter(work)
+			p.Exit(work)
+		}
+	})
+	par := region.MustRegister("micro.par", "b.go", 10, region.Parallel)
+	work := region.MustRegister("micro.workrt", "b.go", 11, region.UserFunction)
+	for _, mc := range microConfigs {
+		b.Run(mc.label, func(b *testing.B) {
+			b.ReportAllocs()
+			l, fin := benchListener(mc.cfg)
+			rt := omp.NewRuntime(l)
+			rt.Parallel(1, par, func(t *omp.Thread) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					l.Enter(t, work)
+					l.Exit(t, work)
+				}
+				b.StopTimer()
+			})
+			fin()
+		})
 	}
 }
 
-// BenchmarkTaskBeginEnd measures the full task-instance lifecycle in the
-// profiling engine: instance allocation, switch, stub accounting, merge.
+// BenchmarkTaskBeginEnd measures the full task-instance lifecycle: in
+// the profiling engine alone (instance allocation, switch, stub
+// accounting, merge), and through the runtime as an undeferred task
+// (five events per op) for profiling and fused profiling+tracing.
 func BenchmarkTaskBeginEnd(b *testing.B) {
-	reg := region.NewRegistry()
-	task := reg.Register("micro.task", "b.go", 1, region.Task)
-	bar := reg.Register("micro.barrier", "b.go", 2, region.ImplicitBarrier)
-	p := core.NewThreadProfile(0, clock.NewSystem())
-	p.Enter(bar)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p.TaskBegin(task)
-		p.TaskEnd()
+	b.Run("core", func(b *testing.B) {
+		reg := region.NewRegistry()
+		task := reg.Register("micro.task", "b.go", 1, region.Task)
+		bar := reg.Register("micro.barrier", "b.go", 2, region.ImplicitBarrier)
+		p := core.NewThreadProfile(0, clock.NewSystem())
+		p.Enter(bar)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.TaskBegin(task)
+			p.TaskEnd()
+		}
+	})
+	par := region.MustRegister("micro.tpar", "b.go", 20, region.Parallel)
+	task := region.MustRegister("micro.taskrt", "b.go", 21, region.Task)
+	for _, mc := range microConfigs {
+		b.Run(mc.label, func(b *testing.B) {
+			b.ReportAllocs()
+			l, fin := benchListener(mc.cfg)
+			rt := omp.NewRuntime(l)
+			rt.Parallel(1, par, func(t *omp.Thread) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					t.NewTask(task, func(*omp.Thread) {}, omp.If(false))
+				}
+				b.StopTimer()
+			})
+			fin()
+		})
 	}
 }
 

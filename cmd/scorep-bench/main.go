@@ -1,0 +1,576 @@
+// Command scorep-bench is the perf-trajectory harness: it runs the
+// paper's Fig. 13/14/15 overhead experiments and microbenchmarks of the
+// per-event measurement hot path with warmup and repetitions, and emits
+// a machine-readable JSON report (ns/op, allocs/op, bytes/event, deltas
+// against a committed baseline).
+//
+// The committed baseline (bench_baseline.json) pins the perf trajectory:
+// CI runs `scorep-bench -quick -check-allocs` on every change and fails
+// when a hot-path benchmark allocates more per op than the baseline —
+// ns/op is reported but not gated, since wall-clock numbers are not
+// comparable across machines, while allocation counts are.
+//
+// Usage:
+//
+//	scorep-bench -quick -baseline bench_baseline.json -out BENCH_PR4.json -check-allocs
+//	scorep-bench -bench 'fig13/fib' -reps 5
+//
+// Benchmark names are hierarchical: micro/* exercises the profiling
+// engine directly, event/* the full runtime->listener per-event path in
+// each listener configuration (uninst, profile, trace, profile+trace,
+// profile+filter), stream/* the streaming trace record path including
+// binary archive encoding, clock/* the timestamp source, and fig13/14/15
+// the paper's figure experiments on the BOTS codes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/bots"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/omp"
+	"repro/internal/otf2"
+	"repro/internal/pomp"
+	"repro/internal/region"
+	"repro/internal/trace"
+)
+
+// Result is one benchmark measurement: the minimum ns/op over all
+// repetitions (the least-noisy estimate of the true cost) and the
+// minimum allocs/op (steady-state allocation behaviour; amortized warmup
+// allocations can make single repetitions read high).
+type Result struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	N           int                `json:"n"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Delta compares one benchmark against the baseline file.
+type Delta struct {
+	Name        string  `json:"name"`
+	BaseNsPerOp float64 `json:"base_ns_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsDeltaPct  float64 `json:"ns_delta_pct"`
+	BaseAllocs  int64   `json:"base_allocs_per_op"`
+	Allocs      int64   `json:"allocs_per_op"`
+	Hot         bool    `json:"hot"`
+}
+
+// File is the schema of the emitted JSON (and of the committed
+// baseline).
+type File struct {
+	Schema       string   `json:"schema"`
+	Quick        bool     `json:"quick"`
+	GoVersion    string   `json:"go_version"`
+	GOOS         string   `json:"goos"`
+	GOARCH       string   `json:"goarch"`
+	GOMAXPROCS   int      `json:"gomaxprocs"`
+	NumCPU       int      `json:"num_cpu"`
+	BenchTime    string   `json:"bench_time"`
+	Reps         int      `json:"reps"`
+	Timestamp    string   `json:"timestamp"`
+	Results      []Result `json:"results"`
+	BaselineFile string   `json:"baseline_file,omitempty"`
+	Deltas       []Delta  `json:"deltas,omitempty"`
+}
+
+// spec is one benchmark to run. Hot marks per-event hot-path benches
+// whose allocs/op are gated against the baseline by -check-allocs.
+type spec struct {
+	name  string
+	hot   bool
+	quick bool // included in -quick mode
+	fn    func(b *testing.B)
+}
+
+// Shared regions for the micro/event benches, interned once in the
+// default registry like OPARI2's generated registration.
+var (
+	benchPar  = region.MustRegister("bench.parallel", "bench.go", 1, region.Parallel)
+	benchWork = region.MustRegister("bench.work", "bench.go", 2, region.UserFunction)
+	benchTask = region.MustRegister("bench.task", "bench.go", 3, region.Task)
+	benchTw   = region.MustRegister("bench.taskwait", "bench.go", 4, region.Taskwait)
+)
+
+func nopTask(*omp.Thread) {}
+
+func nopFn() {}
+
+// discardSink is a zero-cost streaming-trace sink.
+type discardSink struct{}
+
+func (discardSink) WriteEvents(int, []trace.Event) error { return nil }
+
+// countingWriter counts bytes written (for bytes/event metrics).
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) { c.n += int64(len(p)); return len(p), nil }
+
+// newListener builds one listener configuration. The finish func
+// finalizes whatever the configuration wired.
+func newListener(cfg string) (omp.Listener, func()) {
+	switch cfg {
+	case "uninst":
+		return nil, func() {}
+	case "profile":
+		m := measure.New()
+		return m, func() { m.Finish() }
+	case "profile+filter":
+		// A filter that excludes nothing but must be consulted per event:
+		// the worst case of the filter lookup cost.
+		m := measure.New()
+		f := measure.NewFilter(m, "zz_never_*", "zz_nomatch")
+		return f, func() { m.Finish() }
+	case "trace":
+		rec := trace.NewStreamingRecorder(clock.NewSystem(), discardSink{}, 0)
+		return rec, func() { rec.Finish() }
+	case "profile+trace":
+		// The canonical WithTracing pair under a Tee — one shared clock,
+		// as the Session wires it — streaming so the benchmark loop is
+		// bounded-memory.
+		clk := clock.NewSystem()
+		m := measure.NewWithClock(clk, region.Default)
+		rec := trace.NewStreamingRecorder(clk, discardSink{}, 0)
+		return trace.NewTee(m, rec), func() { m.Finish(); rec.Finish() }
+	case "profile+trace-mem":
+		// In-memory recorder (the WithTracing session default); only used
+		// by the figure benches, which bound the trace per iteration.
+		clk := clock.NewSystem()
+		m := measure.NewWithClock(clk, region.Default)
+		rec := trace.NewRecorder(clk)
+		return trace.NewTee(m, rec), func() { m.Finish(); rec.Finish() }
+	}
+	panic("scorep-bench: unknown listener config " + cfg)
+}
+
+// benchEnterExit measures one instrumented user-region visit through the
+// full runtime->listener path.
+func benchEnterExit(cfg string) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		l, fin := newListener(cfg)
+		rt := omp.NewRuntime(l)
+		rt.Parallel(1, benchPar, func(t *omp.Thread) {
+			for i := 0; i < 512; i++ { // steady the path before timing
+				pomp.Function(t, benchWork, nopFn)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pomp.Function(t, benchWork, nopFn)
+			}
+			b.StopTimer()
+		})
+		fin()
+	}
+}
+
+// benchTaskInline measures the full event cost of one undeferred task:
+// create-begin/end, begin/end, switch — five events per op.
+func benchTaskInline(cfg string) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		l, fin := newListener(cfg)
+		rt := omp.NewRuntime(l)
+		rt.Parallel(1, benchPar, func(t *omp.Thread) {
+			for i := 0; i < 512; i++ {
+				t.NewTask(benchTask, nopTask, omp.If(false))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.NewTask(benchTask, nopTask, omp.If(false))
+			}
+			b.StopTimer()
+		})
+		fin()
+	}
+}
+
+// benchTaskSpawn measures deferred task spawn+execute throughput with a
+// taskwait every 64 tasks (single thread, so every task runs locally).
+func benchTaskSpawn(cfg string) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		l, fin := newListener(cfg)
+		rt := omp.NewRuntime(l)
+		rt.Parallel(1, benchPar, func(t *omp.Thread) {
+			for i := 0; i < 512; i++ {
+				t.NewTask(benchTask, nopTask)
+				if i%64 == 63 {
+					t.Taskwait(benchTw)
+				}
+			}
+			t.Taskwait(benchTw)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.NewTask(benchTask, nopTask)
+				if i%64 == 63 {
+					t.Taskwait(benchTw)
+				}
+			}
+			t.Taskwait(benchTw)
+			b.StopTimer()
+		})
+		fin()
+	}
+}
+
+// benchMicroEnterExit measures the profiling engine alone (no runtime).
+func benchMicroEnterExit(b *testing.B) {
+	b.ReportAllocs()
+	p := core.NewThreadProfile(0, clock.NewSystem())
+	for i := 0; i < 512; i++ {
+		p.Enter(benchWork)
+		p.Exit(benchWork)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Enter(benchWork)
+		p.Exit(benchWork)
+	}
+}
+
+// benchMicroTask measures the task-instance lifecycle in the profiling
+// engine alone: allocation, switch, stub accounting, merge.
+func benchMicroTask(b *testing.B) {
+	b.ReportAllocs()
+	p := core.NewThreadProfile(0, clock.NewSystem())
+	p.Enter(benchTw)
+	for i := 0; i < 512; i++ {
+		p.TaskBegin(benchTask)
+		p.TaskEnd()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.TaskBegin(benchTask)
+		p.TaskEnd()
+	}
+}
+
+// benchStreamRecord measures the streaming record path end to end
+// through the binary archive encoder, reporting bytes/event.
+func benchStreamRecord(b *testing.B) {
+	b.ReportAllocs()
+	cw := &countingWriter{}
+	w := otf2.NewWriter(cw)
+	rec := trace.NewStreamingRecorder(clock.NewSystem(), w, 0)
+	rt := omp.NewRuntime(rec)
+	var events int64
+	rt.Parallel(1, benchPar, func(t *omp.Thread) {
+		for i := 0; i < 512; i++ {
+			pomp.Function(t, benchWork, nopFn)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pomp.Function(t, benchWork, nopFn)
+		}
+		b.StopTimer()
+		events = 2 * int64(b.N)
+	})
+	rec.Finish()
+	if err := w.Flush(); err != nil {
+		b.Fatalf("archive flush: %v", err)
+	}
+	if events > 0 {
+		b.ReportMetric(float64(cw.n)/float64(events), "bytes/event")
+	}
+}
+
+// benchClock measures the timestamp read cost.
+func benchClock(zeroValue bool) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var clk clock.Clock
+		if zeroValue {
+			clk = &clock.System{}
+		} else {
+			clk = clock.NewSystem()
+		}
+		var sink int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sink += clk.Now()
+		}
+		if sink < 0 {
+			b.Fatal("clock went backwards")
+		}
+	}
+}
+
+var kernelSink uint64
+
+// benchFigure runs one BOTS kernel per op in the given listener
+// configuration — the shape of the paper's Fig. 13/14/15 experiments.
+func benchFigure(kernel bots.Kernel, threads int, cfg string) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			l, fin := newListener(cfg)
+			rt := omp.NewRuntime(l)
+			sink += kernel(rt, threads)
+			fin()
+		}
+		kernelSink += sink
+	}
+}
+
+// buildSpecs assembles the benchmark list.
+func buildSpecs(quick bool) []spec {
+	var specs []spec
+	add := func(name string, hot, q bool, fn func(*testing.B)) {
+		specs = append(specs, spec{name: name, hot: hot, quick: q, fn: fn})
+	}
+
+	// Microbenchmarks of the profiling engine.
+	add("micro/enter-exit/core", true, true, benchMicroEnterExit)
+	add("micro/task/core", true, true, benchMicroTask)
+
+	// Per-event path through the runtime, per listener configuration.
+	for _, cfg := range []string{"uninst", "profile", "profile+filter", "trace", "profile+trace"} {
+		add("event/enter-exit/"+cfg, cfg != "uninst", true, benchEnterExit(cfg))
+	}
+	for _, cfg := range []string{"uninst", "profile", "profile+trace"} {
+		add("event/task-inline/"+cfg, cfg != "uninst", true, benchTaskInline(cfg))
+	}
+	for _, cfg := range []string{"uninst", "profile+trace"} {
+		add("event/task-spawn/"+cfg, cfg != "uninst", true, benchTaskSpawn(cfg))
+	}
+
+	// Streaming record incl. binary encoding, and the clock.
+	add("stream/record", true, true, benchStreamRecord)
+	add("clock/now", false, true, benchClock(false))
+	add("clock/now-zero-value", false, true, benchClock(true))
+
+	// Figure experiments on the BOTS codes.
+	size := bots.SizeSmall
+	threads := []int{1, 4}
+	fig13Codes := bots.All
+	fig1415Codes := bots.CutoffCodes()
+	fig15Threads := []int{1, 2, 4, 8}
+	if quick {
+		size = bots.SizeTiny
+		threads = []int{1, 2}
+		fig13Codes = []*bots.Spec{bots.FibSpec, bots.NQueensSpec}
+		fig1415Codes = []*bots.Spec{bots.FibSpec}
+		fig15Threads = []int{1, 2}
+	}
+	// Figure bench names embed the input size: quick mode (tiny) must
+	// not be compared against a full-mode (small) baseline entry.
+	for _, sp := range fig13Codes {
+		kernel := sp.Prepare(size, sp.HasCutoff)
+		for _, th := range threads {
+			for _, cfg := range []string{"uninst", "profile", "profile+trace-mem"} {
+				label := map[string]string{"uninst": "uninst", "profile": "inst", "profile+trace-mem": "inst+trace"}[cfg]
+				add(fmt.Sprintf("fig13/%s/size=%s/threads=%d/%s", sp.Name, size, th, label), false, true,
+					benchFigure(kernel, th, cfg))
+			}
+		}
+	}
+	for _, sp := range fig1415Codes {
+		kernel := sp.Prepare(size, false)
+		for _, th := range threads {
+			for _, cfg := range []string{"uninst", "profile"} {
+				label := map[string]string{"uninst": "uninst", "profile": "inst"}[cfg]
+				add(fmt.Sprintf("fig14/%s/size=%s/threads=%d/%s", sp.Name, size, th, label), false, true,
+					benchFigure(kernel, th, cfg))
+			}
+		}
+		for _, th := range fig15Threads {
+			add(fmt.Sprintf("fig15/%s/size=%s/threads=%d", sp.Name, size, th), false, true,
+				benchFigure(kernel, th, "uninst"))
+		}
+	}
+	return specs
+}
+
+// runSpec executes one spec reps times and keeps the minimum ns/op and
+// minimum allocs/op (see Result). A repetition that fails (b.Fatal,
+// which makes testing.Benchmark return N == 0) is skipped; if no
+// repetition succeeds, runSpec errors — a zero-value Result would
+// otherwise read as a perfect 0 allocs/op score and mask exactly the
+// regressions the -check-allocs gate exists to catch.
+func runSpec(s spec, reps int) (Result, error) {
+	res := Result{Name: s.name}
+	valid := false
+	for r := 0; r < reps; r++ {
+		br := testing.Benchmark(s.fn)
+		if br.N == 0 {
+			continue
+		}
+		ns := float64(br.T.Nanoseconds()) / float64(br.N)
+		if !valid || ns < res.NsPerOp {
+			res.NsPerOp = ns
+			res.BytesPerOp = br.AllocedBytesPerOp()
+			res.N = br.N
+			if len(br.Extra) > 0 {
+				res.Metrics = make(map[string]float64, len(br.Extra))
+				for k, v := range br.Extra {
+					res.Metrics[k] = v
+				}
+			}
+		}
+		if !valid || br.AllocsPerOp() < res.AllocsPerOp {
+			res.AllocsPerOp = br.AllocsPerOp()
+		}
+		valid = true
+	}
+	if !valid {
+		return res, fmt.Errorf("benchmark %s produced no valid repetition", s.name)
+	}
+	return res, nil
+}
+
+func main() {
+	testing.Init()
+	quick := flag.Bool("quick", false, "small inputs, fewer codes/reps (the CI mode)")
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	baseline := flag.String("baseline", "", "baseline JSON to compute deltas against")
+	benchRe := flag.String("bench", "", "only run benchmarks matching this regexp")
+	reps := flag.Int("reps", 0, "repetitions per benchmark (default 3, quick 2)")
+	benchtime := flag.String("benchtime", "", "per-run duration (default 300ms, quick 60ms)")
+	checkAllocs := flag.Bool("check-allocs", false, "exit 1 when a hot-path bench allocates more per op than the baseline")
+	flag.Parse()
+
+	if *reps == 0 {
+		*reps = 3
+		if *quick {
+			*reps = 2
+		}
+	}
+	if *benchtime == "" {
+		*benchtime = "300ms"
+		if *quick {
+			*benchtime = "60ms"
+		}
+	}
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintf(os.Stderr, "scorep-bench: bad -benchtime: %v\n", err)
+		os.Exit(2)
+	}
+
+	var filter *regexp.Regexp
+	if *benchRe != "" {
+		var err error
+		if filter, err = regexp.Compile(*benchRe); err != nil {
+			fmt.Fprintf(os.Stderr, "scorep-bench: bad -bench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	specs := buildSpecs(*quick)
+	file := File{
+		Schema:     "scorep-bench/1",
+		Quick:      *quick,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		BenchTime:  *benchtime,
+		Reps:       *reps,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	hot := make(map[string]bool)
+	for _, s := range specs {
+		if *quick && !s.quick {
+			continue
+		}
+		if filter != nil && !filter.MatchString(s.name) {
+			continue
+		}
+		r, err := runSpec(s, *reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scorep-bench: %v\n", err)
+			os.Exit(2)
+		}
+		hot[s.name] = s.hot
+		file.Results = append(file.Results, r)
+		fmt.Fprintf(os.Stderr, "%-44s %12.1f ns/op %6d allocs/op\n", r.Name, r.NsPerOp, r.AllocsPerOp)
+	}
+
+	var regressions []string
+	if *baseline != "" {
+		base, err := readBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scorep-bench: baseline: %v\n", err)
+			os.Exit(2)
+		}
+		file.BaselineFile = *baseline
+		byName := make(map[string]Result, len(base.Results))
+		for _, r := range base.Results {
+			byName[r.Name] = r
+		}
+		for _, r := range file.Results {
+			b, ok := byName[r.Name]
+			if !ok {
+				continue
+			}
+			d := Delta{
+				Name:        r.Name,
+				BaseNsPerOp: b.NsPerOp,
+				NsPerOp:     r.NsPerOp,
+				BaseAllocs:  b.AllocsPerOp,
+				Allocs:      r.AllocsPerOp,
+				Hot:         hot[r.Name],
+			}
+			if b.NsPerOp > 0 {
+				d.NsDeltaPct = (r.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+			}
+			file.Deltas = append(file.Deltas, d)
+			if d.Hot && d.Allocs > d.BaseAllocs {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %d allocs/op, baseline %d", d.Name, d.Allocs, d.BaseAllocs))
+			}
+		}
+		sort.Slice(file.Deltas, func(i, j int) bool { return file.Deltas[i].Name < file.Deltas[j].Name })
+	}
+
+	enc, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scorep-bench: encode: %v\n", err)
+		os.Exit(2)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "scorep-bench: write %s: %v\n", *out, err)
+		os.Exit(2)
+	}
+
+	if *checkAllocs && len(regressions) > 0 {
+		fmt.Fprintln(os.Stderr, "scorep-bench: hot-path allocation regressions:")
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(1)
+	}
+}
+
+func readBaseline(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != "scorep-bench/1" {
+		return nil, fmt.Errorf("%s: unknown schema %q", path, f.Schema)
+	}
+	return &f, nil
+}

@@ -86,6 +86,45 @@
 // and the report/trace serialization functions. Results.Locations
 // exposes the raw per-thread profiles behind Results.Report.
 //
+// # Overhead
+//
+// The per-event measurement path is zero-allocation and lock-free in
+// steady state, in every listener configuration. Each listener kind
+// owns a typed per-thread slot on the runtime thread (Thread.Profile
+// for the profiling measurement, Thread.TraceData for the trace
+// recorder), assigned once at ThreadBegin — so an event never takes a
+// lock, consults a map, or allocates, even when profiling and tracing
+// observe the same stream. The canonical profiling+tracing pair is
+// fused inside the Tee: one clock read per event feeds both listeners
+// (halving the dominant cost on hosts with ~30ns clock reads) and
+// profile and trace see identical timestamps. Derived task-creation
+// regions are cached on the task region itself, filter verdicts are
+// cached per interned region, and call-tree nodes and task instances
+// are recycled through per-thread pools backed by chunked arenas.
+//
+// Measured per-event cost on a 1-core linux/amd64 container (Go 1.24,
+// ~33ns clock read; enter+exit pair, i.e. two events per op — see
+// bench_baseline.json and BENCH_PR4.json for the full trajectory):
+//
+//	configuration            before       after     allocs/op
+//	uninstrumented           3.3 ns       3.4 ns    0
+//	profiling                83 ns        85 ns     0
+//	profiling+filter         112 ns       95 ns     0      (-15%)
+//	tracing (streaming)      86 ns        83 ns     0
+//	profiling+tracing        210 ns       94 ns     0      (-55%, fused Tee)
+//	task, 5 events           583 ns       325 ns    2->0   (-44%, profiling+tracing)
+//
+// Reproduce with:
+//
+//	go run ./cmd/scorep-bench -baseline bench_baseline.json -out BENCH_PR4.json
+//
+// scorep-bench runs the Fig. 13/14/15 experiments and these
+// microbenchmarks with warmup and repetitions and emits machine-readable
+// JSON (ns/op, allocs/op, bytes/event, deltas vs. the committed
+// baseline). CI runs `scorep-bench -quick -check-allocs` on every
+// change and fails when a hot-path benchmark allocates more per op
+// than the committed baseline.
+//
 // # Scheduler design
 //
 // The runtime ships two task schedulers. The default central queue —

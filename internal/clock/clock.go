@@ -7,6 +7,7 @@
 package clock
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -20,29 +21,32 @@ type Clock interface {
 
 // System is the monotonic wall clock. The zero value is ready to use.
 type System struct {
-	base     time.Time
-	baseOnce atomic.Bool
+	once sync.Once
+	base time.Time
 }
 
 // NewSystem returns a system clock anchored at the moment of the call.
 func NewSystem() *System {
-	s := &System{base: time.Now()}
-	s.baseOnce.Store(true)
+	s := &System{}
+	s.anchor()
 	return s
+}
+
+// anchor establishes the epoch exactly once. An earlier version set the
+// base with a plain store behind an atomic.Bool, which raced when two
+// goroutines first used a zero-value clock concurrently: one could read
+// time.Since(base) while the other was still writing base. sync.Once
+// provides the needed happens-before edge, and its fast path is a
+// single atomic load — in steady state Now costs the same as before.
+func (s *System) anchor() {
+	s.once.Do(func() { s.base = time.Now() })
 }
 
 // Now returns nanoseconds elapsed since the clock was created (or first
 // used, for a zero-value clock). It uses Go's monotonic reading and is
 // safe for concurrent use.
 func (s *System) Now() int64 {
-	if !s.baseOnce.Load() {
-		// Zero-value initialization. Racy double-set is harmless: both
-		// racers anchor within nanoseconds of each other and timestamps
-		// stay monotonic per goroutine after the store is observed.
-		s.base = time.Now()
-		s.baseOnce.Store(true)
-		return 0
-	}
+	s.anchor()
 	return int64(time.Since(s.base))
 }
 

@@ -142,15 +142,27 @@ func (p *ThreadProfile) child(n *Node, kind NodeKind, r *region.Region, pname st
 	return c
 }
 
-// allocNode takes a node from the pool or allocates a fresh one.
+// nodeArenaChunk is the batch size of the per-thread node arena: fresh
+// nodes are carved out of chunk allocations, so growing a call tree
+// costs one heap allocation per chunk instead of one per node, and
+// sibling nodes stay cache-adjacent.
+const nodeArenaChunk = 128
+
+// allocNode takes a node from the free list (released task-instance
+// subtrees) or carves a fresh one out of the thread's node arena.
 func (p *ThreadProfile) allocNode() *Node {
 	if n := p.nodePool; n != nil {
 		p.nodePool = n.free
 		n.free = nil
 		return n
 	}
+	if len(p.nodeArena) == 0 {
+		p.nodeArena = make([]Node, nodeArenaChunk)
+	}
+	n := &p.nodeArena[0]
+	p.nodeArena = p.nodeArena[1:]
 	p.nodesAllocated++
-	return &Node{}
+	return n
 }
 
 // releaseSubtree resets and returns all nodes of the subtree rooted at n

@@ -41,8 +41,10 @@ type ThreadProfile struct {
 	instancesBegun  int64
 	instancesEnded  int64
 	nodePool        *Node
+	nodeArena       []Node // chunked backing store for fresh nodes
 	nodesAllocated  int64
 	instPool        []*TaskInstance
+	instArena       []TaskInstance // chunked backing store for fresh instances
 	instAllocated   int64
 	switches        int64 // number of TaskSwitch transitions (fragments)
 	finished        bool
@@ -133,10 +135,16 @@ func (p *ThreadProfile) InstancesEnded() int64 { return p.instancesEnded }
 // created in (or found in) the call tree of the current task — the
 // instance tree for explicit tasks, the implicit tree otherwise.
 func (p *ThreadProfile) Enter(r *region.Region) {
+	p.EnterAt(r, p.clk.Now())
+}
+
+// EnterAt is Enter with an explicit timestamp. The fused
+// profiling+tracing event path reads the clock once per event and hands
+// the same instant to the profile and the trace record.
+func (p *ThreadProfile) EnterAt(r *region.Region, now int64) {
 	if p.finished {
 		panic("core: Enter after Finish")
 	}
-	now := p.clk.Now()
 	if p.curTask != nil {
 		n := p.child(p.curTask.cur, KindRegion, r, "", 0, "")
 		n.openVisit(now)
@@ -155,10 +163,14 @@ func (p *ThreadProfile) Enter(r *region.Region) {
 // closed implicitly. Exiting a region that is not the innermost open
 // region is an instrumentation error and panics.
 func (p *ThreadProfile) Exit(r *region.Region) {
+	p.ExitAt(r, p.clk.Now())
+}
+
+// ExitAt is Exit with an explicit timestamp (see EnterAt).
+func (p *ThreadProfile) ExitAt(r *region.Region, now int64) {
 	if p.finished {
 		panic("core: Exit after Finish")
 	}
-	now := p.clk.Now()
 	if p.curTask != nil {
 		p.curTask.cur = exitOn(p.curTask.cur, r, now)
 		return

@@ -30,6 +30,11 @@ func (ti *TaskInstance) Current() *Node { return ti.cur }
 // enters the task region in the instance tree — the TaskBegin action of
 // the paper's Fig. 12.
 func (p *ThreadProfile) TaskBegin(r *region.Region) *TaskInstance {
+	return p.TaskBeginAt(r, p.clk.Now())
+}
+
+// TaskBeginAt is TaskBegin with an explicit timestamp (see EnterAt).
+func (p *ThreadProfile) TaskBeginAt(r *region.Region, now int64) *TaskInstance {
 	if p.finished {
 		panic("core: TaskBegin after Finish")
 	}
@@ -46,7 +51,6 @@ func (p *ThreadProfile) TaskBegin(r *region.Region) *TaskInstance {
 	// One timestamp for the whole transition: the stub enter in the
 	// implicit tree and the task-root enter in the instance tree see the
 	// same instant, so stub time and task-tree time stay consistent.
-	now := p.clk.Now()
 	p.switchAt(ti, now)
 	ti.root.openVisit(now)
 	return ti
@@ -57,11 +61,15 @@ func (p *ThreadProfile) TaskBegin(r *region.Region) *TaskInstance {
 // and merging of the instance tree into the thread's aggregate tree for
 // the construct — the TaskEnd action of Fig. 12.
 func (p *ThreadProfile) TaskEnd() {
+	p.TaskEndAt(p.clk.Now())
+}
+
+// TaskEndAt is TaskEnd with an explicit timestamp (see EnterAt).
+func (p *ThreadProfile) TaskEndAt(now int64) {
 	ti := p.curTask
 	if ti == nil {
 		panic("core: TaskEnd without active task instance")
 	}
-	now := p.clk.Now()
 	// Close open parameter nodes, then the task root itself.
 	cur := ti.cur
 	for cur != nil && cur.Kind == KindParameter {
@@ -104,6 +112,12 @@ func (p *ThreadProfile) TaskSwitchTo(ti *TaskInstance) {
 		return
 	}
 	p.switchAt(ti, p.clk.Now())
+}
+
+// TaskSwitchToAt is TaskSwitchTo with an explicit timestamp (see
+// EnterAt). Switching to the already-current task is a no-op.
+func (p *ThreadProfile) TaskSwitchToAt(ti *TaskInstance, now int64) {
+	p.switchAt(ti, now)
 }
 
 // switchAt is TaskSwitchTo with an explicit timestamp, shared by the
@@ -166,15 +180,23 @@ func (p *ThreadProfile) mergeInstance(ti *TaskInstance) {
 	ti.cur = nil
 }
 
-// allocInstance takes an instance from the pool or allocates one, and
-// builds its root node.
+// instArenaChunk is the batch size of the per-thread instance arena
+// (see nodeArenaChunk).
+const instArenaChunk = 32
+
+// allocInstance takes an instance from the pool or carves one out of
+// the thread's instance arena, and builds its root node.
 func (p *ThreadProfile) allocInstance(r *region.Region) *TaskInstance {
 	var ti *TaskInstance
 	if n := len(p.instPool); n > 0 {
 		ti = p.instPool[n-1]
 		p.instPool = p.instPool[:n-1]
 	} else {
-		ti = &TaskInstance{}
+		if len(p.instArena) == 0 {
+			p.instArena = make([]TaskInstance, instArenaChunk)
+		}
+		ti = &p.instArena[0]
+		p.instArena = p.instArena[1:]
 		p.instAllocated++
 	}
 	ti.Region = r

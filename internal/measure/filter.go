@@ -2,6 +2,8 @@ package measure
 
 import (
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/omp"
 	"repro/internal/region"
@@ -17,11 +19,28 @@ import (
 // user-function Enter/Exit events are filtered; construct regions
 // (parallel, task, barriers, taskwaits) are structural for the task
 // profiling algorithm and always pass through.
+//
+// Verdicts are cached per interned region: the first event for a region
+// pays the name/prefix matching, every later event costs one atomic
+// load — the per-event hot path never scans patterns or hashes names.
 type Filter struct {
 	m *Measurement
 
 	excludePrefixes []string
 	excludeNames    map[string]bool
+
+	// verdicts caches Excluded results indexed by region ID. Entries
+	// remember the region pointer so a collision between IDs of
+	// different registries falls back to recomputation instead of
+	// returning a wrong verdict.
+	verdicts atomic.Pointer[[]atomic.Pointer[verdict]]
+	growMu   sync.Mutex
+}
+
+// verdict is one cached Excluded result.
+type verdict struct {
+	r        *region.Region
+	excluded bool
 }
 
 // NewFilter creates a filtering listener around m. Patterns ending in
@@ -41,6 +60,20 @@ func NewFilter(m *Measurement, patterns ...string) *Filter {
 
 // Excluded reports whether events for r are dropped.
 func (f *Filter) Excluded(r *region.Region) bool {
+	if tbl := f.verdicts.Load(); tbl != nil {
+		if id := int(r.ID); id >= 0 && id < len(*tbl) {
+			if v := (*tbl)[id].Load(); v != nil && v.r == r {
+				return v.excluded
+			}
+		}
+	}
+	ex := f.match(r)
+	f.cache(r, ex)
+	return ex
+}
+
+// match computes the verdict from the patterns (the slow path).
+func (f *Filter) match(r *region.Region) bool {
 	if r.Type != region.UserFunction {
 		return false
 	}
@@ -53,6 +86,37 @@ func (f *Filter) Excluded(r *region.Region) bool {
 		}
 	}
 	return false
+}
+
+// cache stores a verdict, growing the table as needed. Growth copies
+// element-wise through atomic loads/stores; readers always see either
+// the old or the new table, both valid.
+func (f *Filter) cache(r *region.Region, excluded bool) {
+	id := int(r.ID)
+	if id < 0 {
+		return
+	}
+	f.growMu.Lock()
+	defer f.growMu.Unlock()
+	tbl := f.verdicts.Load()
+	if tbl == nil || id >= len(*tbl) {
+		n := 64
+		if tbl != nil && 2*len(*tbl) > n {
+			n = 2 * len(*tbl)
+		}
+		if id >= n {
+			n = id + 1
+		}
+		grown := make([]atomic.Pointer[verdict], n)
+		if tbl != nil {
+			for i := range *tbl {
+				grown[i].Store((*tbl)[i].Load())
+			}
+		}
+		tbl = &grown
+		f.verdicts.Store(tbl)
+	}
+	(*tbl)[id].Store(&verdict{r: r, excluded: excluded})
 }
 
 // Measurement returns the wrapped measurement.
@@ -72,6 +136,14 @@ func (f *Filter) Enter(t *omp.Thread, r *region.Region) {
 	f.m.Enter(t, r)
 }
 
+// EnterAt is Enter with an explicit timestamp (fused tee path).
+func (f *Filter) EnterAt(t *omp.Thread, r *region.Region, now int64) {
+	if f.Excluded(r) {
+		return
+	}
+	f.m.EnterAt(t, r, now)
+}
+
 // Exit implements omp.Listener, dropping excluded user regions.
 func (f *Filter) Exit(t *omp.Thread, r *region.Region) {
 	if f.Excluded(r) {
@@ -80,17 +152,44 @@ func (f *Filter) Exit(t *omp.Thread, r *region.Region) {
 	f.m.Exit(t, r)
 }
 
+// ExitAt is Exit with an explicit timestamp (fused tee path).
+func (f *Filter) ExitAt(t *omp.Thread, r *region.Region, now int64) {
+	if f.Excluded(r) {
+		return
+	}
+	f.m.ExitAt(t, r, now)
+}
+
 // TaskCreateBegin implements omp.Listener.
 func (f *Filter) TaskCreateBegin(t *omp.Thread, r *region.Region) { f.m.TaskCreateBegin(t, r) }
+
+// TaskCreateBeginAt forwards with an explicit timestamp.
+func (f *Filter) TaskCreateBeginAt(t *omp.Thread, r *region.Region, now int64) {
+	f.m.TaskCreateBeginAt(t, r, now)
+}
 
 // TaskCreateEnd implements omp.Listener.
 func (f *Filter) TaskCreateEnd(t *omp.Thread, tk *omp.Task) { f.m.TaskCreateEnd(t, tk) }
 
+// TaskCreateEndAt forwards with an explicit timestamp.
+func (f *Filter) TaskCreateEndAt(t *omp.Thread, tk *omp.Task, now int64) {
+	f.m.TaskCreateEndAt(t, tk, now)
+}
+
 // TaskBegin implements omp.Listener.
 func (f *Filter) TaskBegin(t *omp.Thread, tk *omp.Task) { f.m.TaskBegin(t, tk) }
+
+// TaskBeginAt forwards with an explicit timestamp.
+func (f *Filter) TaskBeginAt(t *omp.Thread, tk *omp.Task, now int64) { f.m.TaskBeginAt(t, tk, now) }
 
 // TaskEnd implements omp.Listener.
 func (f *Filter) TaskEnd(t *omp.Thread, tk *omp.Task) { f.m.TaskEnd(t, tk) }
 
+// TaskEndAt forwards with an explicit timestamp.
+func (f *Filter) TaskEndAt(t *omp.Thread, tk *omp.Task, now int64) { f.m.TaskEndAt(t, tk, now) }
+
 // TaskSwitch implements omp.Listener.
 func (f *Filter) TaskSwitch(t *omp.Thread, tk *omp.Task) { f.m.TaskSwitch(t, tk) }
+
+// TaskSwitchAt forwards with an explicit timestamp.
+func (f *Filter) TaskSwitchAt(t *omp.Thread, tk *omp.Task, now int64) { f.m.TaskSwitchAt(t, tk, now) }

@@ -2,7 +2,14 @@
 // runtime's Listener interface and translates the POMP2-style event
 // stream into per-thread task-aware profiles using internal/core — the
 // role Score-P's measurement core plays between OPARI2 instrumentation
-// and the profile (paper Section IV-A).
+// and the profile (paper Section IV).
+//
+// The per-event path is lock-free in steady state: the thread's profile
+// lives in the typed omp.Thread.Profile slot (bound once at
+// ThreadBegin), task instances travel in the typed omp.Task.Instance
+// slot, and the derived task-creation region is cached on the task
+// region itself — no event between ThreadBegin and ThreadEnd takes a
+// lock, consults a map, or allocates.
 package measure
 
 import (
@@ -32,9 +39,6 @@ type Measurement struct {
 	locations map[int]*core.ThreadProfile
 	order     []int
 
-	createMu      sync.RWMutex
-	createRegions map[*region.Region]*region.Region
-
 	finished bool
 }
 
@@ -48,45 +52,28 @@ func New() *Measurement {
 // tests use a manual clock for deterministic profiles.
 func NewWithClock(clk clock.Clock, reg *region.Registry) *Measurement {
 	return &Measurement{
-		clk:           clk,
-		reg:           reg,
-		locations:     make(map[int]*core.ThreadProfile),
-		createRegions: make(map[*region.Region]*region.Region),
+		clk:       clk,
+		reg:       reg,
+		locations: make(map[int]*core.ThreadProfile),
 	}
-}
-
-// profile returns the location attached to t.
-func profile(t *omp.Thread) *core.ThreadProfile {
-	p, _ := t.ProfData.(*core.ThreadProfile)
-	return p
 }
 
 // Profile exposes the location attached to a thread, or nil when the
 // thread is not measured. Instrumentation wrappers use it.
-func Profile(t *omp.Thread) *core.ThreadProfile { return profile(t) }
+func Profile(t *omp.Thread) *core.ThreadProfile { return t.Profile }
 
 // CreateRegion returns (and interns on first use) the task-creation
 // region derived from a task region, as OPARI2 generates it alongside
-// the task construct region.
+// the task construct region. The derived region is cached on the task
+// region itself, so the per-spawn cost is one atomic load.
 func (m *Measurement) CreateRegion(r *region.Region) *region.Region {
-	m.createMu.RLock()
-	cr, ok := m.createRegions[r]
-	m.createMu.RUnlock()
-	if ok {
-		return cr
-	}
-	m.createMu.Lock()
-	defer m.createMu.Unlock()
-	if cr, ok = m.createRegions[r]; ok {
-		return cr
-	}
-	cr = m.reg.Register(r.Name+" (create)", r.File, r.Line, region.TaskCreate)
-	m.createRegions[r] = cr
-	return cr
+	return m.reg.TaskCreateRegion(r)
 }
 
 // ThreadBegin implements omp.Listener: it binds the location for the
-// thread ID to the thread.
+// thread ID to the thread's typed profile slot. This is the only
+// measurement event that takes a lock (threads register concurrently);
+// every later event reaches its state through the slot.
 func (m *Measurement) ThreadBegin(t *omp.Thread) {
 	m.mu.Lock()
 	p, ok := m.locations[t.ID]
@@ -96,62 +83,109 @@ func (m *Measurement) ThreadBegin(t *omp.Thread) {
 		m.order = append(m.order, t.ID)
 	}
 	m.mu.Unlock()
-	t.ProfData = p
+	t.Profile = p
 }
 
 // ThreadEnd implements omp.Listener. The location stays open so that a
 // later parallel region can continue it; Finish closes all locations.
 func (m *Measurement) ThreadEnd(t *omp.Thread) {
-	t.ProfData = nil
+	t.Profile = nil
 }
 
 // Enter implements omp.Listener.
 func (m *Measurement) Enter(t *omp.Thread, r *region.Region) {
-	profile(t).Enter(r)
+	t.Profile.Enter(r)
+}
+
+// EnterAt is Enter with an explicit timestamp; the fused
+// profiling+tracing tee reads the clock once per event and hands the
+// same instant to profile and trace.
+func (m *Measurement) EnterAt(t *omp.Thread, r *region.Region, now int64) {
+	t.Profile.EnterAt(r, now)
 }
 
 // Exit implements omp.Listener.
 func (m *Measurement) Exit(t *omp.Thread, r *region.Region) {
-	profile(t).Exit(r)
+	t.Profile.Exit(r)
+}
+
+// ExitAt is Exit with an explicit timestamp (see EnterAt).
+func (m *Measurement) ExitAt(t *omp.Thread, r *region.Region, now int64) {
+	t.Profile.ExitAt(r, now)
 }
 
 // TaskCreateBegin implements omp.Listener: enter the derived
 // task-creation region (creation-time metric, Section III).
 func (m *Measurement) TaskCreateBegin(t *omp.Thread, r *region.Region) {
-	profile(t).Enter(m.CreateRegion(r))
+	t.Profile.Enter(m.CreateRegion(r))
+}
+
+// TaskCreateBeginAt is TaskCreateBegin with an explicit timestamp.
+func (m *Measurement) TaskCreateBeginAt(t *omp.Thread, r *region.Region, now int64) {
+	t.Profile.EnterAt(m.CreateRegion(r), now)
 }
 
 // TaskCreateEnd implements omp.Listener.
 func (m *Measurement) TaskCreateEnd(t *omp.Thread, tk *omp.Task) {
-	profile(t).Exit(m.CreateRegion(tk.Region))
+	t.Profile.Exit(m.CreateRegion(tk.Region))
+}
+
+// TaskCreateEndAt is TaskCreateEnd with an explicit timestamp.
+func (m *Measurement) TaskCreateEndAt(t *omp.Thread, tk *omp.Task, now int64) {
+	t.Profile.ExitAt(m.CreateRegion(tk.Region), now)
 }
 
 // TaskBegin implements omp.Listener: create the instance profile and
-// store it in the task's context, exactly as OPARI2 stores instance IDs
-// inside the task.
+// store it in the task's typed slot, exactly as OPARI2 stores instance
+// IDs inside the task.
 func (m *Measurement) TaskBegin(t *omp.Thread, tk *omp.Task) {
-	tk.ProfData = profile(t).TaskBegin(tk.Region)
+	tk.Instance = t.Profile.TaskBegin(tk.Region)
+}
+
+// TaskBeginAt is TaskBegin with an explicit timestamp.
+func (m *Measurement) TaskBeginAt(t *omp.Thread, tk *omp.Task, now int64) {
+	tk.Instance = t.Profile.TaskBeginAt(tk.Region, now)
 }
 
 // TaskEnd implements omp.Listener.
 func (m *Measurement) TaskEnd(t *omp.Thread, tk *omp.Task) {
-	profile(t).TaskEnd()
-	tk.ProfData = nil
+	t.Profile.TaskEnd()
+	tk.Instance = nil
+}
+
+// TaskEndAt is TaskEnd with an explicit timestamp.
+func (m *Measurement) TaskEndAt(t *omp.Thread, tk *omp.Task, now int64) {
+	t.Profile.TaskEndAt(now)
+	tk.Instance = nil
 }
 
 // TaskSwitch implements omp.Listener: resume a suspended instance (or the
 // implicit task for tk == nil).
 func (m *Measurement) TaskSwitch(t *omp.Thread, tk *omp.Task) {
-	p := profile(t)
+	p := t.Profile
 	if tk == nil {
 		p.TaskSwitchTo(nil)
 		return
 	}
-	ti, ok := tk.ProfData.(*core.TaskInstance)
-	if !ok {
+	ti := tk.Instance
+	if ti == nil {
 		panic(fmt.Sprintf("measure: TaskSwitch to task %d without instance data", tk.ID))
 	}
 	p.TaskSwitchTo(ti)
+}
+
+// TaskSwitchAt is TaskSwitch with an explicit timestamp.
+func (m *Measurement) TaskSwitchAt(t *omp.Thread, tk *omp.Task, now int64) {
+	p := t.Profile
+	if tk == nil {
+		p.TaskSwitchToAt(nil, now)
+		return
+	}
+	ti := tk.Instance
+	if ti == nil {
+		panic(fmt.Sprintf("measure: TaskSwitch to task %d without instance data", tk.ID))
+	}
+	p.TaskSwitchToAt(ti, now)
 }
 
 // Finish closes all locations. Call after the measured code completed.

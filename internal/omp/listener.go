@@ -8,8 +8,13 @@ import "repro/internal/region"
 // translates it into profiles using the algorithm of Section IV.
 //
 // All callbacks for one Thread are invoked from that thread's goroutine,
-// so listener implementations may keep per-thread state reachable through
-// Thread.ProfData without locking. A nil listener on the Runtime disables
+// so listener implementations may keep per-thread state reachable
+// through the thread's listener slots without locking: Thread.Profile is
+// the profiling measurement's typed slot, Thread.TraceData the trace
+// recorder's. Both are assigned once at ThreadBegin and cleared at
+// ThreadEnd — the slot contract that keeps the per-event hot path free
+// of locks and map lookups even when several listeners observe the same
+// stream through a Tee. A nil listener on the Runtime disables
 // measurement; this is the "uninstrumented" configuration used as the
 // baseline in the overhead experiments (Figs. 13 and 14).
 //
@@ -21,7 +26,8 @@ import "repro/internal/region"
 type Listener interface {
 	// ThreadBegin fires when a team worker starts, before any other event
 	// from this thread. Measurement systems create the thread's location
-	// (per-thread profile) here and attach it to t.ProfData.
+	// (per-thread profile) here and attach it to the thread's listener
+	// slot (Thread.Profile / Thread.TraceData).
 	ThreadBegin(t *Thread)
 	// ThreadEnd fires when a team worker is about to terminate.
 	ThreadEnd(t *Thread)

@@ -39,6 +39,14 @@
 // task-create, task-begin/end/switch) through the Listener interface;
 // with a nil listener it is the "uninstrumented" baseline of the
 // overhead experiments.
+//
+// Measurement state travels in typed per-thread (and per-task) listener
+// slots: Thread.Profile carries the profiling location, Thread.TraceData
+// the trace recorder's buffer, Task.Instance the active task-instance
+// profile. Slots are assigned once at ThreadBegin (TaskBegin for tasks)
+// from the owning goroutine, which keeps every per-event listener
+// callback free of locks, map lookups and allocations — the contract
+// behind the probe costs documented in the facade's Overhead section.
 package omp
 
 import (
@@ -46,6 +54,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/region"
 )
 
@@ -211,9 +220,20 @@ func (tm *Team) signalWork() {
 type Thread struct {
 	// ID is the thread number within the team, 0..NumThreads-1.
 	ID int
-	// ProfData is reserved for the measurement system: it carries the
-	// per-thread location (profile) created at ThreadBegin.
-	ProfData any
+
+	// Profile is the profiling measurement's typed per-thread slot: the
+	// location (per-thread profile) bound at ThreadBegin and cleared at
+	// ThreadEnd. The slot contract makes the per-event hot path
+	// lock-free: each listener kind owns its own slot, assigned once at
+	// ThreadBegin from the thread's own goroutine, so no event ever
+	// takes a lock or consults a map to find its per-thread state.
+	Profile *core.ThreadProfile
+
+	// TraceData is the trace subsystem's per-thread slot, carrying the
+	// trace recorder's event buffer under the same contract as Profile.
+	// It is untyped only because the buffer type lives above this
+	// package; the recorder claims it with a single type assertion.
+	TraceData any
 
 	team    *Team
 	deque   wsDeque

@@ -213,8 +213,8 @@ func TestFreeListIsolationBetweenThreads(t *testing.T) {
 		for i := 0; i < 200; i++ {
 			th.NewTask(task, func(c *Thread) {
 				cur := c.Current()
-				if cur.ProfData != nil {
-					t.Error("recycled task carries stale ProfData")
+				if cur.Instance != nil {
+					t.Error("recycled task carries stale instance data")
 				}
 				if cur.Region != task {
 					t.Error("recycled task carries stale region")

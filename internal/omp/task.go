@@ -3,6 +3,7 @@ package omp
 import (
 	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/region"
 )
 
@@ -22,13 +23,15 @@ type Task struct {
 
 	// ID is a process-unique instance identifier, useful for traces and
 	// debugging. The profiling algorithm itself identifies instances by
-	// the ProfData pointer travelling with the task, exactly as OPARI2
+	// the Instance pointer travelling with the task, exactly as OPARI2
 	// stores instance IDs "inside the tasks' context itself".
 	ID uint64
 
-	// ProfData is reserved for the measurement system; it carries the
-	// task-instance profile data from TaskBegin to TaskEnd/TaskSwitch.
-	ProfData any
+	// Instance is the measurement system's typed slot: it carries the
+	// task-instance profile from TaskBegin to TaskEnd/TaskSwitch, so
+	// resuming a suspended task costs one field load instead of a type
+	// assertion on an untyped slot.
+	Instance *core.TaskInstance
 
 	fn       TaskFunc
 	parent   *Task // nil when created by an implicit task directly
@@ -69,8 +72,12 @@ func (tk *Task) Depth() int { return int(tk.depth) }
 // i.e. all tasks it creates are undeferred.
 func (tk *Task) Final() bool { return tk.final }
 
-// TaskOpt modifies task creation, modelling OpenMP task clauses.
-type TaskOpt func(*taskOpts)
+// TaskOpt modifies task creation, modelling OpenMP task clauses. It
+// transforms the option struct by value: passing a pointer instead
+// would make the struct escape to the heap on every NewTask call (the
+// compiler cannot see through the indirect call), putting an allocation
+// on the task-spawn hot path.
+type TaskOpt func(taskOpts) taskOpts
 
 type taskOpts struct {
 	ifClause bool // false -> undeferred
@@ -78,13 +85,34 @@ type taskOpts struct {
 	untied   bool
 }
 
+// Singleton option funcs: returning one of two predeclared funcs keeps
+// If/Final allocation-free on the task-spawn hot path — a per-spawn
+// closure capturing expr would allocate on every instrumented task
+// creation (the paper's fib situation, millions of spawns).
+var (
+	ifTrue   TaskOpt = func(o taskOpts) taskOpts { o.ifClause = true; return o }
+	ifFalse  TaskOpt = func(o taskOpts) taskOpts { o.ifClause = false; return o }
+	finalOn  TaskOpt = func(o taskOpts) taskOpts { o.final = true; return o }
+	finalOff TaskOpt = func(o taskOpts) taskOpts { o.final = false; return o }
+)
+
 // If models the if(expr) clause: when expr is false the task is
 // undeferred and executes immediately on the creating thread.
-func If(expr bool) TaskOpt { return func(o *taskOpts) { o.ifClause = expr } }
+func If(expr bool) TaskOpt {
+	if expr {
+		return ifTrue
+	}
+	return ifFalse
+}
 
 // Final models the final(expr) clause: when expr is true the task and all
 // its descendants execute undeferred (included tasks).
-func Final(expr bool) TaskOpt { return func(o *taskOpts) { o.final = expr } }
+func Final(expr bool) TaskOpt {
+	if expr {
+		return finalOn
+	}
+	return finalOff
+}
 
 // Untied models the untied clause. The paper's instrumentation cannot
 // support untied tasks because the runtime provides no task-switch hooks
@@ -92,7 +120,9 @@ func Final(expr bool) TaskOpt { return func(o *taskOpts) { o.final = expr } }
 // makes all tasks tied by default" (Section IV-D2). This runtime applies
 // the same work-around: the clause is accepted and recorded, but the task
 // executes tied. Runtime.UntiedCount reports how many were demoted.
-func Untied() TaskOpt { return func(o *taskOpts) { o.untied = true } }
+func Untied() TaskOpt { return untiedOn }
+
+var untiedOn TaskOpt = func(o taskOpts) taskOpts { o.untied = true; return o }
 
 // NewTask creates an explicit task of the given task construct region,
 // modelling "#pragma omp task". The creating thread emits task-creation
@@ -102,7 +132,7 @@ func Untied() TaskOpt { return func(o *taskOpts) { o.untied = true } }
 func (t *Thread) NewTask(r *region.Region, fn TaskFunc, opts ...TaskOpt) {
 	o := taskOpts{ifClause: true}
 	for _, opt := range opts {
-		opt(&o)
+		o = opt(o)
 	}
 	team := t.team
 	if o.untied {
@@ -388,13 +418,13 @@ func (t *Thread) allocTask() *Task {
 
 // freeTask resets and recycles a completed task into this thread's free
 // list. The claim generation is bumped so stale queue entries can never
-// claim the recycled instance; ProfData is cleared so measurement data
+// claim the recycled instance; Instance is cleared so measurement data
 // cannot leak between instances.
 func (t *Thread) freeTask(tk *Task) {
 	gen := tk.claim.Load() >> 1
 	tk.claim.Store((gen + 1) << 1)
 	tk.Region = nil
-	tk.ProfData = nil
+	tk.Instance = nil
 	tk.fn = nil
 	tk.parent = nil
 	tk.final = false

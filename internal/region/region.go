@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Type classifies a region. The profiling algorithm treats some types
@@ -79,6 +80,11 @@ type Region struct {
 	File string
 	Line int
 	Type Type
+
+	// taskCreate caches the derived task-creation region so the
+	// measurement system resolves it with one atomic load per task spawn
+	// instead of a locked map lookup (see Registry.TaskCreateRegion).
+	taskCreate atomic.Pointer[Region]
 }
 
 // String renders "name@file:line(type)" for reports and errors.
@@ -140,6 +146,24 @@ func (g *Registry) Register(name, file string, line int, typ Type) *Region {
 	g.byKey[k] = r
 	g.regions = append(g.regions, r)
 	return r
+}
+
+// TaskCreateRegion returns (and interns on first use) the task-creation
+// region derived from a task region, as OPARI2 generates it alongside
+// the task construct. The result is cached on the task region itself,
+// so the per-spawn hot path costs one atomic pointer load; the registry
+// is only consulted on the first derivation. The derived region is
+// interned in this registry — derive a region only through the registry
+// that interned it.
+func (g *Registry) TaskCreateRegion(r *Region) *Region {
+	if cr := r.taskCreate.Load(); cr != nil {
+		return cr
+	}
+	cr := g.Register(r.Name+" (create)", r.File, r.Line, TaskCreate)
+	if r.taskCreate.CompareAndSwap(nil, cr) {
+		return cr
+	}
+	return r.taskCreate.Load()
 }
 
 // Get returns the region with the given ID, or nil if out of range.

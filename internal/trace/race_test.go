@@ -10,11 +10,11 @@ import (
 	"repro/internal/region"
 )
 
-// TestRecorderRaceUnderTee drives the contended ProfData fast-path
-// claim in Recorder.buffer: under a Tee with the profiling measurement,
-// both listeners want Thread.ProfData, threads register concurrently,
-// and the recorder must fall back to its locked map without racing.
-// Run with -race (CI does) to validate the claim.
+// TestRecorderRaceUnderTee drives concurrent thread registration under
+// a (generic, unfused — the clocks differ) Tee with the profiling
+// measurement: each listener claims its own thread slot (Profile /
+// TraceData) while teams start and tasks migrate between threads. Run
+// with -race (CI does) to validate the slot contract.
 func TestRecorderRaceUnderTee(t *testing.T) {
 	for run := 0; run < 3; run++ {
 		reg := region.NewRegistry()
@@ -30,7 +30,7 @@ func TestRecorderRaceUnderTee(t *testing.T) {
 		rt.Parallel(producers, par, func(th *omp.Thread) {
 			// Every thread both produces and executes tasks, so task
 			// events land on threads while they are still registering
-			// buffers and the measurement is claiming ProfData.
+			// buffers and the measurement is binding profile slots.
 			for i := 0; i < tasksPer; i++ {
 				th.NewTask(task, func(*omp.Thread) {})
 			}
@@ -58,7 +58,7 @@ func TestRecorderRaceUnderTee(t *testing.T) {
 
 // TestStreamingRecorderRaceUnderTee is the same contention pattern with
 // the bounded-memory recorder: per-thread chunks flush into a shared
-// sink while the measurement owns ProfData.
+// sink while the measurement populates its own thread slots.
 func TestStreamingRecorderRaceUnderTee(t *testing.T) {
 	reg := region.NewRegistry()
 	sink := &countingSink{}

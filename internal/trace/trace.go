@@ -7,16 +7,22 @@
 // overall management time to exclusive execution time for tasks".
 //
 // The Recorder implements omp.Listener; it can be combined with the
-// profiling measurement through a Tee. Analyses over recorded traces
-// live in analysis.go.
+// profiling measurement through a Tee. The recorder keeps its
+// per-thread buffer in the thread's omp.Thread.TraceData slot (bound at
+// ThreadBegin), so recording an event is lock-free and allocation-free
+// in steady state; the canonical profiling+tracing pair is additionally
+// fused inside the Tee to share one clock read per event. Analyses over
+// recorded traces live in analysis.go.
 package trace
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/clock"
+	"repro/internal/measure"
 	"repro/internal/omp"
 	"repro/internal/region"
 )
@@ -103,9 +109,13 @@ type EventSink interface {
 }
 
 // Recorder collects events from the runtime. It implements omp.Listener.
-// Like the profiling system it keeps strictly per-thread buffers to
-// avoid locking on the hot path; the map of buffers itself is guarded
-// because threads register concurrently.
+// Like the profiling system it keeps strictly per-thread buffers: the
+// buffer is bound to the thread's omp.Thread.TraceData slot at
+// ThreadBegin, so recording an event is a slot load and an append — no
+// lock and no map lookup, also when the recorder shares the event
+// stream with the profiling measurement under a Tee (each listener kind
+// owns its own slot). The map of buffers is only consulted when a
+// thread registers, at Finish, or for threads that bypassed ThreadBegin.
 //
 // In the default mode every event is kept in memory until Finish. With a
 // sink attached (NewStreamingRecorder), a thread's buffer is flushed to
@@ -117,12 +127,19 @@ type Recorder struct {
 	sink        EventSink
 	chunkEvents int
 
+	// sinkErr latches the first sink failure. It is an atomic pointer
+	// (not a mutex-guarded field) so the steady-state record path —
+	// including the pre-flush failed-check — never touches a lock.
+	sinkErr atomic.Pointer[error]
+
 	mu      sync.Mutex
 	buffers map[int]*buffer
-	sinkErr error
 }
 
+// buffer is one thread's event run. rec identifies the owning recorder,
+// so two recorders in one Tee cannot mistake each other's slot claim.
 type buffer struct {
+	rec    *Recorder
 	events []Event
 }
 
@@ -153,68 +170,86 @@ func NewStreamingRecorder(clk clock.Clock, sink EventSink, chunkEvents int) *Rec
 // Err returns the first sink error encountered while flushing chunks,
 // or nil. Events recorded after a sink error are dropped.
 func (r *Recorder) Err() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.sinkErr
+	if p := r.sinkErr.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // flush hands b's events for thread id to the sink and resets the
-// buffer in place, preserving its capacity.
+// buffer in place, preserving its capacity. The error latch is a single
+// atomic: one load on the happy path, one CompareAndSwap when the first
+// failure is recorded.
 func (r *Recorder) flush(id int, b *buffer) {
 	if len(b.events) == 0 {
 		return
 	}
-	r.mu.Lock()
-	failed := r.sinkErr != nil
-	r.mu.Unlock()
-	if !failed {
+	if r.sinkErr.Load() == nil {
 		if err := r.sink.WriteEvents(id, b.events); err != nil {
-			r.mu.Lock()
-			if r.sinkErr == nil {
-				r.sinkErr = err
-			}
-			r.mu.Unlock()
+			r.sinkErr.CompareAndSwap(nil, &err)
 		}
 	}
 	b.events = b.events[:0]
 }
 
-// buffer returns the per-thread buffer attached to t, creating it on
-// first use (also when ThreadBegin was bypassed, e.g. in unit tests).
-func (r *Recorder) buffer(t *omp.Thread) *buffer {
-	if b, ok := t.ProfData.(*buffer); ok {
-		return b
-	}
+// bufferFor returns (creating on first use) the registered buffer of
+// thread id.
+func (r *Recorder) bufferFor(id int) *buffer {
 	r.mu.Lock()
-	b, ok := r.buffers[t.ID]
+	b, ok := r.buffers[id]
 	if !ok {
-		b = &buffer{}
-		r.buffers[t.ID] = b
+		b = &buffer{rec: r}
+		r.buffers[id] = b
 	}
 	r.mu.Unlock()
-	// Claim the fast path only if no other listener (e.g. the profiling
-	// measurement under a Tee) owns the thread's ProfData slot.
-	if t.ProfData == nil {
-		t.ProfData = b
+	return b
+}
+
+// buffer returns the per-thread buffer attached to t. The fast path is
+// the thread's TraceData slot (claimed at ThreadBegin); the slow path
+// registers the buffer, for threads that bypassed ThreadBegin (unit
+// tests) or when another recorder in the same Tee owns the slot.
+func (r *Recorder) buffer(t *omp.Thread) *buffer {
+	if b, ok := t.TraceData.(*buffer); ok && b.rec == r {
+		return b
+	}
+	b := r.bufferFor(t.ID)
+	if t.TraceData == nil {
+		t.TraceData = b
 	}
 	return b
 }
 
 func (r *Recorder) record(t *omp.Thread, typ EventType, reg *region.Region, task uint64) {
+	r.recordAt(t, r.clk.Now(), typ, reg, task)
+}
+
+// recordAt appends one event with an explicit timestamp; the fused Tee
+// uses it to share a single clock read between profile and trace.
+func (r *Recorder) recordAt(t *omp.Thread, now int64, typ EventType, reg *region.Region, task uint64) {
 	b := r.buffer(t)
-	b.events = append(b.events, Event{Time: r.clk.Now(), Type: typ, Region: reg, TaskID: task})
+	b.events = append(b.events, Event{Time: now, Type: typ, Region: reg, TaskID: task})
 	if r.sink != nil && len(b.events) >= r.chunkEvents {
 		r.flush(t.ID, b)
 	}
 }
 
-// ThreadBegin implements omp.Listener.
-func (r *Recorder) ThreadBegin(t *omp.Thread) { r.record(t, EvThreadBegin, nil, 0) }
+// ThreadBegin implements omp.Listener: it claims the thread's TraceData
+// slot so that all later events from this thread reach their buffer
+// without locks or map lookups.
+func (r *Recorder) ThreadBegin(t *omp.Thread) {
+	if t.TraceData == nil {
+		t.TraceData = r.bufferFor(t.ID)
+	}
+	r.record(t, EvThreadBegin, nil, 0)
+}
 
 // ThreadEnd implements omp.Listener.
 func (r *Recorder) ThreadEnd(t *omp.Thread) {
 	r.record(t, EvThreadEnd, nil, 0)
-	t.ProfData = nil
+	if b, ok := t.TraceData.(*buffer); ok && b.rec == r {
+		t.TraceData = nil
+	}
 }
 
 // Enter implements omp.Listener.
@@ -261,8 +296,8 @@ func (r *Recorder) TaskSwitch(t *omp.Thread, tk *omp.Task) {
 // afterwards.
 func (r *Recorder) Finish() *Trace {
 	if r.sink != nil {
-		// Snapshot the buffer map under the lock, flush outside it
-		// (flush retakes r.mu for error latching).
+		// Snapshot the buffer map under the lock, flush outside it, so
+		// r.mu is never held across sink I/O.
 		r.mu.Lock()
 		buffers := r.buffers
 		r.buffers = make(map[int]*buffer)
@@ -284,8 +319,24 @@ func (r *Recorder) Finish() *Trace {
 
 // Tee fans one runtime event stream out to several listeners (e.g.
 // profile + trace simultaneously, like Score-P's combined mode).
+//
+// The canonical profiling+tracing pair — a *measure.Measurement (or
+// *measure.Filter) plus a *Recorder on the same clock, exactly what the
+// default tracing session wires — is fused: per event the Tee reads the
+// clock once and calls both listeners' timestamped entry points
+// directly, with no interface dispatch. Besides halving the clock cost,
+// fusing gives profile and trace identical timestamps for each event.
+// Any other combination takes the generic dispatch loop. Do not mutate
+// Listeners after NewTee; the fused fast path is derived from it.
 type Tee struct {
 	Listeners []omp.Listener
+
+	// Fused fast-path state: fr is non-nil iff the tee is fused, and
+	// then exactly one of fm/ff holds the profiling side.
+	fm  *measure.Measurement
+	ff  *measure.Filter
+	fr  *Recorder
+	clk clock.Clock
 }
 
 // NewTee combines listeners; nil entries are dropped.
@@ -296,18 +347,62 @@ func NewTee(ls ...omp.Listener) *Tee {
 			t.Listeners = append(t.Listeners, l)
 		}
 	}
+	t.fuse()
 	return t
 }
 
-// ThreadBegin implements omp.Listener.
-//
-// ProfData note: both the profiling measurement and the trace recorder
-// want to stash per-thread state in Thread.ProfData. Under a Tee the
-// profiling measurement owns ProfData; the trace recorder falls back to
-// its internal map (see Recorder.buffer).
+// fuse enables the concrete fast path when the tee is the canonical
+// profiling+tracing pair sharing one clock.
+func (te *Tee) fuse() {
+	if len(te.Listeners) != 2 {
+		return
+	}
+	rec, ok := te.Listeners[1].(*Recorder)
+	if !ok {
+		return
+	}
+	var mclk clock.Clock
+	switch m := te.Listeners[0].(type) {
+	case *measure.Measurement:
+		te.fm = m
+		mclk = m.Clock()
+	case *measure.Filter:
+		te.ff = m
+		mclk = m.Measurement().Clock()
+	default:
+		return
+	}
+	if !sameClock(mclk, rec.clk) {
+		// Different time sources: each listener must read its own.
+		te.fm, te.ff = nil, nil
+		return
+	}
+	te.fr = rec
+	te.clk = rec.clk
+}
+
+// sameClock reports whether two clock interfaces hold the same
+// underlying time source. Only the known pointer-shaped clocks are
+// compared — anything else (e.g. clock.Func, which is not comparable)
+// conservatively reports false and disables fusing.
+func sameClock(a, b clock.Clock) bool {
+	switch ca := a.(type) {
+	case *clock.System:
+		cb, ok := b.(*clock.System)
+		return ok && ca == cb
+	case *clock.Manual:
+		cb, ok := b.(*clock.Manual)
+		return ok && ca == cb
+	}
+	return false
+}
+
+// ThreadBegin implements omp.Listener. Each listener claims its own
+// typed thread slot (Thread.Profile, Thread.TraceData), so registration
+// order does not matter.
 func (te *Tee) ThreadBegin(t *omp.Thread) {
-	for i := len(te.Listeners) - 1; i >= 0; i-- {
-		te.Listeners[i].ThreadBegin(t)
+	for _, l := range te.Listeners {
+		l.ThreadBegin(t)
 	}
 }
 
@@ -320,6 +415,16 @@ func (te *Tee) ThreadEnd(t *omp.Thread) {
 
 // Enter implements omp.Listener.
 func (te *Tee) Enter(t *omp.Thread, reg *region.Region) {
+	if te.fr != nil {
+		now := te.clk.Now()
+		if te.ff != nil {
+			te.ff.EnterAt(t, reg, now)
+		} else {
+			te.fm.EnterAt(t, reg, now)
+		}
+		te.fr.recordAt(t, now, EvEnter, reg, 0)
+		return
+	}
 	for _, l := range te.Listeners {
 		l.Enter(t, reg)
 	}
@@ -327,6 +432,16 @@ func (te *Tee) Enter(t *omp.Thread, reg *region.Region) {
 
 // Exit implements omp.Listener.
 func (te *Tee) Exit(t *omp.Thread, reg *region.Region) {
+	if te.fr != nil {
+		now := te.clk.Now()
+		if te.ff != nil {
+			te.ff.ExitAt(t, reg, now)
+		} else {
+			te.fm.ExitAt(t, reg, now)
+		}
+		te.fr.recordAt(t, now, EvExit, reg, 0)
+		return
+	}
 	for _, l := range te.Listeners {
 		l.Exit(t, reg)
 	}
@@ -334,6 +449,16 @@ func (te *Tee) Exit(t *omp.Thread, reg *region.Region) {
 
 // TaskCreateBegin implements omp.Listener.
 func (te *Tee) TaskCreateBegin(t *omp.Thread, reg *region.Region) {
+	if te.fr != nil {
+		now := te.clk.Now()
+		if te.ff != nil {
+			te.ff.TaskCreateBeginAt(t, reg, now)
+		} else {
+			te.fm.TaskCreateBeginAt(t, reg, now)
+		}
+		te.fr.recordAt(t, now, EvTaskCreateBegin, reg, 0)
+		return
+	}
 	for _, l := range te.Listeners {
 		l.TaskCreateBegin(t, reg)
 	}
@@ -341,6 +466,16 @@ func (te *Tee) TaskCreateBegin(t *omp.Thread, reg *region.Region) {
 
 // TaskCreateEnd implements omp.Listener.
 func (te *Tee) TaskCreateEnd(t *omp.Thread, tk *omp.Task) {
+	if te.fr != nil {
+		now := te.clk.Now()
+		if te.ff != nil {
+			te.ff.TaskCreateEndAt(t, tk, now)
+		} else {
+			te.fm.TaskCreateEndAt(t, tk, now)
+		}
+		te.fr.recordAt(t, now, EvTaskCreateEnd, tk.Region, tk.ID)
+		return
+	}
 	for _, l := range te.Listeners {
 		l.TaskCreateEnd(t, tk)
 	}
@@ -348,6 +483,16 @@ func (te *Tee) TaskCreateEnd(t *omp.Thread, tk *omp.Task) {
 
 // TaskBegin implements omp.Listener.
 func (te *Tee) TaskBegin(t *omp.Thread, tk *omp.Task) {
+	if te.fr != nil {
+		now := te.clk.Now()
+		if te.ff != nil {
+			te.ff.TaskBeginAt(t, tk, now)
+		} else {
+			te.fm.TaskBeginAt(t, tk, now)
+		}
+		te.fr.recordAt(t, now, EvTaskBegin, tk.Region, tk.ID)
+		return
+	}
 	for _, l := range te.Listeners {
 		l.TaskBegin(t, tk)
 	}
@@ -355,6 +500,16 @@ func (te *Tee) TaskBegin(t *omp.Thread, tk *omp.Task) {
 
 // TaskEnd implements omp.Listener.
 func (te *Tee) TaskEnd(t *omp.Thread, tk *omp.Task) {
+	if te.fr != nil {
+		now := te.clk.Now()
+		if te.ff != nil {
+			te.ff.TaskEndAt(t, tk, now)
+		} else {
+			te.fm.TaskEndAt(t, tk, now)
+		}
+		te.fr.recordAt(t, now, EvTaskEnd, tk.Region, tk.ID)
+		return
+	}
 	for _, l := range te.Listeners {
 		l.TaskEnd(t, tk)
 	}
@@ -362,6 +517,20 @@ func (te *Tee) TaskEnd(t *omp.Thread, tk *omp.Task) {
 
 // TaskSwitch implements omp.Listener.
 func (te *Tee) TaskSwitch(t *omp.Thread, tk *omp.Task) {
+	if te.fr != nil {
+		now := te.clk.Now()
+		if te.ff != nil {
+			te.ff.TaskSwitchAt(t, tk, now)
+		} else {
+			te.fm.TaskSwitchAt(t, tk, now)
+		}
+		if tk == nil {
+			te.fr.recordAt(t, now, EvTaskSwitch, nil, 0)
+		} else {
+			te.fr.recordAt(t, now, EvTaskSwitch, tk.Region, tk.ID)
+		}
+		return
+	}
 	for _, l := range te.Listeners {
 		l.TaskSwitch(t, tk)
 	}

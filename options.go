@@ -47,7 +47,9 @@ func WithoutProfiling() Option {
 // WithTracing enables in-memory event tracing. Session.End then exposes
 // the recording via Results.Trace and its derived metrics via
 // Results.TraceAnalysis. For runs whose trace may outgrow memory use
-// WithStreamingTrace instead.
+// WithStreamingTrace instead. Combined with profiling (the default),
+// the session wires the fused profiling+tracing Tee: both listeners
+// share one clock read per event and see identical timestamps.
 func WithTracing() Option {
 	return func(c *sessionConfig) {
 		c.tracing = true

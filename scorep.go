@@ -171,7 +171,11 @@ type TraceAnalysis = trace.Analysis
 func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder(clock.NewSystem()) }
 
 // NewTee fans the runtime event stream out to several listeners, e.g. a
-// Measurement and a TraceRecorder simultaneously.
+// Measurement and a TraceRecorder simultaneously. The canonical
+// (Measurement or Filter, TraceRecorder) pair sharing one clock — what
+// NewSession(WithTracing()) wires — takes a fused fast path: one clock
+// read per event feeds both listeners with identical timestamps and no
+// interface dispatch.
 func NewTee(listeners ...Listener) Listener { return trace.NewTee(listeners...) }
 
 // AnalyzeTrace derives the paper's §VII metrics (dispatch latency,
