@@ -141,6 +141,23 @@ func TestCommandLineTools(t *testing.T) {
 		t.Errorf("streaming analyze of archive failed:\n%s", out)
 	}
 
+	// Parallel out-of-core analysis is byte-identical to sequential:
+	// the -json outputs at -parallel 1 and -parallel 4 must cmp equal,
+	// and the parallel decode path renders the same timeline.
+	seqJSON := run("scorep-analyze", "-trace", archivePath, "-json", "-parallel", "1")
+	parJSON := run("scorep-analyze", "-trace", archivePath, "-json", "-parallel", "4")
+	if seqJSON != parJSON {
+		t.Errorf("parallel analysis JSON differs from sequential:\nseq: %s\npar: %s", seqJSON, parJSON)
+	}
+	if !strings.Contains(seqJSON, "ManagementRatio") {
+		t.Errorf("-json analysis output malformed:\n%s", seqJSON)
+	}
+	seqTL := run("scorep-timeline", "-in", archivePath, "-width", "40", "-parallel", "1")
+	parTL := run("scorep-timeline", "-in", archivePath, "-width", "40", "-parallel", "4")
+	if seqTL != parTL {
+		t.Error("timeline rendered from parallel decode differs from sequential")
+	}
+
 	// Experiment archive round trip: one scorep-bots run writes the
 	// archive, every offline tool reads it back.
 	expDir := filepath.Join(dir, "exp-fib")
@@ -189,4 +206,7 @@ func TestCommandLineTools(t *testing.T) {
 	mustFail("scorep-timeline", "-in", tracePath, "-exp", expDir)
 	mustFail("scorep-analyze", "-in", repA, "-trace", tracePath)
 	mustFail("scorep-convert", "-in", tracePath, "-exp", expDir, "-stats")
+	mustFail("scorep-analyze", "-in", repA, "-json")          // -json is trace-analysis only
+	mustFail("scorep-analyze", "-in", repA, "-parallel", "4") // -parallel is trace-analysis only
+	mustFail("scorep-report", "-in", repA, "-parallel", "2")  // -parallel is -diff only
 }

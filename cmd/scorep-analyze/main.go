@@ -7,9 +7,12 @@
 //
 // a saved event trace (JSONL or binary otf2-style archive by
 // extension; archives are analyzed streaming, in bounded memory, so
-// they may be far larger than RAM):
+// they may be far larger than RAM — by default in parallel, with one
+// decode/analysis worker per processor; -parallel pins the worker
+// count, and -parallel 1 forces the sequential path. The analysis is
+// identical at every worker count. -json emits the metrics as JSON):
 //
-//	scorep-analyze -trace trace.otf2
+//	scorep-analyze -trace trace.otf2 [-parallel 4] [-json]
 //	scorep-analyze -trace trace.jsonl
 //
 // an experiment archive (profile findings plus trace metrics; a trace
@@ -27,6 +30,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +48,8 @@ func main() {
 		tracePath = flag.String("trace", "", "saved event trace to analyze (.otf2 = binary archive, otherwise JSONL)")
 		expDir    = flag.String("exp", "", "experiment directory: analyze it (without -code) or write the live run's archive to it (with -code)")
 		saveTrace = flag.String("save-trace", "", "save the live run's trace (format by extension)")
+		parallel  = flag.Int("parallel", 0, "trace decode/analysis workers (0 = one per processor, 1 = sequential; results are identical)")
+		asJSON    = flag.Bool("json", false, "with -trace: emit the trace analysis as JSON instead of text")
 	)
 	flag.Parse()
 
@@ -64,6 +70,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-save-trace only applies to live runs (-code)")
 		os.Exit(2)
 	}
+	if *asJSON && *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "-json only applies to trace analysis (-trace)")
+		os.Exit(2)
+	}
+	if flagWasSet("parallel") && *in != "" {
+		fmt.Fprintln(os.Stderr, "-parallel only applies to trace analysis (-trace, -exp or -code); a report (-in) holds no trace")
+		os.Exit(2)
+	}
 
 	switch {
 	case *in != "":
@@ -79,15 +93,23 @@ func main() {
 		scorep.FormatFindings(os.Stdout, scorep.AnalyzeReport(rep))
 
 	case *tracePath != "":
-		a, warning, err := otf2.AnalyzeFile(*tracePath)
+		a, warning, err := otf2.AnalyzeFile(*tracePath, *parallel)
 		if err != nil {
 			fail(err)
 		}
 		warn(warning)
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(a); err != nil {
+				fail(err)
+			}
+			return
+		}
 		a.Format(os.Stdout)
 
 	case rf.Code == "" && *expDir != "":
-		analyzeExperiment(*expDir)
+		analyzeExperiment(*expDir, *parallel)
 
 	case rf.Code != "":
 		spec, size, err := rf.Resolve()
@@ -98,7 +120,7 @@ func main() {
 		// One session records profile and trace simultaneously
 		// (Score-P's combined mode) and, with -exp, leaves the
 		// experiment archive behind.
-		opts := []scorep.Option{scorep.WithTracing()}
+		opts := []scorep.Option{scorep.WithTracing(), scorep.WithAnalysisParallelism(*parallel)}
 		if *expDir != "" {
 			opts = append(opts, scorep.WithExperimentDirectory(*expDir))
 		}
@@ -139,11 +161,12 @@ func main() {
 
 // analyzeExperiment reports everything an experiment archive holds:
 // configuration summary, profile findings, trace metrics.
-func analyzeExperiment(dir string) {
+func analyzeExperiment(dir string, parallel int) {
 	exp, err := scorep.OpenExperiment(dir)
 	if err != nil {
 		fail(err)
 	}
+	exp.AnalysisParallelism = parallel
 	m := exp.Meta
 	fmt.Printf("== experiment %s ==\n", dir)
 	fmt.Printf("config: profiling=%v tracing=%v scheduler=%s threads=%d tasks=%d wall=%s gomaxprocs=%d %s\n\n",
@@ -171,6 +194,18 @@ func analyzeExperiment(dir string) {
 	if !m.HasProfile && !m.HasTrace {
 		fmt.Println("experiment holds neither profile nor trace; nothing to analyze")
 	}
+}
+
+// flagWasSet reports whether the named flag was given explicitly on the
+// command line (as opposed to resting at its default).
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func warn(msg string) {

@@ -18,12 +18,17 @@
 // Benchmark names are hierarchical: micro/* exercises the profiling
 // engine directly, event/* the full runtime->listener per-event path in
 // each listener configuration (uninst, profile, trace, profile+trace,
-// profile+filter), stream/* the streaming trace record path including
-// binary archive encoding, clock/* the timestamp source, and fig13/14/15
-// the paper's figure experiments on the BOTS codes.
+// profile+filter), stream/* the trace pipeline — the per-event record
+// path (stream/record), concurrent archive write throughput
+// (stream/write, 1 vs 4 writer threads at GOMAXPROCS 1 and 4), archive
+// decoding (stream/decode) and out-of-core analysis sequential vs
+// parallel (stream/analyze), all reporting events/sec and bytes/event —
+// clock/* the timestamp source, and fig13/14/15 the paper's figure
+// experiments on the BOTS codes.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,6 +36,7 @@ import (
 	"regexp"
 	"runtime"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -309,6 +315,171 @@ func benchClock(zeroValue bool) func(*testing.B) {
 	}
 }
 
+// archiveInput is a prebuilt synthetic recording and its encoded
+// archive, shared by the stream/write, stream/decode and stream/analyze
+// benches (built once per size, outside all timed regions).
+type archiveInput struct {
+	tr     *trace.Trace
+	data   []byte
+	events int
+}
+
+type archiveInputKey struct{ threads, tasks int }
+
+var (
+	archiveInputs   = map[archiveInputKey]*archiveInput{}
+	archiveInputsMu sync.Mutex
+)
+
+// archiveFor builds (once) a trace of threads x tasksPerThread task
+// lifecycles — the event mix of a BOTS run — and its binary archive.
+func archiveFor(threads, tasksPerThread int) *archiveInput {
+	archiveInputsMu.Lock()
+	defer archiveInputsMu.Unlock()
+	key := archiveInputKey{threads, tasksPerThread}
+	if in, ok := archiveInputs[key]; ok {
+		return in
+	}
+	par := region.MustRegister("bench.stream.par", "bench.go", 10, region.Parallel)
+	task := region.MustRegister("bench.stream.task", "bench.go", 11, region.Task)
+	create := region.MustRegister("bench.stream.create", "bench.go", 11, region.TaskCreate)
+	tw := region.MustRegister("bench.stream.tw", "bench.go", 12, region.Taskwait)
+	tr := &trace.Trace{Threads: make(map[int][]trace.Event)}
+	var id uint64
+	for t := 0; t < threads; t++ {
+		now := int64(1000 * t)
+		tick := func() int64 { now += 740; return now }
+		evs := make([]trace.Event, 0, tasksPerThread*4+7)
+		evs = append(evs,
+			trace.Event{Time: tick(), Type: trace.EvThreadBegin},
+			trace.Event{Time: tick(), Type: trace.EvEnter, Region: par},
+			trace.Event{Time: tick(), Type: trace.EvEnter, Region: tw})
+		for i := 0; i < tasksPerThread; i++ {
+			id++
+			evs = append(evs,
+				trace.Event{Time: tick(), Type: trace.EvTaskCreateBegin, Region: create},
+				trace.Event{Time: tick(), Type: trace.EvTaskCreateEnd, Region: task, TaskID: id},
+				trace.Event{Time: tick(), Type: trace.EvTaskBegin, Region: task, TaskID: id},
+				trace.Event{Time: tick(), Type: trace.EvTaskEnd, Region: task, TaskID: id})
+		}
+		evs = append(evs,
+			trace.Event{Time: tick(), Type: trace.EvExit, Region: tw},
+			trace.Event{Time: tick(), Type: trace.EvExit, Region: par},
+			trace.Event{Time: tick(), Type: trace.EvThreadEnd})
+		tr.Threads[t] = evs
+	}
+	var buf bytes.Buffer
+	if err := otf2.Write(&buf, tr); err != nil {
+		panic("scorep-bench: building archive input: " + err.Error())
+	}
+	in := &archiveInput{tr: tr, data: buf.Bytes(), events: tr.NumEvents()}
+	archiveInputs[key] = in
+	return in
+}
+
+// benchArchiveWrite measures concurrent archive write throughput: one
+// op is one event encoded and streamed into a shared Writer by one of
+// `threads` concurrently flushing goroutines at the given GOMAXPROCS.
+// The scaling of threads=4 over threads=1 quantifies how far the
+// encoding has moved out of the writer lock.
+func benchArchiveWrite(threads, gomaxprocs, tasksPerThread int) func(*testing.B) {
+	return func(b *testing.B) {
+		prev := runtime.GOMAXPROCS(gomaxprocs)
+		defer runtime.GOMAXPROCS(prev)
+		b.ReportAllocs()
+		in := archiveFor(threads, tasksPerThread)
+		cw := &countingWriter{}
+		w := otf2.NewWriter(cw)
+		per := (b.N + threads - 1) / threads
+		var wg sync.WaitGroup
+		b.ResetTimer()
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				evs := in.tr.Threads[t]
+				const batch = 512
+				for done := 0; done < per; {
+					lo := done % len(evs)
+					hi := lo + batch
+					if hi > len(evs) {
+						hi = len(evs)
+					}
+					if hi-lo > per-done {
+						hi = lo + per - done
+					}
+					if err := w.WriteEvents(t, evs[lo:hi]); err != nil {
+						b.Error(err)
+						return
+					}
+					done += hi - lo
+				}
+			}(t)
+		}
+		wg.Wait()
+		b.StopTimer()
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		written := int64(per) * int64(threads)
+		b.ReportMetric(float64(cw.n)/float64(written), "bytes/event")
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(written)/s, "events/sec")
+		}
+	}
+}
+
+// benchArchiveDecode measures whole-archive decoding (ReadAll); one op
+// is one full pass, with ns/event and events/sec reported.
+func benchArchiveDecode(workers, gomaxprocs, tasksPerThread int) func(*testing.B) {
+	return func(b *testing.B) {
+		prev := runtime.GOMAXPROCS(gomaxprocs)
+		defer runtime.GOMAXPROCS(prev)
+		b.ReportAllocs()
+		in := archiveFor(4, tasksPerThread)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := otf2.ReadAllParallel(bytes.NewReader(in.data), region.NewRegistry(), workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		reportPerEvent(b, in.events)
+	}
+}
+
+// benchArchiveAnalyze measures out-of-core analysis of the archive; one
+// op is one full pass. workers == 1 is the sequential baseline the
+// parallel variants are compared against.
+func benchArchiveAnalyze(workers, gomaxprocs, tasksPerThread int) func(*testing.B) {
+	return func(b *testing.B) {
+		prev := runtime.GOMAXPROCS(gomaxprocs)
+		defer runtime.GOMAXPROCS(prev)
+		b.ReportAllocs()
+		in := archiveFor(4, tasksPerThread)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := otf2.AnalyzeParallel(bytes.NewReader(in.data), workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		reportPerEvent(b, in.events)
+	}
+}
+
+// reportPerEvent derives per-event metrics for whole-archive ops.
+func reportPerEvent(b *testing.B, events int) {
+	if b.N == 0 || events == 0 {
+		return
+	}
+	total := float64(b.N) * float64(events)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/total, "ns/event")
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(total/s, "events/sec")
+	}
+}
+
 var kernelSink uint64
 
 // benchFigure runs one BOTS kernel per op in the given listener
@@ -353,6 +524,26 @@ func buildSpecs(quick bool) []spec {
 	add("stream/record", true, true, benchStreamRecord)
 	add("clock/now", false, true, benchClock(false))
 	add("clock/now-zero-value", false, true, benchClock(true))
+
+	// Archive pipeline throughput: concurrent writes into one Writer,
+	// whole-archive decode, and out-of-core analysis sequential vs
+	// parallel, at GOMAXPROCS 1 and 4. The tasks= label pins the input
+	// size (quick inputs must not be compared against full baselines);
+	// full mode uses a >= 1M-event archive (4 threads x 65536 tasks x 4
+	// lifecycle events + envelope).
+	streamTasks := 65536
+	if quick {
+		streamTasks = 4096
+	}
+	st := fmt.Sprintf("tasks=%d", streamTasks)
+	add("stream/write/threads=1/cpu=1/"+st, false, true, benchArchiveWrite(1, 1, streamTasks))
+	add("stream/write/threads=4/cpu=1/"+st, false, true, benchArchiveWrite(4, 1, streamTasks))
+	add("stream/write/threads=4/cpu=4/"+st, false, true, benchArchiveWrite(4, 4, streamTasks))
+	add("stream/decode/seq/cpu=1/"+st, false, true, benchArchiveDecode(1, 1, streamTasks))
+	add("stream/decode/par/workers=4/cpu=4/"+st, false, true, benchArchiveDecode(4, 4, streamTasks))
+	add("stream/analyze/seq/cpu=1/"+st, false, true, benchArchiveAnalyze(1, 1, streamTasks))
+	add("stream/analyze/par/workers=4/cpu=1/"+st, false, true, benchArchiveAnalyze(4, 1, streamTasks))
+	add("stream/analyze/par/workers=4/cpu=4/"+st, false, true, benchArchiveAnalyze(4, 4, streamTasks))
 
 	// Figure experiments on the BOTS codes.
 	size := bots.SizeSmall

@@ -9,7 +9,7 @@
 // Usage:
 //
 //	scorep-convert -in trace.jsonl -out trace.otf2 [-stats]
-//	scorep-convert -in trace.otf2 -out trace.jsonl
+//	scorep-convert -in trace.otf2 -out trace.jsonl [-parallel 4]
 //	scorep-convert -exp scorep-run -out trace.jsonl
 //	scorep-convert -in trace.otf2 -stats          (inspect only)
 package main
@@ -27,10 +27,11 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input trace (.otf2 = binary archive, otherwise JSONL)")
-		expDir = flag.String("exp", "", "input experiment directory (its trace.otf2 is converted)")
-		out    = flag.String("out", "", "output trace; format chosen by extension (optional with -stats)")
-		stats  = flag.Bool("stats", false, "print size/event-count/bytes-per-event statistics")
+		in       = flag.String("in", "", "input trace (.otf2 = binary archive, otherwise JSONL)")
+		expDir   = flag.String("exp", "", "input experiment directory (its trace.otf2 is converted)")
+		out      = flag.String("out", "", "output trace; format chosen by extension (optional with -stats)")
+		stats    = flag.Bool("stats", false, "print size/event-count/bytes-per-event statistics")
+		parallel = flag.Int("parallel", 0, "archive decode workers (0 = one per processor, 1 = sequential; the loaded trace is identical)")
 	)
 	flag.Parse()
 
@@ -65,7 +66,7 @@ func main() {
 		return
 	}
 
-	tr, warning, err := otf2.ReadFileLenient(*in, region.NewRegistry())
+	tr, warning, err := otf2.ReadFileLenient(*in, region.NewRegistry(), *parallel)
 	if err != nil {
 		fail(err)
 	}

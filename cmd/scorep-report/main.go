@@ -12,13 +12,17 @@
 //	scorep-report -in report.json [-csv] [-per-thread] [-min-sum 1ms]
 //	scorep-report -exp scorep-run [-csv]
 //	scorep-report -in baseline.json -diff candidate.json [-top 10]
-//	scorep-report -in scorep-base -diff scorep-cand [-top 10]
+//	scorep-report -in scorep-base -diff scorep-cand [-top 10] [-parallel 2]
+//
+// With -diff, -parallel > 1 loads the two inputs concurrently (the
+// rendered reports and diffs are identical at every setting).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	scorep "repro"
 )
@@ -32,6 +36,7 @@ func main() {
 		asCSV     = flag.Bool("csv", false, "emit CSV instead of a text tree")
 		perThread = flag.Bool("per-thread", false, "render per-thread breakdown")
 		minSum    = flag.Duration("min-sum", 0, "hide nodes below this inclusive time")
+		parallel  = flag.Int("parallel", 0, "with -diff: load the two inputs concurrently (0 = one per processor, 1 = sequential; output is identical)")
 	)
 	flag.Parse()
 	if *in != "" && *expDir != "" {
@@ -45,10 +50,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "missing -in report.json (or -exp dir)")
 		os.Exit(2)
 	}
-	rep := load(*in)
+	parallelSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "parallel" {
+			parallelSet = true
+		}
+	})
+	if parallelSet && *diffPath == "" {
+		fmt.Fprintln(os.Stderr, "-parallel only applies to -diff (loading the two inputs concurrently)")
+		os.Exit(2)
+	}
+	if *parallel <= 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
 
 	if *diffPath != "" {
-		cand := load(*diffPath)
+		var rep, cand *scorep.Report
+		if *parallel > 1 {
+			done := make(chan struct{})
+			go func() { cand = load(*diffPath); close(done) }()
+			rep = load(*in)
+			<-done
+		} else {
+			rep = load(*in)
+			cand = load(*diffPath)
+		}
 		rd := scorep.DiffReports(rep, cand)
 		if *top > 0 {
 			fmt.Printf("top %d deltas (baseline=%s candidate=%s):\n", *top, *in, *diffPath)
@@ -63,6 +89,7 @@ func main() {
 		return
 	}
 
+	rep := load(*in)
 	var err error
 	if *asCSV {
 		err = scorep.WriteReportCSV(os.Stdout, rep)

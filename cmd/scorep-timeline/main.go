@@ -9,7 +9,7 @@
 // Usage:
 //
 //	scorep-timeline -code sort -size small -threads 4 [-width 120]
-//	scorep-timeline -in trace.jsonl [-width 120]
+//	scorep-timeline -in trace.otf2 [-width 120] [-parallel 4]
 //	scorep-timeline -exp scorep-run [-width 120]
 //	scorep-timeline -code fib -size tiny -threads 4 -save trace.otf2 [-exp scorep-run]
 package main
@@ -29,10 +29,11 @@ import (
 func main() {
 	rf := bots.RegisterRunFlags(flag.CommandLine, "")
 	var (
-		in     = flag.String("in", "", "saved trace to render (.otf2 = binary archive, otherwise JSONL)")
-		expDir = flag.String("exp", "", "experiment directory: render its trace (without -code) or write the live run's archive to it (with -code)")
-		width  = flag.Int("width", 100, "timeline width in characters")
-		save   = flag.String("save", "", "also save the recorded trace (format by extension)")
+		in       = flag.String("in", "", "saved trace to render (.otf2 = binary archive, otherwise JSONL)")
+		expDir   = flag.String("exp", "", "experiment directory: render its trace (without -code) or write the live run's archive to it (with -code)")
+		width    = flag.Int("width", 100, "timeline width in characters")
+		save     = flag.String("save", "", "also save the recorded trace (format by extension)")
+		parallel = flag.Int("parallel", 0, "archive decode workers (0 = one per processor, 1 = sequential; the loaded trace is identical)")
 	)
 	flag.Parse()
 
@@ -49,7 +50,7 @@ func main() {
 	case *in != "":
 		var warning string
 		var err error
-		tr, warning, err = otf2.ReadFileLenient(*in, region.NewRegistry())
+		tr, warning, err = otf2.ReadFileLenient(*in, region.NewRegistry(), *parallel)
 		if err != nil {
 			fail(err)
 		}
@@ -60,6 +61,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		exp.AnalysisParallelism = *parallel
 		tr, err = exp.Trace()
 		if err != nil {
 			fail(err)

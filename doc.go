@@ -46,9 +46,11 @@
 // (on by default) / WithoutProfiling, WithTracing or
 // WithStreamingTrace(sink, chunkEvents) for traces larger than memory,
 // WithFilter(patterns...) for measurement filtering,
-// WithScheduler(kind), WithClock(clk), WithListener(extra) and
+// WithScheduler(kind), WithClock(clk), WithListener(extra),
 // WithExperimentDirectory(dir) to save the archive automatically at
-// End.
+// End, and WithAnalysisParallelism(workers) to pin the worker count
+// Results.TraceAnalysis shards over (default: one per processor; the
+// analysis result is identical at every setting).
 //
 // # Experiment archives
 //
@@ -114,16 +116,52 @@
 //	profiling+tracing        210 ns       94 ns     0      (-55%, fused Tee)
 //	task, 5 events           583 ns       325 ns    2->0   (-44%, profiling+tracing)
 //
+// Downstream of the per-event path, the trace pipeline is parallel end
+// to end. On the write side, the archive Writer encodes every event in
+// the flushing thread's own chunk buffer — region interning is an
+// atomic-publish table, sealed chunk buffers are recycled through a
+// sync.Pool, and the only shared lock is held exactly for the append
+// of a framed chunk to the underlying file. One thread blocked in a
+// slow sink write therefore never stalls recording, encoding, or even
+// flushing progress on other threads (before, a single writer mutex
+// serialized all of it). On the read side, AnalyzeTraceArchiveParallel
+// (otf2.AnalyzeParallel; scorep-analyze/-timeline/-convert -parallel N)
+// runs the out-of-core analysis with a sequential frame scanner
+// fanning chunk decoding out to a worker pool, while per-thread shards
+// re-serialize each thread's chunks in archive order — Scalasca's
+// parallel trace-analysis structure. Memory stays O(workers x chunk),
+// and the merged result is reflect.DeepEqual- and JSON-byte-identical
+// to the sequential analysis, also for truncated archives (CI cmp's
+// the -parallel 1 and -parallel 4 JSON outputs on every change).
+//
+// Archive pipeline throughput on the same 1-core container (1.05M-event
+// archive, 4 trace threads, min of 3 reps; see BENCH_PR5.json — a
+// single hardware thread cannot exhibit parallel speedup, so the
+// multi-worker rows bound the coordination overhead from above; the
+// scaling acceptance runs on multi-core CI):
+//
+//	stage                           throughput       per event
+//	concurrent write, 1 thread      119M events/s    8.4 ns, 6.3 bytes
+//	concurrent write, 4 threads     54M events/s     (4 goroutines timeslicing 1 core)
+//	decode (ReadAll, pre-sized)     5.7M events/s    175 ns
+//	analyze sequential              17.3M events/s   58 ns
+//	analyze parallel, 4 workers     20.1M events/s   50 ns — faster than
+//	  sequential even on one core (decode overlaps the frame scan);
+//	  identical results, scaling with cores on multi-core hosts
+//
 // Reproduce with:
 //
-//	go run ./cmd/scorep-bench -baseline bench_baseline.json -out BENCH_PR4.json
+//	go run ./cmd/scorep-bench -baseline bench_baseline.json -out BENCH_PR5.json
 //
 // scorep-bench runs the Fig. 13/14/15 experiments and these
 // microbenchmarks with warmup and repetitions and emits machine-readable
-// JSON (ns/op, allocs/op, bytes/event, deltas vs. the committed
-// baseline). CI runs `scorep-bench -quick -check-allocs` on every
-// change and fails when a hot-path benchmark allocates more per op
-// than the committed baseline.
+// JSON (ns/op, allocs/op, bytes/event, events/sec, deltas vs. the
+// committed baseline). The stream section covers the whole pipeline:
+// stream/record (per-event record path), stream/write (concurrent
+// archive writes, 1 vs 4 threads at GOMAXPROCS 1 and 4), stream/decode
+// and stream/analyze (sequential vs parallel). CI runs `scorep-bench
+// -quick -check-allocs` on every change and fails when a hot-path
+// benchmark allocates more per op than the committed baseline.
 //
 // # Scheduler design
 //
@@ -172,10 +210,14 @@
 // TraceArchiveWriter instead of buffering the run in RAM), and
 // AnalyzeTraceArchive replays an archive through per-thread state
 // machines in O(chunk) memory — out-of-core analysis of traces far
-// larger than RAM. The scorep-convert command converts between the two
-// formats and reports size/event statistics; scorep-timeline and
-// scorep-analyze accept either format, chosen by file extension
-// (".otf2" is binary).
+// larger than RAM. AnalyzeTraceArchiveParallel and
+// ReadTraceArchiveParallel spread the chunk decoding over a worker
+// pool with per-thread in-order shards (O(workers x chunk) memory,
+// identical results); the CLIs expose the knob as -parallel N (0 = one
+// worker per processor, 1 = sequential). The scorep-convert command
+// converts between the two formats and reports size/event statistics;
+// scorep-timeline and scorep-analyze accept either format, chosen by
+// file extension (".otf2" is binary).
 //
 // See examples/ for runnable programs (quickstart is the Session-API
 // walkthrough) and internal/exp for the harness that regenerates every

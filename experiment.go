@@ -12,6 +12,7 @@ import (
 	"repro/internal/cube"
 	"repro/internal/otf2"
 	"repro/internal/region"
+	"repro/internal/trace"
 )
 
 // Experiment archive layout — the analog of Score-P's scorep-<name>/
@@ -164,6 +165,13 @@ type Experiment struct {
 	// Meta is the decoded meta.json.
 	Meta ExperimentMeta
 
+	// AnalysisParallelism is the worker count used to decode and
+	// analyze the archived trace (<= 0: one per processor, 1: strictly
+	// sequential). Per-thread trace streams are independent, so the
+	// result is identical at every setting. Set it before the first
+	// Trace/TraceAnalysis call; the loaded artifacts are cached.
+	AnalysisParallelism int
+
 	mu          sync.Mutex
 	report      *Report
 	trace       *Trace
@@ -237,7 +245,7 @@ func (e *Experiment) Trace() (*Trace, error) {
 	if e.traceLoaded || !e.Meta.HasTrace {
 		return e.trace, nil
 	}
-	tr, warn, err := otf2.ReadFileLenient(e.TracePath(), region.NewRegistry())
+	tr, warn, err := otf2.ReadFileLenient(e.TracePath(), region.NewRegistry(), e.AnalysisParallelism)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: %s: %w", e.TracePath(), err)
 	}
@@ -259,10 +267,10 @@ func (e *Experiment) TraceAnalysis() (*TraceAnalysis, error) {
 		return e.analysis, nil
 	}
 	if e.traceLoaded {
-		e.analysis = AnalyzeTrace(e.trace)
+		e.analysis = trace.AnalyzeParallel(e.trace, e.AnalysisParallelism)
 		return e.analysis, nil
 	}
-	a, warn, err := otf2.AnalyzeFile(e.TracePath())
+	a, warn, err := otf2.AnalyzeFile(e.TracePath(), e.AnalysisParallelism)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: %s: %w", e.TracePath(), err)
 	}

@@ -129,6 +129,52 @@ func TestExperimentRoundTrip(t *testing.T) {
 	}
 }
 
+// TestExperimentAnalysisParallelism checks the archived trace loads and
+// analyzes identically through the parallel decode pipeline.
+func TestExperimentAnalysisParallelism(t *testing.T) {
+	res := runExperimentWorkload(t, "eap", 128, scorep.WithTracing())
+	dir := filepath.Join(t.TempDir(), "scorep-parallel")
+	if err := res.SaveExperiment(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	seq, err := scorep.OpenExperiment(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.AnalysisParallelism = 1
+	par, err := scorep.OpenExperiment(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.AnalysisParallelism = 4
+
+	wantA, err := seq.TraceAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotA, err := par.TraceAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantA, gotA) {
+		t.Errorf("parallel experiment analysis diverges:\n got %+v\nwant %+v", gotA, wantA)
+	}
+
+	wantTr, err := seq.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTr, err := par.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTr.NumEvents() != wantTr.NumEvents() || len(gotTr.Threads) != len(wantTr.Threads) {
+		t.Errorf("parallel trace load = %d events/%d threads, want %d/%d",
+			gotTr.NumEvents(), len(gotTr.Threads), wantTr.NumEvents(), len(wantTr.Threads))
+	}
+}
+
 // TestOpenExperimentTruncatedTrace models the crashed-run case: the
 // experiment's trace.otf2 is cut off mid-chunk, and OpenExperiment
 // salvages the intact prefix instead of failing.

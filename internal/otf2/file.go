@@ -12,17 +12,19 @@ import (
 
 // ReadFile loads a trace file in the format chosen by its extension
 // (".otf2" is a binary archive, anything else JSONL), interning regions
-// into reg. An archive cut off mid-chunk (crashed run) is salvaged: the
-// intact prefix is returned together with an error wrapping
-// ErrTruncated, and the caller decides whether to use it.
-func ReadFile(path string, reg *region.Registry) (*trace.Trace, error) {
+// into reg. Archives are decoded with workers goroutines (<= 0 one per
+// processor, 1 strictly sequential; JSONL is always sequential). An
+// archive cut off mid-chunk (crashed run) is salvaged: the intact
+// prefix is returned together with an error wrapping ErrTruncated, and
+// the caller decides whether to use it.
+func ReadFile(path string, reg *region.Registry, workers int) (*trace.Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 	if IsArchivePath(path) {
-		return ReadAll(f, reg)
+		return ReadAllParallel(f, reg, workers)
 	}
 	return trace.ReadJSONL(f, reg)
 }
@@ -33,8 +35,8 @@ func ReadFile(path string, reg *region.Registry) (*trace.Trace, error) {
 // human-readable warning instead of an error. Anything else — I/O
 // failures, corruption, a bad JSONL line — still fails. The warning is
 // "" for an intact trace.
-func ReadFileLenient(path string, reg *region.Registry) (*trace.Trace, string, error) {
-	tr, err := ReadFile(path, reg)
+func ReadFileLenient(path string, reg *region.Registry, workers int) (*trace.Trace, string, error) {
+	tr, err := ReadFile(path, reg, workers)
 	if errors.Is(err, ErrTruncated) {
 		return tr, fmt.Sprintf("%v; using the intact prefix (%d events)", err, tr.NumEvents()), nil
 	}
@@ -43,24 +45,26 @@ func ReadFileLenient(path string, reg *region.Registry) (*trace.Trace, string, e
 
 // AnalyzeFile runs the trace analysis over a trace file in either
 // format (by extension, like ReadFile). Archives are replayed streaming
-// in O(chunk) memory, so they may be far larger than RAM. Truncated
-// archives are salvaged under the same lenient policy as
+// in O(workers x chunk) memory, so they may be far larger than RAM;
+// workers <= 0 analyzes with one worker per processor, workers == 1
+// strictly sequentially — the result is identical either way.
+// Truncated archives are salvaged under the same lenient policy as
 // ReadFileLenient: the analysis of the intact prefix is returned with a
 // warning.
-func AnalyzeFile(path string) (*trace.Analysis, string, error) {
+func AnalyzeFile(path string, workers int) (*trace.Analysis, string, error) {
 	if !IsArchivePath(path) {
-		tr, warn, err := ReadFileLenient(path, region.NewRegistry())
+		tr, warn, err := ReadFileLenient(path, region.NewRegistry(), 1)
 		if err != nil {
 			return nil, "", err
 		}
-		return trace.Analyze(tr), warn, nil
+		return trace.AnalyzeParallel(tr, workers), warn, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, "", err
 	}
 	defer f.Close()
-	a, err := Analyze(f)
+	a, err := AnalyzeParallel(f, workers)
 	if errors.Is(err, ErrTruncated) {
 		return a, fmt.Sprintf("%v; analyzing the intact prefix", err), nil
 	}
@@ -73,7 +77,7 @@ func AnalyzeFile(path string) (*trace.Analysis, string, error) {
 // warning.
 func CountFileEvents(path string) (int, string, error) {
 	if !IsArchivePath(path) {
-		tr, warn, err := ReadFileLenient(path, region.NewRegistry())
+		tr, warn, err := ReadFileLenient(path, region.NewRegistry(), 1)
 		if err != nil {
 			return 0, "", err
 		}

@@ -40,7 +40,7 @@ func TestReadFileLenientIntact(t *testing.T) {
 		if err := WriteFile(path, tr); err != nil {
 			t.Fatal(err)
 		}
-		got, warning, err := ReadFileLenient(path, region.NewRegistry())
+		got, warning, err := ReadFileLenient(path, region.NewRegistry(), 1)
 		if err != nil || warning != "" {
 			t.Fatalf("%s: ReadFileLenient = (_, %q, %v), want no warning, no error", name, warning, err)
 		}
@@ -84,7 +84,7 @@ func TestReadFileLenientTruncated(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	got, warning, err := ReadFileLenient(path, region.NewRegistry())
+	got, warning, err := ReadFileLenient(path, region.NewRegistry(), 1)
 	if err != nil {
 		t.Fatalf("truncated archive must salvage, got %v", err)
 	}
@@ -103,7 +103,7 @@ func TestReadFileLenientTruncated(t *testing.T) {
 		t.Errorf("CountFileEvents = %d, ReadFileLenient salvaged %d", n, got.NumEvents())
 	}
 
-	a, warning3, err := AnalyzeFile(path)
+	a, warning3, err := AnalyzeFile(path, 1)
 	if err != nil || warning3 == "" || a == nil {
 		t.Fatalf("AnalyzeFile = (%v, %q, %v), want analysis, warning, no error", a, warning3, err)
 	}
@@ -126,11 +126,11 @@ func TestAnalyzeFileFormatsAgree(t *testing.T) {
 	if err := WriteFile(archive, tr); err != nil {
 		t.Fatal(err)
 	}
-	aj, _, err := AnalyzeFile(jsonl)
+	aj, _, err := AnalyzeFile(jsonl, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	aa, _, err := AnalyzeFile(archive)
+	aa, _, err := AnalyzeFile(archive, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,10 +141,10 @@ func TestAnalyzeFileFormatsAgree(t *testing.T) {
 
 func TestLenientHelpersRealErrors(t *testing.T) {
 	missing := filepath.Join(t.TempDir(), "missing.otf2")
-	if _, _, err := ReadFileLenient(missing, region.NewRegistry()); err == nil {
+	if _, _, err := ReadFileLenient(missing, region.NewRegistry(), 1); err == nil {
 		t.Error("ReadFileLenient accepted a missing file")
 	}
-	if _, _, err := AnalyzeFile(missing); err == nil {
+	if _, _, err := AnalyzeFile(missing, 1); err == nil {
 		t.Error("AnalyzeFile accepted a missing file")
 	}
 	if _, _, err := CountFileEvents(missing); err == nil {

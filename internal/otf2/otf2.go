@@ -66,10 +66,20 @@
 //
 // Writer streams events into an archive with one in-memory chunk buffer
 // per thread (it implements trace.EventSink, so a trace.Recorder in
-// bounded-memory mode can flush straight into it). Reader iterates an
-// archive event by event via Next in O(chunk) memory; ReadAll loads a
-// whole archive into a trace.Trace, and Analyze runs the streaming
-// trace analysis without ever materializing the trace.
+// bounded-memory mode can flush straight into it). The Writer encodes
+// concurrently: each thread's events are encoded in that thread's own
+// buffer, region interning publishes atomically, and the writer's only
+// shared lock is held just for the append of a framed chunk to the
+// underlying io.Writer — one thread's slow sink flush never blocks
+// recording or flushing on the others. Reader iterates an archive
+// event by event via Next in O(chunk) memory; ReadAll loads a whole
+// archive into a trace.Trace, and Analyze runs the streaming trace
+// analysis without ever materializing the trace. AnalyzeParallel and
+// ReadAllParallel are the multi-core variants: a sequential frame
+// scanner fans chunk decoding out to a worker pool while per-thread
+// shards replay each thread's chunks in archive order, keeping memory
+// at O(workers x chunk) and the results identical to the sequential
+// paths (reflect.DeepEqual, including for truncated archives).
 package otf2
 
 import (

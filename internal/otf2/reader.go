@@ -11,27 +11,190 @@ import (
 	"repro/internal/trace"
 )
 
+// cursor walks one chunk payload.
+type cursor struct {
+	payload []byte
+	pos     int
+}
+
+// uvarint decodes an unsigned varint from the payload.
+func (c *cursor) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(c.payload[c.pos:])
+	if n <= 0 {
+		return 0, corrupt("bad uvarint in %s", what)
+	}
+	c.pos += n
+	return v, nil
+}
+
+// varint decodes a zig-zag signed varint from the payload.
+func (c *cursor) varint(what string) (int64, error) {
+	v, n := binary.Varint(c.payload[c.pos:])
+	if n <= 0 {
+		return 0, corrupt("bad varint in %s", what)
+	}
+	c.pos += n
+	return v, nil
+}
+
+// defTables holds an archive's decoded definitions: the clock
+// properties and the string and region interning tables event records
+// reference. The sequential Reader mutates one instance in place; the
+// parallel pipeline copy-on-write-forks the region table per
+// definition chunk so already-dispatched decode jobs keep an immutable
+// snapshot.
+type defTables struct {
+	strings map[uint64]string
+	regions map[uint64]*region.Region
+
+	clockResolution uint64
+	clockOffset     int64
+}
+
+func newDefTables() *defTables {
+	return &defTables{
+		strings: make(map[uint64]string),
+		regions: make(map[uint64]*region.Region),
+	}
+}
+
+// forkRegions replaces the region table with a copy, leaving previously
+// handed-out snapshots untouched.
+func (t *defTables) forkRegions() {
+	nr := make(map[uint64]*region.Region, len(t.regions)+8)
+	for id, r := range t.regions {
+		nr[id] = r
+	}
+	t.regions = nr
+}
+
+// decodeDefs consumes a definitions payload, interning regions into reg.
+func (t *defTables) decodeDefs(c *cursor, reg *region.Registry) error {
+	for c.pos < len(c.payload) {
+		tag := c.payload[c.pos]
+		c.pos++
+		switch tag {
+		case defClock:
+			res, err := c.uvarint("clock resolution")
+			if err != nil {
+				return err
+			}
+			off, err := c.varint("clock offset")
+			if err != nil {
+				return err
+			}
+			t.clockResolution, t.clockOffset = res, off
+		case defString:
+			id, err := c.uvarint("string id")
+			if err != nil {
+				return err
+			}
+			n, err := c.uvarint("string length")
+			if err != nil {
+				return err
+			}
+			if uint64(len(c.payload)-c.pos) < n {
+				return corrupt("string %d overruns chunk", id)
+			}
+			t.strings[id] = string(c.payload[c.pos : c.pos+int(n)])
+			c.pos += int(n)
+		case defRegion:
+			id, err := c.uvarint("region id")
+			if err != nil {
+				return err
+			}
+			nameID, err := c.uvarint("region name")
+			if err != nil {
+				return err
+			}
+			fileID, err := c.uvarint("region file")
+			if err != nil {
+				return err
+			}
+			line, err := c.uvarint("region line")
+			if err != nil {
+				return err
+			}
+			typ, err := c.uvarint("region type")
+			if err != nil {
+				return err
+			}
+			name, ok := t.strings[nameID]
+			if !ok {
+				return corrupt("region %d references undefined string %d", id, nameID)
+			}
+			file, ok := t.strings[fileID]
+			if !ok {
+				return corrupt("region %d references undefined string %d", id, fileID)
+			}
+			if typ > maxRegionType {
+				return corrupt("region %d has unknown type %d", id, typ)
+			}
+			t.regions[id] = reg.Register(name, file, int(line), region.Type(typ))
+		default:
+			return corrupt("unknown definition tag %#x", tag)
+		}
+	}
+	return nil
+}
+
+// decodeEvent consumes one event record from c, resolving region
+// references in regions and advancing the running per-thread timestamp
+// at *last.
+func decodeEvent(c *cursor, regions map[uint64]*region.Region, last *int64) (trace.Event, error) {
+	if c.pos >= len(c.payload) {
+		return trace.Event{}, corrupt("event chunk shorter than declared count")
+	}
+	typ := c.payload[c.pos]
+	c.pos++
+	if typ > maxEventType {
+		return trace.Event{}, corrupt("unknown event type %d", typ)
+	}
+	dt, err := c.varint("event time delta")
+	if err != nil {
+		return trace.Event{}, err
+	}
+	ref, err := c.uvarint("event region ref")
+	if err != nil {
+		return trace.Event{}, err
+	}
+	task, err := c.uvarint("event task id")
+	if err != nil {
+		return trace.Event{}, err
+	}
+	ev := trace.Event{Type: trace.EventType(typ), TaskID: task}
+	*last += dt
+	ev.Time = *last
+	if ref != 0 {
+		reg, ok := regions[ref-1]
+		if !ok {
+			return trace.Event{}, corrupt("event references undefined region %d", ref-1)
+		}
+		ev.Region = reg
+	}
+	return ev, nil
+}
+
+// minEventBytes is the smallest encoding of one event record (type byte
+// plus three one-byte varints); readers use it to clamp declared run
+// lengths against the actual payload size before pre-sizing buffers.
+const minEventBytes = 4
+
 // Reader iterates an archive event by event. It holds one chunk plus
 // the definition tables in memory, so arbitrarily large archives can be
 // analyzed out of core. Regions referenced by events are interned into
 // the registry passed to NewReader, giving read events the same
 // pointer-identity semantics as live-recorded ones.
 type Reader struct {
-	br  *bufio.Reader
-	reg *region.Registry
-
-	strings map[uint64]string
-	regions map[uint64]*region.Region
-
-	clockResolution uint64
-	clockOffset     int64
+	br     *bufio.Reader
+	reg    *region.Registry
+	tables *defTables
 
 	// Current event chunk being drained. curLast caches the current
 	// thread's running timestamp so the decode hot loop touches no
 	// maps; it is persisted to lastTime when the next event chunk
 	// begins.
-	payload   []byte
-	pos       int
+	cur       cursor
 	curThread int
 	remaining uint64
 	curLast   int64
@@ -53,24 +216,59 @@ func cutOrIOErr(what string, err error) error {
 	return fmt.Errorf("otf2: %s: %w", what, err)
 }
 
+// readHeader validates the archive header on br.
+func readHeader(br *bufio.Reader) error {
+	var hdr [len(magic) + 1]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return cutOrIOErr("reading header", err)
+	}
+	if string(hdr[:len(magic)]) != magic {
+		return corrupt("bad magic %q", hdr[:len(magic)])
+	}
+	if hdr[len(magic)] != version {
+		return fmt.Errorf("otf2: unsupported format version %d (have %d)", hdr[len(magic)], version)
+	}
+	return nil
+}
+
+// readChunkInto reads the next chunk's kind and payload from br,
+// reusing buf's capacity. It returns io.EOF at a clean end between
+// chunks.
+func readChunkInto(br *bufio.Reader, buf []byte) (byte, []byte, error) {
+	kind, err := br.ReadByte()
+	if err == io.EOF {
+		return 0, buf, io.EOF
+	}
+	if err != nil {
+		return 0, buf, cutOrIOErr("reading chunk kind", err)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, buf, cutOrIOErr("reading chunk length", err)
+	}
+	if n > maxChunkLen {
+		return 0, buf, corrupt("chunk length %d exceeds limit", n)
+	}
+	if uint64(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return 0, buf, cutOrIOErr("chunk payload", err)
+	}
+	return kind, buf, nil
+}
+
 // NewReader opens an archive, validating the header.
 func NewReader(r io.Reader, reg *region.Registry) (*Reader, error) {
 	br := bufio.NewReader(r)
-	var hdr [len(magic) + 1]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, cutOrIOErr("reading header", err)
-	}
-	if string(hdr[:len(magic)]) != magic {
-		return nil, corrupt("bad magic %q", hdr[:len(magic)])
-	}
-	if hdr[len(magic)] != version {
-		return nil, fmt.Errorf("otf2: unsupported format version %d (have %d)", hdr[len(magic)], version)
+	if err := readHeader(br); err != nil {
+		return nil, err
 	}
 	return &Reader{
 		br:       br,
 		reg:      reg,
-		strings:  make(map[uint64]string),
-		regions:  make(map[uint64]*region.Region),
+		tables:   newDefTables(),
 		lastTime: make(map[int]int64),
 	}, nil
 }
@@ -78,10 +276,10 @@ func NewReader(r io.Reader, reg *region.Registry) (*Reader, error) {
 // ClockResolution returns the timer ticks per second declared by the
 // archive's clock-properties record (0 before one has been read; the
 // writer emits it ahead of the first event chunk).
-func (r *Reader) ClockResolution() uint64 { return r.clockResolution }
+func (r *Reader) ClockResolution() uint64 { return r.tables.clockResolution }
 
 // ClockOffset returns the declared global timestamp offset.
-func (r *Reader) ClockOffset() int64 { return r.clockOffset }
+func (r *Reader) ClockOffset() int64 { return r.tables.clockOffset }
 
 // fail latches and returns err.
 func (r *Reader) fail(err error) error {
@@ -105,7 +303,7 @@ func (r *Reader) Next() (int, trace.Event, error) {
 			return 0, trace.Event{}, r.fail(err)
 		}
 	}
-	ev, err := r.decodeEvent()
+	ev, err := decodeEvent(&r.cur, r.tables.regions, &r.curLast)
 	if err != nil {
 		return 0, trace.Event{}, r.fail(err)
 	}
@@ -113,41 +311,36 @@ func (r *Reader) Next() (int, trace.Event, error) {
 	return r.curThread, ev, nil
 }
 
+// chunkRemaining reports how many events of the current chunk's run are
+// still undecoded, clamped by what the payload could physically hold —
+// a hostile header cannot make callers pre-size huge buffers.
+func (r *Reader) chunkRemaining() int {
+	rem := r.remaining
+	if maxFit := uint64(len(r.cur.payload)-r.cur.pos)/minEventBytes + 1; rem > maxFit {
+		rem = maxFit
+	}
+	return int(rem)
+}
+
 // nextChunk reads chunks until an event chunk is current or the archive
 // ends. Definition chunks update the tables in place; unknown chunk
 // kinds are skipped for forward compatibility.
 func (r *Reader) nextChunk() error {
-	kind, err := r.br.ReadByte()
-	if err == io.EOF {
-		return io.EOF // clean end between chunks
-	}
+	kind, payload, err := readChunkInto(r.br, r.cur.payload)
+	r.cur.payload = payload
+	r.cur.pos = 0
 	if err != nil {
-		return cutOrIOErr("reading chunk kind", err)
+		return err // includes the clean io.EOF between chunks
 	}
-	n, err := binary.ReadUvarint(r.br)
-	if err != nil {
-		return cutOrIOErr("reading chunk length", err)
-	}
-	if n > maxChunkLen {
-		return corrupt("chunk length %d exceeds limit", n)
-	}
-	if uint64(cap(r.payload)) < n {
-		r.payload = make([]byte, n)
-	}
-	r.payload = r.payload[:n]
-	if _, err := io.ReadFull(r.br, r.payload); err != nil {
-		return cutOrIOErr("chunk payload", err)
-	}
-	r.pos = 0
 	switch kind {
 	case chunkDefs:
-		return r.decodeDefs()
+		return r.tables.decodeDefs(&r.cur, r.reg)
 	case chunkEvents:
-		tid, err := r.varint("event chunk thread")
+		tid, err := r.cur.varint("event chunk thread")
 		if err != nil {
 			return err
 		}
-		count, err := r.uvarint("event chunk count")
+		count, err := r.cur.uvarint("event chunk count")
 		if err != nil {
 			return err
 		}
@@ -162,131 +355,6 @@ func (r *Reader) nextChunk() error {
 	default:
 		return nil // unknown chunk kind: skip
 	}
-}
-
-// uvarint decodes an unsigned varint from the current payload.
-func (r *Reader) uvarint(what string) (uint64, error) {
-	v, n := binary.Uvarint(r.payload[r.pos:])
-	if n <= 0 {
-		return 0, corrupt("bad uvarint in %s", what)
-	}
-	r.pos += n
-	return v, nil
-}
-
-// varint decodes a zig-zag signed varint from the current payload.
-func (r *Reader) varint(what string) (int64, error) {
-	v, n := binary.Varint(r.payload[r.pos:])
-	if n <= 0 {
-		return 0, corrupt("bad varint in %s", what)
-	}
-	r.pos += n
-	return v, nil
-}
-
-// decodeDefs consumes a definitions payload.
-func (r *Reader) decodeDefs() error {
-	for r.pos < len(r.payload) {
-		tag := r.payload[r.pos]
-		r.pos++
-		switch tag {
-		case defClock:
-			res, err := r.uvarint("clock resolution")
-			if err != nil {
-				return err
-			}
-			off, err := r.varint("clock offset")
-			if err != nil {
-				return err
-			}
-			r.clockResolution, r.clockOffset = res, off
-		case defString:
-			id, err := r.uvarint("string id")
-			if err != nil {
-				return err
-			}
-			n, err := r.uvarint("string length")
-			if err != nil {
-				return err
-			}
-			if uint64(len(r.payload)-r.pos) < n {
-				return corrupt("string %d overruns chunk", id)
-			}
-			r.strings[id] = string(r.payload[r.pos : r.pos+int(n)])
-			r.pos += int(n)
-		case defRegion:
-			id, err := r.uvarint("region id")
-			if err != nil {
-				return err
-			}
-			nameID, err := r.uvarint("region name")
-			if err != nil {
-				return err
-			}
-			fileID, err := r.uvarint("region file")
-			if err != nil {
-				return err
-			}
-			line, err := r.uvarint("region line")
-			if err != nil {
-				return err
-			}
-			typ, err := r.uvarint("region type")
-			if err != nil {
-				return err
-			}
-			name, ok := r.strings[nameID]
-			if !ok {
-				return corrupt("region %d references undefined string %d", id, nameID)
-			}
-			file, ok := r.strings[fileID]
-			if !ok {
-				return corrupt("region %d references undefined string %d", id, fileID)
-			}
-			if typ > maxRegionType {
-				return corrupt("region %d has unknown type %d", id, typ)
-			}
-			r.regions[id] = r.reg.Register(name, file, int(line), region.Type(typ))
-		default:
-			return corrupt("unknown definition tag %#x", tag)
-		}
-	}
-	return nil
-}
-
-// decodeEvent consumes one event record from the current chunk.
-func (r *Reader) decodeEvent() (trace.Event, error) {
-	if r.pos >= len(r.payload) {
-		return trace.Event{}, corrupt("event chunk shorter than declared count")
-	}
-	typ := r.payload[r.pos]
-	r.pos++
-	if typ > maxEventType {
-		return trace.Event{}, corrupt("unknown event type %d", typ)
-	}
-	dt, err := r.varint("event time delta")
-	if err != nil {
-		return trace.Event{}, err
-	}
-	ref, err := r.uvarint("event region ref")
-	if err != nil {
-		return trace.Event{}, err
-	}
-	task, err := r.uvarint("event task id")
-	if err != nil {
-		return trace.Event{}, err
-	}
-	ev := trace.Event{Type: trace.EventType(typ), TaskID: task}
-	r.curLast += dt
-	ev.Time = r.curLast
-	if ref != 0 {
-		reg, ok := r.regions[ref-1]
-		if !ok {
-			return trace.Event{}, corrupt("event references undefined region %d", ref-1)
-		}
-		ev.Region = reg
-	}
-	return ev, nil
 }
 
 // ReadAll loads a whole archive into memory as a trace.Trace, interning
@@ -316,7 +384,22 @@ func ReadAll(r io.Reader, reg *region.Registry) (*trace.Trace, error) {
 		if err != nil {
 			return nil, err
 		}
-		tr.Threads[tid] = append(tr.Threads[tid], ev)
+		evs := tr.Threads[tid]
+		if len(evs) == cap(evs) {
+			// Pre-size from the chunk's remaining run length instead of
+			// growing append-by-append: one allocation per chunk (or
+			// fewer), combined with geometric growth so repeated small
+			// chunks of one thread stay amortized O(1) per event.
+			need := len(evs) + 1 + rd.chunkRemaining()
+			newCap := 2 * cap(evs)
+			if newCap < need {
+				newCap = need
+			}
+			grown := make([]trace.Event, len(evs), newCap)
+			copy(grown, evs)
+			evs = grown
+		}
+		tr.Threads[tid] = append(evs, ev)
 	}
 }
 
@@ -325,7 +408,8 @@ func ReadAll(r io.Reader, reg *region.Registry) (*trace.Trace, error) {
 // chunk, so memory use is O(threads + one chunk) regardless of archive
 // size — out-of-core analysis in the Scalasca sense. Like ReadAll it
 // returns the analysis of the intact prefix together with an error
-// wrapping ErrTruncated when the archive is cut off mid-chunk.
+// wrapping ErrTruncated when the archive is cut off mid-chunk. See
+// AnalyzeParallel for the multi-core variant.
 func Analyze(r io.Reader) (*trace.Analysis, error) {
 	sa := trace.NewStreamAnalyzer()
 	rd, err := NewReader(r, region.NewRegistry())

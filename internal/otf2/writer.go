@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/region"
 	"repro/internal/trace"
@@ -31,27 +32,90 @@ func IsArchivePath(p string) bool {
 // use, so runtime threads can flush their recorder chunks into it
 // directly; it implements trace.EventSink.
 //
+// Concurrency design: all event encoding happens outside any shared
+// lock, in the calling thread's own chunk buffer. Region interning is
+// an atomic-publish structure (lock-free lookups once a region is
+// interned; a short-lived intern lock assigns IDs and queues definition
+// records on first use). The only shared lock, iomu, is held exactly
+// for the append of a fully framed chunk to the underlying io.Writer —
+// so a streaming flush of thread A (even one blocked in a slow sink)
+// never blocks recording or encoding on thread B. Sealed chunk buffers
+// are recycled through a sync.Pool instead of being regrown.
+//
 // Errors from the underlying io.Writer are latched: the first error is
 // returned by every subsequent call, including Close.
 type Writer struct {
-	mu         sync.Mutex
 	bw         *bufio.Writer
 	chunkBytes int
-	err        error
 
+	// err latches the first failure; it is an atomic pointer so every
+	// path can check it without taking a lock.
+	err atomic.Pointer[error]
+
+	// iomu serializes appends to the underlying writer. It is held only
+	// while a framed chunk (or the buffered header) is written out,
+	// never while events are encoded.
+	iomu sync.Mutex
+
+	// Interning state. regionRefs maps *region.Region to its event
+	// regionRef (regionID+1) and is published atomically after the
+	// region's definition record has been queued, so lookups are
+	// lock-free. internMu guards ID assignment, the string table, the
+	// pending-definitions buffer and the thread registration list.
+	internMu   sync.Mutex
+	regionRefs sync.Map // *region.Region -> uint64 regionRef
 	strings    map[string]uint64
-	regions    map[*region.Region]uint64
-	defs       []byte // pending definition records, framed before the next event chunk
-	threads    map[int]*threadBuf
-	threadSeen []int // insertion order, for deterministic Flush
+	nregions   uint64
+	defs       []byte      // open definition-record buffer, framed before the next event chunk
+	defsSealed [][]byte    // full definition payloads sealed at record boundaries, each chunk-bounded
+	defsBig    atomic.Bool // set when definitions were sealed; drained outside internMu
+	threadSeen []int       // first-registration order, for deterministic Flush
+
+	threads sync.Map // int -> *threadBuf
 }
 
 // threadBuf accumulates the encoded events of one thread until they
-// fill a chunk.
+// fill a chunk. Its mutex is per-thread — uncontended while each
+// runtime thread flushes only its own ID, but it keeps the Writer
+// correct for callers that share a thread ID across goroutines and for
+// Flush sealing partial chunks concurrently with writes.
 type threadBuf struct {
+	mu       sync.Mutex
 	buf      []byte
 	count    uint64
 	lastTime int64
+
+	// Two-entry region-ref cache: consecutive events overwhelmingly
+	// reference the same one or two regions (enter/exit pairs, task
+	// lifecycles), so the shared interning structure is consulted only
+	// on a region change — keeping the per-event encode cost a couple
+	// of pointer compares instead of a concurrent-map load.
+	reg0, reg1 *region.Region
+	ref0, ref1 uint64
+}
+
+// chunkPool recycles sealed chunk buffers (and the reader side's
+// payload buffers): a seal hands its full buffer to the io path and
+// continues encoding into a pooled one, so steady-state streaming
+// allocates no new chunk-sized buffers.
+var chunkPool sync.Pool
+
+// newChunkBuf returns an empty buffer with at least size capacity.
+func newChunkBuf(size int) []byte {
+	if v := chunkPool.Get(); v != nil {
+		if b := v.([]byte); cap(b) >= size {
+			return b[:0]
+		}
+	}
+	// Headroom for the event that overshoots the seal threshold.
+	return make([]byte, 0, size+64)
+}
+
+// putChunkBuf recycles b.
+func putChunkBuf(b []byte) {
+	if cap(b) > 0 {
+		chunkPool.Put(b[:0]) //nolint:staticcheck // slice header boxing is amortized per chunk, not per event
+	}
 }
 
 // NewWriter starts an archive on w with the default chunk size, writing
@@ -78,12 +142,11 @@ func NewWriterSize(w io.Writer, chunkBytes int) *Writer {
 		bw:         bufio.NewWriter(w),
 		chunkBytes: chunkBytes,
 		strings:    make(map[string]uint64),
-		regions:    make(map[*region.Region]uint64),
-		threads:    make(map[int]*threadBuf),
 	}
-	_, wr.err = wr.bw.WriteString(magic)
-	if wr.err == nil {
-		wr.err = wr.bw.WriteByte(version)
+	if _, err := wr.bw.WriteString(magic); err != nil {
+		wr.setErr(err)
+	} else if err := wr.bw.WriteByte(version); err != nil {
+		wr.setErr(err)
 	}
 	// Clock properties: the runtime clock ticks in nanoseconds from an
 	// arbitrary epoch.
@@ -93,8 +156,24 @@ func NewWriterSize(w io.Writer, chunkBytes int) *Writer {
 	return wr
 }
 
-// internString interns s, queueing a definition record on first use.
-func (w *Writer) internString(s string) uint64 {
+// Err returns the first latched error, or nil.
+func (w *Writer) Err() error {
+	if p := w.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// setErr latches the first non-nil error.
+func (w *Writer) setErr(err error) {
+	if err != nil {
+		w.err.CompareAndSwap(nil, &err)
+	}
+}
+
+// internStringLocked interns s, queueing a definition record on first
+// use. Caller holds internMu.
+func (w *Writer) internStringLocked(s string) uint64 {
 	id, ok := w.strings[s]
 	if ok {
 		return id
@@ -104,9 +183,7 @@ func (w *Writer) internString(s string) uint64 {
 		// a string this long would produce a 'D' chunk the Reader
 		// rejects; refuse it up front instead of writing an unreadable
 		// archive.
-		if w.err == nil {
-			w.err = fmt.Errorf("otf2: string of %d bytes exceeds the encodable limit", len(s))
-		}
+		w.setErr(fmt.Errorf("otf2: string of %d bytes exceeds the encodable limit", len(s)))
 		return 0
 	}
 	id = uint64(len(w.strings))
@@ -115,99 +192,187 @@ func (w *Writer) internString(s string) uint64 {
 	w.defs = binary.AppendUvarint(w.defs, id)
 	w.defs = binary.AppendUvarint(w.defs, uint64(len(s)))
 	w.defs = append(w.defs, s...)
+	w.sealDefsLocked()
 	return id
 }
 
-// internRegion interns r, queueing string and region definition records
-// on first use, and returns the event-record regionRef (regionID+1).
+// sealDefsLocked moves the open definition buffer onto the sealed list
+// once it reaches the chunk threshold. Sealing happens only at record
+// boundaries, so every sealed payload is at most chunkBytes plus one
+// record (a string record is bounded by internStringLocked's length
+// check) — well under the reader's maxChunkLen limit, preserving the
+// invariant that the Writer can never produce an archive its own
+// Reader rejects. Caller holds internMu.
+func (w *Writer) sealDefsLocked() {
+	if len(w.defs) >= w.chunkBytes {
+		w.defsSealed = append(w.defsSealed, w.defs)
+		w.defs = nil
+		w.defsBig.Store(true)
+	}
+}
+
+// internRegion returns r's event-record regionRef (regionID+1),
+// interning it on first use. The fast path is a lock-free map load; the
+// slow path runs once per distinct region.
 func (w *Writer) internRegion(r *region.Region) uint64 {
 	if r == nil {
 		return 0
 	}
-	id, ok := w.regions[r]
-	if !ok {
-		name := w.internString(r.Name)
-		file := w.internString(r.File)
-		id = uint64(len(w.regions))
-		w.regions[r] = id
-		w.defs = append(w.defs, defRegion)
-		w.defs = binary.AppendUvarint(w.defs, id)
-		w.defs = binary.AppendUvarint(w.defs, name)
-		w.defs = binary.AppendUvarint(w.defs, file)
-		w.defs = binary.AppendUvarint(w.defs, uint64(r.Line))
-		w.defs = binary.AppendUvarint(w.defs, uint64(r.Type))
+	if v, ok := w.regionRefs.Load(r); ok {
+		return v.(uint64)
 	}
+	return w.internRegionSlow(r)
+}
+
+func (w *Writer) internRegionSlow(r *region.Region) uint64 {
+	w.internMu.Lock()
+	defer w.internMu.Unlock()
+	if v, ok := w.regionRefs.Load(r); ok {
+		return v.(uint64)
+	}
+	name := w.internStringLocked(r.Name)
+	file := w.internStringLocked(r.File)
+	id := w.nregions
+	w.nregions++
+	w.defs = append(w.defs, defRegion)
+	w.defs = binary.AppendUvarint(w.defs, id)
+	w.defs = binary.AppendUvarint(w.defs, name)
+	w.defs = binary.AppendUvarint(w.defs, file)
+	w.defs = binary.AppendUvarint(w.defs, uint64(r.Line))
+	w.defs = binary.AppendUvarint(w.defs, uint64(r.Type))
+	// Definitions accumulate independently of event chunks (many
+	// distinct regions, few events); seal them like event chunks so a
+	// 'D' chunk can never outgrow the reader's limit. The drain itself
+	// happens outside internMu (lock order: iomu before internMu).
+	w.sealDefsLocked()
+	// Publish last: by the time another thread sees the ref, the
+	// definition record is queued ahead of any chunk seal.
+	w.regionRefs.Store(r, id+1)
 	return id + 1
 }
 
-// writeChunk frames one chunk whose payload is head followed by body
-// (either may be empty); splitting the payload lets emit prepend the
-// per-chunk event header without copying the chunk buffer. Caller
-// holds w.mu.
-func (w *Writer) writeChunk(kind byte, head, body []byte) {
-	if w.err != nil {
+// threadBuf returns (registering on first use) thread id's chunk buffer.
+func (w *Writer) threadBuf(id int) *threadBuf {
+	if v, ok := w.threads.Load(id); ok {
+		return v.(*threadBuf)
+	}
+	tb := &threadBuf{buf: newChunkBuf(w.chunkBytes)}
+	if v, loaded := w.threads.LoadOrStore(id, tb); loaded {
+		putChunkBuf(tb.buf)
+		return v.(*threadBuf)
+	}
+	w.internMu.Lock()
+	w.threadSeen = append(w.threadSeen, id)
+	w.internMu.Unlock()
+	return tb
+}
+
+// writeChunkLocked frames one chunk whose payload is head followed by
+// body (either may be empty); splitting the payload lets the seal path
+// prepend the per-chunk event header without copying the chunk buffer.
+// Caller holds iomu.
+func (w *Writer) writeChunkLocked(kind byte, head, body []byte) {
+	if w.Err() != nil {
 		return
 	}
 	var hdr [binary.MaxVarintLen64 + 1]byte
 	hdr[0] = kind
 	n := binary.PutUvarint(hdr[1:], uint64(len(head)+len(body)))
 	if _, err := w.bw.Write(hdr[:1+n]); err != nil {
-		w.err = err
+		w.setErr(err)
 		return
 	}
 	if len(head) > 0 {
 		if _, err := w.bw.Write(head); err != nil {
-			w.err = err
+			w.setErr(err)
 			return
 		}
 	}
 	if len(body) > 0 {
 		if _, err := w.bw.Write(body); err != nil {
-			w.err = err
+			w.setErr(err)
 		}
 	}
 }
 
-// flushDefs writes pending definition records as a chunk. Caller holds
-// w.mu. Emitting definitions early is always safe — the format only
-// requires them before the first event chunk that references them.
-func (w *Writer) flushDefs() {
-	if len(w.defs) > 0 {
-		w.writeChunk(chunkDefs, w.defs, nil)
-		w.defs = w.defs[:0]
+// flushDefsLocked takes ownership of the pending definition records and
+// writes them as a chunk. Caller holds iomu; internMu is taken only for
+// the swap, so interning threads are never blocked on sink I/O.
+// Emitting definitions early is always safe — the format only requires
+// them before the first event chunk that references them, and the swap
+// happens under iomu, so a definition queued before a seal can never be
+// written after that seal's event chunk.
+func (w *Writer) flushDefsLocked() {
+	w.internMu.Lock()
+	sealed := w.defsSealed
+	w.defsSealed = nil
+	defs := w.defs
+	w.defs = nil
+	w.defsBig.Store(false)
+	w.internMu.Unlock()
+	for _, p := range sealed {
+		w.writeChunkLocked(chunkDefs, p, nil)
+	}
+	if len(defs) > 0 {
+		w.writeChunkLocked(chunkDefs, defs, nil)
 	}
 }
 
-// emit flushes pending definitions and then thread tid's buffered
-// events as chunks. Caller holds w.mu.
-func (w *Writer) emit(tid int, tb *threadBuf) {
+// flushDefs drains oversized pending definitions outside the encode path.
+func (w *Writer) flushDefs() {
+	w.iomu.Lock()
+	w.flushDefsLocked()
+	w.iomu.Unlock()
+}
+
+// seal frames tb's buffered events and appends them to the archive,
+// handing tb a fresh pooled buffer. Caller holds tb.mu; iomu is held
+// only for the final append of the already-framed bytes.
+func (w *Writer) seal(tid int, tb *threadBuf) {
 	if tb.count == 0 {
 		return
 	}
-	w.flushDefs()
-	var head []byte
-	head = binary.AppendVarint(head, int64(tid))
-	head = binary.AppendUvarint(head, tb.count)
-	w.writeChunk(chunkEvents, head, tb.buf)
-	tb.buf = tb.buf[:0]
+	payload := tb.buf
+	count := tb.count
+	tb.buf = newChunkBuf(w.chunkBytes)
 	tb.count = 0
+
+	var head [2 * binary.MaxVarintLen64]byte
+	n := binary.PutVarint(head[:], int64(tid))
+	n += binary.PutUvarint(head[n:], count)
+
+	w.iomu.Lock()
+	w.flushDefsLocked()
+	w.writeChunkLocked(chunkEvents, head[:n], payload)
+	w.iomu.Unlock()
+	putChunkBuf(payload)
 }
 
 // WriteEvents appends a batch of events of one thread, flushing full
 // chunks as the per-thread buffer fills. It implements trace.EventSink,
 // so it can serve as the flush target of a trace.Recorder in
-// bounded-memory mode.
+// bounded-memory mode. Encoding runs entirely in the thread's own
+// buffer; concurrent batches of different threads never contend.
 func (w *Writer) WriteEvents(thread int, events []trace.Event) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	tb, ok := w.threads[thread]
-	if !ok {
-		tb = &threadBuf{}
-		w.threads[thread] = tb
-		w.threadSeen = append(w.threadSeen, thread)
+	if err := w.Err(); err != nil {
+		return err
 	}
-	for _, ev := range events {
-		ref := w.internRegion(ev.Region)
+	tb := w.threadBuf(thread)
+	tb.mu.Lock()
+	for i := range events {
+		ev := &events[i]
+		var ref uint64
+		switch r := ev.Region; r {
+		case nil:
+		case tb.reg0:
+			ref = tb.ref0
+		case tb.reg1:
+			ref = tb.ref1
+		default:
+			ref = w.internRegion(r)
+			tb.reg1, tb.ref1 = tb.reg0, tb.ref0
+			tb.reg0, tb.ref0 = r, ref
+		}
 		tb.buf = append(tb.buf, byte(ev.Type))
 		tb.buf = binary.AppendVarint(tb.buf, ev.Time-tb.lastTime)
 		tb.buf = binary.AppendUvarint(tb.buf, ref)
@@ -215,16 +380,14 @@ func (w *Writer) WriteEvents(thread int, events []trace.Event) error {
 		tb.lastTime = ev.Time
 		tb.count++
 		if len(tb.buf) >= w.chunkBytes {
-			w.emit(thread, tb)
-		}
-		// Definitions accumulate independently of event chunks (many
-		// distinct regions, few events); bound them the same way so a
-		// 'D' chunk can never outgrow the reader's limit either.
-		if len(w.defs) >= w.chunkBytes {
-			w.flushDefs()
+			w.seal(thread, tb)
 		}
 	}
-	return w.err
+	tb.mu.Unlock()
+	if w.defsBig.Load() {
+		w.flushDefs()
+	}
+	return w.Err()
 }
 
 // WriteEvent appends a single event of one thread.
@@ -236,17 +399,27 @@ func (w *Writer) WriteEvent(thread int, ev trace.Event) error {
 // thread order, for deterministic output) and flushes the underlying
 // buffered writer. The Writer remains usable.
 func (w *Writer) Flush() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	for _, tid := range w.threadSeen {
-		w.emit(tid, w.threads[tid])
+	w.internMu.Lock()
+	seen := append([]int(nil), w.threadSeen...)
+	w.internMu.Unlock()
+	for _, tid := range seen {
+		v, ok := w.threads.Load(tid)
+		if !ok {
+			continue
+		}
+		tb := v.(*threadBuf)
+		tb.mu.Lock()
+		w.seal(tid, tb)
+		tb.mu.Unlock()
 	}
+	w.iomu.Lock()
 	// An event-less archive still declares its clock properties.
-	w.flushDefs()
-	if w.err == nil {
-		w.err = w.bw.Flush()
+	w.flushDefsLocked()
+	if w.Err() == nil {
+		w.setErr(w.bw.Flush())
 	}
-	return w.err
+	w.iomu.Unlock()
+	return w.Err()
 }
 
 // Close flushes the archive. It does not close the underlying

@@ -3,7 +3,9 @@ package trace
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/region"
 	"repro/internal/stats"
@@ -97,9 +99,22 @@ func (sa *StreamAnalyzer) state(tid int) *threadState {
 
 // Finish aggregates the per-thread state machines into the final
 // Analysis. The analyzer must not be reused afterwards.
-func (sa *StreamAnalyzer) Finish() *Analysis {
-	a := &Analysis{PerThread: make(map[int]*ThreadAnalysis, len(sa.threads))}
-	for tid, st := range sa.threads {
+func (sa *StreamAnalyzer) Finish() *Analysis { return finishStates(sa.threads) }
+
+// finishStates merges per-thread scan states into the final Analysis.
+// Threads are merged in ascending ID order; the stats.Dur merge is
+// commutative over exact int64 sums, so this yields the same Analysis
+// no matter how the states were produced — the property that makes the
+// parallel analyzers reflect.DeepEqual-identical to the sequential one.
+func finishStates(threads map[int]*threadState) *Analysis {
+	a := &Analysis{PerThread: make(map[int]*ThreadAnalysis, len(threads))}
+	tids := make([]int, 0, len(threads))
+	for tid := range threads {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		st := threads[tid]
 		a.PerThread[tid] = st.ta
 		a.DispatchLatency.Merge(st.ta.DispatchLatency)
 		a.TaskExecution.Merge(st.ta.TaskExecution)
@@ -110,6 +125,73 @@ func (sa *StreamAnalyzer) Finish() *Analysis {
 		a.ManagementRatio = float64(a.DispatchLatency.Sum) / float64(a.TaskExecution.Sum)
 	}
 	return a
+}
+
+// ParallelAnalyzer is the concurrency-safe form of StreamAnalyzer for
+// sharded trace analysis: goroutines may feed batches of different
+// threads concurrently, as long as each thread's stream is fed in order
+// and by at most one goroutine at a time (exactly the guarantee a
+// per-thread shard in a decode pipeline provides — Scalasca's parallel
+// trace analysis works the same way, one analysis process per trace
+// location). Finish merges the shards deterministically; the result is
+// reflect.DeepEqual-identical to a sequential Analyze of the same
+// events.
+type ParallelAnalyzer struct {
+	mu      sync.Mutex
+	threads map[int]*threadState
+}
+
+// NewParallelAnalyzer returns an analyzer with no events observed yet.
+func NewParallelAnalyzer() *ParallelAnalyzer {
+	return &ParallelAnalyzer{threads: make(map[int]*threadState)}
+}
+
+// ObserveBatch feeds one in-order run of thread tid's events. The lock
+// covers only the shard lookup; the per-event scan runs unlocked, owned
+// by the calling goroutine under the per-thread serialization contract.
+func (pa *ParallelAnalyzer) ObserveBatch(tid int, events []Event) {
+	pa.mu.Lock()
+	st, ok := pa.threads[tid]
+	if !ok {
+		st = &threadState{ta: &ThreadAnalysis{ThreadID: tid}}
+		pa.threads[tid] = st
+	}
+	pa.mu.Unlock()
+	for i := range events {
+		st.step(events[i])
+	}
+}
+
+// Finish aggregates the shards into the final Analysis. All ObserveBatch
+// calls must have completed; the analyzer must not be reused afterwards.
+func (pa *ParallelAnalyzer) Finish() *Analysis { return finishStates(pa.threads) }
+
+// AnalyzeParallel derives the metrics from an in-memory trace using up
+// to workers goroutines, one per trace thread at a time (per-thread
+// streams are independent, so thread-level sharding is safe). workers
+// <= 0 uses GOMAXPROCS. The result is reflect.DeepEqual-identical to
+// Analyze(tr).
+func AnalyzeParallel(tr *Trace, workers int) *Analysis {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(tr.Threads) <= 1 {
+		return Analyze(tr)
+	}
+	pa := NewParallelAnalyzer()
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for tid, events := range tr.Threads {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(tid int, events []Event) {
+			defer wg.Done()
+			pa.ObserveBatch(tid, events)
+			<-sem
+		}(tid, events)
+	}
+	wg.Wait()
+	return pa.Finish()
 }
 
 // threadState is the per-thread scan state machine.

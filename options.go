@@ -15,15 +15,16 @@ type Option func(*sessionConfig)
 // It is assembled by NewSession from the options and recorded verbatim
 // in the experiment archive's meta.json.
 type sessionConfig struct {
-	profiling      bool
-	tracing        bool
-	streamingSink  TraceEventSink
-	streamingChunk int
-	filters        []string
-	sched          SchedulerKind
-	clk            Clock
-	extra          []Listener
-	expDir         string
+	profiling       bool
+	tracing         bool
+	streamingSink   TraceEventSink
+	streamingChunk  int
+	filters         []string
+	sched           SchedulerKind
+	clk             Clock
+	extra           []Listener
+	expDir          string
+	analysisWorkers int
 }
 
 func defaultConfig() sessionConfig {
@@ -116,6 +117,18 @@ func WithListener(extra Listener) Option {
 			c.extra = append(c.extra, extra)
 		}
 	}
+}
+
+// WithAnalysisParallelism sets the worker count used by
+// Results.TraceAnalysis to derive the trace metrics: per-thread event
+// streams are independent (as in Scalasca's parallel trace analysis),
+// so the analysis shards across workers and merges deterministically —
+// the result is identical at every worker count. workers <= 0 (the
+// default) uses one worker per processor; workers == 1 forces the
+// strictly sequential path. The parallelism is an analysis-time knob
+// only: it affects neither the measurement nor the archived data.
+func WithAnalysisParallelism(workers int) Option {
+	return func(c *sessionConfig) { c.analysisWorkers = workers }
 }
 
 // WithExperimentDirectory sets the on-disk experiment archive

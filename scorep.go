@@ -182,6 +182,15 @@ func NewTee(listeners ...Listener) Listener { return trace.NewTee(listeners...) 
 // management/execution ratio) from a recorded trace.
 func AnalyzeTrace(tr *Trace) *TraceAnalysis { return trace.Analyze(tr) }
 
+// AnalyzeTraceParallel is AnalyzeTrace sharded over up to workers
+// goroutines, one per trace thread at a time — per-thread streams are
+// independent, like Scalasca's parallel trace analysis. workers <= 0
+// uses one worker per processor, workers == 1 is exactly AnalyzeTrace;
+// the result is reflect.DeepEqual-identical at every setting.
+func AnalyzeTraceParallel(tr *Trace, workers int) *TraceAnalysis {
+	return trace.AnalyzeParallel(tr, workers)
+}
+
 // WriteTraceJSONL serializes a trace as JSON Lines.
 func WriteTraceJSONL(w io.Writer, tr *Trace) error { return trace.WriteJSONL(w, tr) }
 
@@ -222,10 +231,27 @@ func ReadTraceArchive(r io.Reader) (*Trace, error) {
 	return otf2.ReadAll(r, region.NewRegistry())
 }
 
+// ReadTraceArchiveParallel is ReadTraceArchive with chunk decoding
+// spread over up to workers goroutines (<= 0: one per processor, 1:
+// strictly sequential); the loaded trace is identical either way.
+func ReadTraceArchiveParallel(r io.Reader, workers int) (*Trace, error) {
+	return otf2.ReadAllParallel(r, region.NewRegistry(), workers)
+}
+
 // AnalyzeTraceArchive runs the streaming trace analysis directly over a
 // binary archive in bounded memory, without loading the trace; the
 // result is identical to AnalyzeTrace of the same recording.
 func AnalyzeTraceArchive(r io.Reader) (*TraceAnalysis, error) { return otf2.Analyze(r) }
+
+// AnalyzeTraceArchiveParallel is AnalyzeTraceArchive with a sequential
+// frame scanner fanning chunk decoding out to a worker pool and
+// per-thread analysis shards (the parallel out-of-core mode; memory
+// stays O(workers x chunk)). workers <= 0 uses one worker per
+// processor, workers == 1 is exactly AnalyzeTraceArchive; the analysis
+// is reflect.DeepEqual-identical at every setting.
+func AnalyzeTraceArchiveParallel(r io.Reader, workers int) (*TraceAnalysis, error) {
+	return otf2.AnalyzeParallel(r, workers)
+}
 
 // ReportDiff is a structural diff of two reports of the same program —
 // the run-comparison workflow enabled by the paper's runtime-independent

@@ -202,12 +202,14 @@ func (r *Results) Trace() *Trace { return r.trace }
 
 // TraceAnalysis derives the paper's §VII metrics (dispatch latency,
 // management/execution ratio) from the recorded trace, or returns nil
-// when no in-memory trace exists.
+// when no in-memory trace exists. On multi-core hosts the analysis
+// shards across per-thread workers (see WithAnalysisParallelism); the
+// result is identical to the sequential analysis.
 func (r *Results) TraceAnalysis() *TraceAnalysis {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.analysis == nil && r.trace != nil {
-		r.analysis = AnalyzeTrace(r.trace)
+		r.analysis = trace.AnalyzeParallel(r.trace, r.cfg.analysisWorkers)
 	}
 	return r.analysis
 }

@@ -3,6 +3,7 @@ package scorep_test
 import (
 	"bytes"
 	"errors"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -115,6 +116,28 @@ func TestSessionTracing(t *testing.T) {
 	}
 	if res.TraceAnalysis() != a {
 		t.Error("TraceAnalysis not cached")
+	}
+}
+
+// TestSessionAnalysisParallelism checks the analysis-parallelism knob
+// changes nothing but the worker count: the sharded analysis of a
+// session's trace is identical to the sequential one.
+func TestSessionAnalysisParallelism(t *testing.T) {
+	s := scorep.NewSession(scorep.WithTracing(), scorep.WithAnalysisParallelism(4))
+	runSessionWorkload(t, s, "sap", 2, 24)
+	res, err := s.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.TraceAnalysis()
+	if a == nil || a.TaskExecution.Count != 24 {
+		t.Fatalf("parallel trace analysis = %+v, want 24 task fragments", a)
+	}
+	if want := scorep.AnalyzeTrace(res.Trace()); !reflect.DeepEqual(want, a) {
+		t.Errorf("parallel analysis diverges from sequential:\n got %+v\nwant %+v", a, want)
+	}
+	if got := scorep.AnalyzeTraceParallel(res.Trace(), 3); !reflect.DeepEqual(got, a) {
+		t.Errorf("AnalyzeTraceParallel diverges at a different worker count")
 	}
 }
 
