@@ -38,6 +38,18 @@ func TestCommandLineTools(t *testing.T) {
 		}
 		return string(b)
 	}
+	// runOut captures stdout only — for byte-identity comparisons that
+	// must not see informational stderr notes (e.g. index chunk counts).
+	runOut := func(name string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bin[name], args...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%s %v: %v\n%s%s", name, args, err, stdout.String(), stderr.String())
+		}
+		return stdout.String()
+	}
 
 	repA := filepath.Join(dir, "a.json")
 	repB := filepath.Join(dir, "b.json")
@@ -144,8 +156,8 @@ func TestCommandLineTools(t *testing.T) {
 	// Parallel out-of-core analysis is byte-identical to sequential:
 	// the -json outputs at -parallel 1 and -parallel 4 must cmp equal,
 	// and the parallel decode path renders the same timeline.
-	seqJSON := run("scorep-analyze", "-trace", archivePath, "-json", "-parallel", "1")
-	parJSON := run("scorep-analyze", "-trace", archivePath, "-json", "-parallel", "4")
+	seqJSON := runOut("scorep-analyze", "-trace", archivePath, "-json", "-parallel", "1")
+	parJSON := runOut("scorep-analyze", "-trace", archivePath, "-json", "-parallel", "4")
 	if seqJSON != parJSON {
 		t.Errorf("parallel analysis JSON differs from sequential:\nseq: %s\npar: %s", seqJSON, parJSON)
 	}
@@ -195,6 +207,107 @@ func TestCommandLineTools(t *testing.T) {
 		t.Errorf("convert from experiment failed:\n%s", out)
 	}
 
+	// Format v2 seekable-archive flows: version up/downgrade round
+	// trips, compression, windowed/thread-subset queries and the
+	// enriched -stats report.
+	v1Path := filepath.Join(dir, "fib-v1.otf2")
+	v2Path := filepath.Join(dir, "fib-v2.otf2")
+	v1bPath := filepath.Join(dir, "fib-v1b.otf2")
+	run("scorep-convert", "-in", archivePath, "-out", v1Path, "-format-version", "1")
+	run("scorep-convert", "-in", v1Path, "-out", v2Path)
+	run("scorep-convert", "-in", v2Path, "-out", v1bPath, "-format-version", "1")
+	// The writer is deterministic, so v1 -> v2 reproduces the original
+	// v2 archive byte-for-byte, and v2 -> v1 -> read -> v1 is stable.
+	v2New, err := os.ReadFile(v2Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2Orig, err := os.ReadFile(archivePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v2New, v2Orig) {
+		t.Error("v1 -> v2 upgrade is not byte-identical to the original v2 archive")
+	}
+	v1A, err := os.ReadFile(v1Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1B, err := os.ReadFile(v1bPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v1A, v1B) {
+		t.Error("v2 -> v1 downgrade is not byte-identical across conversions")
+	}
+	// v1 archives stay readable and analyze identically to v2.
+	if got := runOut("scorep-analyze", "-trace", v1Path, "-json"); got != seqJSON {
+		t.Errorf("v1 archive analysis differs from v2:\n%s", got)
+	}
+
+	// -stats reports the archive layout: version, index, chunk counts.
+	out = run("scorep-convert", "-in", archivePath, "-stats")
+	if !strings.Contains(out, "version=2") || !strings.Contains(out, "indexed=true") ||
+		!strings.Contains(out, "thread-chunks=") {
+		t.Errorf("-stats missing v2 layout fields:\n%s", out)
+	}
+	out = run("scorep-convert", "-in", v1Path, "-stats")
+	if !strings.Contains(out, "version=1") || !strings.Contains(out, "indexed=false") {
+		t.Errorf("-stats mislabels a v1 archive:\n%s", out)
+	}
+
+	// Compressed archives shrink and decode identically.
+	zPath := filepath.Join(dir, "fib-z.otf2")
+	out = run("scorep-convert", "-in", archivePath, "-out", zPath, "-compress", "-stats")
+	if !strings.Contains(out, "compression-ratio=") {
+		t.Errorf("-stats missing compression ratio:\n%s", out)
+	}
+	fiZ, err := os.Stat(zPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fiZ.Size() >= fiBin.Size() {
+		t.Errorf("compressed archive %d bytes >= uncompressed %d", fiZ.Size(), fiBin.Size())
+	}
+	if got := runOut("scorep-analyze", "-trace", zPath, "-json"); got != seqJSON {
+		t.Errorf("compressed archive analysis differs:\n%s", got)
+	}
+
+	// Query flags: an all-open window is a no-op, and analyzing a
+	// thread-subset conversion equals analyzing the full archive with
+	// the same -tids filter — byte-identical JSON, the filter-then-
+	// analyze reference executed through two different tools.
+	if got := runOut("scorep-analyze", "-trace", archivePath, "-json", "-window", ":"); got != seqJSON {
+		t.Errorf("-window : (all-open) changed the analysis:\n%s", got)
+	}
+	t0Path := filepath.Join(dir, "fib-t0.otf2")
+	run("scorep-convert", "-in", archivePath, "-out", t0Path, "-threads", "0")
+	subsetJSON := runOut("scorep-analyze", "-trace", t0Path, "-json")
+	tidsJSON := runOut("scorep-analyze", "-trace", archivePath, "-json", "-tids", "0")
+	if subsetJSON != tidsJSON {
+		t.Errorf("-tids 0 analysis differs from converted thread-0 subset:\nsubset: %s\ntids: %s", subsetJSON, tidsJSON)
+	}
+	if subsetJSON == seqJSON {
+		t.Error("thread-0 subset analysis unexpectedly equals the full analysis")
+	}
+	// Windowed queries agree across worker counts, byte for byte.
+	if w1, w4 := runOut("scorep-analyze", "-trace", archivePath, "-json", "-window", "0:", "-parallel", "1"),
+		runOut("scorep-analyze", "-trace", archivePath, "-json", "-window", "0:", "-parallel", "4"); w1 != w4 {
+		t.Errorf("windowed analysis differs across -parallel:\n1: %s\n4: %s", w1, w4)
+	}
+	out = run("scorep-timeline", "-in", archivePath, "-width", "40", "-tids", "0")
+	if !strings.Contains(out, "thread") {
+		t.Errorf("timeline with -tids failed:\n%s", out)
+	}
+	out = run("scorep-report", "-exp", expDir, "-window", ":")
+	if !strings.Contains(out, "trace metrics") || !strings.Contains(out, "management/execution ratio") {
+		t.Errorf("report -window missing trace metrics section:\n%s", out)
+	}
+	out = run("scorep-analyze", "-exp", expDir, "-window", ":")
+	if !strings.Contains(out, "management/execution ratio") {
+		t.Errorf("analyze -exp -window failed:\n%s", out)
+	}
+
 	// Ambiguous flag combinations are rejected, not silently resolved.
 	mustFail := func(name string, args ...string) {
 		t.Helper()
@@ -209,4 +322,18 @@ func TestCommandLineTools(t *testing.T) {
 	mustFail("scorep-analyze", "-in", repA, "-json")          // -json is trace-analysis only
 	mustFail("scorep-analyze", "-in", repA, "-parallel", "4") // -parallel is trace-analysis only
 	mustFail("scorep-report", "-in", repA, "-parallel", "2")  // -parallel is -diff only
+	// Query/compression flags apply to specific modes only.
+	mustFail("scorep-analyze", "-in", repA, "-window", ":")                                            // a report holds no trace
+	mustFail("scorep-analyze", "-code", "fib", "-size", "tiny", "-tids", "0")                          // live runs aren't sliceable
+	mustFail("scorep-analyze", "-trace", archivePath, "-compress")                                     // -compress needs -save-trace
+	mustFail("scorep-analyze", "-trace", archivePath, "-window", "junk")                               // malformed window
+	mustFail("scorep-timeline", "-code", "fib", "-size", "tiny", "-window", ":")                       // live runs aren't sliceable
+	mustFail("scorep-timeline", "-in", archivePath, "-compress")                                       // -compress needs -save
+	mustFail("scorep-convert", "-in", archivePath, "-out", trace2Path, "-compress")                    // JSONL can't compress
+	mustFail("scorep-convert", "-in", archivePath, "-out", zPath, "-compress", "-format-version", "1") // v1 predates compression
+	mustFail("scorep-convert", "-in", archivePath, "-stats", "-window", ":")                           // a sub-trace needs -out
+	mustFail("scorep-convert", "-in", fibTracePath, "-out", trace2Path, "-format-version", "2")        // version is archive-only
+	mustFail("scorep-report", "-in", repA, "-diff", repB, "-window", ":")                              // diff has no trace section
+	mustFail("scorep-report", "-exp", expDir, "-csv", "-window", ":")                                  // CSV has no trace section
+	mustFail("scorep-report", "-in", repA, "-window", ":")                                             // plain reports hold no trace
 }

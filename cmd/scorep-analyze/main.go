@@ -15,18 +15,29 @@
 //	scorep-analyze -trace trace.otf2 [-parallel 4] [-json]
 //	scorep-analyze -trace trace.jsonl
 //
+// Trace analysis (-trace or -exp input) can be clipped to a slice of
+// the recording with -window t0:t1 (inclusive bounds, either side
+// open) and -tids 0,2,5 (thread subset; the run's own thread count is
+// -threads). On a format v2 archive the footer index makes this
+// O(matching chunks): only chunks whose indexed time bounds and thread
+// can match are read. The result is always identical to analyzing the
+// full trace filtered to the same window:
+//
+//	scorep-analyze -trace trace.otf2 -window 1000:2000 -tids 0,1 [-json]
+//
 // an experiment archive (profile findings plus trace metrics; a trace
 // truncated by a crashed run is salvaged to its intact prefix):
 //
-//	scorep-analyze -exp scorep-run
+//	scorep-analyze -exp scorep-run [-window :5000]
 //
 // or runs a BOTS code live through a profiling+tracing session and
 // reports both the profile findings and the trace-derived management
 // metrics (paper §VII), optionally saving the trace or the whole
-// experiment:
+// experiment (-compress stores the archive with flate-compressed
+// event chunks):
 //
 //	scorep-analyze -code nqueens -size small -threads 4 [-cutoff]
-//	               [-save-trace trace.otf2] [-exp scorep-run]
+//	               [-save-trace trace.otf2 [-compress]] [-exp scorep-run]
 package main
 
 import (
@@ -37,6 +48,7 @@ import (
 
 	scorep "repro"
 	"repro/internal/bots"
+	"repro/internal/cliq"
 	"repro/internal/otf2"
 	"repro/internal/stats"
 )
@@ -50,6 +62,9 @@ func main() {
 		saveTrace = flag.String("save-trace", "", "save the live run's trace (format by extension)")
 		parallel  = flag.Int("parallel", 0, "trace decode/analysis workers (0 = one per processor, 1 = sequential; results are identical)")
 		asJSON    = flag.Bool("json", false, "with -trace: emit the trace analysis as JSON instead of text")
+		window    = flag.String("window", "", "clip trace analysis to the inclusive time window t0:t1 (either bound may be empty)")
+		tids      = flag.String("tids", "", "clip trace analysis to a comma-separated thread-ID subset")
+		compress  = flag.Bool("compress", false, "with -save-trace to an .otf2 archive: flate-compress event chunks")
 	)
 	flag.Parse()
 
@@ -78,6 +93,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-parallel only applies to trace analysis (-trace, -exp or -code); a report (-in) holds no trace")
 		os.Exit(2)
 	}
+	if (*window != "" || *tids != "") && *tracePath == "" && (rf.Code != "" || *expDir == "") {
+		fmt.Fprintln(os.Stderr, "-window and -tids only apply to saved trace analysis (-trace or -exp input)")
+		os.Exit(2)
+	}
+	if *compress && (*saveTrace == "" || !otf2.IsArchivePath(*saveTrace)) {
+		fmt.Fprintln(os.Stderr, "-compress only applies when saving a binary archive (-save-trace <file>.otf2)")
+		os.Exit(2)
+	}
+	query, err := cliq.Build(*window, *tids, "tids")
+	if err != nil {
+		fail(err)
+	}
 
 	switch {
 	case *in != "":
@@ -93,11 +120,14 @@ func main() {
 		scorep.FormatFindings(os.Stdout, scorep.AnalyzeReport(rep))
 
 	case *tracePath != "":
-		a, warning, err := otf2.AnalyzeFile(*tracePath, *parallel)
+		a, qst, warning, err := otf2.AnalyzeFileQuery(*tracePath, query, *parallel)
 		if err != nil {
 			fail(err)
 		}
 		warn(warning)
+		if qst.Indexed && !query.All() {
+			fmt.Fprintf(os.Stderr, "index: read %d of %d chunks\n", qst.ChunksRead, qst.ChunksTotal)
+		}
 		if *asJSON {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
@@ -109,7 +139,7 @@ func main() {
 		a.Format(os.Stdout)
 
 	case rf.Code == "" && *expDir != "":
-		analyzeExperiment(*expDir, *parallel)
+		analyzeExperiment(*expDir, *parallel, query)
 
 	case rf.Code != "":
 		spec, size, err := rf.Resolve()
@@ -144,7 +174,11 @@ func main() {
 		res.TraceAnalysis().Format(os.Stdout)
 
 		if *saveTrace != "" {
-			if err := otf2.WriteFile(*saveTrace, res.Trace()); err != nil {
+			var wopts []otf2.WriterOption
+			if *compress {
+				wopts = append(wopts, otf2.WithCompression(otf2.CompressionFlate))
+			}
+			if err := otf2.WriteFile(*saveTrace, res.Trace(), wopts...); err != nil {
 				fail(err)
 			}
 			fmt.Printf("\nwrote %s (%d events)\n", *saveTrace, res.Trace().NumEvents())
@@ -160,8 +194,9 @@ func main() {
 }
 
 // analyzeExperiment reports everything an experiment archive holds:
-// configuration summary, profile findings, trace metrics.
-func analyzeExperiment(dir string, parallel int) {
+// configuration summary, profile findings, trace metrics (clipped to
+// the query when one was given).
+func analyzeExperiment(dir string, parallel int, query scorep.TraceQuery) {
 	exp, err := scorep.OpenExperiment(dir)
 	if err != nil {
 		fail(err)
@@ -182,7 +217,17 @@ func analyzeExperiment(dir string, parallel int) {
 		fmt.Println()
 	}
 	if m.HasTrace {
-		a, err := exp.TraceAnalysis()
+		var a *scorep.TraceAnalysis
+		var err error
+		if query.All() {
+			a, err = exp.TraceAnalysis()
+		} else {
+			var qst scorep.TraceQueryStats
+			a, qst, err = exp.TraceAnalysisQuery(query)
+			if err == nil && qst.Indexed {
+				fmt.Fprintf(os.Stderr, "index: read %d of %d chunks\n", qst.ChunksRead, qst.ChunksTotal)
+			}
+		}
 		if err != nil {
 			fail(err)
 		}

@@ -20,11 +20,20 @@
 // each listener configuration (uninst, profile, trace, profile+trace,
 // profile+filter), stream/* the trace pipeline — the per-event record
 // path (stream/record), concurrent archive write throughput
-// (stream/write, 1 vs 4 writer threads at GOMAXPROCS 1 and 4), archive
-// decoding (stream/decode) and out-of-core analysis sequential vs
-// parallel (stream/analyze), all reporting events/sec and bytes/event —
-// clock/* the timestamp source, and fig13/14/15 the paper's figure
-// experiments on the BOTS codes.
+// (stream/write, 1 vs 4 writer threads at GOMAXPROCS 1 and 4, plus the
+// v1 and flate-compressed encodings of the single-thread write),
+// archive decoding (stream/decode), out-of-core analysis sequential vs
+// parallel (stream/analyze), index-driven random chunk access
+// (stream/seek) and time-window queries (stream/analyze/windowed, with
+// a chunk-read-frac metric showing how much of the archive the index
+// pruned), all reporting events/sec and bytes/event — clock/* the
+// timestamp source, and fig13/14/15 the paper's figure experiments on
+// the BOTS codes.
+//
+// -check-write-gate fails the run when the v2 single-thread write
+// throughput drops below 95% of the v1 throughput measured in the same
+// run — a machine-independent guard that the footer index and
+// time-bound tracking stay (nearly) free on the write path.
 package main
 
 import (
@@ -324,7 +333,10 @@ type archiveInput struct {
 	events int
 }
 
-type archiveInputKey struct{ threads, tasks int }
+type archiveInputKey struct {
+	threads, tasks int
+	variant        string
+}
 
 var (
 	archiveInputs   = map[archiveInputKey]*archiveInput{}
@@ -332,14 +344,46 @@ var (
 )
 
 // archiveFor builds (once) a trace of threads x tasksPerThread task
-// lifecycles — the event mix of a BOTS run — and its binary archive.
+// lifecycles — the event mix of a BOTS run — and its binary archive in
+// the default (v2, uncompressed) encoding.
 func archiveFor(threads, tasksPerThread int) *archiveInput {
+	return archiveVariant(threads, tasksPerThread, "v2")
+}
+
+// archiveVariant is archiveFor with an explicit encoding: "v2"
+// (default), "v1" (pre-index format) or "flate" (v2 with compressed
+// event chunks). The decoded trace is identical across variants; only
+// the bytes differ.
+func archiveVariant(threads, tasksPerThread int, variant string) *archiveInput {
 	archiveInputsMu.Lock()
 	defer archiveInputsMu.Unlock()
-	key := archiveInputKey{threads, tasksPerThread}
+	key := archiveInputKey{threads, tasksPerThread, variant}
 	if in, ok := archiveInputs[key]; ok {
 		return in
 	}
+	tr := buildStreamTrace(threads, tasksPerThread)
+	var opts []otf2.WriterOption
+	switch variant {
+	case "v2":
+	case "v1":
+		opts = append(opts, otf2.WithVersion(1))
+	case "flate":
+		opts = append(opts, otf2.WithCompression(otf2.CompressionFlate))
+	default:
+		panic("scorep-bench: unknown archive variant " + variant)
+	}
+	var buf bytes.Buffer
+	if err := otf2.Write(&buf, tr, opts...); err != nil {
+		panic("scorep-bench: building archive input: " + err.Error())
+	}
+	in := &archiveInput{tr: tr, data: buf.Bytes(), events: tr.NumEvents()}
+	archiveInputs[key] = in
+	return in
+}
+
+// buildStreamTrace synthesizes the threads x tasksPerThread task-
+// lifecycle trace the stream benches share.
+func buildStreamTrace(threads, tasksPerThread int) *trace.Trace {
 	par := region.MustRegister("bench.stream.par", "bench.go", 10, region.Parallel)
 	task := region.MustRegister("bench.stream.task", "bench.go", 11, region.Task)
 	create := region.MustRegister("bench.stream.create", "bench.go", 11, region.TaskCreate)
@@ -368,28 +412,23 @@ func archiveFor(threads, tasksPerThread int) *archiveInput {
 			trace.Event{Time: tick(), Type: trace.EvThreadEnd})
 		tr.Threads[t] = evs
 	}
-	var buf bytes.Buffer
-	if err := otf2.Write(&buf, tr); err != nil {
-		panic("scorep-bench: building archive input: " + err.Error())
-	}
-	in := &archiveInput{tr: tr, data: buf.Bytes(), events: tr.NumEvents()}
-	archiveInputs[key] = in
-	return in
+	return tr
 }
 
 // benchArchiveWrite measures concurrent archive write throughput: one
 // op is one event encoded and streamed into a shared Writer by one of
 // `threads` concurrently flushing goroutines at the given GOMAXPROCS.
 // The scaling of threads=4 over threads=1 quantifies how far the
-// encoding has moved out of the writer lock.
-func benchArchiveWrite(threads, gomaxprocs, tasksPerThread int) func(*testing.B) {
+// encoding has moved out of the writer lock. opts select the archive
+// format (v1, compressed, ...); the default is the v2 indexed format.
+func benchArchiveWrite(threads, gomaxprocs, tasksPerThread int, opts ...otf2.WriterOption) func(*testing.B) {
 	return func(b *testing.B) {
 		prev := runtime.GOMAXPROCS(gomaxprocs)
 		defer runtime.GOMAXPROCS(prev)
 		b.ReportAllocs()
 		in := archiveFor(threads, tasksPerThread)
 		cw := &countingWriter{}
-		w := otf2.NewWriter(cw)
+		w := otf2.NewWriter(cw, opts...)
 		per := (b.N + threads - 1) / threads
 		var wg sync.WaitGroup
 		b.ResetTimer()
@@ -468,6 +507,109 @@ func benchArchiveAnalyze(workers, gomaxprocs, tasksPerThread int) func(*testing.
 	}
 }
 
+// traceTimeBounds returns the earliest and latest event timestamps.
+func traceTimeBounds(tr *trace.Trace) (lo, hi int64) {
+	first := true
+	for _, evs := range tr.Threads {
+		for _, ev := range evs {
+			if first || ev.Time < lo {
+				lo = ev.Time
+			}
+			if first || ev.Time > hi {
+				hi = ev.Time
+			}
+			first = false
+		}
+	}
+	return lo, hi
+}
+
+// benchArchiveSeek measures random access into a v2 archive via the
+// footer index: one op is one Seek to an event chunk plus a full decode
+// of that chunk — the unit cost a time-window query pays per matching
+// chunk. Chunks are visited round-robin so every op re-seeks.
+func benchArchiveSeek(tasksPerThread int) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		in := archiveFor(4, tasksPerThread)
+		ix, err := otf2.ReadIndex(bytes.NewReader(in.data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		type tchunk struct {
+			tid int
+			ref otf2.ChunkRef
+		}
+		var chunks []tchunk
+		for _, th := range ix.Threads {
+			for _, c := range th.Chunks {
+				chunks = append(chunks, tchunk{th.Thread, c})
+			}
+		}
+		if len(chunks) == 0 {
+			b.Fatal("archive has no indexed event chunks")
+		}
+		rd, err := otf2.NewReader(bytes.NewReader(in.data), region.NewRegistry())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rd.PrimeDefinitions(ix.DefOffsets); err != nil {
+			b.Fatal(err)
+		}
+		var decoded int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := chunks[i%len(chunks)]
+			if err := rd.Seek(c.tid, c.ref); err != nil {
+				b.Fatal(err)
+			}
+			for e := uint64(0); e < c.ref.Events; e++ {
+				if _, _, err := rd.Next(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			decoded += int64(c.ref.Events)
+		}
+		b.StopTimer()
+		if decoded > 0 {
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(decoded), "ns/event")
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(decoded)/s, "events/sec")
+			}
+		}
+	}
+}
+
+// benchArchiveAnalyzeWindowed measures a time-window query over an
+// indexed archive: one op is one AnalyzeQuery of the middle decile of
+// the trace's time span — the index prunes the non-matching chunks, so
+// this should cost a fraction of a full stream/analyze pass. The
+// chunk-read-frac metric records how large that fraction was.
+func benchArchiveAnalyzeWindowed(workers, gomaxprocs, tasksPerThread int, variant string) func(*testing.B) {
+	return func(b *testing.B) {
+		prev := runtime.GOMAXPROCS(gomaxprocs)
+		defer runtime.GOMAXPROCS(prev)
+		b.ReportAllocs()
+		in := archiveVariant(4, tasksPerThread, variant)
+		lo, hi := traceTimeBounds(in.tr)
+		span := hi - lo
+		q := otf2.Query{Windowed: true, MinTime: lo + span*45/100, MaxTime: lo + span*55/100}
+		var st otf2.QueryStats
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, s, err := otf2.AnalyzeQuery(bytes.NewReader(in.data), q, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st = s
+		}
+		b.StopTimer()
+		if st.ChunksTotal > 0 {
+			b.ReportMetric(float64(st.ChunksRead)/float64(st.ChunksTotal), "chunk-read-frac")
+		}
+	}
+}
+
 // reportPerEvent derives per-event metrics for whole-archive ops.
 func reportPerEvent(b *testing.B, events int) {
 	if b.N == 0 || events == 0 {
@@ -539,11 +681,24 @@ func buildSpecs(quick bool) []spec {
 	add("stream/write/threads=1/cpu=1/"+st, false, true, benchArchiveWrite(1, 1, streamTasks))
 	add("stream/write/threads=4/cpu=1/"+st, false, true, benchArchiveWrite(4, 1, streamTasks))
 	add("stream/write/threads=4/cpu=4/"+st, false, true, benchArchiveWrite(4, 4, streamTasks))
+	// Format variants of the single-thread write: v1 is the pre-index
+	// encoding (the -check-write-gate reference — measured in the same
+	// run, so the comparison is machine-independent), compressed is v2
+	// with flate event chunks (bytes/event shows the size win, ns/op the
+	// CPU price).
+	add("stream/write/v1/threads=1/cpu=1/"+st, false, true, benchArchiveWrite(1, 1, streamTasks, otf2.WithVersion(1)))
+	add("stream/write/compressed/threads=1/cpu=1/"+st, false, true, benchArchiveWrite(1, 1, streamTasks, otf2.WithCompression(otf2.CompressionFlate)))
 	add("stream/decode/seq/cpu=1/"+st, false, true, benchArchiveDecode(1, 1, streamTasks))
 	add("stream/decode/par/workers=4/cpu=4/"+st, false, true, benchArchiveDecode(4, 4, streamTasks))
 	add("stream/analyze/seq/cpu=1/"+st, false, true, benchArchiveAnalyze(1, 1, streamTasks))
 	add("stream/analyze/par/workers=4/cpu=1/"+st, false, true, benchArchiveAnalyze(4, 1, streamTasks))
 	add("stream/analyze/par/workers=4/cpu=4/"+st, false, true, benchArchiveAnalyze(4, 4, streamTasks))
+	// Seekable-archive benches: random chunk access via the footer index
+	// and the windowed query path it exists for.
+	add("stream/seek/indexed/"+st, false, true, benchArchiveSeek(streamTasks))
+	add("stream/analyze/windowed/workers=1/cpu=1/"+st, false, true, benchArchiveAnalyzeWindowed(1, 1, streamTasks, "v2"))
+	add("stream/analyze/windowed/workers=4/cpu=4/"+st, false, true, benchArchiveAnalyzeWindowed(4, 4, streamTasks, "v2"))
+	add("stream/analyze/windowed/flate/workers=4/cpu=4/"+st, false, true, benchArchiveAnalyzeWindowed(4, 4, streamTasks, "flate"))
 
 	// Figure experiments on the BOTS codes.
 	size := bots.SizeSmall
@@ -633,6 +788,7 @@ func main() {
 	reps := flag.Int("reps", 0, "repetitions per benchmark (default 3, quick 2)")
 	benchtime := flag.String("benchtime", "", "per-run duration (default 300ms, quick 60ms)")
 	checkAllocs := flag.Bool("check-allocs", false, "exit 1 when a hot-path bench allocates more per op than the baseline")
+	checkWriteGate := flag.Bool("check-write-gate", false, "exit 1 when single-thread v2 write throughput falls below 95% of the same-run v1 throughput")
 	flag.Parse()
 
 	if *reps == 0 {
@@ -742,13 +898,107 @@ func main() {
 		os.Exit(2)
 	}
 
+	failing := false
 	if *checkAllocs && len(regressions) > 0 {
 		fmt.Fprintln(os.Stderr, "scorep-bench: hot-path allocation regressions:")
 		for _, r := range regressions {
 			fmt.Fprintln(os.Stderr, "  "+r)
 		}
+		failing = true
+	}
+	if *checkWriteGate {
+		gateTasks := 65536
+		if *quick {
+			gateTasks = 4096
+		}
+		ratios := runWriteGate(gateTasks, 15)
+		if len(ratios) == 0 {
+			fmt.Fprintln(os.Stderr, "scorep-bench: write gate produced no valid measurement")
+			failing = true
+		} else {
+			// Gate on the 75th percentile of the paired ratios: noise on a
+			// shared runner only drags individual rounds down (a busy
+			// neighbour can slow one side of a pair, never speed it up), so
+			// a healthy v2 writer shows near-1.0 ratios in its least-noisy
+			// rounds, while a genuine encode-path regression shifts every
+			// round down — including the upper quartile.
+			p75 := ratios[(len(ratios)*3)/4]
+			verdict := "ok"
+			if p75 < 0.95 {
+				verdict = "FAIL (v2 write throughput below 95% of v1)"
+				failing = true
+			}
+			fmt.Fprintf(os.Stderr, "write gate %s: p75 v2:v1 throughput ratio %.3f, median %.3f (rounds sorted:",
+				verdict, p75, ratios[len(ratios)/2])
+			for _, r := range ratios {
+				fmt.Fprintf(os.Stderr, " %.2f", r)
+			}
+			fmt.Fprintln(os.Stderr, ")")
+		}
+	}
+	if failing {
 		os.Exit(1)
 	}
+}
+
+// runWriteGate measures the single-thread write cost of the v2
+// (indexed) and v1 (plain) encodings in paired fixed-work rounds — each
+// round times the exact same event sequence through a fresh v1 writer,
+// then a fresh v2 writer, back to back — and returns the per-round
+// v2:v1 throughput ratios sorted ascending; the caller gates on the
+// median. Fixed work keeps the two timings of a round tens of
+// milliseconds apart so both sample the same noise window (frequency
+// scaling, co-tenant load), and the median over many short rounds
+// discards the rounds where noise shifted in between — where a single
+// back-to-back block comparison, let alone a wall-clock number
+// committed from another machine, flakes.
+func runWriteGate(tasks, rounds int) []float64 {
+	in := archiveFor(1, tasks)
+	const events = 4 << 20
+	// One untimed warmup per side: input build, pool and branch state.
+	writeGateNs(in, events/4)
+	writeGateNs(in, events/4, otf2.WithVersion(1))
+	ratios := make([]float64, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		v1ns := writeGateNs(in, events, otf2.WithVersion(1))
+		v2ns := writeGateNs(in, events)
+		if v1ns > 0 && v2ns > 0 {
+			ratios = append(ratios, v1ns/v2ns)
+		}
+	}
+	sort.Float64s(ratios)
+	return ratios
+}
+
+// writeGateNs times writing `events` events of in's single-thread event
+// sequence (batches of 512, cycling) through a fresh Writer configured
+// by opts, excluding Close (the footer index write is a per-archive
+// cost, not a per-event one). Returns 0 on write failure.
+func writeGateNs(in *archiveInput, events int, opts ...otf2.WriterOption) float64 {
+	cw := &countingWriter{}
+	w := otf2.NewWriter(cw, opts...)
+	evs := in.tr.Threads[0]
+	const batch = 512
+	start := time.Now()
+	for done := 0; done < events; {
+		lo := done % len(evs)
+		hi := lo + batch
+		if hi > len(evs) {
+			hi = len(evs)
+		}
+		if hi-lo > events-done {
+			hi = lo + events - done
+		}
+		if err := w.WriteEvents(0, evs[lo:hi]); err != nil {
+			return 0
+		}
+		done += hi - lo
+	}
+	ns := float64(time.Since(start).Nanoseconds())
+	if w.Close() != nil {
+		return 0
+	}
+	return ns
 }
 
 func readBaseline(path string) (*File, error) {

@@ -3,13 +3,23 @@
 // direction, picking each side's codec by file extension (".otf2" is
 // binary, anything else JSONL). The input may also be an experiment
 // archive directory (-exp), whose trace.otf2 is used. With -stats it
-// reports size, event count and bytes/event for both sides — the
-// measurement behind the format's compression claim.
+// reports size, event count and bytes/event for both sides — plus, for
+// archives, the physical layout: format version, footer-index
+// presence, per-thread chunk counts and the event-chunk compression
+// ratio — the measurement behind the format's compression claim.
+//
+// Archive outputs take -compress (flate-compress each event chunk) and
+// -format-version 1|2 (2, the default, writes the seekable indexed
+// format; 1 writes archives byte-compatible with pre-index readers —
+// converting v1->v2->v1 round-trips the event stream byte-identically).
+// -window t0:t1 and -threads a,b,c convert only the matching sub-trace.
 //
 // Usage:
 //
-//	scorep-convert -in trace.jsonl -out trace.otf2 [-stats]
+//	scorep-convert -in trace.jsonl -out trace.otf2 [-stats] [-compress]
 //	scorep-convert -in trace.otf2 -out trace.jsonl [-parallel 4]
+//	scorep-convert -in v1.otf2 -out v2.otf2 [-format-version 2]
+//	scorep-convert -in trace.otf2 -out slice.otf2 -window 1000:2000 -threads 0,1
 //	scorep-convert -exp scorep-run -out trace.jsonl
 //	scorep-convert -in trace.otf2 -stats          (inspect only)
 package main
@@ -18,8 +28,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	scorep "repro"
+	"repro/internal/cliq"
 	"repro/internal/otf2"
 	"repro/internal/region"
 	"repro/internal/trace"
@@ -30,14 +42,39 @@ func main() {
 		in       = flag.String("in", "", "input trace (.otf2 = binary archive, otherwise JSONL)")
 		expDir   = flag.String("exp", "", "input experiment directory (its trace.otf2 is converted)")
 		out      = flag.String("out", "", "output trace; format chosen by extension (optional with -stats)")
-		stats    = flag.Bool("stats", false, "print size/event-count/bytes-per-event statistics")
+		stats    = flag.Bool("stats", false, "print size/event-count/bytes-per-event statistics (and archive layout)")
 		parallel = flag.Int("parallel", 0, "archive decode workers (0 = one per processor, 1 = sequential; the loaded trace is identical)")
+		window   = flag.String("window", "", "convert only the inclusive time window t0:t1 (either bound may be empty)")
+		threads  = flag.String("threads", "", "convert only a comma-separated thread-ID subset")
+		compress = flag.Bool("compress", false, "flate-compress event chunks of an .otf2 output")
+		formatV  = flag.Int("format-version", int(otf2.FormatVersion), "archive format version of an .otf2 output (1 = pre-index compatible, 2 = seekable indexed)")
 	)
 	flag.Parse()
 
 	if *in != "" && *expDir != "" {
 		fmt.Fprintln(os.Stderr, "-in conflicts with -exp: pick one input")
 		os.Exit(2)
+	}
+	outIsArchive := *out != "" && otf2.IsArchivePath(*out)
+	if *compress && !outIsArchive {
+		fmt.Fprintln(os.Stderr, "-compress only applies to an .otf2 output (-out <file>.otf2)")
+		os.Exit(2)
+	}
+	if flagWasSet("format-version") && !outIsArchive {
+		fmt.Fprintln(os.Stderr, "-format-version only applies to an .otf2 output (-out <file>.otf2)")
+		os.Exit(2)
+	}
+	if *compress && *formatV == 1 {
+		fmt.Fprintln(os.Stderr, "-compress requires -format-version 2: v1 archives predate compression")
+		os.Exit(2)
+	}
+	if (*window != "" || *threads != "") && *out == "" {
+		fmt.Fprintln(os.Stderr, "-window and -threads select a sub-trace to convert; they need -out")
+		os.Exit(2)
+	}
+	query, err := cliq.Build(*window, *threads, "threads")
+	if err != nil {
+		fail(err)
 	}
 	if *in == "" && *expDir != "" {
 		exp, err := scorep.OpenExperiment(*expDir)
@@ -66,7 +103,7 @@ func main() {
 		return
 	}
 
-	tr, warning, err := otf2.ReadFileLenient(*in, region.NewRegistry(), *parallel)
+	tr, _, warning, err := otf2.ReadFileQuery(*in, region.NewRegistry(), query, *parallel)
 	if err != nil {
 		fail(err)
 	}
@@ -85,7 +122,14 @@ func main() {
 				fmt.Fprintf(os.Stderr, "warning: %d events reference empty-named regions, which JSONL cannot represent; they will read back region-less\n", n)
 			}
 		}
-		if err := otf2.WriteFile(*out, tr); err != nil {
+		var wopts []otf2.WriterOption
+		if outIsArchive {
+			wopts = append(wopts, otf2.WithVersion(*formatV))
+			if *compress {
+				wopts = append(wopts, otf2.WithCompression(otf2.CompressionFlate))
+			}
+		}
+		if err := otf2.WriteFile(*out, tr, wopts...); err != nil {
 			fail(err)
 		}
 		if *stats {
@@ -95,6 +139,18 @@ func main() {
 			fmt.Printf("wrote %s (%d events, %d threads)\n", *out, events, len(tr.Threads))
 		}
 	}
+}
+
+// flagWasSet reports whether the named flag was given explicitly on the
+// command line (as opposed to resting at its default).
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // emptyNameRegionEvents counts events whose region JSONL cannot round-trip.
@@ -125,6 +181,41 @@ func printStats(label, path string, events int) {
 	}
 	fmt.Printf("%-3s %s: format=%s size=%d bytes events=%d bytes/event=%.2f\n",
 		label, path, format, fi.Size(), events, perEvent)
+	if format == "otf2" {
+		printArchiveStats(label, path)
+	}
+}
+
+// printArchiveStats reports an archive's physical layout: format
+// version, index presence, compression effectiveness and per-thread
+// chunk counts — the seekability material behind -window queries.
+func printArchiveStats(label, path string) {
+	st, err := otf2.StatFile(path)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%-3s version=%d indexed=%v", label, st.FormatVersion, st.Indexed)
+	if st.Indexed {
+		ratio := 1.0
+		if st.StoredEventBytes > 0 {
+			ratio = float64(st.RawEventBytes) / float64(st.StoredEventBytes)
+		}
+		fmt.Printf(" chunks=%d compressed=%d compression-ratio=%.2fx indexed-events=%d",
+			st.Chunks, st.CompressedChunks, ratio, st.IndexedEvents)
+		tids := make([]int, 0, len(st.ThreadChunks))
+		for tid := range st.ThreadChunks {
+			tids = append(tids, tid)
+		}
+		sort.Ints(tids)
+		fmt.Printf(" thread-chunks=")
+		for i, tid := range tids {
+			if i > 0 {
+				fmt.Printf(",")
+			}
+			fmt.Printf("%d:%d", tid, st.ThreadChunks[tid])
+		}
+	}
+	fmt.Println()
 }
 
 func ratio(in, out string) {

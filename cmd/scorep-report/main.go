@@ -16,6 +16,13 @@
 //
 // With -diff, -parallel > 1 loads the two inputs concurrently (the
 // rendered reports and diffs are identical at every setting).
+//
+// When the input is an experiment that also archived a trace, -window
+// t0:t1 and/or -threads a,b,c append the trace-derived metrics of just
+// that slice after the profile — on a format v2 archive the footer
+// index reads only the matching chunks:
+//
+//	scorep-report -exp scorep-run -window 1000:2000 -threads 0,1
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"runtime"
 
 	scorep "repro"
+	"repro/internal/cliq"
 )
 
 func main() {
@@ -37,6 +45,8 @@ func main() {
 		perThread = flag.Bool("per-thread", false, "render per-thread breakdown")
 		minSum    = flag.Duration("min-sum", 0, "hide nodes below this inclusive time")
 		parallel  = flag.Int("parallel", 0, "with -diff: load the two inputs concurrently (0 = one per processor, 1 = sequential; output is identical)")
+		window    = flag.String("window", "", "with an experiment input: append trace metrics of the inclusive time window t0:t1")
+		threads   = flag.String("threads", "", "with an experiment input: append trace metrics of a comma-separated thread-ID subset")
 	)
 	flag.Parse()
 	if *in != "" && *expDir != "" {
@@ -60,6 +70,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-parallel only applies to -diff (loading the two inputs concurrently)")
 		os.Exit(2)
 	}
+	if (*window != "" || *threads != "") && (*diffPath != "" || *asCSV) {
+		fmt.Fprintln(os.Stderr, "-window and -threads append trace metrics to a single text report; they conflict with -diff and -csv")
+		os.Exit(2)
+	}
+	query, err := cliq.Build(*window, *threads, "threads")
+	if err != nil {
+		fail(err)
+	}
+	querySet := *window != "" || *threads != ""
 	if *parallel <= 0 {
 		*parallel = runtime.GOMAXPROCS(0)
 	}
@@ -90,7 +109,6 @@ func main() {
 	}
 
 	rep := load(*in)
-	var err error
 	if *asCSV {
 		err = scorep.WriteReportCSV(os.Stdout, rep)
 	} else {
@@ -102,6 +120,37 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if querySet {
+		printTraceMetrics(*in, query)
+	}
+}
+
+// printTraceMetrics appends the trace-derived metrics of the query's
+// slice of the input experiment's archived trace.
+func printTraceMetrics(path string, q scorep.TraceQuery) {
+	fi, err := os.Stat(path)
+	if err != nil || !fi.IsDir() {
+		fail(fmt.Errorf("-window/-threads need an experiment directory input with a trace; %s is not a directory", path))
+	}
+	exp, err := scorep.OpenExperiment(path)
+	if err != nil {
+		fail(err)
+	}
+	if !exp.Meta.HasTrace {
+		fail(fmt.Errorf("%s: experiment holds no trace to window", path))
+	}
+	a, qst, err := exp.TraceAnalysisQuery(q)
+	if err != nil {
+		fail(err)
+	}
+	for _, w := range exp.Warnings() {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", w)
+	}
+	fmt.Printf("\n== trace metrics (%s) ==\n", q)
+	if qst.Indexed {
+		fmt.Fprintf(os.Stderr, "index: read %d of %d chunks\n", qst.ChunksRead, qst.ChunksTotal)
+	}
+	a.Format(os.Stdout)
 }
 
 // load reads a report from either a JSON file or an experiment archive

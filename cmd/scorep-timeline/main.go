@@ -6,12 +6,19 @@
 // chosen by extension (".otf2" is binary); traces truncated by a
 // crashed run render their intact prefix.
 //
+// Saved traces (-in or -exp) can be rendered clipped to a slice of the
+// recording with -window t0:t1 (inclusive, either side open) and -tids
+// 0,2,5 (thread subset; -threads is the live run's thread count). On a
+// format v2 archive the footer index restricts reading to the matching
+// chunks. With -save to an .otf2 archive, -compress stores
+// flate-compressed event chunks.
+//
 // Usage:
 //
 //	scorep-timeline -code sort -size small -threads 4 [-width 120]
-//	scorep-timeline -in trace.otf2 [-width 120] [-parallel 4]
-//	scorep-timeline -exp scorep-run [-width 120]
-//	scorep-timeline -code fib -size tiny -threads 4 -save trace.otf2 [-exp scorep-run]
+//	scorep-timeline -in trace.otf2 [-width 120] [-parallel 4] [-window 1000:2000] [-tids 0,1]
+//	scorep-timeline -exp scorep-run [-width 120] [-window :5000]
+//	scorep-timeline -code fib -size tiny -threads 4 -save trace.otf2 [-compress] [-exp scorep-run]
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 
 	scorep "repro"
 	"repro/internal/bots"
+	"repro/internal/cliq"
 	"repro/internal/otf2"
 	"repro/internal/region"
 	"repro/internal/trace"
@@ -34,6 +42,9 @@ func main() {
 		width    = flag.Int("width", 100, "timeline width in characters")
 		save     = flag.String("save", "", "also save the recorded trace (format by extension)")
 		parallel = flag.Int("parallel", 0, "archive decode workers (0 = one per processor, 1 = sequential; the loaded trace is identical)")
+		window   = flag.String("window", "", "render only the inclusive time window t0:t1 (either bound may be empty)")
+		tids     = flag.String("tids", "", "render only a comma-separated thread-ID subset")
+		compress = flag.Bool("compress", false, "with -save to an .otf2 archive: flate-compress event chunks")
 	)
 	flag.Parse()
 
@@ -43,6 +54,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-in conflicts with -exp and -code: pick one trace source")
 		os.Exit(2)
 	}
+	if (*window != "" || *tids != "") && rf.Code != "" {
+		fmt.Fprintln(os.Stderr, "-window and -tids only apply to saved traces (-in or -exp input)")
+		os.Exit(2)
+	}
+	if *compress && (*save == "" || !otf2.IsArchivePath(*save)) {
+		fmt.Fprintln(os.Stderr, "-compress only applies when saving a binary archive (-save <file>.otf2)")
+		os.Exit(2)
+	}
+	query, err := cliq.Build(*window, *tids, "tids")
+	if err != nil {
+		fail(err)
+	}
 
 	var tr *scorep.Trace
 	wroteExp := false
@@ -50,7 +73,7 @@ func main() {
 	case *in != "":
 		var warning string
 		var err error
-		tr, warning, err = otf2.ReadFileLenient(*in, region.NewRegistry(), *parallel)
+		tr, _, warning, err = otf2.ReadFileQuery(*in, region.NewRegistry(), query, *parallel)
 		if err != nil {
 			fail(err)
 		}
@@ -61,17 +84,15 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		exp.AnalysisParallelism = *parallel
-		tr, err = exp.Trace()
+		if !exp.Meta.HasTrace {
+			fail(fmt.Errorf("%s: experiment holds no trace", *expDir))
+		}
+		var warning string
+		tr, _, warning, err = otf2.ReadFileQuery(exp.TracePath(), region.NewRegistry(), query, *parallel)
 		if err != nil {
 			fail(err)
 		}
-		if tr == nil {
-			fail(fmt.Errorf("%s: experiment holds no trace", *expDir))
-		}
-		for _, w := range exp.Warnings() {
-			warn(w)
-		}
+		warn(warning)
 
 	case rf.Code != "":
 		spec, size, err := rf.Resolve()
@@ -106,7 +127,11 @@ func main() {
 	trace.FormatUtilization(os.Stdout, trace.ComputeUtilization(tr))
 
 	if *save != "" {
-		if err := otf2.WriteFile(*save, tr); err != nil {
+		var wopts []otf2.WriterOption
+		if *compress {
+			wopts = append(wopts, otf2.WithCompression(otf2.CompressionFlate))
+		}
+		if err := otf2.WriteFile(*save, tr, wopts...); err != nil {
 			fail(err)
 		}
 		fmt.Printf("\nwrote %s (%d events)\n", *save, tr.NumEvents())

@@ -40,6 +40,10 @@ type ExperimentConfig struct {
 	StreamingTrace bool     `json:"streamingTrace,omitempty"`
 	FilterPatterns []string `json:"filterPatterns,omitempty"`
 	Scheduler      string   `json:"scheduler"`
+	// TraceCompression names the archived trace's event-chunk
+	// compression ("none", "flate"). Absent in experiments written
+	// before compression existed, which is equivalent to "none".
+	TraceCompression string `json:"traceCompression,omitempty"`
 }
 
 // ExperimentMeta is the contents of an experiment's meta.json: the
@@ -113,8 +117,9 @@ func (r *Results) SaveExperiment(dir string) error {
 	if tr := r.Trace(); tr != nil {
 		meta.HasTrace = true
 		meta.TraceFormat = fmt.Sprintf("spotf2-v%d", otf2.FormatVersion)
+		meta.Config.TraceCompression = r.cfg.traceComp.String()
 		if err := writeExperimentFile(dir, experimentTraceFile, func(f *os.File) error {
-			return otf2.Write(f, tr)
+			return otf2.Write(f, tr, otf2.WithCompression(r.cfg.traceComp))
 		}); err != nil {
 			return err
 		}
@@ -277,6 +282,32 @@ func (e *Experiment) TraceAnalysis() (*TraceAnalysis, error) {
 	e.addWarning(warn)
 	e.analysis = a
 	return a, nil
+}
+
+// TraceAnalysisQuery derives the trace metrics restricted to the
+// sub-trace matching q, or returns zero-value results when the
+// experiment holds no trace. An archive with a footer index (format
+// v2) is accessed through it — only chunks whose thread and time
+// bounds can match are decoded; older or truncated archives fall back
+// to a full scan with event-level filtering (salvaging the intact
+// prefix with a warning, like TraceAnalysis). The analysis equals
+// filtering the full trace with q and analyzing that. Results are not
+// cached: each call reflects its own query.
+func (e *Experiment) TraceAnalysisQuery(q TraceQuery) (*TraceAnalysis, TraceQueryStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.Meta.HasTrace {
+		return nil, TraceQueryStats{}, nil
+	}
+	if e.traceLoaded {
+		return trace.AnalyzeParallel(q.Filter(e.trace), e.AnalysisParallelism), TraceQueryStats{}, nil
+	}
+	a, st, warn, err := otf2.AnalyzeFileQuery(e.TracePath(), q, e.AnalysisParallelism)
+	if err != nil {
+		return nil, st, fmt.Errorf("experiment: %s: %w", e.TracePath(), err)
+	}
+	e.addWarning(warn)
+	return a, st, nil
 }
 
 // Findings diagnoses tasking inefficiencies in the archived profile, or

@@ -1,0 +1,35 @@
+// Package cliq parses the trace-query CLI flags shared by the scorep
+// tools (-window t0:t1 and a comma-separated thread-ID list) into a
+// trace.Query, so every tool rejects malformed values with the same
+// messages and slices traces with the same semantics.
+package cliq
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Build assembles a query from the raw -window and thread-list flag
+// values ("" means unset). threadsFlag names the thread-list flag in
+// error messages (tools running BOTS codes call it -tids, because
+// -threads is the live run's thread count there).
+func Build(window, threads, threadsFlag string) (trace.Query, error) {
+	var q trace.Query
+	if window != "" {
+		minTime, maxTime, err := trace.ParseWindow(window)
+		if err != nil {
+			return q, fmt.Errorf("-window: %w", err)
+		}
+		q.Windowed = true
+		q.MinTime, q.MaxTime = minTime, maxTime
+	}
+	if threads != "" {
+		tids, err := trace.ParseThreadList(threads)
+		if err != nil {
+			return q, fmt.Errorf("-%s: %w", threadsFlag, err)
+		}
+		q.Threads = tids
+	}
+	return q, nil
+}

@@ -107,16 +107,156 @@ func CountFileEvents(path string) (int, string, error) {
 	return events, "", nil
 }
 
+// AnalyzeFileQuery runs the trace analysis over the sub-trace of a
+// trace file matching q, with the same lenient truncation policy as
+// AnalyzeFile. Archives carrying a footer index are accessed through
+// it, reading only the chunks whose thread and time bounds can match;
+// v1, truncated and JSONL traces fall back to a full scan with
+// event-level filtering. The analysis is always identical to
+// filtering the fully decoded trace with q and analyzing that.
+func AnalyzeFileQuery(path string, q Query, workers int) (*trace.Analysis, QueryStats, string, error) {
+	if !IsArchivePath(path) {
+		tr, warn, err := ReadFileLenient(path, region.NewRegistry(), 1)
+		if err != nil {
+			return nil, QueryStats{}, "", err
+		}
+		return trace.AnalyzeParallel(q.Filter(tr), workers), QueryStats{}, warn, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, QueryStats{}, "", err
+	}
+	defer f.Close()
+	a, st, err := AnalyzeQuery(f, q, workers)
+	if errors.Is(err, ErrTruncated) {
+		return a, st, fmt.Sprintf("%v; analyzing the intact prefix", err), nil
+	}
+	return a, st, "", err
+}
+
+// ReadFileQuery loads the sub-trace of a trace file matching q, with
+// the same index-driven access, fallback and lenient salvage as
+// AnalyzeFileQuery. The loaded trace equals q.Filter of the full
+// trace: threads without matching events are absent.
+func ReadFileQuery(path string, reg *region.Registry, q Query, workers int) (*trace.Trace, QueryStats, string, error) {
+	if !IsArchivePath(path) {
+		tr, warn, err := ReadFileLenient(path, reg, 1)
+		if err != nil {
+			return nil, QueryStats{}, "", err
+		}
+		return q.Filter(tr), QueryStats{}, warn, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, QueryStats{}, "", err
+	}
+	defer f.Close()
+	tr, st, err := ReadAllQuery(f, reg, q, workers)
+	if errors.Is(err, ErrTruncated) {
+		return tr, st, fmt.Sprintf("%v; using the intact prefix (%d events)", err, tr.NumEvents()), nil
+	}
+	return tr, st, "", err
+}
+
+// ArchiveStats describes the physical layout of a binary archive — the
+// material scorep-convert -stats reports.
+type ArchiveStats struct {
+	// FormatVersion is the archive's header version byte (1 or 2).
+	FormatVersion int
+	// SizeBytes is the archive file size.
+	SizeBytes int64
+	// Indexed reports whether a readable footer index is present.
+	Indexed bool
+	// Chunks counts event chunks; CompressedChunks of them are
+	// flate-compressed. Both require an index (zero otherwise).
+	Chunks, CompressedChunks int
+	// RawEventBytes and StoredEventBytes total the event-chunk payload
+	// sizes before and after compression (equal when uncompressed);
+	// their ratio is the event-stream compression ratio. Index required.
+	RawEventBytes, StoredEventBytes int64
+	// IndexedEvents is the event count the index declares.
+	IndexedEvents int
+	// ThreadChunks maps thread ID -> event chunk count (index required).
+	ThreadChunks map[int]int
+}
+
+// StatFile inspects a binary archive's physical layout without
+// decoding its event stream: format version, index presence, per-thread
+// chunk counts and compression effectiveness. Archives without a
+// readable index (v1, truncated) report version and size only.
+func StatFile(path string) (*ArchiveStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	br := make([]byte, len(magic)+1)
+	if _, err := io.ReadFull(f, br); err != nil {
+		return nil, cutOrIOErr("reading archive header", err)
+	}
+	if string(br[:len(magic)]) != magic {
+		return nil, corrupt("bad magic %q", br[:len(magic)])
+	}
+	st := &ArchiveStats{FormatVersion: int(br[len(magic)]), SizeBytes: fi.Size()}
+	if st.FormatVersion != int(version1) && st.FormatVersion != int(version2) {
+		return nil, corrupt("unsupported format version %d", st.FormatVersion)
+	}
+	ix, err := ReadIndex(f)
+	if err != nil {
+		if errors.Is(err, ErrNoIndex) {
+			return st, nil
+		}
+		return nil, err
+	}
+	st.Indexed = true
+	st.IndexedEvents = ix.NumEvents()
+	st.ThreadChunks = make(map[int]int, len(ix.Threads))
+	for _, tc := range ix.Threads {
+		st.ThreadChunks[tc.Thread] = len(tc.Chunks)
+		for _, cr := range tc.Chunks {
+			kind, payload, err := ReadChunkAt(f, cr.Offset)
+			if err != nil {
+				return nil, err
+			}
+			st.Chunks++
+			st.StoredEventBytes += int64(len(payload))
+			switch kind {
+			case chunkEvents:
+				st.RawEventBytes += int64(len(payload))
+			case chunkCompressed:
+				st.CompressedChunks++
+				if len(payload) == 0 {
+					return nil, corrupt("empty compressed chunk at %d", cr.Offset)
+				}
+				c := cursor{payload: payload, pos: 1} // skip the method byte
+				rawLen, err := c.uvarint("uncompressed length")
+				if err != nil {
+					return nil, err
+				}
+				st.RawEventBytes += int64(rawLen)
+			default:
+				return nil, corrupt("index lists event chunk at %d, found %q", cr.Offset, kind)
+			}
+		}
+	}
+	return st, nil
+}
+
 // WriteFile saves a trace to path in the format chosen by its
-// extension, creating or truncating the file.
-func WriteFile(path string, tr *trace.Trace) error {
+// extension, creating or truncating the file. Writer options apply to
+// the archive format only (JSONL ignores them).
+func WriteFile(path string, tr *trace.Trace, opts ...WriterOption) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	var werr error
 	if IsArchivePath(path) {
-		werr = Write(f, tr)
+		werr = Write(f, tr, opts...)
 	} else {
 		werr = trace.WriteJSONL(f, tr)
 	}

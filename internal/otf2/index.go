@@ -1,0 +1,301 @@
+package otf2
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// ChunkRef describes one event chunk of an archive, as recorded in the
+// footer index: where it starts, how many events it holds, and the
+// timestamp state needed to decode it standalone. BaseTime is the
+// thread's running timestamp before the chunk's first event (its first
+// time delta is relative to BaseTime); MinTime and MaxTime bound the
+// chunk's absolute event timestamps inclusively, so a time-window query
+// can prune the chunk without reading it.
+type ChunkRef struct {
+	Offset   int64
+	Events   uint64
+	BaseTime int64
+	MinTime  int64
+	MaxTime  int64
+}
+
+// ThreadChunks lists one thread's event chunks in archive order.
+type ThreadChunks struct {
+	Thread int
+	Chunks []ChunkRef
+}
+
+// Index is an archive's decoded footer index: the offsets of every
+// definition chunk plus, per thread in ascending ID order, every event
+// chunk with its event count and time bounds. It is the seekable
+// entry point of a version-2 archive — ReadIndex locates it in O(1)
+// seeks via the fixed-size trailer.
+type Index struct {
+	DefOffsets []int64
+	Threads    []ThreadChunks
+}
+
+// NumChunks returns the total number of event chunks in the index.
+func (ix *Index) NumChunks() int {
+	n := 0
+	for i := range ix.Threads {
+		n += len(ix.Threads[i].Chunks)
+	}
+	return n
+}
+
+// NumEvents returns the total event count declared by the index.
+func (ix *Index) NumEvents() int {
+	n := uint64(0)
+	for i := range ix.Threads {
+		for _, c := range ix.Threads[i].Chunks {
+			n += c.Events
+		}
+	}
+	return int(n)
+}
+
+// ThreadIDs returns the indexed thread IDs in ascending order.
+func (ix *Index) ThreadIDs() []int {
+	ids := make([]int, len(ix.Threads))
+	for i := range ix.Threads {
+		ids[i] = ix.Threads[i].Thread
+	}
+	return ids
+}
+
+// ReadIndex locates and decodes the footer index of a version-2
+// archive in O(1) seeks: it reads the fixed-size trailer at the end of
+// rs, validates it, and decodes the index chunk it points at. It
+// returns ErrNoIndex when the archive has no readable index — a v1
+// archive, a v2 archive cut off before Close wrote the footer, or a
+// damaged trailer — in which case sequential access still works and
+// callers fall back to it. The read position of rs is unspecified
+// afterwards.
+func ReadIndex(rs io.ReadSeeker) (*Index, error) {
+	size, err := rs.Seek(0, io.SeekEnd)
+	if err != nil {
+		return nil, fmt.Errorf("otf2: locating index: %w", err)
+	}
+	if size < int64(len(magic))+1+trailerLen {
+		return nil, ErrNoIndex
+	}
+	if _, err := rs.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("otf2: locating index: %w", err)
+	}
+	var hdr [len(magic) + 1]byte
+	if _, err := io.ReadFull(rs, hdr[:]); err != nil {
+		return nil, cutOrIOErr("reading header", err)
+	}
+	if string(hdr[:len(magic)]) != magic {
+		return nil, corrupt("bad magic %q", hdr[:len(magic)])
+	}
+	if hdr[len(magic)] != version2 {
+		return nil, ErrNoIndex // v1 archives have no index by design
+	}
+	var tr [trailerLen]byte
+	if _, err := rs.Seek(size-trailerLen, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("otf2: locating index: %w", err)
+	}
+	if _, err := io.ReadFull(rs, tr[:]); err != nil {
+		return nil, cutOrIOErr("reading trailer", err)
+	}
+	if tr[0] != chunkTrailer || tr[1] != trailerPayloadLen ||
+		string(tr[2+8:]) != trailerMagic {
+		return nil, ErrNoIndex // no trailer: crashed run or foreign suffix
+	}
+	idxOff := int64(binary.LittleEndian.Uint64(tr[2 : 2+8]))
+	if idxOff < int64(len(magic))+1 || idxOff >= size-trailerLen {
+		return nil, corrupt("index offset %d out of range", idxOff)
+	}
+	kind, payload, err := ReadChunkAt(rs, idxOff)
+	if err != nil {
+		return nil, err
+	}
+	if kind != chunkIndex {
+		return nil, corrupt("trailer points at %q chunk, want index", kind)
+	}
+	return decodeIndex(payload, size)
+}
+
+// decodeIndex parses an index-chunk payload; size bounds the offsets it
+// may declare.
+func decodeIndex(payload []byte, size int64) (*Index, error) {
+	c := cursor{payload: payload}
+	ndefs, err := c.uvarint("index def count")
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{}
+	var prevDef int64 = -1
+	for i := uint64(0); i < ndefs; i++ {
+		off, err := c.uvarint("index def offset")
+		if err != nil {
+			return nil, err
+		}
+		if int64(off) <= prevDef || int64(off) >= size {
+			return nil, corrupt("index def offset %d out of order or range", off)
+		}
+		prevDef = int64(off)
+		ix.DefOffsets = append(ix.DefOffsets, int64(off))
+	}
+	nthreads, err := c.uvarint("index thread count")
+	if err != nil {
+		return nil, err
+	}
+	prevTid := int64(0)
+	for i := uint64(0); i < nthreads; i++ {
+		tid, err := c.varint("index thread id")
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && tid <= prevTid {
+			return nil, corrupt("index thread %d out of order", tid)
+		}
+		prevTid = tid
+		nchunks, err := c.uvarint("index chunk count")
+		if err != nil {
+			return nil, err
+		}
+		tc := ThreadChunks{Thread: int(tid)}
+		prevOff := int64(-1)
+		for j := uint64(0); j < nchunks; j++ {
+			var cr ChunkRef
+			off, err := c.uvarint("index chunk offset")
+			if err != nil {
+				return nil, err
+			}
+			cr.Offset = int64(off)
+			if cr.Events, err = c.uvarint("index chunk events"); err != nil {
+				return nil, err
+			}
+			if cr.BaseTime, err = c.varint("index chunk base time"); err != nil {
+				return nil, err
+			}
+			if cr.MinTime, err = c.varint("index chunk min time"); err != nil {
+				return nil, err
+			}
+			if cr.MaxTime, err = c.varint("index chunk max time"); err != nil {
+				return nil, err
+			}
+			if cr.Offset <= prevOff || cr.Offset >= size {
+				return nil, corrupt("index chunk offset %d out of order or range", cr.Offset)
+			}
+			if cr.MinTime > cr.MaxTime {
+				return nil, corrupt("index chunk at %d has inverted time bounds", cr.Offset)
+			}
+			prevOff = cr.Offset
+			tc.Chunks = append(tc.Chunks, cr)
+		}
+		ix.Threads = append(ix.Threads, tc)
+	}
+	if c.pos != len(c.payload) {
+		return nil, corrupt("%d trailing bytes after index", len(c.payload)-c.pos)
+	}
+	return ix, nil
+}
+
+// ReadChunkAt reads the single framed chunk starting at byte offset off
+// of rs, returning its kind and payload — the random-access primitive
+// under the query planner. Offsets come from the footer index (or a
+// prior sequential walk); an offset not at a chunk boundary yields a
+// corruption error or garbage, never a panic. The read position of rs
+// is unspecified afterwards.
+func ReadChunkAt(rs io.ReadSeeker, off int64) (byte, []byte, error) {
+	if _, err := rs.Seek(off, io.SeekStart); err != nil {
+		return 0, nil, fmt.Errorf("otf2: seeking chunk at %d: %w", off, err)
+	}
+	kind, payload, err := readChunkInto(bufio.NewReader(rs), nil)
+	if err == io.EOF {
+		err = cutOrIOErr("reading chunk", io.ErrUnexpectedEOF)
+	}
+	return kind, payload, err
+}
+
+// inflatePool recycles flate decompressor state across chunks.
+var inflatePool sync.Pool
+
+// inflateChunk decodes a 'C' chunk payload (method byte, uvarint
+// rawLen, DEFLATE stream) into the raw 'E' payload it wraps, reusing
+// dst's capacity. The declared rawLen is bounded by maxChunkLen before
+// any allocation, and the stream must decode to exactly rawLen bytes.
+func inflateChunk(dst, payload []byte) ([]byte, error) {
+	if len(payload) < 2 {
+		return dst, corrupt("compressed chunk of %d bytes", len(payload))
+	}
+	if payload[0] != compMethodFlate {
+		return dst, corrupt("unknown compression method %d", payload[0])
+	}
+	c := cursor{payload: payload, pos: 1}
+	rawLen, err := c.uvarint("compressed raw length")
+	if err != nil {
+		return dst, err
+	}
+	if rawLen > maxChunkLen {
+		return dst, corrupt("compressed chunk declares %d raw bytes, exceeds limit", rawLen)
+	}
+	if uint64(cap(dst)) < rawLen {
+		dst = make([]byte, rawLen)
+	}
+	dst = dst[:rawLen]
+	src := bytes.NewReader(payload[c.pos:])
+	var fr io.ReadCloser
+	if v := inflatePool.Get(); v != nil {
+		fr = v.(io.ReadCloser)
+		if err := fr.(flate.Resetter).Reset(src, nil); err != nil {
+			return dst, corrupt("resetting decompressor: %v", err)
+		}
+	} else {
+		fr = flate.NewReader(src)
+	}
+	defer inflatePool.Put(fr)
+	if _, err := io.ReadFull(fr, dst); err != nil {
+		return dst, corrupt("compressed chunk: %v", err)
+	}
+	// The stream must end exactly at rawLen: trailing uncompressed data
+	// would silently vanish otherwise.
+	var one [1]byte
+	if n, _ := fr.Read(one[:]); n != 0 {
+		return dst, corrupt("compressed chunk longer than declared %d bytes", rawLen)
+	}
+	return dst, nil
+}
+
+// selectChunks plans a query over an index: it returns, in ascending
+// offset order, every event chunk whose thread passes the query and
+// whose time bounds overlap the window, tagged with its per-thread
+// sequence number (position among that thread's selected chunks).
+// total is the archive's total event-chunk count, for QueryStats.
+func (ix *Index) selectChunks(match func(tid int) bool, overlaps func(min, max int64) bool) (sel []plannedChunk, total int) {
+	for ti := range ix.Threads {
+		tc := &ix.Threads[ti]
+		total += len(tc.Chunks)
+		if !match(tc.Thread) {
+			continue
+		}
+		seq := 0
+		for _, cr := range tc.Chunks {
+			if !overlaps(cr.MinTime, cr.MaxTime) {
+				continue
+			}
+			sel = append(sel, plannedChunk{tid: tc.Thread, seq: seq, ref: cr})
+			seq++
+		}
+	}
+	sort.Slice(sel, func(i, j int) bool { return sel[i].ref.Offset < sel[j].ref.Offset })
+	return sel, total
+}
+
+// plannedChunk is one selected chunk of a query plan.
+type plannedChunk struct {
+	tid int
+	seq int
+	ref ChunkRef
+}

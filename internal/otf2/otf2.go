@@ -6,27 +6,40 @@
 // integers bring the cost per event from ~100 bytes of JSON down to a
 // handful of bytes, and the chunked, streaming design lets both
 // recording and analysis run in bounded memory on traces far larger
-// than RAM.
+// than RAM. Format version 2 additionally makes archives seekable:
+// sealed event chunks may be block-compressed, and a footer index plus
+// fixed-size trailer let a reader open a time window or thread subset
+// in O(matching chunks) instead of O(archive).
 //
 // # Archive layout
 //
 // An archive is a header followed by a sequence of self-describing
 // chunks. All multi-byte integers are LEB128 varints as produced by
 // encoding/binary: "uvarint" below is binary.AppendUvarint, "varint" is
-// the zig-zag-encoded signed form binary.AppendVarint. There is no
-// archive-level trailer: a crashed or killed run leaves a truncated
-// final chunk, and every complete chunk before it remains readable (the
-// reader reports the cut as ErrTruncated).
+// the zig-zag-encoded signed form binary.AppendVarint.
 //
 //	archive := header chunk*
-//	header  := "SPOTF2\x00" version        // 7 magic bytes + 1 version byte (currently 1)
+//	header  := "SPOTF2\x00" version        // 7 magic bytes + 1 version byte (1 or 2)
 //	chunk   := kind uvarint(len) payload   // kind is one byte; len = payload length in bytes
 //
-// Two chunk kinds exist in version 1; readers skip chunks with unknown
-// kinds so the format can grow.
+// Version 1 defines chunk kinds 'D' (definitions) and 'E' (events) and
+// has no archive-level trailer: a crashed or killed run leaves a
+// truncated final chunk, and every complete chunk before it remains
+// readable (the reader reports the cut as ErrTruncated). Version 2
+// keeps 'D' and 'E' byte-identical and adds three chunk kinds:
 //
-//	kind 'D' — definitions
-//	kind 'E' — events
+//	kind 'D' — definitions                       (v1 and v2)
+//	kind 'E' — events, raw                       (v1 and v2)
+//	kind 'C' — events, compressed                (v2)
+//	kind 'I' — footer index                      (v2)
+//	kind 'T' — trailer locating the index        (v2)
+//
+// Readers skip chunks with unknown kinds so the format can grow; a v2
+// archive read front to back therefore decodes on the v1 chunk walk
+// ('I' and 'T' are skipped like any unknown kind). The index and
+// trailer are written once, by Close; an archive cut before them (a
+// crashed run) degrades to exactly the v1 contract — sequential read,
+// intact prefix, ErrTruncated.
 //
 // # Definitions
 //
@@ -62,6 +75,50 @@
 // threads appear in flush order and carry no cross-thread ordering, as
 // in any distributed trace; per-thread order is the record order.
 //
+// # Compressed events (v2)
+//
+// A 'C' chunk is an 'E' chunk whose payload was compressed when the
+// chunk was sealed:
+//
+//	compressed := method uvarint(rawLen) cdata
+//
+// method is one byte (1 = DEFLATE, RFC 1951, as produced by
+// compress/flate; 0 is reserved for "stored" and never written).
+// rawLen is the byte length of the uncompressed payload — a complete
+// 'E' payload including its threadID/count head — and cdata is its
+// DEFLATE stream. rawLen is bounded by the chunk-length limit; readers
+// reject larger declarations before allocating. The writer keeps a
+// sealed chunk raw when compression does not shrink it, so 'E' and 'C'
+// chunks may interleave freely within one archive.
+//
+// # Footer index and trailer (v2)
+//
+// Close appends one 'I' chunk describing every definition and event
+// chunk written, then a fixed-size 'T' chunk locating it:
+//
+//	index    := uvarint(ndefs) uvarint(defOffset)[ndefs]
+//	            uvarint(nthreads) thread[nthreads]
+//	thread   := varint(threadID) uvarint(nchunks) centry[nchunks]
+//	centry   := uvarint(offset) uvarint(eventCount)
+//	            varint(baseTime) varint(minTime) varint(maxTime)
+//	trailer  := uint64le(indexOffset) "SPIX"    // exactly 12 payload bytes
+//
+// All offsets are absolute byte positions of a chunk's kind byte,
+// counted from the start of the archive. Threads appear in ascending
+// thread-ID order; a thread's centries appear in archive order, with
+// offsets strictly increasing. baseTime is the thread's running
+// timestamp before the chunk's first event — its first timeDelta is
+// relative to baseTime — so any event chunk can be decoded standalone
+// after seeking to its offset. minTime and maxTime are the inclusive
+// bounds of the chunk's absolute event timestamps, the pruning
+// predicate for time-window queries. The 'T' chunk is always the last
+// 14 bytes of a complete archive (1 kind byte, 1 length byte — 12
+// encodes as a single-byte uvarint — and the 12-byte payload), so a
+// reader locates the index by reading the final 14 bytes, verifying
+// kind, length and the "SPIX" magic, and seeking to indexOffset. A
+// failed trailer check means "no index" (v1 archive, crashed run,
+// or trailing garbage) and readers fall back to the sequential walk.
+//
 // # API
 //
 // Writer streams events into an archive with one in-memory chunk buffer
@@ -71,20 +128,29 @@
 // buffer, region interning publishes atomically, and the writer's only
 // shared lock is held just for the append of a framed chunk to the
 // underlying io.Writer — one thread's slow sink flush never blocks
-// recording or flushing on the others. Reader iterates an archive
-// event by event via Next in O(chunk) memory; ReadAll loads a whole
-// archive into a trace.Trace, and Analyze runs the streaming trace
-// analysis without ever materializing the trace. AnalyzeParallel and
-// ReadAllParallel are the multi-core variants: a sequential frame
+// recording or flushing on the others; with WithCompression, chunk
+// payloads are compressed outside that lock too. Reader iterates an
+// archive event by event via Next in O(chunk) memory; ReadAll loads a
+// whole archive into a trace.Trace, and Analyze runs the streaming
+// trace analysis without ever materializing the trace. AnalyzeParallel
+// and ReadAllParallel are the multi-core variants: a sequential frame
 // scanner fans chunk decoding out to a worker pool while per-thread
 // shards replay each thread's chunks in archive order, keeping memory
 // at O(workers x chunk) and the results identical to the sequential
 // paths (reflect.DeepEqual, including for truncated archives).
+//
+// Queries are the seekable layer on top: ReadIndex locates and decodes
+// the footer index in O(1) seeks, Reader.Seek repositions at an indexed
+// chunk, and AnalyzeQuery/ReadAllQuery plan a trace.Query (time window
+// + thread subset) over the index so only matching chunks are read and
+// decoded — falling back to the sequential scan, with identical
+// results and the same ErrTruncated salvage, when no index is present.
 package otf2
 
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/region"
 	"repro/internal/trace"
@@ -93,41 +159,106 @@ import (
 // Format constants. magic is 7 bytes so the header including the
 // version byte is 8 bytes total.
 const (
-	magic   = "SPOTF2\x00"
-	version = 1
+	magic = "SPOTF2\x00"
 
-	chunkDefs   = 'D'
-	chunkEvents = 'E'
+	// version1 is the original sequential format; version2 adds
+	// compressed chunks and the footer index. The writer emits version2
+	// unless configured down; the reader accepts both.
+	version1 = 1
+	version2 = 2
+
+	chunkDefs       = 'D'
+	chunkEvents     = 'E'
+	chunkCompressed = 'C'
+	chunkIndex      = 'I'
+	chunkTrailer    = 'T'
 
 	defClock  = 0x01
 	defString = 0x02
 	defRegion = 0x03
 
+	// compressed-chunk method bytes.
+	compMethodFlate = 1
+
+	// trailerPayloadLen is the fixed 'T' payload size: an 8-byte LE
+	// index offset plus the 4-byte trailerMagic. trailerLen adds the
+	// kind byte and the single-byte uvarint length, making a complete
+	// trailer exactly 14 bytes — the fixed suffix ReadIndex inspects.
+	trailerPayloadLen = 12
+	trailerLen        = trailerPayloadLen + 2
+	trailerMagic      = "SPIX"
+
 	// maxChunkLen caps the declared payload length a reader will
-	// allocate, guarding against corrupt or hostile headers.
+	// allocate, guarding against corrupt or hostile headers. It also
+	// caps the declared rawLen of a compressed chunk.
 	maxChunkLen = 1 << 26
 
 	// maxEventType is the highest trace.EventType ordinal in format
-	// version 1.
+	// versions 1 and 2.
 	maxEventType = uint8(trace.EvThreadEnd)
 
 	// maxRegionType is the highest region.Type ordinal in format
-	// version 1.
+	// versions 1 and 2.
 	maxRegionType = uint64(region.Parameter)
 )
 
 // Ext is the file extension conventionally used for archives.
 const Ext = ".otf2"
 
-// FormatVersion is the archive format version this package writes —
-// the header's version byte. Experiment metadata records it so offline
-// tooling can tell which reader an archive needs.
-const FormatVersion = version
+// FormatVersion is the archive format version this package writes by
+// default — the header's version byte. Experiment metadata records it
+// so offline tooling can tell which reader an archive needs.
+const FormatVersion = version2
+
+// Compression selects the block compression applied to sealed event
+// chunks of a version-2 archive (the 'C' chunk kind). It trades write
+// CPU for archive size; reading decompresses transparently either way.
+type Compression int
+
+const (
+	// CompressionNone writes raw 'E' chunks only (the default).
+	CompressionNone Compression = iota
+	// CompressionFlate DEFLATE-compresses each sealed chunk payload
+	// (compress/flate at BestSpeed), keeping chunks that do not shrink
+	// raw.
+	CompressionFlate
+)
+
+// String renders the compression the way CLI flags and meta.json spell
+// it.
+func (c Compression) String() string {
+	switch c {
+	case CompressionNone:
+		return "none"
+	case CompressionFlate:
+		return "flate"
+	}
+	return fmt.Sprintf("compression(%d)", int(c))
+}
+
+// ParseCompression maps a compression name (as printed by String) back
+// to its value.
+func ParseCompression(s string) (Compression, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "none":
+		return CompressionNone, nil
+	case "flate", "deflate":
+		return CompressionFlate, nil
+	}
+	return 0, fmt.Errorf("unknown compression %q (want %q or %q)",
+		s, CompressionNone, CompressionFlate)
+}
 
 // ErrTruncated marks an archive cut off mid-chunk — the typical state
 // after a crashed run. Every event returned before the error belongs to
 // the intact prefix and is valid.
 var ErrTruncated = errors.New("otf2: archive truncated")
+
+// ErrNoIndex reports that an archive carries no readable footer index —
+// it is a v1 archive, a v2 archive cut off before Close, or its trailer
+// is damaged. Sequential access still works; ReadIndex callers fall
+// back to it.
+var ErrNoIndex = errors.New("otf2: archive has no index")
 
 // corrupt builds a format-violation error.
 func corrupt(format string, args ...any) error {

@@ -207,7 +207,10 @@ func TestReadAllSalvagesTruncatedPrefix(t *testing.T) {
 	}
 	full := buf.Bytes()
 
-	cut := len(full) - 7 // inside the final chunk
+	// Cut inside the last event chunk: the footer index and trailer are
+	// lost too, so this also exercises the v2 salvage degradation to
+	// the sequential walk.
+	cut := int(lastEventChunkOffset(t, full)) + 3
 	tr, err := ReadAll(bytes.NewReader(full[:cut]), region.NewRegistry())
 	if !errors.Is(err, ErrTruncated) {
 		t.Fatalf("err = %v, want ErrTruncated", err)
@@ -226,6 +229,28 @@ func TestReadAllSalvagesTruncatedPrefix(t *testing.T) {
 	if a == nil || len(a.PerThread) == 0 {
 		t.Fatal("no analysis salvaged from truncated archive")
 	}
+}
+
+// lastEventChunkOffset returns the byte offset of the archive's last
+// event chunk, located via the footer index.
+func lastEventChunkOffset(t *testing.T, archive []byte) int64 {
+	t.Helper()
+	ix, err := ReadIndex(bytes.NewReader(archive))
+	if err != nil {
+		t.Fatalf("ReadIndex: %v", err)
+	}
+	last := int64(-1)
+	for _, tc := range ix.Threads {
+		for _, c := range tc.Chunks {
+			if c.Offset > last {
+				last = c.Offset
+			}
+		}
+	}
+	if last < 0 {
+		t.Fatal("archive has no event chunks")
+	}
+	return last
 }
 
 func TestReadAllHeaderTruncationReturnsEmptyPrefix(t *testing.T) {

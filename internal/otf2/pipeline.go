@@ -85,6 +85,12 @@ type shard struct {
 	scanSeq int  // next sequence number to assign (scanner only)
 	recycle bool // return applied runs to runPool (consumer does not retain them)
 
+	// absolute marks runs decoded with absolute timestamps already (the
+	// indexed query path, which primes each chunk from its indexed
+	// BaseTime): deliver then applies them without rebasing, and `last`
+	// is unused.
+	absolute bool
+
 	mu      sync.Mutex
 	next    int
 	pending map[int]*decodedRun
@@ -108,13 +114,15 @@ func (sh *shard) deliver(seq int, run *decodedRun, consume func(int, []trace.Eve
 	// This goroutine owns the shard state until it fails to find the
 	// successor run: only the holder of seq == next can reach here.
 	for {
-		base := sh.last
 		evs := run.events
-		for i := range evs {
-			evs[i].Time += base
+		if !sh.absolute {
+			base := sh.last
+			for i := range evs {
+				evs[i].Time += base
+			}
+			sh.last = base + run.total
 		}
 		consume(sh.tid, evs)
-		sh.last = base + run.total
 		if sh.recycle {
 			putRunBuf(evs)
 		}
@@ -201,7 +209,7 @@ func (l *errLatch) get() error {
 // O(workers x chunk) regardless of archive size.
 func runPipeline(r io.Reader, reg *region.Registry, workers int, recycle bool, consume func(int, []trace.Event)) error {
 	br := bufio.NewReader(r)
-	if err := readHeader(br); err != nil {
+	if _, err := readHeader(br); err != nil {
 		return err
 	}
 
@@ -256,6 +264,21 @@ scan:
 			break
 		}
 		idx++
+		if kind == chunkCompressed {
+			// The thread/count head lives inside the compressed stream,
+			// and the scanner needs the thread ID to sequence the chunk
+			// onto its shard — so the sequential scan inflates inline.
+			// (The indexed query planner knows the thread without
+			// decompressing and parallelizes inflation across workers.)
+			raw, err := inflateChunk(newChunkBuf(0), payload)
+			putChunkBuf(payload)
+			if err != nil {
+				putChunkBuf(raw)
+				scanErr = err
+				break
+			}
+			kind, payload = chunkEvents, raw
+		}
 		switch kind {
 		case chunkDefs:
 			// Copy-on-write, but only when a dispatched job actually

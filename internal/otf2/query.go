@@ -1,0 +1,344 @@
+package otf2
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"sync"
+
+	"repro/internal/region"
+	"repro/internal/trace"
+)
+
+// Query selects a slice of an archive: a time window and/or a thread
+// subset. It is trace.Query verbatim — every layer of the stack speaks
+// the same query vocabulary.
+type Query = trace.Query
+
+// QueryStats reports how a query executed against an archive. The
+// chunk counters are filled by the index-driven path: ChunksRead out of
+// ChunksTotal event chunks were actually read and decoded — the
+// O(matching chunks) guarantee a seekable archive exists for. On the
+// sequential fallback (v1 archive, missing or damaged index) Indexed is
+// false and the counters are zero; the whole archive was scanned.
+type QueryStats struct {
+	Indexed     bool
+	ChunksTotal int
+	ChunksRead  int
+}
+
+// AnalyzeQuery runs the trace analysis over the sub-trace of an archive
+// matching q, using up to workers decode goroutines (<= 0 one per
+// processor). When r is an io.ReadSeeker and the archive carries a
+// footer index, only the chunks whose thread and time bounds can match
+// are read and decoded — O(matching chunks), not O(archive). Otherwise
+// it falls back to the sequential scan with event-level filtering,
+// preserving the v1 salvage contract: a truncated archive yields the
+// intact prefix's (filtered) analysis alongside an error wrapping
+// ErrTruncated.
+//
+// The result is reflect.DeepEqual-identical to fully decoding the
+// archive, filtering with q.Filter, and analyzing that — at every
+// worker count and on both the indexed and the fallback path.
+func AnalyzeQuery(r io.Reader, q Query, workers int) (*trace.Analysis, QueryStats, error) {
+	workers = normWorkers(workers)
+	if rs, ok := r.(io.ReadSeeker); ok {
+		if ix, err := ReadIndex(rs); err == nil {
+			pa := trace.NewParallelAnalyzer()
+			consume := func(tid int, events []trace.Event) {
+				if len(events) > 0 {
+					pa.ObserveBatch(tid, events)
+				}
+			}
+			st, err := runIndexed(rs, ix, q, region.NewRegistry(), workers, true, consume)
+			if err != nil {
+				return nil, st, err
+			}
+			return pa.Finish(), st, nil
+		}
+		// No readable index (v1 archive, crashed run, damaged trailer):
+		// rewind and scan sequentially.
+		if _, err := rs.Seek(0, io.SeekStart); err != nil {
+			return nil, QueryStats{}, err
+		}
+	}
+	var st QueryStats
+	if workers == 1 {
+		sa := trace.NewStreamAnalyzer()
+		rd, err := NewReader(r, region.NewRegistry())
+		if err != nil {
+			if errors.Is(err, ErrTruncated) {
+				return sa.Finish(), st, err
+			}
+			return nil, st, err
+		}
+		for {
+			tid, ev, err := rd.Next()
+			if err == io.EOF {
+				return sa.Finish(), st, nil
+			}
+			if errors.Is(err, ErrTruncated) {
+				return sa.Finish(), st, err
+			}
+			if err != nil {
+				return nil, st, err
+			}
+			sa.ObserveQuery(tid, ev, q)
+		}
+	}
+	pa := trace.NewParallelAnalyzer()
+	err := runPipeline(r, region.NewRegistry(), workers, true, func(tid int, events []trace.Event) {
+		pa.ObserveBatchQuery(tid, events, q)
+	})
+	if err != nil && !errors.Is(err, ErrTruncated) {
+		return nil, st, err
+	}
+	return pa.Finish(), st, err
+}
+
+// ReadAllQuery loads the sub-trace of an archive matching q, interning
+// regions into reg — the decode counterpart of AnalyzeQuery, with the
+// same index-driven access, sequential fallback and salvage contract.
+// The loaded trace is reflect.DeepEqual-identical to
+// q.Filter(ReadAll(...)): threads without matching events are absent.
+func ReadAllQuery(r io.Reader, reg *region.Registry, q Query, workers int) (*trace.Trace, QueryStats, error) {
+	workers = normWorkers(workers)
+	if rs, ok := r.(io.ReadSeeker); ok {
+		if ix, err := ReadIndex(rs); err == nil {
+			tr := &trace.Trace{Threads: make(map[int][]trace.Event)}
+			var mu sync.Mutex
+			consume := func(tid int, events []trace.Event) {
+				if len(events) == 0 {
+					return
+				}
+				mu.Lock()
+				evs := tr.Threads[tid]
+				mu.Unlock()
+				// Per-thread serial by the shard contract; only the map
+				// access needs the lock.
+				if evs == nil {
+					mu.Lock()
+					tr.Threads[tid] = events
+					mu.Unlock()
+					return
+				}
+				evs = append(evs, events...)
+				mu.Lock()
+				tr.Threads[tid] = evs
+				mu.Unlock()
+			}
+			st, err := runIndexed(rs, ix, q, reg, workers, false, consume)
+			if err != nil {
+				return nil, st, err
+			}
+			return tr, st, nil
+		}
+		if _, err := rs.Seek(0, io.SeekStart); err != nil {
+			return nil, QueryStats{}, err
+		}
+	}
+	// Sequential fallback: full decode, then the reference filter — the
+	// semantics every query path is defined against.
+	var st QueryStats
+	tr, err := ReadAllParallel(r, reg, workers)
+	if err != nil && !errors.Is(err, ErrTruncated) {
+		return nil, st, err
+	}
+	return q.Filter(tr), st, err
+}
+
+// iJob is one indexed chunk handed to the query worker pool. Unlike the
+// sequential pipeline's chunkJob, the payload may still be compressed
+// (the index names the thread, so inflation can run on the workers) and
+// decoding starts from the chunk's indexed BaseTime, producing absolute
+// timestamps immediately.
+type iJob struct {
+	sh         *shard
+	seq        int
+	idx        int // dispatch index, for earliest-error selection
+	payload    []byte
+	compressed bool
+	ref        ChunkRef
+	q          Query
+	regions    map[uint64]*region.Region
+}
+
+// decodeIndexedRun inflates (if needed) and decodes one indexed chunk,
+// keeping only events inside the query window. It consumes j.payload
+// (returning it to the chunk pool) and produces absolute timestamps.
+func decodeIndexedRun(j *iJob) (*decodedRun, error) {
+	payload := j.payload
+	if j.compressed {
+		raw, err := inflateChunk(newChunkBuf(0), payload)
+		putChunkBuf(payload)
+		if err != nil {
+			putChunkBuf(raw)
+			return nil, err
+		}
+		payload = raw
+	}
+	c := cursor{payload: payload}
+	tid, err := c.varint("event chunk thread")
+	if err == nil && int(tid) != j.sh.tid {
+		err = corrupt("index lists chunk at %d under thread %d, payload says %d", j.ref.Offset, j.sh.tid, tid)
+	}
+	var count uint64
+	if err == nil {
+		count, err = c.uvarint("event chunk count")
+	}
+	if err != nil {
+		putChunkBuf(payload)
+		return nil, err
+	}
+	n := int(count)
+	if maxFit := (len(payload)-c.pos)/minEventBytes + 1; n > maxFit {
+		n = maxFit
+	}
+	var events []trace.Event
+	if j.sh.recycle {
+		events = newRunBuf(n)
+	} else {
+		events = make([]trace.Event, 0, n)
+	}
+	last := j.ref.BaseTime
+	for i := uint64(0); i < count; i++ {
+		ev, err := decodeEvent(&c, j.regions, &last)
+		if err != nil {
+			if j.sh.recycle {
+				putRunBuf(events)
+			}
+			putChunkBuf(payload)
+			return nil, err
+		}
+		if j.q.MatchTime(ev.Time) {
+			events = append(events, ev)
+		}
+	}
+	putChunkBuf(payload)
+	return &decodedRun{events: events}, nil
+}
+
+// runIndexed executes a query plan over an indexed archive: it loads
+// all definition chunks via the index, selects the event chunks whose
+// thread and time bounds can match, and streams exactly those — in
+// ascending offset order, one seek each — to a worker pool that
+// inflates, decodes and window-filters them. Per-thread shards apply
+// runs in archive order (without rebasing: indexed chunks decode with
+// absolute timestamps), so consume sees each thread's events in order.
+func runIndexed(rs io.ReadSeeker, ix *Index, q Query, reg *region.Registry, workers int, recycle bool, consume func(int, []trace.Event)) (QueryStats, error) {
+	st := QueryStats{Indexed: true}
+	tables := newDefTables()
+	for _, off := range ix.DefOffsets {
+		kind, payload, err := ReadChunkAt(rs, off)
+		if err != nil {
+			return st, err
+		}
+		if kind != chunkDefs {
+			return st, corrupt("index lists definition chunk at %d, found %q", off, kind)
+		}
+		c := cursor{payload: payload}
+		if err := tables.decodeDefs(&c, reg); err != nil {
+			return st, err
+		}
+	}
+	var sel []plannedChunk
+	if q.Empty() {
+		st.ChunksTotal = ix.NumChunks()
+	} else {
+		sel, st.ChunksTotal = ix.selectChunks(q.MatchThread, q.Overlaps)
+	}
+	st.ChunksRead = len(sel)
+	if len(sel) == 0 {
+		return st, nil
+	}
+
+	lat := &errLatch{done: make(chan struct{})}
+	jobs := make(chan *iJob, workers)
+	inflight := make(chan struct{}, 4*workers)
+	release := func() { <-inflight }
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if lat.p.Load() != nil {
+					putChunkBuf(j.payload)
+					release()
+					continue
+				}
+				run, err := decodeIndexedRun(j)
+				if err != nil {
+					lat.latch(j.idx, err)
+					release()
+					continue
+				}
+				j.sh.deliver(j.seq, run, consume, release)
+			}
+		}()
+	}
+
+	shards := make(map[int]*shard)
+	br := bufio.NewReader(rs)
+	var scanErr error
+	scanned := len(sel)
+scan:
+	for i, pc := range sel {
+		if lat.p.Load() != nil {
+			scanned = i
+			break
+		}
+		if _, err := rs.Seek(pc.ref.Offset, io.SeekStart); err != nil {
+			scanErr = err
+			scanned = i
+			break
+		}
+		br.Reset(rs)
+		kind, payload, err := readChunkInto(br, newChunkBuf(0))
+		if err == io.EOF {
+			err = cutOrIOErr("reading chunk", io.ErrUnexpectedEOF)
+		}
+		if err != nil {
+			putChunkBuf(payload)
+			scanErr = err
+			scanned = i
+			break
+		}
+		if kind != chunkEvents && kind != chunkCompressed {
+			putChunkBuf(payload)
+			scanErr = corrupt("index lists event chunk at %d, found %q", pc.ref.Offset, kind)
+			scanned = i
+			break
+		}
+		sh := shards[pc.tid]
+		if sh == nil {
+			sh = &shard{tid: pc.tid, recycle: recycle, absolute: true}
+			shards[pc.tid] = sh
+		}
+		job := &iJob{
+			sh: sh, seq: pc.seq, idx: i,
+			payload: payload, compressed: kind == chunkCompressed,
+			ref: pc.ref, q: q, regions: tables.regions,
+		}
+		select {
+		case inflight <- struct{}{}:
+		case <-lat.done:
+			// A worker failed; stop scanning rather than wait on a
+			// window that may never drain.
+			putChunkBuf(payload)
+			scanned = i
+			break scan
+		}
+		jobs <- job
+	}
+	close(jobs)
+	wg.Wait()
+
+	// A decode error earlier in the plan outranks a later scan error,
+	// matching the order a sequential execution would hit them in.
+	if werr := lat.p.Load(); werr != nil && (scanErr == nil || werr.idx < scanned) {
+		return st, werr.err
+	}
+	return st, scanErr
+}

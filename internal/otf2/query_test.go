@@ -1,0 +1,441 @@
+package otf2
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/region"
+	"repro/internal/trace"
+)
+
+// queryArchive writes tr as an archive with small chunks so queries
+// have many chunks to prune.
+func queryArchive(t *testing.T, tr *trace.Trace, opts ...WriterOption) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr, append([]WriterOption{WithChunkBytes(1024)}, opts...)...); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// queryCases covers the edge cases the query semantics are defined on:
+// full matches, interior windows, empty and inverted windows,
+// out-of-range bounds, thread subsets, and combinations.
+func queryCases(tr *trace.Trace) []Query {
+	var minT, maxT int64
+	first := true
+	for _, evs := range tr.Threads {
+		for _, ev := range evs {
+			if first || ev.Time < minT {
+				minT = ev.Time
+			}
+			if first || ev.Time > maxT {
+				maxT = ev.Time
+			}
+			first = false
+		}
+	}
+	mid := (minT + maxT) / 2
+	tids := tr.ThreadIDs()
+	qs := []Query{
+		{}, // all
+		{Windowed: true, MinTime: minT, MaxTime: maxT},
+		{Windowed: true, MinTime: mid, MaxTime: maxT},
+		{Windowed: true, MinTime: minT, MaxTime: mid},
+		{Windowed: true, MinTime: mid - (maxT-minT)/8, MaxTime: mid + (maxT-minT)/8},
+		{Windowed: true, MinTime: maxT + 1, MaxTime: maxT + 1000}, // out of range high
+		{Windowed: true, MinTime: minT - 1000, MaxTime: minT - 1}, // out of range low
+		{Windowed: true, MinTime: mid, MaxTime: mid - 1},          // inverted: empty
+	}
+	if len(tids) > 1 {
+		qs = append(qs,
+			Query{Threads: tids[:1]},
+			Query{Threads: tids[1:2], Windowed: true, MinTime: mid, MaxTime: maxT},
+			Query{Threads: []int{tids[0], tids[len(tids)-1]}},
+			Query{Threads: []int{1 << 20}}, // nonexistent thread
+		)
+	}
+	return qs
+}
+
+// TestQueryMatchesFilterReference checks the defining property of every
+// query path: the result equals fully decoding, filtering with
+// Query.Filter, and then reading/analyzing — at worker counts 1 and 4,
+// on indexed (v2), compressed, and fallback (v1) archives.
+func TestQueryMatchesFilterReference(t *testing.T) {
+	tr := benchTrace(3, 400)
+	archives := map[string][]byte{
+		"v2":       queryArchive(t, tr),
+		"v2-flate": queryArchive(t, tr, WithCompression(CompressionFlate)),
+		"v1":       queryArchive(t, tr, WithVersion(1)),
+	}
+	for name, archive := range archives {
+		full, err := ReadAll(bytes.NewReader(archive), region.NewRegistry())
+		if err != nil {
+			t.Fatalf("%s: ReadAll: %v", name, err)
+		}
+		for _, q := range queryCases(full) {
+			wantTr := q.Filter(full)
+			wantA := trace.Analyze(wantTr)
+			for _, workers := range []int{1, 4} {
+				gotA, st, err := AnalyzeQuery(bytes.NewReader(archive), q, workers)
+				if err != nil {
+					t.Fatalf("%s workers=%d %v: AnalyzeQuery: %v", name, workers, q, err)
+				}
+				if !reflect.DeepEqual(gotA, wantA) {
+					t.Errorf("%s workers=%d %v: AnalyzeQuery != analyze(filter(full))", name, workers, q)
+				}
+				if wantIndexed := name != "v1"; st.Indexed != wantIndexed {
+					t.Errorf("%s workers=%d %v: stats.Indexed = %v, want %v", name, workers, q, st.Indexed, wantIndexed)
+				}
+				gotTr, _, err := ReadAllQuery(bytes.NewReader(archive), region.NewRegistry(), q, workers)
+				if err != nil {
+					t.Fatalf("%s workers=%d %v: ReadAllQuery: %v", name, workers, q, err)
+				}
+				tracesEqual(t, wantTr, gotTr)
+			}
+		}
+	}
+}
+
+// TestQueryReadsOnlyMatchingChunks is the acceptance check for the
+// seekable layer: a windowed query on a >=1M-event v2 archive must
+// read (and decode) only the chunks whose indexed time bounds overlap
+// the window — O(matching chunks), not O(archive).
+func TestQueryReadsOnlyMatchingChunks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a >=1M-event archive")
+	}
+	tr := benchTrace(4, 1<<16) // 4 threads x 65536 tasks x 4+ events > 1M events
+	if n := tr.NumEvents(); n < 1_000_000 {
+		t.Fatalf("test trace has %d events, want >= 1M", n)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	archive := buf.Bytes()
+
+	var minT, maxT int64
+	for _, evs := range tr.Threads {
+		for _, ev := range evs {
+			if ev.Time > maxT {
+				maxT = ev.Time
+			}
+		}
+	}
+	// A narrow interior window: an eighth of the time range.
+	q := Query{Windowed: true, MinTime: minT + (maxT-minT)/2, MaxTime: minT + (maxT-minT)/2 + (maxT-minT)/8}
+
+	got, st, err := AnalyzeQuery(bytes.NewReader(archive), q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Indexed {
+		t.Fatal("v2 archive did not take the indexed path")
+	}
+	if st.ChunksTotal < 100 {
+		t.Fatalf("archive has only %d chunks; chunk pruning is not meaningfully tested", st.ChunksTotal)
+	}
+	if st.ChunksRead >= st.ChunksTotal/2 {
+		t.Fatalf("windowed query read %d of %d chunks; want a pruned minority", st.ChunksRead, st.ChunksTotal)
+	}
+	full, err := ReadAll(bytes.NewReader(archive), region.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trace.Analyze(q.Filter(full))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("windowed indexed analysis differs from filtered full analysis")
+	}
+
+	// The zero query over the same archive must read every chunk and
+	// reproduce the plain analysis exactly.
+	all, st, err := AnalyzeQuery(bytes.NewReader(archive), Query{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChunksRead != st.ChunksTotal {
+		t.Fatalf("zero query read %d of %d chunks", st.ChunksRead, st.ChunksTotal)
+	}
+	seq, err := Analyze(bytes.NewReader(archive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(all, seq) {
+		t.Fatal("indexed full-archive analysis differs from sequential analysis")
+	}
+}
+
+// TestCompressedRoundTrip checks that compressed archives decode
+// identically to uncompressed ones, shrink the file, and interoperate
+// with every reader path.
+func TestCompressedRoundTrip(t *testing.T) {
+	tr := benchTrace(2, 500)
+	raw := queryArchive(t, tr)
+	comp := queryArchive(t, tr, WithCompression(CompressionFlate))
+	if len(comp) >= len(raw) {
+		t.Fatalf("compressed archive is %d bytes, raw %d: no shrink", len(comp), len(raw))
+	}
+	want, err := ReadAll(bytes.NewReader(raw), region.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(bytes.NewReader(comp), region.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, want, got)
+	gotPar, err := ReadAllParallel(bytes.NewReader(comp), region.NewRegistry(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, want, gotPar)
+	wantA, err := Analyze(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotA, err := AnalyzeParallel(bytes.NewReader(comp), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotA, wantA) {
+		t.Fatal("parallel analysis of compressed archive differs")
+	}
+}
+
+// TestVersionRoundTrip checks v1 <-> v2 conversion round-trips the
+// event stream byte-identically: writing the same trace at either
+// version and converting back reproduces the original archive bytes
+// (the writer is deterministic).
+func TestVersionRoundTrip(t *testing.T) {
+	tr := benchTrace(2, 300)
+	v1 := queryArchive(t, tr, WithVersion(1))
+	v2 := queryArchive(t, tr)
+
+	if v1[len(magic)] != version1 || v2[len(magic)] != version2 {
+		t.Fatal("version bytes not as configured")
+	}
+
+	// v1 -> v2 -> v1: decode and re-encode at each step.
+	up, err := ReadAll(bytes.NewReader(v1), region.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var upBuf bytes.Buffer
+	if err := Write(&upBuf, up, WithChunkBytes(1024)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(upBuf.Bytes(), v2) {
+		t.Fatal("v1->v2 upgrade is not byte-identical to a direct v2 write")
+	}
+	down, err := ReadAll(bytes.NewReader(upBuf.Bytes()), region.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var downBuf bytes.Buffer
+	if err := Write(&downBuf, down, WithChunkBytes(1024), WithVersion(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(downBuf.Bytes(), v1) {
+		t.Fatal("v2->v1 downgrade is not byte-identical to a direct v1 write")
+	}
+}
+
+// TestV1ArchiveBytesUnchanged pins the compatibility guarantee: a v1
+// archive written by the new writer is byte-for-byte the v2 archive
+// minus the version byte, index and trailer — 'D' and 'E' chunks are
+// untouched by the format revision.
+func TestV1ArchiveBytesUnchanged(t *testing.T) {
+	tr := benchTrace(2, 200)
+	v1 := queryArchive(t, tr, WithVersion(1))
+	v2 := queryArchive(t, tr)
+
+	// Locate the index chunk offset from the trailer: everything before
+	// it must equal the v1 byte stream (bar the version byte).
+	tail := v2[len(v2)-trailerLen:]
+	if tail[0] != chunkTrailer {
+		t.Fatal("archive does not end in a trailer chunk")
+	}
+	idxOff := int64(uint64(tail[2]) | uint64(tail[3])<<8 | uint64(tail[4])<<16 | uint64(tail[5])<<24 |
+		uint64(tail[6])<<32 | uint64(tail[7])<<40 | uint64(tail[8])<<48 | uint64(tail[9])<<56)
+	body2 := v2[len(magic)+1 : idxOff]
+	body1 := v1[len(magic)+1:]
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("v1 and v2 chunk streams differ outside the index/trailer")
+	}
+}
+
+// TestTruncatedV2SalvagesViaSequentialFallback cuts a v2 archive so the
+// index is lost and checks queries still salvage the intact prefix via
+// the sequential fallback, reporting ErrTruncated.
+func TestTruncatedV2SalvagesViaSequentialFallback(t *testing.T) {
+	tr := benchTrace(2, 400)
+	archive := queryArchive(t, tr)
+	cut := int(lastEventChunkOffset(t, archive)) + 3
+
+	if _, err := ReadIndex(bytes.NewReader(archive[:cut])); err == nil {
+		t.Fatal("truncated archive still has a readable index")
+	}
+	for _, workers := range []int{1, 4} {
+		a, st, err := AnalyzeQuery(bytes.NewReader(archive[:cut]), Query{}, workers)
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("workers=%d: err = %v, want ErrTruncated", workers, err)
+		}
+		if st.Indexed {
+			t.Fatalf("workers=%d: truncated archive took the indexed path", workers)
+		}
+		if a == nil || len(a.PerThread) == 0 {
+			t.Fatalf("workers=%d: no analysis salvaged", workers)
+		}
+		tr2, _, err := ReadAllQuery(bytes.NewReader(archive[:cut]), region.NewRegistry(), Query{}, workers)
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("workers=%d: ReadAllQuery err = %v, want ErrTruncated", workers, err)
+		}
+		if tr2 == nil || tr2.NumEvents() == 0 || tr2.NumEvents() >= tr.NumEvents() {
+			t.Fatalf("workers=%d: salvaged %d events, want non-empty strict prefix", workers, tr2.NumEvents())
+		}
+	}
+}
+
+// TestReaderSeekDecodesIndexedChunk drives the random-access primitives
+// directly: PrimeDefinitions + Seek must reproduce exactly the events a
+// sequential walk attributes to that chunk.
+func TestReaderSeekDecodesIndexedChunk(t *testing.T) {
+	tr := benchTrace(2, 300)
+	archive := queryArchive(t, tr)
+	ix, err := ReadIndex(bytes.NewReader(archive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := ReadAll(bytes.NewReader(archive), region.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range ix.Threads {
+		pos := 0
+		for ci, cr := range tc.Chunks {
+			rd, err := NewReader(bytes.NewReader(archive), region.NewRegistry())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rd.PrimeDefinitions(ix.DefOffsets); err != nil {
+				t.Fatal(err)
+			}
+			if err := rd.Seek(tc.Thread, cr); err != nil {
+				t.Fatal(err)
+			}
+			for i := uint64(0); i < cr.Events; i++ {
+				tid, ev, err := rd.Next()
+				if err != nil {
+					t.Fatalf("thread %d chunk %d event %d: %v", tc.Thread, ci, i, err)
+				}
+				if tid != tc.Thread {
+					t.Fatalf("thread %d chunk %d: Next returned thread %d", tc.Thread, ci, tid)
+				}
+				want := full.Threads[tc.Thread][pos]
+				if !eventsEqual(ev, want) {
+					t.Fatalf("thread %d chunk %d event %d: got %+v want %+v", tc.Thread, ci, i, ev, want)
+				}
+				pos++
+			}
+		}
+		if pos != len(full.Threads[tc.Thread]) {
+			t.Fatalf("thread %d: index covers %d events, trace has %d", tc.Thread, pos, len(full.Threads[tc.Thread]))
+		}
+	}
+}
+
+// TestIndexMatchesArchive validates the invariants the planner relies
+// on: offsets point at event chunks, counts and time bounds match the
+// decoded contents.
+func TestIndexMatchesArchive(t *testing.T) {
+	tr := benchTrace(3, 200)
+	for _, opts := range [][]WriterOption{nil, {WithCompression(CompressionFlate)}} {
+		archive := queryArchive(t, tr, opts...)
+		ix, err := ReadIndex(bytes.NewReader(archive))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.NumEvents() != tr.NumEvents() {
+			t.Fatalf("index declares %d events, trace has %d", ix.NumEvents(), tr.NumEvents())
+		}
+		full, err := ReadAll(bytes.NewReader(archive), region.NewRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range ix.Threads {
+			pos := 0
+			for _, cr := range tc.Chunks {
+				kind, _, err := ReadChunkAt(bytes.NewReader(archive), cr.Offset)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if kind != chunkEvents && kind != chunkCompressed {
+					t.Fatalf("index points at %q chunk", kind)
+				}
+				evs := full.Threads[tc.Thread][pos : pos+int(cr.Events)]
+				var minT, maxT int64
+				for i, ev := range evs {
+					if i == 0 || ev.Time < minT {
+						minT = ev.Time
+					}
+					if i == 0 || ev.Time > maxT {
+						maxT = ev.Time
+					}
+				}
+				if minT != cr.MinTime || maxT != cr.MaxTime {
+					t.Fatalf("thread %d chunk at %d: bounds [%d,%d], events span [%d,%d]",
+						tc.Thread, cr.Offset, cr.MinTime, cr.MaxTime, minT, maxT)
+				}
+				pos += int(cr.Events)
+			}
+		}
+	}
+}
+
+// TestQueryRandomizedProperty fuzzes query windows over random traces:
+// every (archive x query x workers) combination must equal the
+// filter-then-analyze reference.
+func TestQueryRandomizedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 20; round++ {
+		tr := randomTrace(rng)
+		var buf bytes.Buffer
+		opts := []WriterOption{WithChunkBytes(1024)}
+		if rng.Intn(2) == 1 {
+			opts = append(opts, WithCompression(CompressionFlate))
+		}
+		if err := Write(&buf, tr, opts...); err != nil {
+			t.Fatal(err)
+		}
+		archive := buf.Bytes()
+		full, err := ReadAll(bytes.NewReader(archive), region.NewRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := Query{}
+		if rng.Intn(4) > 0 {
+			q.Windowed = true
+			q.MinTime = rng.Int63n(2000) - 500
+			q.MaxTime = q.MinTime + rng.Int63n(1500) - 200
+		}
+		if rng.Intn(3) == 0 {
+			q.Threads = []int{rng.Intn(4)}
+		}
+		want := trace.Analyze(q.Filter(full))
+		for _, workers := range []int{1, 4} {
+			got, _, err := AnalyzeQuery(bytes.NewReader(archive), q, workers)
+			if err != nil {
+				t.Fatalf("round %d workers %d: %v", round, workers, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d workers %d query %v: mismatch", round, workers, q)
+			}
+		}
+	}
+}

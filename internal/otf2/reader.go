@@ -186,9 +186,11 @@ const minEventBytes = 4
 // the registry passed to NewReader, giving read events the same
 // pointer-identity semantics as live-recorded ones.
 type Reader struct {
-	br     *bufio.Reader
-	reg    *region.Registry
-	tables *defTables
+	src     io.Reader // underlying source; io.Seeker-capable for Seek
+	br      *bufio.Reader
+	reg     *region.Registry
+	tables  *defTables
+	version byte
 
 	// Current event chunk being drained. curLast caches the current
 	// thread's running timestamp so the decode hot loop touches no
@@ -199,6 +201,12 @@ type Reader struct {
 	remaining uint64
 	curLast   int64
 	inEvents  bool
+
+	// rdbuf is the persistent framed-chunk read buffer; inflbuf is the
+	// persistent decompression target for 'C' chunks. The cursor points
+	// into one of the two.
+	rdbuf   []byte
+	inflbuf []byte
 
 	lastTime map[int]int64
 	err      error
@@ -216,19 +224,21 @@ func cutOrIOErr(what string, err error) error {
 	return fmt.Errorf("otf2: %s: %w", what, err)
 }
 
-// readHeader validates the archive header on br.
-func readHeader(br *bufio.Reader) error {
+// readHeader validates the archive header on br and returns the
+// archive's format version (1 or 2).
+func readHeader(br *bufio.Reader) (byte, error) {
 	var hdr [len(magic) + 1]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return cutOrIOErr("reading header", err)
+		return 0, cutOrIOErr("reading header", err)
 	}
 	if string(hdr[:len(magic)]) != magic {
-		return corrupt("bad magic %q", hdr[:len(magic)])
+		return 0, corrupt("bad magic %q", hdr[:len(magic)])
 	}
-	if hdr[len(magic)] != version {
-		return fmt.Errorf("otf2: unsupported format version %d (have %d)", hdr[len(magic)], version)
+	v := hdr[len(magic)]
+	if v != version1 && v != version2 {
+		return 0, fmt.Errorf("otf2: unsupported format version %d (have %d and %d)", v, version1, version2)
 	}
-	return nil
+	return v, nil
 }
 
 // readChunkInto reads the next chunk's kind and payload from br,
@@ -259,19 +269,27 @@ func readChunkInto(br *bufio.Reader, buf []byte) (byte, []byte, error) {
 	return kind, buf, nil
 }
 
-// NewReader opens an archive, validating the header.
+// NewReader opens an archive, validating the header. Both format
+// versions are accepted; FormatVersion reports which one the archive
+// declares.
 func NewReader(r io.Reader, reg *region.Registry) (*Reader, error) {
 	br := bufio.NewReader(r)
-	if err := readHeader(br); err != nil {
+	v, err := readHeader(br)
+	if err != nil {
 		return nil, err
 	}
 	return &Reader{
+		src:      r,
 		br:       br,
 		reg:      reg,
 		tables:   newDefTables(),
+		version:  v,
 		lastTime: make(map[int]int64),
 	}, nil
 }
+
+// FormatVersion returns the archive's declared format version (1 or 2).
+func (r *Reader) FormatVersion() int { return int(r.version) }
 
 // ClockResolution returns the timer ticks per second declared by the
 // archive's clock-properties record (0 before one has been read; the
@@ -323,10 +341,12 @@ func (r *Reader) chunkRemaining() int {
 }
 
 // nextChunk reads chunks until an event chunk is current or the archive
-// ends. Definition chunks update the tables in place; unknown chunk
-// kinds are skipped for forward compatibility.
+// ends. Definition chunks update the tables in place; compressed event
+// chunks are inflated transparently; index and trailer chunks — like
+// any unknown chunk kind — are skipped for forward compatibility.
 func (r *Reader) nextChunk() error {
-	kind, payload, err := readChunkInto(r.br, r.cur.payload)
+	kind, payload, err := readChunkInto(r.br, r.rdbuf)
+	r.rdbuf = payload
 	r.cur.payload = payload
 	r.cur.pos = 0
 	if err != nil {
@@ -335,26 +355,92 @@ func (r *Reader) nextChunk() error {
 	switch kind {
 	case chunkDefs:
 		return r.tables.decodeDefs(&r.cur, r.reg)
+	case chunkCompressed:
+		raw, err := inflateChunk(r.inflbuf, payload)
+		r.inflbuf = raw
+		if err != nil {
+			return err
+		}
+		r.cur.payload = raw
+		r.cur.pos = 0
+		return r.startEvents()
 	case chunkEvents:
-		tid, err := r.cur.varint("event chunk thread")
-		if err != nil {
-			return err
-		}
-		count, err := r.cur.uvarint("event chunk count")
-		if err != nil {
-			return err
-		}
-		if r.inEvents {
-			r.lastTime[r.curThread] = r.curLast
-		}
-		r.curThread = int(tid)
-		r.remaining = count
-		r.curLast = r.lastTime[r.curThread]
-		r.inEvents = true
-		return nil
+		return r.startEvents()
 	default:
-		return nil // unknown chunk kind: skip
+		// Index, trailer, and any future chunk kind: skip.
+		return nil
 	}
+}
+
+// startEvents parses the thread/count head of the event payload the
+// cursor points at and makes it the current chunk.
+func (r *Reader) startEvents() error {
+	tid, err := r.cur.varint("event chunk thread")
+	if err != nil {
+		return err
+	}
+	count, err := r.cur.uvarint("event chunk count")
+	if err != nil {
+		return err
+	}
+	if r.inEvents {
+		r.lastTime[r.curThread] = r.curLast
+	}
+	r.curThread = int(tid)
+	r.remaining = count
+	r.curLast = r.lastTime[r.curThread]
+	r.inEvents = true
+	return nil
+}
+
+// PrimeDefinitions loads the definition chunks at the given byte
+// offsets (as recorded in Index.DefOffsets) without walking the
+// archive. Together with Seek it enables random access: definitions
+// primed up front resolve the region references of any later-sought
+// event chunk. It requires the underlying reader to be an io.Seeker.
+func (r *Reader) PrimeDefinitions(offsets []int64) error {
+	rs, ok := r.src.(io.ReadSeeker)
+	if !ok {
+		return fmt.Errorf("otf2: PrimeDefinitions requires an io.Seeker source")
+	}
+	for _, off := range offsets {
+		kind, payload, err := ReadChunkAt(rs, off)
+		if err != nil {
+			return r.fail(err)
+		}
+		if kind != chunkDefs {
+			return r.fail(corrupt("definition offset %d holds %q chunk", off, kind))
+		}
+		c := cursor{payload: payload}
+		if err := r.tables.decodeDefs(&c, r.reg); err != nil {
+			return r.fail(err)
+		}
+	}
+	return nil
+}
+
+// Seek repositions the reader at the event chunk c of the given thread,
+// as described by a footer index entry: the next Next calls return that
+// chunk's events (then continue sequentially through the archive). The
+// thread's running timestamp is primed from c.BaseTime, so the chunk
+// decodes identically to a front-to-back walk. Definitions must already
+// be loaded (PrimeDefinitions, or a prior walk past them). Seek
+// requires the underlying reader to be an io.Seeker and clears any
+// latched error.
+func (r *Reader) Seek(thread int, c ChunkRef) error {
+	rs, ok := r.src.(io.Seeker)
+	if !ok {
+		return fmt.Errorf("otf2: Seek requires an io.Seeker source")
+	}
+	if _, err := rs.Seek(c.Offset, io.SeekStart); err != nil {
+		return fmt.Errorf("otf2: seeking chunk at %d: %w", c.Offset, err)
+	}
+	r.br.Reset(r.src)
+	r.err = nil
+	r.remaining = 0
+	r.inEvents = false
+	r.lastTime[thread] = c.BaseTime
+	return nil
 }
 
 // ReadAll loads a whole archive into memory as a trace.Trace, interning

@@ -2,6 +2,7 @@ package otf2
 
 import (
 	"bufio"
+	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -44,9 +45,17 @@ func IsArchivePath(p string) bool {
 //
 // Errors from the underlying io.Writer are latched: the first error is
 // returned by every subsequent call, including Close.
+//
+// By default the Writer emits format version 2: it tracks per-chunk
+// time bounds and byte offsets and appends the footer index and trailer
+// on Close, so readers can seek. WithCompression additionally DEFLATEs
+// each sealed chunk payload (outside all shared locks). WithVersion(1)
+// downgrades to the index-less v1 byte stream for interoperability.
 type Writer struct {
 	bw         *bufio.Writer
 	chunkBytes int
+	version    byte
+	comp       Compression
 
 	// err latches the first failure; it is an atomic pointer so every
 	// path can check it without taking a lock.
@@ -72,6 +81,16 @@ type Writer struct {
 	threadSeen []int       // first-registration order, for deterministic Flush
 
 	threads sync.Map // int -> *threadBuf
+
+	// Index state, guarded by iomu (it changes only while a chunk is
+	// appended). off is the byte offset the next chunk will start at;
+	// defOffs and chunkMeta record every written 'D' and event chunk for
+	// the footer index; closed latches Close so the index and trailer
+	// are appended exactly once.
+	off       int64
+	defOffs   []int64
+	chunkMeta map[int][]ChunkRef
+	closed    bool
 }
 
 // threadBuf accumulates the encoded events of one thread until they
@@ -84,6 +103,13 @@ type threadBuf struct {
 	buf      []byte
 	count    uint64
 	lastTime int64
+
+	// Per-chunk index metadata: chunkBase is the thread's running
+	// timestamp before the open chunk's first event (the value the
+	// chunk's first delta is relative to); minT/maxT bound the open
+	// chunk's absolute timestamps. Reset by seal.
+	chunkBase  int64
+	minT, maxT int64
 
 	// Two-entry region-ref cache: consecutive events overwhelmingly
 	// reference the same one or two regions (enter/exit pairs, task
@@ -118,42 +144,91 @@ func putChunkBuf(b []byte) {
 	}
 }
 
-// NewWriter starts an archive on w with the default chunk size, writing
-// the header and clock properties (nanosecond resolution, zero offset)
-// immediately.
-func NewWriter(w io.Writer) *Writer {
-	return NewWriterSize(w, DefaultChunkBytes)
+// WriterOption configures a Writer at construction.
+type WriterOption func(*writerConfig)
+
+type writerConfig struct {
+	chunkBytes int
+	version    byte
+	comp       Compression
 }
 
-// NewWriterSize is NewWriter with an explicit per-thread chunk buffer
-// threshold in bytes (clamped to [1 KiB, 16 MiB]; the threshold trades
+// WithChunkBytes sets the per-thread chunk buffer threshold in bytes
+// (clamped to [1 KiB, 16 MiB]; the threshold trades
 // archive-interleaving granularity against memory per thread). The
 // upper clamp keeps every emitted chunk well under the reader's
 // maxChunkLen sanity limit, so the Writer can never produce an archive
 // its own Reader rejects.
-func NewWriterSize(w io.Writer, chunkBytes int) *Writer {
-	if chunkBytes < 1024 {
-		chunkBytes = 1024
+func WithChunkBytes(n int) WriterOption {
+	return func(c *writerConfig) { c.chunkBytes = n }
+}
+
+// WithCompression selects the block compression for sealed event
+// chunks. Compression requires format version 2; combining it with
+// WithVersion(1) is an error the Writer latches.
+func WithCompression(comp Compression) WriterOption {
+	return func(c *writerConfig) { c.comp = comp }
+}
+
+// WithVersion selects the archive format version to emit: 2 (the
+// default: seekable, footer index, optional compression) or 1 (the
+// sequential-only byte stream, for downgrading archives). Any other
+// value is an error the Writer latches.
+func WithVersion(v int) WriterOption {
+	return func(c *writerConfig) { c.version = byte(v) }
+}
+
+// NewWriter starts an archive on w, writing the header and clock
+// properties (nanosecond resolution, zero offset) immediately. With no
+// options it emits an uncompressed format-version-2 archive with the
+// default chunk size.
+func NewWriter(w io.Writer, opts ...WriterOption) *Writer {
+	cfg := writerConfig{chunkBytes: DefaultChunkBytes, version: version2}
+	for _, opt := range opts {
+		opt(&cfg)
 	}
-	if chunkBytes > maxChunkLen/4 {
-		chunkBytes = maxChunkLen / 4
+	if cfg.chunkBytes < 1024 {
+		cfg.chunkBytes = 1024
+	}
+	if cfg.chunkBytes > maxChunkLen/4 {
+		cfg.chunkBytes = maxChunkLen / 4
 	}
 	wr := &Writer{
 		bw:         bufio.NewWriter(w),
-		chunkBytes: chunkBytes,
+		chunkBytes: cfg.chunkBytes,
+		version:    cfg.version,
+		comp:       cfg.comp,
 		strings:    make(map[string]uint64),
+	}
+	switch {
+	case cfg.version != version1 && cfg.version != version2:
+		wr.setErr(fmt.Errorf("otf2: unsupported format version %d", cfg.version))
+	case cfg.version == version1 && cfg.comp != CompressionNone:
+		wr.setErr(fmt.Errorf("otf2: format version 1 does not support compression (%v)", cfg.comp))
+	case cfg.comp != CompressionNone && cfg.comp != CompressionFlate:
+		wr.setErr(fmt.Errorf("otf2: unknown compression %d", cfg.comp))
+	}
+	if wr.version == version2 {
+		wr.chunkMeta = make(map[int][]ChunkRef)
 	}
 	if _, err := wr.bw.WriteString(magic); err != nil {
 		wr.setErr(err)
-	} else if err := wr.bw.WriteByte(version); err != nil {
+	} else if err := wr.bw.WriteByte(wr.version); err != nil {
 		wr.setErr(err)
 	}
+	wr.off = int64(len(magic)) + 1
 	// Clock properties: the runtime clock ticks in nanoseconds from an
 	// arbitrary epoch.
 	wr.defs = append(wr.defs, defClock)
 	wr.defs = binary.AppendUvarint(wr.defs, 1e9)
 	wr.defs = binary.AppendVarint(wr.defs, 0)
 	return wr
+}
+
+// NewWriterSize is NewWriter with an explicit chunk buffer threshold —
+// shorthand for NewWriter(w, WithChunkBytes(chunkBytes)).
+func NewWriterSize(w io.Writer, chunkBytes int) *Writer {
+	return NewWriter(w, WithChunkBytes(chunkBytes))
 }
 
 // Err returns the first latched error, or nil.
@@ -251,12 +326,22 @@ func (w *Writer) internRegionSlow(r *region.Region) uint64 {
 	return id + 1
 }
 
+// resetChunkMeta opens a fresh chunk's index metadata: the next delta
+// is relative to lastTime, and the time bounds start at their
+// sentinels (minT > maxT means "no events yet").
+func (tb *threadBuf) resetChunkMeta() {
+	tb.chunkBase = tb.lastTime
+	tb.minT = int64(^uint64(0) >> 1) // math.MaxInt64
+	tb.maxT = -tb.minT - 1           // math.MinInt64
+}
+
 // threadBuf returns (registering on first use) thread id's chunk buffer.
 func (w *Writer) threadBuf(id int) *threadBuf {
 	if v, ok := w.threads.Load(id); ok {
 		return v.(*threadBuf)
 	}
 	tb := &threadBuf{buf: newChunkBuf(w.chunkBytes)}
+	tb.resetChunkMeta()
 	if v, loaded := w.threads.LoadOrStore(id, tb); loaded {
 		putChunkBuf(tb.buf)
 		return v.(*threadBuf)
@@ -291,8 +376,10 @@ func (w *Writer) writeChunkLocked(kind byte, head, body []byte) {
 	if len(body) > 0 {
 		if _, err := w.bw.Write(body); err != nil {
 			w.setErr(err)
+			return
 		}
 	}
+	w.off += int64(1+n) + int64(len(head)) + int64(len(body))
 }
 
 // flushDefsLocked takes ownership of the pending definition records and
@@ -311,10 +398,20 @@ func (w *Writer) flushDefsLocked() {
 	w.defsBig.Store(false)
 	w.internMu.Unlock()
 	for _, p := range sealed {
+		w.recordDefLocked()
 		w.writeChunkLocked(chunkDefs, p, nil)
 	}
 	if len(defs) > 0 {
+		w.recordDefLocked()
 		w.writeChunkLocked(chunkDefs, defs, nil)
+	}
+}
+
+// recordDefLocked records the offset of the 'D' chunk about to be
+// written for the footer index. Caller holds iomu.
+func (w *Writer) recordDefLocked() {
+	if w.version == version2 && w.Err() == nil {
+		w.defOffs = append(w.defOffs, w.off)
 	}
 }
 
@@ -325,27 +422,92 @@ func (w *Writer) flushDefs() {
 	w.iomu.Unlock()
 }
 
+// flatePool recycles flate.Writer instances across seals: constructing
+// one allocates the full DEFLATE state (~hundreds of KiB), Reset reuses
+// it.
+var flatePool sync.Pool
+
+// appendWriter adapts an append-grown byte slice to io.Writer for the
+// flate encoder.
+type appendWriter struct{ b []byte }
+
+func (a *appendWriter) Write(p []byte) (int, error) {
+	a.b = append(a.b, p...)
+	return len(p), nil
+}
+
+// compressChunk DEFLATEs a sealed event payload (head ++ body) into a
+// complete 'C' chunk payload (method byte, uvarint rawLen, DEFLATE
+// stream), returned in a pooled buffer. ok is false — and no buffer is
+// returned — when compression failed to shrink the payload, in which
+// case the caller writes the raw 'E' chunk instead.
+func compressChunk(head, body []byte) (c []byte, ok bool) {
+	rawLen := len(head) + len(body)
+	aw := &appendWriter{b: newChunkBuf(rawLen)}
+	aw.b = append(aw.b, compMethodFlate)
+	aw.b = binary.AppendUvarint(aw.b, uint64(rawLen))
+	var fw *flate.Writer
+	if v := flatePool.Get(); v != nil {
+		fw = v.(*flate.Writer)
+		fw.Reset(aw)
+	} else {
+		fw, _ = flate.NewWriter(aw, flate.BestSpeed)
+	}
+	_, werr := fw.Write(head)
+	if werr == nil {
+		_, werr = fw.Write(body)
+	}
+	cerr := fw.Close()
+	flatePool.Put(fw)
+	if werr != nil || cerr != nil || len(aw.b) >= rawLen {
+		putChunkBuf(aw.b)
+		return nil, false
+	}
+	return aw.b, true
+}
+
 // seal frames tb's buffered events and appends them to the archive,
-// handing tb a fresh pooled buffer. Caller holds tb.mu; iomu is held
-// only for the final append of the already-framed bytes.
+// handing tb a fresh pooled buffer. Caller holds tb.mu; compression (if
+// configured) runs here, outside every shared lock; iomu is held only
+// for the final append of the already-framed bytes.
 func (w *Writer) seal(tid int, tb *threadBuf) {
 	if tb.count == 0 {
 		return
 	}
 	payload := tb.buf
 	count := tb.count
+	base, minT, maxT := tb.chunkBase, tb.minT, tb.maxT
 	tb.buf = newChunkBuf(w.chunkBytes)
 	tb.count = 0
+	tb.resetChunkMeta()
 
 	var head [2 * binary.MaxVarintLen64]byte
 	n := binary.PutVarint(head[:], int64(tid))
 	n += binary.PutUvarint(head[n:], count)
 
+	kind := byte(chunkEvents)
+	outHead, outBody := head[:n], payload
+	var cbuf []byte
+	if w.comp == CompressionFlate && w.Err() == nil {
+		if c, ok := compressChunk(head[:n], payload); ok {
+			kind, outHead, outBody, cbuf = chunkCompressed, nil, c, c
+		}
+	}
+
 	w.iomu.Lock()
 	w.flushDefsLocked()
-	w.writeChunkLocked(chunkEvents, head[:n], payload)
+	if w.version == version2 && w.Err() == nil {
+		w.chunkMeta[tid] = append(w.chunkMeta[tid], ChunkRef{
+			Offset: w.off, Events: count,
+			BaseTime: base, MinTime: minT, MaxTime: maxT,
+		})
+	}
+	w.writeChunkLocked(kind, outHead, outBody)
 	w.iomu.Unlock()
 	putChunkBuf(payload)
+	if cbuf != nil {
+		putChunkBuf(cbuf)
+	}
 }
 
 // WriteEvents appends a batch of events of one thread, flushing full
@@ -378,6 +540,15 @@ func (w *Writer) WriteEvents(thread int, events []trace.Event) error {
 		tb.buf = binary.AppendUvarint(tb.buf, ref)
 		tb.buf = binary.AppendUvarint(tb.buf, ev.TaskID)
 		tb.lastTime = ev.Time
+		// Chunk time bounds for the footer index: two predictable
+		// compares per event, no branches taken on a monotone clock
+		// beyond the max update.
+		if ev.Time < tb.minT {
+			tb.minT = ev.Time
+		}
+		if ev.Time > tb.maxT {
+			tb.maxT = ev.Time
+		}
 		tb.count++
 		if len(tb.buf) >= w.chunkBytes {
 			w.seal(thread, tb)
@@ -422,14 +593,76 @@ func (w *Writer) Flush() error {
 	return w.Err()
 }
 
-// Close flushes the archive. It does not close the underlying
-// io.Writer (the Writer did not open it).
-func (w *Writer) Close() error { return w.Flush() }
+// Close flushes the archive and, for format version 2, appends the
+// footer index chunk and the fixed-size trailer (exactly once; Close is
+// idempotent). The archive must not be written to afterwards — later
+// chunks would displace the trailer from the end of the file and
+// readers would fall back to the sequential, index-less walk. Close
+// does not close the underlying io.Writer (the Writer did not open it).
+func (w *Writer) Close() error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	w.iomu.Lock()
+	defer w.iomu.Unlock()
+	if w.closed || w.version != version2 {
+		w.closed = true
+		return w.Err()
+	}
+	w.closed = true
+	p := w.appendIndexLocked(make([]byte, 0, 64+24*len(w.defOffs)))
+	if len(p) > maxChunkLen {
+		// An index the Reader would reject (an archive of tens of
+		// millions of chunks) is worse than none: leave the archive
+		// sequential-only rather than unreadable.
+		return w.Err()
+	}
+	idxOff := w.off
+	w.writeChunkLocked(chunkIndex, p, nil)
+	var tp [trailerPayloadLen]byte
+	binary.LittleEndian.PutUint64(tp[:8], uint64(idxOff))
+	copy(tp[8:], trailerMagic)
+	w.writeChunkLocked(chunkTrailer, tp[:], nil)
+	if w.Err() == nil {
+		w.setErr(w.bw.Flush())
+	}
+	return w.Err()
+}
+
+// appendIndexLocked encodes the footer-index payload: the 'D' chunk
+// offsets, then per thread (ascending ID) the per-chunk offset, event
+// count and time bounds in archive order. Caller holds iomu.
+func (w *Writer) appendIndexLocked(p []byte) []byte {
+	p = binary.AppendUvarint(p, uint64(len(w.defOffs)))
+	for _, off := range w.defOffs {
+		p = binary.AppendUvarint(p, uint64(off))
+	}
+	tids := make([]int, 0, len(w.chunkMeta))
+	for tid := range w.chunkMeta {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	p = binary.AppendUvarint(p, uint64(len(tids)))
+	for _, tid := range tids {
+		refs := w.chunkMeta[tid]
+		p = binary.AppendVarint(p, int64(tid))
+		p = binary.AppendUvarint(p, uint64(len(refs)))
+		for _, cr := range refs {
+			p = binary.AppendUvarint(p, uint64(cr.Offset))
+			p = binary.AppendUvarint(p, cr.Events)
+			p = binary.AppendVarint(p, cr.BaseTime)
+			p = binary.AppendVarint(p, cr.MinTime)
+			p = binary.AppendVarint(p, cr.MaxTime)
+		}
+	}
+	return p
+}
 
 // Write serializes a whole in-memory trace as an archive on w, ordered
-// by thread then time like WriteJSONL.
-func Write(w io.Writer, tr *trace.Trace) error {
-	aw := NewWriter(w)
+// by thread then time like WriteJSONL. Options configure the format
+// (version, chunk size, compression) as in NewWriter.
+func Write(w io.Writer, tr *trace.Trace, opts ...WriterOption) error {
+	aw := NewWriter(w, opts...)
 	ids := make([]int, 0, len(tr.Threads))
 	for id := range tr.Threads {
 		ids = append(ids, id)

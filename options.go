@@ -25,6 +25,7 @@ type sessionConfig struct {
 	extra           []Listener
 	expDir          string
 	analysisWorkers int
+	traceComp       TraceCompression
 }
 
 func defaultConfig() sessionConfig {
@@ -131,6 +132,17 @@ func WithAnalysisParallelism(workers int) Option {
 	return func(c *sessionConfig) { c.analysisWorkers = workers }
 }
 
+// WithTraceCompression selects the compression of archived trace
+// event chunks (default TraceCompressionNone). It applies wherever the
+// session itself writes an archive — today the trace.otf2 of an
+// experiment directory; a WithStreamingTrace sink is constructed by
+// the caller, who passes TraceArchiveCompression to
+// NewTraceArchiveWriter directly. Chunks stay independently decodable,
+// so seeking, time-window queries and parallel decode are unaffected.
+func WithTraceCompression(c TraceCompression) Option {
+	return func(cfg *sessionConfig) { cfg.traceComp = c }
+}
+
 // WithExperimentDirectory sets the on-disk experiment archive
 // directory: Session.End automatically calls Results.SaveExperiment on
 // it, the analog of Score-P's scorep-<name>/ output directory
@@ -146,6 +158,7 @@ const (
 	EnvFiltering           = "SCOREP_FILTERING"            // comma-separated region filter patterns
 	EnvExperimentDirectory = "SCOREP_EXPERIMENT_DIRECTORY" // experiment archive directory, saved at End
 	EnvTaskScheduler       = "SCOREP_TASK_SCHEDULER"       // "central-queue" or "work-stealing"
+	EnvTraceCompression    = "SCOREP_TRACE_COMPRESSION"    // "none" or "flate": archived trace compression
 )
 
 // NewSessionFromEnv creates a session configured from Score-P-style
@@ -210,6 +223,13 @@ func optionsFromEnv() ([]Option, error) {
 			return nil, fmt.Errorf("%s: %w", EnvTaskScheduler, err)
 		}
 		opts = append(opts, WithScheduler(kind))
+	}
+	if v, ok := os.LookupEnv(EnvTraceCompression); ok {
+		comp, err := ParseTraceCompression(v)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", EnvTraceCompression, err)
+		}
+		opts = append(opts, WithTraceCompression(comp))
 	}
 	return opts, nil
 }

@@ -210,8 +210,46 @@ type TraceEventSink = trace.EventSink
 // OTF2-style format; see internal/otf2 for the layout specification).
 type TraceArchiveWriter = otf2.Writer
 
+// TraceArchiveOption configures a TraceArchiveWriter (compression,
+// format version, chunk size).
+type TraceArchiveOption = otf2.WriterOption
+
+// TraceCompression selects the archive's per-chunk event compression.
+type TraceCompression = otf2.Compression
+
+// Trace archive compression methods.
+const (
+	// TraceCompressionNone stores event chunks verbatim (the default).
+	TraceCompressionNone = otf2.CompressionNone
+	// TraceCompressionFlate DEFLATE-compresses each sealed event chunk;
+	// chunks stay independently decodable, so seeking and parallel
+	// decode are unaffected.
+	TraceCompressionFlate = otf2.CompressionFlate
+)
+
+// ParseTraceCompression maps a compression name ("none", "flate") to
+// its method, accepting "" as none.
+func ParseTraceCompression(s string) (TraceCompression, error) {
+	return otf2.ParseCompression(s)
+}
+
+// TraceArchiveCompression returns an option selecting the archive's
+// event-chunk compression (requires the current format version).
+func TraceArchiveCompression(c TraceCompression) TraceArchiveOption {
+	return otf2.WithCompression(c)
+}
+
+// TraceArchiveFormatVersion returns an option pinning the archive
+// format version: 2 (the default) writes the seekable indexed format,
+// 1 writes archives byte-compatible with pre-index readers.
+func TraceArchiveFormatVersion(v int) TraceArchiveOption {
+	return otf2.WithVersion(v)
+}
+
 // NewTraceArchiveWriter starts a binary trace archive on w.
-func NewTraceArchiveWriter(w io.Writer) *TraceArchiveWriter { return otf2.NewWriter(w) }
+func NewTraceArchiveWriter(w io.Writer, opts ...TraceArchiveOption) *TraceArchiveWriter {
+	return otf2.NewWriter(w, opts...)
+}
 
 // NewStreamingTraceRecorder creates a bounded-memory event-trace
 // recorder on the system clock: full per-thread chunks are flushed to
@@ -223,8 +261,11 @@ func NewStreamingTraceRecorder(sink TraceEventSink, chunkEvents int) *TraceRecor
 }
 
 // WriteTraceArchive serializes a trace in the binary archive format —
-// typically 15-20x smaller than WriteTraceJSONL.
-func WriteTraceArchive(w io.Writer, tr *Trace) error { return otf2.Write(w, tr) }
+// typically 15-20x smaller than WriteTraceJSONL (more with
+// TraceArchiveCompression).
+func WriteTraceArchive(w io.Writer, tr *Trace, opts ...TraceArchiveOption) error {
+	return otf2.Write(w, tr, opts...)
+}
 
 // ReadTraceArchive deserializes a binary trace archive.
 func ReadTraceArchive(r io.Reader) (*Trace, error) {
@@ -251,6 +292,49 @@ func AnalyzeTraceArchive(r io.Reader) (*TraceAnalysis, error) { return otf2.Anal
 // is reflect.DeepEqual-identical at every setting.
 func AnalyzeTraceArchiveParallel(r io.Reader, workers int) (*TraceAnalysis, error) {
 	return otf2.AnalyzeParallel(r, workers)
+}
+
+// TraceQuery selects a slice of a trace: a time window (inclusive, when
+// Windowed is set) and/or a thread subset (nil Threads means all). The
+// zero TraceQuery matches everything. Every query-taking API — the
+// archive readers here, Experiment, the CLI -window/-threads flags — is
+// defined against the same reference: filter the fully decoded trace
+// with TraceQuery.Filter, then proceed as usual.
+type TraceQuery = trace.Query
+
+// TraceQueryStats reports how a query executed: whether the archive's
+// footer index drove chunk selection, and how many of the archive's
+// event chunks were actually read.
+type TraceQueryStats = otf2.QueryStats
+
+// ParseTraceWindow parses a "t0:t1" time-window flag value (either
+// bound may be empty for an open end) into inclusive bounds.
+func ParseTraceWindow(s string) (minTime, maxTime int64, err error) {
+	return trace.ParseWindow(s)
+}
+
+// ParseTraceThreads parses a comma-separated thread-ID list flag value
+// into a sorted, deduplicated thread set.
+func ParseTraceThreads(s string) ([]int, error) { return trace.ParseThreadList(s) }
+
+// AnalyzeTraceArchiveQuery analyzes the sub-trace of an archive
+// matching q. When r seeks and the archive carries a footer index
+// (format v2), only the chunks whose thread and time bounds can match
+// are read and decoded — O(matching chunks), not O(archive); v1 and
+// truncated archives fall back to the sequential scan with event-level
+// filtering, preserving the salvage contract. The analysis is
+// reflect.DeepEqual-identical to AnalyzeTrace of q.Filter of the full
+// recording at every worker count.
+func AnalyzeTraceArchiveQuery(r io.Reader, q TraceQuery, workers int) (*TraceAnalysis, TraceQueryStats, error) {
+	return otf2.AnalyzeQuery(r, q, workers)
+}
+
+// ReadTraceArchiveQuery loads the sub-trace of an archive matching q,
+// with the same index-driven access and fallback as
+// AnalyzeTraceArchiveQuery. The loaded trace equals q.Filter of the
+// full decode: threads without matching events are absent.
+func ReadTraceArchiveQuery(r io.Reader, q TraceQuery, workers int) (*Trace, TraceQueryStats, error) {
+	return otf2.ReadAllQuery(r, region.NewRegistry(), q, workers)
 }
 
 // ReportDiff is a structural diff of two reports of the same program —
