@@ -26,9 +26,12 @@
 //	scorep-analyze -trace trace.otf2 -window 1000:2000 -tids 0,1 [-json]
 //
 // an experiment archive (profile findings plus trace metrics; a trace
-// truncated by a crashed run is salvaged to its intact prefix):
+// truncated by a crashed run is salvaged to its intact prefix; a fleet
+// experiment sealed by scorep-daemon reports each process's shard and
+// the fleet-wide aggregate):
 //
 //	scorep-analyze -exp scorep-run [-window :5000]
+//	scorep-analyze -exp scorep-fleet
 //
 // or runs a BOTS code live through a profiling+tracing session and
 // reports both the profile findings and the trace-derived management
@@ -236,7 +239,34 @@ func analyzeExperiment(dir string, parallel int, query scorep.TraceQuery) {
 		}
 		a.Format(os.Stdout)
 	}
-	if !m.HasProfile && !m.HasTrace {
+	shards := exp.TraceShards()
+	if len(shards) > 0 {
+		// A fleet experiment (scorep-daemon): per-process shard metrics,
+		// then the fleet-wide aggregate merged across all of them.
+		for i, sh := range shards {
+			status := "complete"
+			if !sh.Complete {
+				status = "truncated"
+			}
+			fmt.Printf("-- shard %s (%s, %s) --\n", sh.Stream, sh.File, status)
+			a, err := exp.ShardTraceAnalysis(i)
+			if err != nil {
+				fail(err)
+			}
+			a.Format(os.Stdout)
+			fmt.Println()
+		}
+		fleet, err := exp.FleetTraceAnalysis()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("== fleet aggregate (%d shards) ==\n", len(shards))
+		fleet.Format(os.Stdout)
+		for _, w := range exp.Warnings() {
+			warn(w)
+		}
+	}
+	if !m.HasProfile && !m.HasTrace && len(shards) == 0 {
 		fmt.Println("experiment holds neither profile nor trace; nothing to analyze")
 	}
 }

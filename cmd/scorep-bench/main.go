@@ -41,10 +41,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"path/filepath"
 	"regexp"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -57,6 +60,7 @@ import (
 	"repro/internal/otf2"
 	"repro/internal/pomp"
 	"repro/internal/region"
+	"repro/internal/sink"
 	"repro/internal/trace"
 )
 
@@ -507,6 +511,119 @@ func benchArchiveAnalyze(workers, gomaxprocs, tasksPerThread int) func(*testing.
 	}
 }
 
+// benchNetWrite measures end-to-end event shipping throughput: one op
+// is one event encoded through the archive writer into either a local
+// file sink or a scorep-daemon socket sink (unix domain, in-process
+// server), across `streams` concurrent producers — each stream its own
+// archive, as in the fleet measurement mode. Client Close (drain + seal
+// ack) is inside the timed region, so the socket numbers include the
+// full cost of getting the bytes acknowledged on the other side.
+func benchNetWrite(streams int, socket bool, tasksPerThread int) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		in := archiveFor(streams, tasksPerThread)
+		dir, err := os.MkdirTemp("", "scorep-bench-net")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+
+		var srv *sink.Server
+		var addr string
+		if socket {
+			if srv, err = sink.NewServer(dir); err != nil {
+				b.Fatal(err)
+			}
+			sock := filepath.Join(dir, "d.sock")
+			ln, err := net.Listen("unix", sock)
+			if err != nil {
+				b.Fatal(err)
+			}
+			go srv.Serve(ln)
+			addr = "unix://" + sock
+		}
+
+		per := (b.N + streams - 1) / streams
+		var wg sync.WaitGroup
+		b.ResetTimer()
+		for s := 0; s < streams; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				evs := in.tr.Threads[s]
+				var write func([]trace.Event) error
+				var finish func() error
+				if socket {
+					cl, err := sink.Dial(addr, sink.WithStreamID(fmt.Sprintf("s%d", s)))
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					write = func(e []trace.Event) error { return cl.WriteEvents(0, e) }
+					finish = cl.Close
+				} else {
+					f, err := os.Create(filepath.Join(dir, fmt.Sprintf("local-%d.otf2", s)))
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					w := otf2.NewWriter(f)
+					write = func(e []trace.Event) error { return w.WriteEvents(0, e) }
+					finish = func() error {
+						if err := w.Close(); err != nil {
+							return err
+						}
+						return f.Close()
+					}
+				}
+				const batch = 512
+				for done := 0; done < per; {
+					lo := done % len(evs)
+					hi := lo + batch
+					if hi > len(evs) {
+						hi = len(evs)
+					}
+					if hi-lo > per-done {
+						hi = lo + per - done
+					}
+					if err := write(evs[lo:hi]); err != nil {
+						b.Error(err)
+						return
+					}
+					done += hi - lo
+				}
+				if err := finish(); err != nil {
+					b.Error(err)
+				}
+			}(s)
+		}
+		wg.Wait()
+		b.StopTimer()
+		if socket {
+			if err := srv.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		written := int64(per) * int64(streams)
+		var archiveBytes int64
+		if entries, err := os.ReadDir(dir); err == nil {
+			for _, e := range entries {
+				if strings.HasSuffix(e.Name(), ".otf2") {
+					if fi, err := e.Info(); err == nil {
+						archiveBytes += fi.Size()
+					}
+				}
+			}
+		}
+		if written > 0 {
+			b.ReportMetric(float64(archiveBytes)/float64(written), "bytes/event")
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(written)/s, "events/sec")
+			}
+		}
+	}
+}
+
 // traceTimeBounds returns the earliest and latest event timestamps.
 func traceTimeBounds(tr *trace.Trace) (lo, hi int64) {
 	first := true
@@ -699,6 +816,22 @@ func buildSpecs(quick bool) []spec {
 	add("stream/analyze/windowed/workers=1/cpu=1/"+st, false, true, benchArchiveAnalyzeWindowed(1, 1, streamTasks, "v2"))
 	add("stream/analyze/windowed/workers=4/cpu=4/"+st, false, true, benchArchiveAnalyzeWindowed(4, 4, streamTasks, "v2"))
 	add("stream/analyze/windowed/flate/workers=4/cpu=4/"+st, false, true, benchArchiveAnalyzeWindowed(4, 4, streamTasks, "flate"))
+
+	// Network sink throughput: the same encoded event stream, shipped
+	// either straight to a local file or framed over a unix socket into
+	// the daemon's sharded ingest (one archive per stream). The file
+	// variant is the same-run local baseline for the socket overhead;
+	// streams=4 shows the sharded ingest scaling without a cross-stream
+	// lock.
+	netTasks := 16384
+	if quick {
+		netTasks = 2048
+	}
+	nt := fmt.Sprintf("tasks=%d", netTasks)
+	add("net/write/file/streams=1/"+nt, false, true, benchNetWrite(1, false, netTasks))
+	add("net/write/socket/streams=1/"+nt, false, true, benchNetWrite(1, true, netTasks))
+	add("net/write/file/streams=4/"+nt, false, true, benchNetWrite(4, false, netTasks))
+	add("net/write/socket/streams=4/"+nt, false, true, benchNetWrite(4, true, netTasks))
 
 	// Figure experiments on the BOTS codes.
 	size := bots.SizeSmall

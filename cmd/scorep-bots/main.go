@@ -5,11 +5,16 @@
 // (profile.json + trace.otf2 + meta.json) for offline analysis by
 // scorep-report, scorep-analyze and scorep-timeline.
 //
+// With -sink (or SCOREP_TRACE_SINK) the event trace is instead streamed
+// to a running scorep-daemon, which collects one shard per process into
+// its fleet experiment — the multi-process measurement mode.
+//
 // Usage:
 //
 //	scorep-bots -code nqueens -size small -threads 4 [-cutoff]
 //	            [-uninstrumented] [-json report.json] [-csv report.csv]
 //	            [-exp dir] [-per-thread] [-min-sum 1ms]
+//	            [-sink unix:///tmp/scorep.sock] [-sink-id name]
 package main
 
 import (
@@ -32,6 +37,8 @@ func main() {
 		perThread = flag.Bool("per-thread", false, "render per-thread breakdown")
 		minSum    = flag.Duration("min-sum", 0, "hide nodes below this inclusive time")
 		depthProf = flag.Bool("depth-param", false, "nqueens only: enable per-depth parameter instrumentation (Table IV)")
+		sinkAddr  = flag.String("sink", "", "stream the trace to a scorep-daemon at this address (unix:///path.sock, tcp://host:port)")
+		sinkID    = flag.String("sink-id", "", "stream/shard name in the daemon's fleet experiment (default: pid-derived)")
 	)
 	flag.Parse()
 
@@ -68,7 +75,22 @@ func main() {
 		// -exp run records both.
 		opts = append(opts, scorep.WithTracing(), scorep.WithExperimentDirectory(*expDir))
 	}
-	s := scorep.NewSession(opts...)
+	if *sinkAddr != "" {
+		opts = append(opts, scorep.WithRemoteTrace(*sinkAddr))
+	}
+	if *sinkID != "" {
+		opts = append(opts, scorep.WithRemoteTraceStream(*sinkID))
+	}
+	// The environment layers over the flags (SCOREP_TRACE_SINK wins over
+	// -sink), exactly like Score-P's runtime configuration.
+	s, err := scorep.NewSessionFromEnv(opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	if cl := s.RemoteTraceSink(); cl != nil {
+		fmt.Printf("streaming trace as %q\n", cl.StreamID())
+	}
 
 	start := time.Now()
 	result := kernel(s.Runtime(), rf.Threads)

@@ -1,0 +1,129 @@
+// Command scorep-daemon is the multi-process measurement service: it
+// accepts trace streams from many instrumented processes at once (the
+// WithRemoteTrace / SCOREP_TRACE_SINK client side), writes one archive
+// shard per stream into the experiment directory, and on shutdown seals
+// the merged fleet experiment (trace-<id>.otf2 shards + meta.json) for
+// scorep-report/scorep-analyze.
+//
+// Ingest is sharded: each stream has its own goroutine and file, so a
+// slow or crashing client never stalls the others; a severed connection
+// keeps the intact prefix of that shard, salvageable like any truncated
+// archive.
+//
+// Usage:
+//
+//	scorep-daemon -listen unix:///tmp/scorep.sock -exp scorep-fleet
+//	scorep-daemon -listen tcp://:7007 -exp scorep-fleet -streams 2
+//
+// The daemon serves until SIGINT/SIGTERM, or — with -streams N — until
+// N streams have ended, then seals the experiment and exits. Exit
+// status 1 reports a server-side ingest failure (shard I/O).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	scorep "repro"
+	"repro/internal/sink"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "unix:///tmp/scorep-daemon.sock", "address to accept streams on (unix:///path.sock, tcp://host:port)")
+		expDir  = flag.String("exp", "scorep-fleet", "fleet experiment directory (one trace shard per stream + meta.json)")
+		streams = flag.Int("streams", 0, "exit after this many streams ended (0: serve until SIGINT/SIGTERM)")
+		quiet   = flag.Bool("quiet", false, "suppress per-stream log lines")
+	)
+	flag.Parse()
+
+	network, address, err := sink.SplitAddr(*listen)
+	if err != nil {
+		fail(err)
+	}
+	if network == "unix" {
+		// A stale socket file from a killed daemon would fail the bind.
+		_ = os.Remove(address)
+	}
+
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "scorep-daemon: "+format+"\n", args...)
+		}
+	}
+
+	var (
+		ended    atomic.Int64
+		shutdown = make(chan struct{})
+		once     sync.Once
+	)
+	stop := func() { once.Do(func() { close(shutdown) }) }
+
+	srv, err := sink.NewServer(*expDir, sink.WithLog(logf), sink.WithStreamDone(func(sink.StreamInfo) {
+		if *streams > 0 && ended.Add(1) >= int64(*streams) {
+			stop()
+		}
+	}))
+	if err != nil {
+		fail(err)
+	}
+
+	ln, err := net.Listen(network, address)
+	if err != nil {
+		fail(err)
+	}
+	logf("listening on %s, experiment %s", *listen, *expDir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		select {
+		case <-sig:
+		case <-shutdown:
+		}
+		_ = srv.Close() // stops the accept loop and waits for in-flight streams
+	}()
+
+	start := time.Now()
+	serveErr := srv.Serve(ln)
+	_ = srv.Close() // idempotent; covers the -streams path where Serve returned first
+
+	infos := srv.Streams()
+	shards := make([]scorep.TraceShard, len(infos))
+	complete := 0
+	for i, st := range infos {
+		shards[i] = scorep.TraceShard{
+			File:          st.File,
+			Stream:        st.ID,
+			Bytes:         st.Bytes,
+			DroppedEvents: st.DroppedEvents,
+			Complete:      st.Complete,
+		}
+		if st.Complete {
+			complete++
+		}
+	}
+	if err := scorep.SaveFleetExperiment(*expDir, time.Since(start), shards); err != nil {
+		fail(err)
+	}
+	fmt.Printf("sealed experiment %s (%d shards, %d complete)\n", *expDir, len(shards), complete)
+
+	if serveErr != nil {
+		fail(serveErr)
+	}
+	if err := srv.Err(); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "scorep-daemon: %v\n", err)
+	os.Exit(1)
+}

@@ -23,6 +23,11 @@
 // index reads only the matching chunks:
 //
 //	scorep-report -exp scorep-run -window 1000:2000 -threads 0,1
+//
+// A fleet experiment sealed by scorep-daemon (per-process trace shards,
+// no profile) renders per-shard trace metrics and the fleet aggregate:
+//
+//	scorep-report -exp scorep-fleet
 package main
 
 import (
@@ -108,6 +113,24 @@ func main() {
 		return
 	}
 
+	if fi, err := os.Stat(*in); err == nil && fi.IsDir() {
+		exp, err := scorep.OpenExperiment(*in)
+		if err != nil {
+			fail(err)
+		}
+		if !exp.Meta.HasProfile && len(exp.TraceShards()) > 0 {
+			// A daemon-sealed fleet experiment holds trace shards but no
+			// profile: render the per-shard and fleet trace metrics
+			// instead of the (absent) call-path report.
+			if *asCSV || querySet {
+				fmt.Fprintln(os.Stderr, "-csv, -window and -threads do not apply to a fleet experiment (per-process trace shards, no profile)")
+				os.Exit(2)
+			}
+			renderFleet(*in, exp)
+			return
+		}
+	}
+
 	rep := load(*in)
 	if *asCSV {
 		err = scorep.WriteReportCSV(os.Stdout, rep)
@@ -122,6 +145,39 @@ func main() {
 	}
 	if querySet {
 		printTraceMetrics(*in, query)
+	}
+}
+
+// renderFleet renders a multi-process fleet experiment: one trace
+// metrics block per shard (process), then the fleet-wide aggregate
+// merged across all of them.
+func renderFleet(dir string, exp *scorep.Experiment) {
+	shards := exp.TraceShards()
+	fmt.Printf("== fleet experiment %s (%d shards) ==\n", dir, len(shards))
+	for i, sh := range shards {
+		status := "complete"
+		if !sh.Complete {
+			status = "truncated"
+		}
+		fmt.Printf("\n-- shard %s (%s, %s, %d bytes", sh.Stream, sh.File, status, sh.Bytes)
+		if sh.DroppedEvents > 0 {
+			fmt.Printf(", %d events dropped at source", sh.DroppedEvents)
+		}
+		fmt.Printf(") --\n")
+		a, err := exp.ShardTraceAnalysis(i)
+		if err != nil {
+			fail(err)
+		}
+		a.Format(os.Stdout)
+	}
+	fleet, err := exp.FleetTraceAnalysis()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\n== fleet aggregate (%d shards) ==\n", len(shards))
+	fleet.Format(os.Stdout)
+	for _, w := range exp.Warnings() {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", w)
 	}
 }
 

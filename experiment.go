@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -26,6 +28,11 @@ const (
 	experimentProfileFile = "profile.json"
 	experimentTraceFile   = "trace.otf2"
 	experimentMetaFile    = "meta.json"
+
+	// experimentShardPattern matches the per-process trace shards of a
+	// fleet experiment (one archive per location group, named by the
+	// producing stream: trace-<id>.otf2).
+	experimentShardPattern = "trace-*.otf2"
 )
 
 // profileFormatName names the profile serialization (cube JSON as
@@ -44,6 +51,31 @@ type ExperimentConfig struct {
 	// compression ("none", "flate"). Absent in experiments written
 	// before compression existed, which is equivalent to "none".
 	TraceCompression string `json:"traceCompression,omitempty"`
+	// RemoteSink is the measurement-service address the run streamed
+	// its trace to (WithRemoteTrace / SCOREP_TRACE_SINK), "" for local
+	// runs. When set, the trace lives in the daemon's fleet experiment,
+	// not in this directory.
+	RemoteSink string `json:"remoteSink,omitempty"`
+}
+
+// TraceShard describes one per-process trace archive of a multi-process
+// (fleet) experiment directory, as recorded in meta.json by the daemon
+// or discovered by globbing trace-*.otf2.
+type TraceShard struct {
+	// File is the shard's file name within the experiment directory.
+	File string `json:"file"`
+	// Stream is the producing process's stream id.
+	Stream string `json:"stream,omitempty"`
+	// Bytes is the shard size as ingested.
+	Bytes int64 `json:"bytes,omitempty"`
+	// DroppedEvents counts event batches the producer's backpressure
+	// policy discarded before encoding (holes in the recording, not
+	// archive damage).
+	DroppedEvents int64 `json:"droppedEvents,omitempty"`
+	// Complete reports a cleanly sealed shard. False marks the intact
+	// prefix of a severed stream — still readable, salvaged with a
+	// truncation warning.
+	Complete bool `json:"complete"`
 }
 
 // ExperimentMeta is the contents of an experiment's meta.json: the
@@ -75,6 +107,12 @@ type ExperimentMeta struct {
 	HasTrace      bool   `json:"hasTrace"`
 	ProfileFormat string `json:"profileFormat,omitempty"`
 	TraceFormat   string `json:"traceFormat,omitempty"`
+
+	// TraceShards lists the per-process trace archives of a fleet
+	// experiment sealed by scorep-daemon. Optional: readers that
+	// predate it ignore the field, and Experiment falls back to
+	// globbing trace-*.otf2 when it is absent.
+	TraceShards []TraceShard `json:"traceShards,omitempty"`
 }
 
 // SaveExperiment writes the run's experiment archive to dir (created if
@@ -99,6 +137,7 @@ func (r *Results) SaveExperiment(dir string) error {
 			StreamingTrace: r.cfg.streamingSink != nil,
 			FilterPatterns: r.cfg.filters,
 			Scheduler:      r.cfg.sched.String(),
+			RemoteSink:     r.cfg.remoteAddr,
 		},
 		Threads:      r.stats.Threads,
 		TasksCreated: r.stats.TasksCreated,
@@ -125,6 +164,41 @@ func (r *Results) SaveExperiment(dir string) error {
 		}
 	} else if err := removeExperimentFile(dir, experimentTraceFile); err != nil {
 		return err
+	}
+	return writeExperimentFile(dir, experimentMetaFile, func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(meta)
+	})
+}
+
+// SaveFleetExperiment writes the meta.json of a multi-process (fleet)
+// experiment directory: the shard files themselves were already written
+// by the daemon's ingest, so sealing the experiment is exactly one
+// metadata write — and, as with SaveExperiment, the metadata comes
+// last, marking the directory complete. wall is the daemon's serving
+// duration. The directory opens with OpenExperiment; the shards are
+// enumerated by Experiment.TraceShards.
+func SaveFleetExperiment(dir string, wall time.Duration, shards []TraceShard) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiment: %w", err)
+	}
+	meta := ExperimentMeta{
+		FormatVersion: ExperimentMetaVersion,
+		CreatedUnixNs: time.Now().UnixNano(),
+		WallTimeNs:    int64(wall),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		GoVersion:     runtime.Version(),
+		Config: ExperimentConfig{
+			// The shards were produced by (possibly heterogeneous)
+			// remote sessions; the daemon records only what it knows:
+			// streamed traces, no fleet-wide profile.
+			Tracing:        true,
+			StreamingTrace: true,
+		},
+		TraceFormat: fmt.Sprintf("spotf2-v%d", otf2.FormatVersion),
+		TraceShards: shards,
 	}
 	return writeExperimentFile(dir, experimentMetaFile, func(f *os.File) error {
 		enc := json.NewEncoder(f)
@@ -177,14 +251,17 @@ type Experiment struct {
 	// Trace/TraceAnalysis call; the loaded artifacts are cached.
 	AnalysisParallelism int
 
-	mu          sync.Mutex
-	report      *Report
-	trace       *Trace
-	traceLoaded bool
-	analysis    *TraceAnalysis
-	findings    []Finding
-	findingsSet bool
-	warnings    []string
+	mu            sync.Mutex
+	report        *Report
+	trace         *Trace
+	traceLoaded   bool
+	analysis      *TraceAnalysis
+	findings      []Finding
+	findingsSet   bool
+	warnings      []string
+	shards        []TraceShard
+	shardsSet     bool
+	shardAnalyses map[int]*TraceAnalysis
 }
 
 // OpenExperiment loads the experiment archive at dir, the counterpart
@@ -308,6 +385,114 @@ func (e *Experiment) TraceAnalysisQuery(q TraceQuery) (*TraceAnalysis, TraceQuer
 	}
 	e.addWarning(warn)
 	return a, st, nil
+}
+
+// TraceShards enumerates the per-process trace shards of a
+// multi-process experiment: the list sealed in meta.json by
+// scorep-daemon when present, otherwise whatever trace-*.otf2 files the
+// directory holds (a daemon killed before sealing still leaves usable
+// shards). Globbed shards report their size, their stream id derived
+// from the file name, and Complete by probing for the archive's footer
+// index — a sealed v2 archive carries one, a severed stream's prefix
+// does not. The single-process trace.otf2 is not a shard. The result
+// is cached; a single-process experiment returns an empty list.
+func (e *Experiment) TraceShards() []TraceShard {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.shardsSet {
+		return e.shards
+	}
+	e.shardsSet = true
+	if len(e.Meta.TraceShards) > 0 {
+		e.shards = make([]TraceShard, len(e.Meta.TraceShards))
+		for i, sh := range e.Meta.TraceShards {
+			// Shard files live flat in the experiment directory; a path
+			// that says otherwise is reduced to its base name rather
+			// than followed.
+			sh.File = filepath.Base(sh.File)
+			e.shards[i] = sh
+		}
+		return e.shards
+	}
+	matches, _ := filepath.Glob(filepath.Join(e.Dir, experimentShardPattern))
+	sort.Strings(matches)
+	for _, m := range matches {
+		name := filepath.Base(m)
+		sh := TraceShard{
+			File:   name,
+			Stream: strings.TrimSuffix(strings.TrimPrefix(name, "trace-"), ".otf2"),
+		}
+		if fi, err := os.Stat(m); err == nil {
+			sh.Bytes = fi.Size()
+		}
+		sh.Complete = shardHasIndex(m)
+		e.shards = append(e.shards, sh)
+	}
+	return e.shards
+}
+
+// shardHasIndex reports whether the archive at path carries a readable
+// footer index — the mark of a cleanly sealed shard.
+func shardHasIndex(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	_, err = otf2.ReadIndex(f)
+	return err == nil
+}
+
+// ShardTraceAnalysis derives the trace metrics of shard i of
+// TraceShards, analyzed out-of-core like TraceAnalysis and cached per
+// shard. A truncated shard (severed stream) is salvaged to its intact
+// prefix with a per-shard warning in Warnings, naming the shard file.
+func (e *Experiment) ShardTraceAnalysis(i int) (*TraceAnalysis, error) {
+	shards := e.TraceShards()
+	if i < 0 || i >= len(shards) {
+		return nil, fmt.Errorf("experiment: shard %d out of range (%d shards)", i, len(shards))
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if a, ok := e.shardAnalyses[i]; ok {
+		return a, nil
+	}
+	path := filepath.Join(e.Dir, shards[i].File)
+	a, warn, err := otf2.AnalyzeFile(path, e.AnalysisParallelism)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: shard %s: %w", shards[i].File, err)
+	}
+	if warn != "" {
+		e.addWarning(fmt.Sprintf("shard %s: %s", shards[i].File, warn))
+	}
+	if e.shardAnalyses == nil {
+		e.shardAnalyses = make(map[int]*TraceAnalysis)
+	}
+	e.shardAnalyses[i] = a
+	return a, nil
+}
+
+// FleetTraceAnalysis merges the analyses of every trace shard into the
+// fleet-wide aggregate: exact sums over all processes' dispatch
+// latency, task execution and creation time, with the management ratio
+// recomputed from the merged totals. The per-thread breakdown is per
+// shard (thread IDs of different processes name different locations);
+// see ShardTraceAnalysis. Returns (nil, nil) when the experiment has no
+// shards.
+func (e *Experiment) FleetTraceAnalysis() (*TraceAnalysis, error) {
+	shards := e.TraceShards()
+	if len(shards) == 0 {
+		return nil, nil
+	}
+	as := make([]*TraceAnalysis, len(shards))
+	for i := range shards {
+		a, err := e.ShardTraceAnalysis(i)
+		if err != nil {
+			return nil, err
+		}
+		as[i] = a
+	}
+	return trace.MergeAnalyses(as...), nil
 }
 
 // Findings diagnoses tasking inefficiencies in the archived profile, or

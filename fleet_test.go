@@ -1,0 +1,272 @@
+package scorep_test
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	scorep "repro"
+	"repro/internal/clock"
+)
+
+// startFleetDaemon runs an in-process trace-sink server on a unix
+// socket, exactly as cmd/scorep-daemon does.
+func startFleetDaemon(t *testing.T) (*scorep.TraceSinkServer, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	srv, err := scorep.NewTraceSinkServer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock := filepath.Join(dir, "d.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		<-done
+	})
+	return srv, dir, "unix://" + sock
+}
+
+// countingClock is a deterministic monotonic clock: every Now() ticks
+// once, so identical instruction sequences produce identical traces.
+func countingClock() scorep.Clock {
+	var n atomic.Int64
+	return clock.Func(func() int64 { return n.Add(10) })
+}
+
+// fleetWorkload runs a fixed single-threaded task workload — with a
+// deterministic clock, every run of it records the same event stream.
+func fleetWorkload(s *scorep.Session, tasks int, par, task, tw *scorep.Region) {
+	s.Parallel(1, par, func(th *scorep.Thread) {
+		for i := 0; i < tasks; i++ {
+			th.NewTask(task, func(*scorep.Thread) {})
+		}
+		th.Taskwait(tw)
+	})
+}
+
+// TestFleetEndToEnd streams two sessions into one in-process daemon,
+// seals the fleet experiment, reopens it, and checks each shard's
+// analysis is identical to a local recording of the same workload —
+// the paper's per-rank archives, aggregated across the fleet.
+func TestFleetEndToEnd(t *testing.T) {
+	par := scorep.RegisterRegion("fl.parallel", "fleet_test.go", 1, scorep.RegionParallel)
+	task := scorep.RegisterRegion("fl.task", "fleet_test.go", 2, scorep.RegionTask)
+	tw := scorep.RegisterRegion("fl.taskwait", "fleet_test.go", 3, scorep.RegionTaskwait)
+
+	// Local reference: the same workload under the same deterministic
+	// clock, traced in memory.
+	ref := scorep.NewSession(scorep.WithTracing(), scorep.WithoutProfiling(),
+		scorep.WithClock(countingClock()))
+	fleetWorkload(ref, 20, par, task, tw)
+	refRes, err := ref.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refRes.TraceAnalysis()
+	if want == nil || want.Switches == 0 {
+		t.Fatalf("reference workload recorded nothing: %+v", want)
+	}
+
+	srv, dir, addr := startFleetDaemon(t)
+	start := time.Now()
+	for _, id := range []string{"alpha", "beta"} {
+		s := scorep.NewSession(
+			scorep.WithRemoteTrace(addr),
+			scorep.WithRemoteTraceStream(id),
+			scorep.WithoutProfiling(),
+			scorep.WithClock(countingClock()))
+		if cl := s.RemoteTraceSink(); cl == nil || cl.StreamID() != id {
+			t.Fatalf("remote sink client not wired for %s", id)
+		}
+		fleetWorkload(s, 20, par, task, tw)
+		if _, err := s.End(); err != nil {
+			t.Fatalf("session %s: %v", id, err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Seal exactly as scorep-daemon does.
+	var shards []scorep.TraceShard
+	for _, st := range srv.Streams() {
+		shards = append(shards, scorep.TraceShard{
+			File: st.File, Stream: st.ID, Bytes: st.Bytes,
+			DroppedEvents: st.DroppedEvents, Complete: st.Complete,
+		})
+	}
+	if err := scorep.SaveFleetExperiment(dir, time.Since(start), shards); err != nil {
+		t.Fatal(err)
+	}
+
+	exp, err := scorep.OpenExperiment(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := exp.TraceShards()
+	if len(got) != 2 {
+		t.Fatalf("TraceShards = %+v, want 2", got)
+	}
+	for i, sh := range got {
+		if !sh.Complete {
+			t.Fatalf("shard %+v not complete", sh)
+		}
+		a, err := exp.ShardTraceAnalysis(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The deterministic clock makes the streamed shard's analysis
+		// bit-identical to the local in-memory recording's.
+		if !reflect.DeepEqual(want, a) {
+			t.Fatalf("shard %s analysis differs from local recording:\nlocal:  %+v\nremote: %+v",
+				sh.Stream, want, a)
+		}
+	}
+
+	fleet, err := exp.FleetTraceAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Switches != 2*want.Switches {
+		t.Fatalf("fleet switches = %d, want %d", fleet.Switches, 2*want.Switches)
+	}
+	if fleet.DispatchLatency.Count != 2*want.DispatchLatency.Count ||
+		fleet.DispatchLatency.Sum != 2*want.DispatchLatency.Sum {
+		t.Fatalf("fleet dispatch latency %+v, want doubled %+v", fleet.DispatchLatency, want.DispatchLatency)
+	}
+	if fleet.TaskExecution.Sum != 2*want.TaskExecution.Sum {
+		t.Fatalf("fleet task execution %+v, want doubled %+v", fleet.TaskExecution, want.TaskExecution)
+	}
+	// Two identical shards: the merged ratio equals the per-shard one.
+	if diff := fleet.ManagementRatio - want.ManagementRatio; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("fleet management ratio = %v, want %v", fleet.ManagementRatio, want.ManagementRatio)
+	}
+	if len(exp.Warnings()) != 0 {
+		t.Fatalf("clean fleet produced warnings: %v", exp.Warnings())
+	}
+}
+
+// TestFleetTruncatedShardSalvage severs one shard (simulating a client
+// crash mid-run) and checks the experiment still opens, salvages the
+// intact prefix with a per-shard warning, and leaves the other shard's
+// analysis untouched.
+func TestFleetTruncatedShardSalvage(t *testing.T) {
+	par := scorep.RegisterRegion("ft.parallel", "fleet_test.go", 10, scorep.RegionParallel)
+	task := scorep.RegisterRegion("ft.task", "fleet_test.go", 11, scorep.RegionTask)
+	tw := scorep.RegisterRegion("ft.taskwait", "fleet_test.go", 12, scorep.RegionTaskwait)
+
+	srv, dir, addr := startFleetDaemon(t)
+	s := scorep.NewSession(scorep.WithRemoteTrace(addr),
+		scorep.WithRemoteTraceStream("whole"), scorep.WithoutProfiling(),
+		scorep.WithClock(countingClock()))
+	// Enough tasks that the archive spans several 32 KiB chunks — a 3/4
+	// cut must land mid-stream with whole chunks before it.
+	fleetWorkload(s, 20_000, par, task, tw)
+	if _, err := s.End(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fabricate the severed shard: the intact prefix of a sealed one,
+	// cut mid-archive — byte-wise what a daemon keeps when a client
+	// dies (its bufio flush preserves everything received intact).
+	whole, err := os.ReadFile(filepath.Join(dir, "trace-whole.otf2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "trace-cut.otf2"), whole[:3*len(whole)/4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Seal with no shard list: TraceShards falls back to globbing and
+	// must detect completeness from the footer index itself.
+	if err := scorep.SaveFleetExperiment(dir, time.Second, nil); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := scorep.OpenExperiment(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := exp.TraceShards()
+	if len(shards) != 2 {
+		t.Fatalf("TraceShards = %+v, want 2 (globbed)", shards)
+	}
+	byStream := map[string]int{}
+	for i, sh := range shards {
+		byStream[sh.Stream] = i
+	}
+	if !shards[byStream["whole"]].Complete {
+		t.Fatalf("sealed shard probed incomplete: %+v", shards[byStream["whole"]])
+	}
+	if shards[byStream["cut"]].Complete {
+		t.Fatalf("truncated shard probed complete: %+v", shards[byStream["cut"]])
+	}
+
+	wholeA, err := exp.ShardTraceAnalysis(byStream["whole"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutA, err := exp.ShardTraceAnalysis(byStream["cut"])
+	if err != nil {
+		t.Fatalf("truncated shard not salvaged: %v", err)
+	}
+	if cutA.Switches == 0 || cutA.Switches >= wholeA.Switches {
+		t.Fatalf("salvaged prefix switches = %d, want in (0, %d)", cutA.Switches, wholeA.Switches)
+	}
+	found := false
+	for _, w := range exp.Warnings() {
+		if strings.Contains(w, "trace-cut.otf2") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no per-shard warning names the truncated shard: %v", exp.Warnings())
+	}
+
+	fleet, err := exp.FleetTraceAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Switches != wholeA.Switches+cutA.Switches {
+		t.Fatalf("fleet switches = %d, want %d", fleet.Switches, wholeA.Switches+cutA.Switches)
+	}
+}
+
+// TestRemoteTraceEnvAndErrors covers the facade-level failure modes:
+// malformed SCOREP_TRACE_SINK fails session construction eagerly, and a
+// dead daemon surfaces at End without hanging the workload.
+func TestRemoteTraceEnvAndErrors(t *testing.T) {
+	t.Setenv(scorep.EnvTraceSink, "ftp://nope")
+	if _, err := scorep.NewSessionFromEnv(); err == nil {
+		t.Fatal("malformed SCOREP_TRACE_SINK accepted")
+	}
+	t.Setenv(scorep.EnvTraceSink, "")
+
+	// Nobody listens here: the lazy connect exhausts its retries and
+	// End reports it; the workload itself must still complete.
+	par := scorep.RegisterRegion("fe.parallel", "fleet_test.go", 20, scorep.RegionParallel)
+	task := scorep.RegisterRegion("fe.task", "fleet_test.go", 21, scorep.RegionTask)
+	tw := scorep.RegisterRegion("fe.taskwait", "fleet_test.go", 22, scorep.RegionTaskwait)
+	sock := filepath.Join(t.TempDir(), "dead.sock")
+	s := scorep.NewSession(scorep.WithRemoteTrace("unix://" + sock))
+	fleetWorkload(s, 20, par, task, tw)
+	if _, err := s.End(); err == nil {
+		t.Fatal("End returned nil though the daemon never existed")
+	}
+}

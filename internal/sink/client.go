@@ -1,0 +1,449 @@
+package sink
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/otf2"
+	"repro/internal/trace"
+)
+
+// BackpressurePolicy selects what a Client does when its send buffer is
+// full because the daemon (or the network) is slower than the producer.
+type BackpressurePolicy int
+
+const (
+	// BackpressureBlock stalls the recording thread until the sender
+	// drains buffer space — no event is lost, the measured program pays
+	// the sink's latency (the default, matching a slow local disk).
+	BackpressureBlock BackpressurePolicy = iota
+	// BackpressureDrop discards whole event batches while the buffer is
+	// over its bound and counts them (Client.Dropped; the count also
+	// travels in the end-of-stream frame). The drop happens before
+	// encoding — per-thread timestamp deltas are computed at encode
+	// time, so the archive stream stays valid, it just has holes in the
+	// recording.
+	BackpressureDrop
+)
+
+// Client defaults.
+const (
+	// DefaultBufferBytes bounds the framed bytes buffered between the
+	// encoding threads and the background sender.
+	DefaultBufferBytes = 1 << 20
+	// DefaultDialAttempts and DefaultDialBackoff shape the lazy-connect
+	// retry loop: backoff doubles per attempt (50ms, 100ms, ... — about
+	// 1.5s in total), covering the "daemon still starting" race without
+	// stalling a doomed run for long.
+	DefaultDialAttempts = 5
+	DefaultDialBackoff  = 50 * time.Millisecond
+	// DefaultAckTimeout bounds how long Close waits for the daemon's
+	// seal acknowledgment.
+	DefaultAckTimeout = 10 * time.Second
+)
+
+// ClientOption configures a Client.
+type ClientOption func(*clientConfig)
+
+type clientConfig struct {
+	streamID     string
+	bufBytes     int
+	policy       BackpressurePolicy
+	dialAttempts int
+	dialBackoff  time.Duration
+	ackTimeout   time.Duration
+	writerOpts   []otf2.WriterOption
+	dial         func() (net.Conn, error)
+}
+
+// WithStreamID names the client's stream — and thereby its shard file,
+// "trace-<id>.otf2" — in the daemon's experiment. The default is
+// "p<pid>", unique per host; the daemon additionally uniquifies
+// colliding ids. The id must satisfy ValidStreamID.
+func WithStreamID(id string) ClientOption {
+	return func(c *clientConfig) { c.streamID = id }
+}
+
+// WithBufferBytes bounds the framed bytes buffered between the encoding
+// threads and the background sender (default DefaultBufferBytes).
+func WithBufferBytes(n int) ClientOption {
+	return func(c *clientConfig) {
+		if n > 0 {
+			c.bufBytes = n
+		}
+	}
+}
+
+// WithBackpressure selects the full-buffer policy (default
+// BackpressureBlock).
+func WithBackpressure(p BackpressurePolicy) ClientOption {
+	return func(c *clientConfig) { c.policy = p }
+}
+
+// WithDialRetry shapes the connect retry loop: up to attempts dials,
+// sleeping backoff (doubling) between them. attempts <= 1 means a
+// single attempt.
+func WithDialRetry(attempts int, backoff time.Duration) ClientOption {
+	return func(c *clientConfig) {
+		if attempts >= 1 {
+			c.dialAttempts = attempts
+		}
+		if backoff > 0 {
+			c.dialBackoff = backoff
+		}
+	}
+}
+
+// WithAckTimeout bounds how long Close waits for the daemon's seal
+// acknowledgment (<= 0: wait forever).
+func WithAckTimeout(d time.Duration) ClientOption {
+	return func(c *clientConfig) { c.ackTimeout = d }
+}
+
+// WithWriterOptions passes options (compression, chunk size, format
+// version) to the client's embedded archive writer — compressing the
+// event chunks before framing is the natural way to trade CPU for
+// network bandwidth on a TCP sink.
+func WithWriterOptions(opts ...otf2.WriterOption) ClientOption {
+	return func(c *clientConfig) { c.writerOpts = append(c.writerOpts, opts...) }
+}
+
+// Client streams one process's event trace to a measurement daemon. It
+// implements trace.EventSink: recording threads encode their event
+// batches concurrently through the embedded otf2.Writer (the same
+// per-thread hot path a file sink uses) into a bounded frame buffer
+// that a single background goroutine drains to the connection. The
+// connection is established lazily by that sender, with retry/backoff,
+// so constructing a Client never blocks the measured program's start.
+//
+// Every failure — dial exhaustion, a dropped connection, a daemon
+// ingest error — is latched (Err) and unblocks all waiting recording
+// threads; recording then degrades to discarding, exactly like a
+// failing local disk under the streaming recorder's contract.
+type Client struct {
+	cfg clientConfig
+	fr  *framer
+	w   *otf2.Writer
+
+	err     atomic.Pointer[error]
+	dropped atomic.Int64
+
+	done      chan struct{} // closed when the sender goroutine exits
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// interface check: the client is a drop-in streaming-recorder sink.
+var _ trace.EventSink = (*Client)(nil)
+
+// Dial creates a Client streaming to the daemon at addr (see SplitAddr
+// for accepted forms). The error reports a malformed address or stream
+// id; the connection itself is established lazily by the background
+// sender, so a daemon that is still starting is retried, not an error.
+func Dial(addr string, opts ...ClientOption) (*Client, error) {
+	network, address, err := SplitAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	cfg := defaultClientConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	cfg.dial = func() (net.Conn, error) {
+		return net.DialTimeout(network, address, 5*time.Second)
+	}
+	return newClient(cfg)
+}
+
+// NewClientConn creates a Client streaming over an existing connection
+// (tests drive a Server directly through net.Pipe this way). The Client
+// takes ownership of conn and closes it.
+func NewClientConn(conn net.Conn, opts ...ClientOption) (*Client, error) {
+	cfg := defaultClientConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	cfg.dialAttempts = 1
+	cfg.dial = func() (net.Conn, error) { return conn, nil }
+	return newClient(cfg)
+}
+
+func defaultClientConfig() clientConfig {
+	return clientConfig{
+		streamID:     fmt.Sprintf("p%d", os.Getpid()),
+		bufBytes:     DefaultBufferBytes,
+		dialAttempts: DefaultDialAttempts,
+		dialBackoff:  DefaultDialBackoff,
+		ackTimeout:   DefaultAckTimeout,
+	}
+}
+
+func newClient(cfg clientConfig) (*Client, error) {
+	if !ValidStreamID(cfg.streamID) {
+		return nil, fmt.Errorf("sink: invalid stream id %q (want 1..%d bytes of [A-Za-z0-9._-])",
+			cfg.streamID, MaxStreamIDLen)
+	}
+	c := &Client{cfg: cfg, done: make(chan struct{})}
+	c.fr = newFramer(cfg.bufBytes, cfg.policy == BackpressureBlock)
+	c.w = otf2.NewWriter(c.fr, cfg.writerOpts...)
+	go c.run()
+	return c, nil
+}
+
+// StreamID returns the stream id the client announces in its handshake.
+func (c *Client) StreamID() string { return c.cfg.streamID }
+
+// Err returns the first transport or daemon failure, or nil. Once set,
+// every subsequent WriteEvents returns it.
+func (c *Client) Err() error {
+	if p := c.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Dropped returns how many events the drop backpressure policy has
+// discarded so far.
+func (c *Client) Dropped() int64 { return c.dropped.Load() }
+
+// fail latches the first error and releases every blocked producer.
+func (c *Client) fail(err error) {
+	if err == nil {
+		return
+	}
+	c.err.CompareAndSwap(nil, &err)
+	c.fr.failLatch(err)
+}
+
+// WriteEvents implements trace.EventSink. The backpressure decision is
+// taken here, before encoding: a dropped batch never reaches the
+// archive writer, so the emitted byte stream stays a valid archive
+// (per-thread time deltas are computed at encode time). Batches of
+// different threads encode concurrently exactly as with a file sink.
+func (c *Client) WriteEvents(thread int, events []trace.Event) error {
+	if err := c.Err(); err != nil {
+		return err
+	}
+	admit, err := c.fr.admit()
+	if err != nil {
+		return err
+	}
+	if !admit {
+		c.dropped.Add(int64(len(events)))
+		return nil
+	}
+	return c.w.WriteEvents(thread, events)
+}
+
+// Close flushes the archive (sealing partial chunks and, for format v2,
+// the footer index), sends the end-of-stream frame and waits for the
+// daemon's seal acknowledgment. It returns the first error of the whole
+// stream's life — encode, transport, or daemon-side — and is
+// idempotent. Events must not be written after Close.
+func (c *Client) Close() error {
+	c.closeOnce.Do(func() {
+		werr := c.w.Close()
+		c.fr.closeStream()
+		<-c.done
+		c.closeErr = c.Err()
+		if c.closeErr == nil && werr != nil {
+			c.closeErr = werr
+		}
+	})
+	return c.closeErr
+}
+
+// run is the background sender: it connects (with retry/backoff),
+// performs the handshake, drains the frame buffer, and finishes the
+// stream with the end-of-stream frame and ack wait.
+func (c *Client) run() {
+	defer close(c.done)
+	conn, err := c.connect()
+	if err != nil {
+		c.fail(fmt.Errorf("sink: connect: %w", err))
+		return
+	}
+	defer conn.Close()
+	hs := make([]byte, 0, len(Magic)+1+binary.MaxVarintLen64+len(c.cfg.streamID))
+	hs = append(hs, Magic...)
+	hs = append(hs, ProtocolVersion)
+	hs = binary.AppendUvarint(hs, uint64(len(c.cfg.streamID)))
+	hs = append(hs, c.cfg.streamID...)
+	if _, err := conn.Write(hs); err != nil {
+		c.fail(fmt.Errorf("sink: handshake: %w", err))
+		return
+	}
+	for {
+		batch, done := c.fr.next()
+		if len(batch) > 0 {
+			if _, err := conn.Write(batch); err != nil {
+				c.fail(fmt.Errorf("sink: send: %w", err))
+				return
+			}
+		}
+		if done {
+			break
+		}
+	}
+	eos := make([]byte, 0, 1+binary.MaxVarintLen64)
+	eos = append(eos, frameEOS)
+	eos = binary.AppendUvarint(eos, uint64(c.dropped.Load()))
+	if _, err := conn.Write(eos); err != nil {
+		c.fail(fmt.Errorf("sink: end of stream: %w", err))
+		return
+	}
+	if c.cfg.ackTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(c.cfg.ackTimeout))
+	}
+	var ack [2]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil {
+		c.fail(fmt.Errorf("sink: reading seal ack: %w", err))
+		return
+	}
+	if ack[0] != ackByte || ack[1] != ackOK {
+		c.fail(fmt.Errorf("sink: daemon reported ingest failure (ack %q status %d)", ack[0], ack[1]))
+	}
+}
+
+// connect dials with retry/backoff; transient refusals (daemon not up
+// yet) are retried, the last error is returned when attempts run out.
+func (c *Client) connect() (net.Conn, error) {
+	backoff := c.cfg.dialBackoff
+	var err error
+	for i := 0; i < c.cfg.dialAttempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		var conn net.Conn
+		if conn, err = c.cfg.dial(); err == nil {
+			return conn, nil
+		}
+	}
+	return nil, err
+}
+
+// framer sits between the archive writer and the sender goroutine: it
+// cuts the writer's byte stream into length-prefixed frames in a
+// bounded buffer. Producers (recording threads, serialized by the
+// writer's io lock) append; the single sender swaps the whole buffer
+// out. A latched failure empties the buffer and wakes every waiter, so
+// no recording thread can stay blocked on a dead connection.
+type framer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	spare  []byte // recycled drained buffer, so steady state reuses two buffers
+	max    int
+	block  bool
+	closed bool
+	failed error
+}
+
+func newFramer(max int, block bool) *framer {
+	f := &framer{max: max, block: block}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// admit is the pre-encode backpressure gate. It returns (true, nil) to
+// encode, (false, nil) to drop the batch (drop policy, buffer over
+// bound), or an error once the stream has failed or been closed.
+func (f *framer) admit() (bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.block {
+		for len(f.buf) >= f.max && f.failed == nil && !f.closed {
+			f.cond.Wait()
+		}
+	}
+	switch {
+	case f.failed != nil:
+		return false, f.failed
+	case f.closed:
+		return false, fmt.Errorf("sink: write after Close")
+	case !f.block && len(f.buf) >= f.max:
+		return false, nil
+	}
+	return true, nil
+}
+
+// Write implements io.Writer for the archive writer: p is framed and
+// appended to the send buffer, split so no frame payload exceeds
+// MaxFramePayload. Under the block policy Write waits for buffer space
+// (it runs on the encoding thread, under the writer's io lock — exactly
+// where a slow file sink would block too); under the drop policy it
+// always appends, because dropping bytes mid-archive would corrupt the
+// stream — the bound is enforced on whole batches in admit instead.
+func (f *framer) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(p)
+	for len(p) > 0 {
+		if f.failed != nil {
+			// The stream is dead; swallow the bytes so the archive
+			// writer latches one error and encoding threads move on.
+			return 0, f.failed
+		}
+		if f.block {
+			for len(f.buf) >= f.max && f.failed == nil && !f.closed {
+				f.cond.Wait()
+			}
+			if f.failed != nil {
+				return 0, f.failed
+			}
+		}
+		chunk := p
+		if len(chunk) > MaxFramePayload {
+			chunk = chunk[:MaxFramePayload]
+		}
+		f.buf = append(f.buf, frameData)
+		f.buf = binary.AppendUvarint(f.buf, uint64(len(chunk)))
+		f.buf = append(f.buf, chunk...)
+		p = p[len(chunk):]
+		f.cond.Broadcast()
+	}
+	return n, nil
+}
+
+// next hands the sender everything buffered so far, waiting for data
+// when the buffer is empty. done reports that the stream was closed and
+// fully drained.
+func (f *framer) next() (batch []byte, done bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.buf) == 0 && !f.closed && f.failed == nil {
+		f.cond.Wait()
+	}
+	batch, f.buf = f.buf, f.spare[:0]
+	f.spare = batch[:0] // the sender returns before the next swap uses it
+	f.cond.Broadcast()
+	return batch, (f.closed || f.failed != nil) && len(f.buf) == 0
+}
+
+// failLatch kills the stream: the pending buffer is discarded and every
+// waiter (producers in admit/Write, the sender in next) is released.
+func (f *framer) failLatch(err error) {
+	f.mu.Lock()
+	if f.failed == nil {
+		f.failed = err
+	}
+	f.buf = nil
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// closeStream marks the end of the stream: the sender drains what is
+// buffered and finishes.
+func (f *framer) closeStream() {
+	f.mu.Lock()
+	f.closed = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}

@@ -1,0 +1,147 @@
+package sink
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/otf2"
+	"repro/internal/region"
+)
+
+// TestConcurrentStreamsIntoOneDaemon drives N client streams into one
+// in-process server at once, each client fed by several concurrent
+// producer goroutines (one per thread id, the streaming recorder's
+// contract). Run with -race (CI does). Each resulting shard must decode
+// identically to a local recording of the same per-thread batches: the
+// ingest shards by stream, and within a stream the archive writer keeps
+// per-thread event order no matter how the producers interleave.
+func TestConcurrentStreamsIntoOneDaemon(t *testing.T) {
+	const (
+		streams   = 8
+		producers = 4 // threads per stream
+		batches   = 30
+		perBatch  = 10
+	)
+	srv, addr := startServer(t)
+
+	reg := region.NewRegistry()
+	var wg sync.WaitGroup
+	errs := make(chan error, streams)
+	for sid := 0; sid < streams; sid++ {
+		wg.Add(1)
+		go func(sid int) {
+			defer wg.Done()
+			// Distinct time bases per stream so shards are distinguishable.
+			batchesByThread := synthBatches(reg, producers, batches, perBatch)
+			cl, err := Dial(addr,
+				WithStreamID(fmt.Sprintf("s%d", sid)),
+				WithWriterOptions(otf2.WithChunkBytes(512)))
+			if err != nil {
+				errs <- err
+				return
+			}
+			var pwg sync.WaitGroup
+			for th := 0; th < producers; th++ {
+				pwg.Add(1)
+				go func(th int) {
+					defer pwg.Done()
+					for _, evs := range batchesByThread[th] {
+						if err := cl.WriteEvents(th, evs); err != nil {
+							errs <- fmt.Errorf("stream s%d thread %d: %w", sid, th, err)
+							return
+						}
+					}
+				}(th)
+			}
+			pwg.Wait()
+			if err := cl.Close(); err != nil {
+				errs <- fmt.Errorf("stream s%d close: %w", sid, err)
+			}
+		}(sid)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	infos := srv.Streams()
+	if len(infos) != streams {
+		t.Fatalf("daemon saw %d streams, want %d", len(infos), streams)
+	}
+
+	// Every stream carried the same per-thread batches, so one local
+	// reference recording covers them all.
+	local := filepath.Join(t.TempDir(), "local.otf2")
+	writeLocal(t, local, synthBatches(region.NewRegistry(), producers, batches, perBatch), otf2.WithChunkBytes(512))
+	want := readTrace(t, local)
+
+	for _, st := range infos {
+		if !st.Complete || st.Err != "" || st.DroppedEvents != 0 {
+			t.Fatalf("stream %s not cleanly sealed: %+v", st.ID, st)
+		}
+		got := readTrace(t, filepath.Join(srv.Dir(), st.File))
+		tracesEqual(t, st.ID, want, got)
+	}
+}
+
+// TestConcurrentDialsWhileServing hammers the server with short-lived
+// streams from many goroutines at once — connection setup/teardown is
+// the other shared-state path (-race covers the registration table).
+func TestConcurrentDialsWhileServing(t *testing.T) {
+	srv, addr := startServer(t)
+	reg := region.NewRegistry()
+	batchesByThread := synthBatches(reg, 1, 2, 5)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Half the clients collide on the same id on purpose.
+			id := fmt.Sprintf("burst%d", i%8)
+			cl, err := Dial(addr, WithStreamID(id))
+			if err != nil {
+				errs <- err
+				return
+			}
+			for _, evs := range batchesByThread[0] {
+				if err := cl.WriteEvents(0, evs); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if err := cl.Close(); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	infos := srv.Streams()
+	if len(infos) != 16 {
+		t.Fatalf("daemon saw %d streams, want 16", len(infos))
+	}
+	files := map[string]bool{}
+	for _, st := range infos {
+		if !st.Complete {
+			t.Fatalf("stream %s not sealed: %+v", st.ID, st)
+		}
+		if files[st.File] {
+			t.Fatalf("two streams share shard file %s", st.File)
+		}
+		files[st.File] = true
+	}
+}

@@ -1,0 +1,342 @@
+package sink
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// StreamInfo describes one ingested stream — the material a fleet
+// experiment's meta.json records per shard.
+type StreamInfo struct {
+	// ID is the stream id after collision uniquification.
+	ID string
+	// File is the shard file name within the server directory.
+	File string
+	// Bytes and Frames count the archive payload received.
+	Bytes  int64
+	Frames int64
+	// DroppedEvents is the client-reported backpressure drop count from
+	// the end-of-stream frame.
+	DroppedEvents int64
+	// Complete reports a cleanly ended stream (end-of-stream frame
+	// seen, shard flushed and synced). A false value means the shard
+	// holds the intact prefix of a severed stream — salvageable through
+	// the otf2 readers' ErrTruncated contract.
+	Complete bool
+	// Err describes why an incomplete stream ended, "" otherwise.
+	Err string
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	logf   func(format string, args ...any)
+	onDone func(StreamInfo)
+}
+
+// WithLog installs a log callback for per-stream lifecycle messages.
+func WithLog(f func(format string, args ...any)) ServerOption {
+	return func(c *serverConfig) { c.logf = f }
+}
+
+// WithStreamDone installs a callback invoked after each stream ends
+// (cleanly or severed), with its final StreamInfo. Callbacks run on the
+// stream's goroutine, one per stream.
+func WithStreamDone(f func(StreamInfo)) ServerOption {
+	return func(c *serverConfig) { c.onDone = f }
+}
+
+// Server is the daemon side of the measurement service: it accepts many
+// concurrent client streams and appends each one's frame payloads to
+// its own shard file, "trace-<id>.otf2", in the server directory. The
+// ingest hot path is per-stream — one goroutine, one file, no shared
+// lock; streams touch shared state only at handshake (id registration)
+// and completion. A client crash severs its stream and keeps every
+// intact byte received, leaving the other shards untouched.
+type Server struct {
+	dir string
+	cfg serverConfig
+
+	// err latches the first server-side ingest failure (shard file
+	// I/O), the same pattern the archive writer uses. A severed client
+	// connection is an expected condition, not a server error.
+	err atomic.Pointer[error]
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	ln      net.Listener
+	used    map[string]int
+	streams []*StreamInfo
+}
+
+// NewServer creates a server ingesting into dir (created if needed).
+func NewServer(dir string, opts ...ServerOption) (*Server, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sink: %w", err)
+	}
+	s := &Server{dir: dir, used: make(map[string]int)}
+	for _, opt := range opts {
+		opt(&s.cfg)
+	}
+	return s, nil
+}
+
+// Dir returns the server's shard directory.
+func (s *Server) Dir() string { return s.dir }
+
+// Err returns the first server-side ingest failure (shard file I/O),
+// or nil.
+func (s *Server) Err() error {
+	if p := s.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (s *Server) setErr(err error) {
+	if err != nil {
+		s.err.CompareAndSwap(nil, &err)
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.logf != nil {
+		s.cfg.logf(format, args...)
+	}
+}
+
+// Serve accepts connections on ln until Close, one goroutine per
+// stream. It returns nil after Close; any other accept failure is
+// returned as-is.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			_ = s.ServeConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting, waits for in-flight streams to finish and
+// returns Err. It does not write the fleet meta.json — the daemon does
+// that, from Streams, once Close returns.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	s.wg.Wait()
+	return s.Err()
+}
+
+// Streams returns a snapshot of every stream seen so far, in arrival
+// order.
+func (s *Server) Streams() []StreamInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StreamInfo, len(s.streams))
+	for i, st := range s.streams {
+		out[i] = *st
+	}
+	return out
+}
+
+// register claims a shard for id, uniquifying collisions ("bots",
+// "bots.2", "bots.3", ...) — two processes announcing the same id must
+// not interleave into one archive.
+func (s *Server) register(id string) *StreamInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.used[id]
+	s.used[id] = n + 1
+	if n > 0 {
+		id = fmt.Sprintf("%s.%d", id, n+1)
+		// The suffixed name could itself have been claimed explicitly.
+		for s.used[id] > 0 {
+			n++
+			id = fmt.Sprintf("%s.%d", id, n+1)
+		}
+		s.used[id] = 1
+	}
+	st := &StreamInfo{ID: id, File: shardFileName(id)}
+	s.streams = append(s.streams, st)
+	return st
+}
+
+// shardFileName maps a stream id to its shard file name.
+func shardFileName(id string) string { return "trace-" + id + ".otf2" }
+
+// ServeConn ingests one client stream on conn (exported so tests and
+// embedders can drive the server over net.Pipe without a listener). It
+// closes conn, finalizes the stream's StreamInfo and invokes the
+// stream-done callback. The returned error describes a protocol or
+// I/O failure of this stream; a clean end-of-stream returns nil.
+func (s *Server) ServeConn(conn net.Conn) error {
+	defer conn.Close()
+	st, err := s.ingest(conn)
+	if st != nil {
+		s.mu.Lock()
+		if err != nil {
+			st.Err = err.Error()
+			st.Complete = false
+		}
+		info := *st
+		s.mu.Unlock()
+		if info.Complete {
+			s.logf("stream %s: sealed %s (%d bytes, %d frames, %d dropped events)",
+				info.ID, info.File, info.Bytes, info.Frames, info.DroppedEvents)
+		} else {
+			s.logf("stream %s: severed after %d bytes (%v); shard prefix kept", info.ID, info.Bytes, err)
+		}
+		if s.cfg.onDone != nil {
+			s.cfg.onDone(info)
+		}
+	} else if err != nil {
+		s.logf("connection rejected: %v", err)
+	}
+	return err
+}
+
+// ingest runs one stream's protocol. The returned StreamInfo is nil if
+// the handshake never established a stream (nothing was written). On a
+// severed stream every intact byte received is flushed to the shard, so
+// the file is exactly the archive prefix the client got out — the
+// reader's truncation salvage applies.
+func (s *Server) ingest(conn net.Conn) (*StreamInfo, error) {
+	br := bufio.NewReaderSize(conn, 64<<10)
+	id, err := readHandshake(br)
+	if err != nil {
+		return nil, err
+	}
+	st := s.register(id)
+	path := filepath.Join(s.dir, st.File)
+	f, err := os.Create(path)
+	if err != nil {
+		err = fmt.Errorf("sink: creating shard: %w", err)
+		s.setErr(err)
+		return st, err
+	}
+	bw := bufio.NewWriterSize(f, 64<<10)
+	var bytes, frames, dropped int64
+	complete := false
+	serr := func() error {
+		for {
+			kind, err := br.ReadByte()
+			if err != nil {
+				return fmt.Errorf("sink: reading frame: %w", err)
+			}
+			switch kind {
+			case frameData:
+				n, err := binary.ReadUvarint(br)
+				if err != nil {
+					return fmt.Errorf("sink: reading frame length: %w", err)
+				}
+				if n == 0 || n > MaxFramePayload {
+					return fmt.Errorf("sink: frame of %d bytes out of range (1..%d)", n, MaxFramePayload)
+				}
+				m, err := io.CopyN(bw, br, int64(n))
+				bytes += m
+				if err != nil {
+					return fmt.Errorf("sink: copying frame payload: %w", err)
+				}
+				frames++
+			case frameEOS:
+				d, err := binary.ReadUvarint(br)
+				if err != nil {
+					return fmt.Errorf("sink: reading end-of-stream: %w", err)
+				}
+				dropped = int64(d)
+				complete = true
+				return nil
+			default:
+				return fmt.Errorf("sink: unknown frame kind %q", kind)
+			}
+		}
+	}()
+	// Flush whatever arrived — on the severed path this preserves the
+	// salvageable prefix, on the clean path it completes the shard.
+	ferr := bw.Flush()
+	if ferr == nil && complete {
+		ferr = f.Sync()
+	}
+	cerr := f.Close()
+	if ferr == nil {
+		ferr = cerr
+	}
+	if ferr != nil {
+		ferr = fmt.Errorf("sink: writing shard %s: %w", st.File, ferr)
+		s.setErr(ferr)
+		if serr == nil {
+			serr = ferr
+		}
+		complete = false
+	}
+	s.mu.Lock()
+	st.Bytes = bytes
+	st.Frames = frames
+	st.DroppedEvents = dropped
+	st.Complete = complete && serr == nil
+	s.mu.Unlock()
+	if complete && serr == nil {
+		// Acknowledge the seal so the client's Close can surface
+		// daemon-side failures; a failed ack write is the client's
+		// problem to observe, the shard itself is already safe.
+		_, _ = conn.Write([]byte{ackByte, ackOK})
+	} else if serr != nil && ferr != nil {
+		_, _ = conn.Write([]byte{ackByte, ackFailed})
+	}
+	return st, serr
+}
+
+// readHandshake validates the magic, version and stream id.
+func readHandshake(br *bufio.Reader) (string, error) {
+	var hdr [len(Magic) + 1]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return "", fmt.Errorf("sink: reading handshake: %w", err)
+	}
+	if string(hdr[:len(Magic)]) != Magic {
+		return "", fmt.Errorf("sink: bad handshake magic %q", hdr[:len(Magic)])
+	}
+	if v := hdr[len(Magic)]; v != ProtocolVersion {
+		return "", fmt.Errorf("sink: protocol version %d not supported (this build speaks %d)", v, ProtocolVersion)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", fmt.Errorf("sink: reading stream id: %w", err)
+	}
+	if n == 0 || n > MaxStreamIDLen {
+		return "", fmt.Errorf("sink: stream id of %d bytes out of range (1..%d)", n, MaxStreamIDLen)
+	}
+	id := make([]byte, n)
+	if _, err := io.ReadFull(br, id); err != nil {
+		return "", fmt.Errorf("sink: reading stream id: %w", err)
+	}
+	if !ValidStreamID(string(id)) {
+		return "", fmt.Errorf("sink: invalid stream id %q", id)
+	}
+	return string(id), nil
+}

@@ -1,0 +1,128 @@
+// Package sink implements the multi-process measurement service: a
+// network transport that carries already-encoded trace archives from
+// instrumented processes to a central daemon, the way Score-P's
+// measurement system funnels one OTF2 location group per rank into a
+// shared experiment directory.
+//
+// The split of work follows the archive format's strengths. A Client is
+// a trace.EventSink: events are encoded locally through the existing
+// per-thread otf2.Writer path (concurrent, allocation-free in steady
+// state) and the resulting archive byte stream is cut into frames and
+// shipped over a unix or TCP socket by a background sender. The Server
+// is a byte relay: it never decodes events, it appends each stream's
+// frame payloads to its own shard file — so ingest of N streams shares
+// no lock beyond registration, and a severed connection leaves exactly
+// the archive prefix the sender got out, which the otf2 readers already
+// salvage under the ErrTruncated contract.
+//
+// # Wire protocol (version 1)
+//
+// All integers are unsigned LEB128 varints ("uvarint") unless noted.
+// One connection carries one stream. The client speaks first:
+//
+//	session   := handshake frame* eos
+//	handshake := "SPSINK\x00" version(1 byte, = 0x01)
+//	             uvarint(len(id)) id
+//	frame     := 'F' uvarint(n) payload[n]     1 <= n <= 4 MiB
+//	eos       := 'Z' uvarint(droppedEvents)
+//
+// The stream id names the shard ("trace-<id>.otf2"); it is 1..128
+// bytes of [A-Za-z0-9._-]. The concatenated frame payloads are exactly
+// one spotf2 archive byte stream (see package otf2). After eos the
+// server flushes and syncs the shard and answers one ack, which the
+// client's Close waits for so daemon-side write failures surface at the
+// producer:
+//
+//	ack := 'A' status(1 byte)                  0 = shard sealed
+//
+// A connection that dies before eos leaves a truncated shard; the
+// server keeps every intact byte it received (the salvageable-prefix
+// contract). Unknown frame kinds are a protocol error, not skipped —
+// unlike the archive format there is no forward-compatibility promise
+// inside one protocol version.
+package sink
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Protocol constants. Magic deliberately differs from the archive magic
+// ("SPOTF2\x00"): connecting a sink client to a file, or feeding an
+// archive to the daemon port, fails the handshake instead of producing
+// a half-plausible byte soup.
+const (
+	// Magic opens the client handshake.
+	Magic = "SPSINK\x00"
+	// ProtocolVersion is the wire protocol version byte.
+	ProtocolVersion = 1
+
+	frameData byte = 'F'
+	frameEOS  byte = 'Z'
+	ackByte   byte = 'A'
+	ackOK     byte = 0
+	ackFailed byte = 1
+
+	// MaxStreamIDLen bounds the handshake's stream id.
+	MaxStreamIDLen = 128
+	// MaxFramePayload bounds one data frame's payload. The client
+	// splits larger writes; the server rejects larger declarations
+	// before allocating or copying anything.
+	MaxFramePayload = 4 << 20
+)
+
+// ValidStreamID reports whether id is a legal wire stream id: 1..128
+// bytes of letters, digits, '.', '_' and '-'. The charset keeps the id
+// safe to embed in a shard file name on every platform (no separators,
+// no shell metacharacters) and cannot spell a path traversal.
+func ValidStreamID(id string) bool {
+	if len(id) == 0 || len(id) > MaxStreamIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// SplitAddr parses a sink address into a net.Dial/net.Listen pair.
+// Accepted forms:
+//
+//	unix:///path/to.sock  (also unix:/path/to.sock)
+//	tcp://host:port
+//	host:port             (bare: tcp)
+//	/path/to.sock         (bare absolute path: unix)
+func SplitAddr(addr string) (network, address string, err error) {
+	switch {
+	case strings.HasPrefix(addr, "unix:"):
+		p := strings.TrimPrefix(addr, "unix:")
+		p = strings.TrimPrefix(p, "//")
+		if p == "" {
+			return "", "", fmt.Errorf("sink: address %q names no socket path", addr)
+		}
+		return "unix", p, nil
+	case strings.HasPrefix(addr, "tcp:"):
+		p := strings.TrimPrefix(addr, "tcp:")
+		p = strings.TrimPrefix(p, "//")
+		if p == "" {
+			return "", "", fmt.Errorf("sink: address %q names no host:port", addr)
+		}
+		return "tcp", p, nil
+	case strings.Contains(addr, "://"):
+		return "", "", fmt.Errorf("sink: unsupported scheme in address %q (want unix:// or tcp://)", addr)
+	case strings.HasPrefix(addr, "/") || strings.HasPrefix(addr, "./"):
+		return "unix", addr, nil
+	case strings.Contains(addr, ":"):
+		return "tcp", addr, nil
+	case addr == "":
+		return "", "", fmt.Errorf("sink: empty address")
+	default:
+		return "", "", fmt.Errorf("sink: cannot tell unix path from host in address %q (use unix:// or tcp://)", addr)
+	}
+}

@@ -1,0 +1,569 @@
+package sink
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/otf2"
+	"repro/internal/region"
+	"repro/internal/trace"
+)
+
+// synthBatches builds a deterministic per-thread event workload: for
+// each thread, batches of task-begin/end pairs with strictly increasing
+// times. The same batches written to any sink decode to the same trace.
+func synthBatches(reg *region.Registry, threads, batches, perBatch int) map[int][][]trace.Event {
+	task := reg.Register("work", "sink_test.go", 1, region.Task)
+	out := make(map[int][][]trace.Event, threads)
+	for th := 0; th < threads; th++ {
+		var bs [][]trace.Event
+		t := int64(1000 * (th + 1))
+		for b := 0; b < batches; b++ {
+			var evs []trace.Event
+			for i := 0; i < perBatch; i++ {
+				id := uint64(th*1_000_000 + b*1000 + i)
+				evs = append(evs, trace.Event{Time: t, Type: trace.EvTaskBegin, Region: task, TaskID: id})
+				t += 7
+				evs = append(evs, trace.Event{Time: t, Type: trace.EvTaskEnd, Region: task, TaskID: id})
+				t += 3
+			}
+			bs = append(bs, evs)
+		}
+		out[th] = bs
+	}
+	return out
+}
+
+// writeLocal records the same batches through a plain file-backed
+// archive writer — the reference a streamed shard must match.
+func writeLocal(t *testing.T, path string, batches map[int][][]trace.Event, opts ...otf2.WriterOption) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := otf2.NewWriter(f, opts...)
+	for th := 0; th < len(batches); th++ {
+		for _, evs := range batches[th] {
+			if err := w.WriteEvents(th, evs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readTrace decodes an archive into a fresh registry.
+func readTrace(t *testing.T, path string) *trace.Trace {
+	t.Helper()
+	tr, err := otf2.ReadFile(path, region.NewRegistry(), 1)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	return tr
+}
+
+// tracesEqual compares two traces structurally (regions by descriptor,
+// not pointer — each read interns into its own registry).
+func tracesEqual(t *testing.T, label string, want, got *trace.Trace) {
+	t.Helper()
+	if len(got.Threads) != len(want.Threads) {
+		t.Fatalf("%s: thread count = %d, want %d", label, len(got.Threads), len(want.Threads))
+	}
+	for tid, wevs := range want.Threads {
+		gevs := got.Threads[tid]
+		if len(gevs) != len(wevs) {
+			t.Fatalf("%s: thread %d: %d events, want %d", label, tid, len(gevs), len(wevs))
+		}
+		for i := range wevs {
+			w, g := wevs[i], gevs[i]
+			if w.Time != g.Time || w.Type != g.Type || w.TaskID != g.TaskID {
+				t.Fatalf("%s: thread %d event %d = %+v, want %+v", label, tid, i, g, w)
+			}
+			if (w.Region == nil) != (g.Region == nil) {
+				t.Fatalf("%s: thread %d event %d region nilness differs", label, tid, i)
+			}
+			if w.Region != nil && (w.Region.Name != g.Region.Name || w.Region.Type != g.Region.Type) {
+				t.Fatalf("%s: thread %d event %d region = %+v, want %+v", label, tid, i, g.Region, w.Region)
+			}
+		}
+	}
+}
+
+// startServer listens on a unix socket in a temp dir and serves until
+// the test ends.
+func startServer(t *testing.T, opts ...ServerOption) (*Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	srv, err := NewServer(dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock := filepath.Join(dir, "d.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		<-done
+	})
+	return srv, "unix://" + sock
+}
+
+// TestRoundTripUnixSocket streams a workload over a unix socket and
+// checks the daemon's shard decodes identically to a local recording of
+// the same batches.
+func TestRoundTripUnixSocket(t *testing.T) {
+	srv, addr := startServer(t)
+	reg := region.NewRegistry()
+	batches := synthBatches(reg, 3, 4, 25)
+
+	cl, err := Dial(addr, WithStreamID("w1"), WithWriterOptions(otf2.WithChunkBytes(512)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for th := 0; th < len(batches); th++ {
+		for _, evs := range batches[th] {
+			if err := cl.WriteEvents(th, evs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	infos := srv.Streams()
+	if len(infos) != 1 {
+		t.Fatalf("streams = %d, want 1", len(infos))
+	}
+	st := infos[0]
+	if st.ID != "w1" || st.File != "trace-w1.otf2" || !st.Complete || st.DroppedEvents != 0 {
+		t.Fatalf("stream info = %+v", st)
+	}
+	if st.Bytes == 0 || st.Frames == 0 {
+		t.Fatalf("empty ingest: %+v", st)
+	}
+
+	local := filepath.Join(t.TempDir(), "local.otf2")
+	writeLocal(t, local, batches, otf2.WithChunkBytes(512))
+	tracesEqual(t, "shard", readTrace(t, local), readTrace(t, filepath.Join(srv.Dir(), st.File)))
+
+	// A cleanly sealed shard carries the footer index.
+	f, err := os.Open(filepath.Join(srv.Dir(), st.File))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := otf2.ReadIndex(f); err != nil {
+		t.Fatalf("sealed shard has no index: %v", err)
+	}
+}
+
+// TestDialRetryWhileServerStarts dials first, starts the listener after
+// a delay, and expects the lazy connect with backoff to succeed.
+func TestDialRetryWhileServerStarts(t *testing.T) {
+	dir := t.TempDir()
+	sock := filepath.Join(dir, "late.sock")
+	cl, err := Dial("unix://"+sock, WithStreamID("late"), WithDialRetry(20, 10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := region.NewRegistry()
+	batches := synthBatches(reg, 1, 1, 5)
+	if err := cl.WriteEvents(0, batches[0][0]); err != nil {
+		t.Fatal(err)
+	}
+
+	time.Sleep(50 * time.Millisecond) // let a few dial attempts fail
+	srv, err := NewServer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if infos := srv.Streams(); len(infos) != 1 || !infos[0].Complete {
+		t.Fatalf("streams = %+v", infos)
+	}
+}
+
+// TestStreamIDCollision checks two clients announcing the same id get
+// distinct shards.
+func TestStreamIDCollision(t *testing.T) {
+	srv, addr := startServer(t)
+	reg := region.NewRegistry()
+	batches := synthBatches(reg, 1, 1, 3)
+
+	for i := 0; i < 2; i++ {
+		cl, err := Dial(addr, WithStreamID("bots"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.WriteEvents(0, batches[0][0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, st := range srv.Streams() {
+		got[st.File] = st.Complete
+	}
+	if !got["trace-bots.otf2"] || !got["trace-bots.2.otf2"] {
+		t.Fatalf("shards = %v, want trace-bots.otf2 and trace-bots.2.otf2", got)
+	}
+}
+
+// TestHandshakeRejection feeds malformed handshakes and checks the
+// server rejects them without registering a stream.
+func TestHandshakeRejection(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"bad magic", []byte("NOTSINK\x00\x01")},
+		{"bad version", append([]byte(Magic), 99)},
+		{"zero id", append(append([]byte(Magic), ProtocolVersion), 0)},
+		{"oversize id", func() []byte {
+			b := append([]byte(Magic), ProtocolVersion)
+			return binary.AppendUvarint(b, MaxStreamIDLen+1)
+		}()},
+		{"bad id chars", func() []byte {
+			b := append([]byte(Magic), ProtocolVersion)
+			b = binary.AppendUvarint(b, 4)
+			return append(b, "a b/"...)
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, err := NewServer(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			c1, c2 := net.Pipe()
+			go func() {
+				c1.Write(tc.raw)
+				c1.Close()
+			}()
+			if err := srv.ServeConn(c2); err == nil {
+				t.Fatal("malformed handshake accepted")
+			}
+			if n := len(srv.Streams()); n != 0 {
+				t.Fatalf("registered %d streams from a rejected handshake", n)
+			}
+			if srv.Err() != nil {
+				t.Fatalf("client protocol garbage latched a server error: %v", srv.Err())
+			}
+		})
+	}
+}
+
+// TestInvalidClientConfig checks eager validation in Dial.
+func TestInvalidClientConfig(t *testing.T) {
+	if _, err := Dial("http://nope"); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+	if _, err := Dial("unix:///tmp/x.sock", WithStreamID("has space")); err == nil {
+		t.Fatal("invalid stream id accepted")
+	}
+	if _, err := Dial("unix:///tmp/x.sock", WithStreamID(strings.Repeat("x", MaxStreamIDLen+1))); err == nil {
+		t.Fatal("oversize stream id accepted")
+	}
+}
+
+// TestSplitAddr covers the accepted address spellings.
+func TestSplitAddr(t *testing.T) {
+	cases := []struct {
+		in, network, address string
+		wantErr              bool
+	}{
+		{"unix:///tmp/d.sock", "unix", "/tmp/d.sock", false},
+		{"unix:rel.sock", "unix", "rel.sock", false},
+		{"tcp://localhost:7007", "tcp", "localhost:7007", false},
+		{"localhost:7007", "tcp", "localhost:7007", false},
+		{"/var/run/d.sock", "unix", "/var/run/d.sock", false},
+		{"./d.sock", "unix", "./d.sock", false},
+		{"", "", "", true},
+		{"ftp://x", "", "", true},
+		{"justahost", "", "", true},
+	}
+	for _, tc := range cases {
+		network, address, err := SplitAddr(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Fatalf("SplitAddr(%q) error = %v, wantErr %v", tc.in, err, tc.wantErr)
+		}
+		if err == nil && (network != tc.network || address != tc.address) {
+			t.Fatalf("SplitAddr(%q) = %q %q, want %q %q", tc.in, network, address, tc.network, tc.address)
+		}
+	}
+}
+
+// TestDropPolicy fills the send buffer against a stalled reader and
+// checks dropped batches are counted, reported to the daemon, and leave
+// a valid (just sparser) archive.
+func TestDropPolicy(t *testing.T) {
+	srv, err := NewServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := net.Pipe()
+	// Tiny buffer + tiny chunks: encoded bytes reach the framer fast.
+	cl, err := NewClientConn(c1,
+		WithStreamID("lossy"),
+		WithBufferBytes(2048),
+		WithBackpressure(BackpressureDrop),
+		WithWriterOptions(otf2.WithChunkBytes(256)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := region.NewRegistry()
+	task := reg.Register("work", "sink_test.go", 1, region.Task)
+	var written, total int64
+	tm := int64(0)
+	// No reader on c2 yet: the sender blocks on the handshake write,
+	// the framer fills, and the drop policy starts discarding batches.
+	for i := 0; i < 10_000 && cl.Dropped() == 0; i++ {
+		evs := []trace.Event{
+			{Time: tm, Type: trace.EvTaskBegin, Region: task, TaskID: uint64(i)},
+			{Time: tm + 1, Type: trace.EvTaskEnd, Region: task, TaskID: uint64(i)},
+		}
+		tm += 2
+		if err := cl.WriteEvents(0, evs); err != nil {
+			t.Fatal(err)
+		}
+		total += 2
+	}
+	if cl.Dropped() == 0 {
+		t.Fatal("drop policy never dropped against a stalled reader")
+	}
+	written = total - cl.Dropped()
+
+	// Now drain: serve the other end and finish the stream.
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.ServeConn(c2) }()
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatal(err)
+	}
+
+	infos := srv.Streams()
+	if len(infos) != 1 || !infos[0].Complete {
+		t.Fatalf("streams = %+v", infos)
+	}
+	if infos[0].DroppedEvents != cl.Dropped() {
+		t.Fatalf("daemon saw %d dropped events, client counted %d", infos[0].DroppedEvents, cl.Dropped())
+	}
+	// The shard is a valid, complete archive — the drops are holes in
+	// the recording, not damage to the byte stream.
+	tr := readTrace(t, filepath.Join(srv.Dir(), infos[0].File))
+	if n := int64(tr.NumEvents()); n != written {
+		t.Fatalf("shard holds %d events, want %d (total %d - dropped %d)", n, written, total, cl.Dropped())
+	}
+}
+
+// TestBlockPolicyDeliversAll pushes a workload much larger than the
+// send buffer through a deliberately slow reader and checks nothing is
+// lost.
+func TestBlockPolicyDeliversAll(t *testing.T) {
+	srv, err := NewServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := net.Pipe()
+	cl, err := NewClientConn(slowConn{c1},
+		WithStreamID("patient"),
+		WithBufferBytes(1024),
+		WithWriterOptions(otf2.WithChunkBytes(128)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.ServeConn(c2) }()
+
+	reg := region.NewRegistry()
+	batches := synthBatches(reg, 2, 20, 25)
+	var total int
+	for th := 0; th < len(batches); th++ {
+		for _, evs := range batches[th] {
+			if err := cl.WriteEvents(th, evs); err != nil {
+				t.Fatal(err)
+			}
+			total += len(evs)
+		}
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatal(err)
+	}
+	if cl.Dropped() != 0 {
+		t.Fatalf("block policy dropped %d events", cl.Dropped())
+	}
+	tr := readTrace(t, filepath.Join(srv.Dir(), "trace-patient.otf2"))
+	if tr.NumEvents() != total {
+		t.Fatalf("delivered %d events, want %d", tr.NumEvents(), total)
+	}
+}
+
+// slowConn throttles writes to small slices, forcing the sender to
+// stay behind the producers.
+type slowConn struct{ net.Conn }
+
+func (c slowConn) Write(p []byte) (int, error) {
+	n := 0
+	for len(p) > 0 {
+		chunk := p
+		if len(chunk) > 128 {
+			chunk = chunk[:128]
+		}
+		m, err := c.Conn.Write(chunk)
+		n += m
+		if err != nil {
+			return n, err
+		}
+		p = p[len(chunk):]
+	}
+	return n, nil
+}
+
+// TestWriteAfterClose checks the post-Close contract.
+func TestWriteAfterClose(t *testing.T) {
+	srv, addr := startServer(t)
+	cl, err := Dial(addr, WithStreamID("done"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := region.NewRegistry()
+	batches := synthBatches(reg, 1, 1, 2)
+	if err := cl.WriteEvents(0, batches[0][0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.WriteEvents(0, batches[0][0]); err == nil {
+		t.Fatal("WriteEvents after Close succeeded")
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatalf("second Close = %v, want idempotent nil", err)
+	}
+	_ = srv
+}
+
+// TestValidStreamID pins the id charset.
+func TestValidStreamID(t *testing.T) {
+	for id, want := range map[string]bool{
+		"p123":                   true,
+		"node-7.rank_3":          true,
+		"":                       false,
+		"a b":                    false,
+		"a/b":                    false,
+		"ü":                      false,
+		strings.Repeat("x", 128): true,
+		strings.Repeat("x", 129): false,
+	} {
+		if got := ValidStreamID(id); got != want {
+			t.Errorf("ValidStreamID(%q) = %v, want %v", id, got, want)
+		}
+	}
+}
+
+// TestRawProtocolBytes speaks the wire protocol by hand — pinning the
+// byte-level spec doc.go promises (a reimplementation must be able to
+// produce exactly this).
+func TestRawProtocolBytes(t *testing.T) {
+	srv, err := NewServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a tiny valid archive out of band.
+	reg := region.NewRegistry()
+	batches := synthBatches(reg, 1, 1, 2)
+	local := filepath.Join(t.TempDir(), "payload.otf2")
+	writeLocal(t, local, batches)
+	payload, err := os.ReadFile(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c1, c2 := net.Pipe()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.ServeConn(c2) }()
+
+	bw := bufio.NewWriter(c1)
+	bw.WriteString(Magic)
+	bw.WriteByte(ProtocolVersion)
+	var tmp [binary.MaxVarintLen64]byte
+	id := "manual"
+	bw.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(id)))])
+	bw.WriteString(id)
+	// Ship the archive in two frames, split mid-stream.
+	for _, part := range [][]byte{payload[:3], payload[3:]} {
+		bw.WriteByte(frameData)
+		bw.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(part)))])
+		bw.Write(part)
+	}
+	bw.WriteByte(frameEOS)
+	bw.Write(tmp[:binary.PutUvarint(tmp[:], 0)])
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var ack [2]byte
+	if _, err := io.ReadFull(c1, ack[:]); err != nil {
+		t.Fatal(err)
+	}
+	if ack[0] != ackByte || ack[1] != ackOK {
+		t.Fatalf("ack = %v", ack)
+	}
+	c1.Close()
+	if err := <-serveDone; err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(srv.Dir(), "trace-manual.otf2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("relayed shard differs from payload (%d vs %d bytes)", len(got), len(payload))
+	}
+}

@@ -194,6 +194,31 @@ func AnalyzeParallel(tr *Trace, workers int) *Analysis {
 	return pa.Finish()
 }
 
+// MergeAnalyses combines the analyses of disjoint recordings — the
+// per-process shards of a fleet experiment. The aggregate durations
+// merge exactly (stats.Dur addition is commutative and lossless, the
+// same property that makes the parallel analyzers deterministic) and
+// the management ratio is recomputed from the merged sums. PerThread
+// is left empty: thread IDs of different processes name different
+// locations, so a fleet-wide per-thread map would collide — inspect
+// the per-shard analyses for the per-location breakdown.
+func MergeAnalyses(as ...*Analysis) *Analysis {
+	m := &Analysis{PerThread: make(map[int]*ThreadAnalysis)}
+	for _, a := range as {
+		if a == nil {
+			continue
+		}
+		m.DispatchLatency.Merge(a.DispatchLatency)
+		m.TaskExecution.Merge(a.TaskExecution)
+		m.CreationTime.Merge(a.CreationTime)
+		m.Switches += a.Switches
+	}
+	if m.TaskExecution.Sum > 0 {
+		m.ManagementRatio = float64(m.DispatchLatency.Sum) / float64(m.TaskExecution.Sum)
+	}
+	return m
+}
+
 // threadState is the per-thread scan state machine.
 type threadState struct {
 	ta *ThreadAnalysis

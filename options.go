@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
+
+	"repro/internal/sink"
 )
 
 // Option configures a Session. Options are applied in order; later
@@ -19,6 +21,8 @@ type sessionConfig struct {
 	tracing         bool
 	streamingSink   TraceEventSink
 	streamingChunk  int
+	remoteAddr      string
+	remoteStream    string
 	filters         []string
 	sched           SchedulerKind
 	clk             Clock
@@ -56,6 +60,7 @@ func WithTracing() Option {
 	return func(c *sessionConfig) {
 		c.tracing = true
 		c.streamingSink = nil
+		c.remoteAddr = ""
 	}
 }
 
@@ -66,6 +71,7 @@ func WithoutTracing() Option {
 	return func(c *sessionConfig) {
 		c.tracing = false
 		c.streamingSink = nil
+		c.remoteAddr = ""
 	}
 }
 
@@ -81,7 +87,39 @@ func WithStreamingTrace(sink TraceEventSink, chunkEvents int) Option {
 		c.tracing = true
 		c.streamingSink = sink
 		c.streamingChunk = chunkEvents
+		c.remoteAddr = ""
 	}
+}
+
+// WithRemoteTrace streams the event trace to a scorep-daemon
+// measurement service at addr ("unix:///path.sock", "tcp://host:port",
+// or a bare host:port) instead of keeping or saving it locally — the
+// multi-process measurement mode, where each process's stream becomes
+// one shard of the daemon's fleet experiment. It implies tracing, in
+// the bounded-memory streaming mode: events are encoded through the
+// per-thread archive writer and shipped by a background sender with
+// bounded buffering (blocking the producer when the daemon falls
+// behind; see DialTraceSink for the drop-with-count alternative).
+//
+// The connection is established lazily with retry/backoff, so the
+// daemon may still be starting when the session begins. A malformed
+// address, a connect failure after retries, or any transport error
+// surfaces at Session.End, which closes the stream and waits for the
+// daemon's seal acknowledgment.
+func WithRemoteTrace(addr string) Option {
+	return func(c *sessionConfig) {
+		c.tracing = true
+		c.streamingSink = nil
+		c.remoteAddr = addr
+	}
+}
+
+// WithRemoteTraceStream names this process's stream — and thereby its
+// shard file, trace-<id>.otf2, in the daemon's fleet experiment. The
+// default is pid-derived and unique per host; the daemon additionally
+// uniquifies collisions. Ignored without WithRemoteTrace.
+func WithRemoteTraceStream(id string) Option {
+	return func(c *sessionConfig) { c.remoteStream = id }
 }
 
 // WithFilter wraps the profiling measurement in a region filter —
@@ -159,6 +197,7 @@ const (
 	EnvExperimentDirectory = "SCOREP_EXPERIMENT_DIRECTORY" // experiment archive directory, saved at End
 	EnvTaskScheduler       = "SCOREP_TASK_SCHEDULER"       // "central-queue" or "work-stealing"
 	EnvTraceCompression    = "SCOREP_TRACE_COMPRESSION"    // "none" or "flate": archived trace compression
+	EnvTraceSink           = "SCOREP_TRACE_SINK"           // scorep-daemon address: stream the trace remotely
 )
 
 // NewSessionFromEnv creates a session configured from Score-P-style
@@ -230,6 +269,14 @@ func optionsFromEnv() ([]Option, error) {
 			return nil, fmt.Errorf("%s: %w", EnvTraceCompression, err)
 		}
 		opts = append(opts, WithTraceCompression(comp))
+	}
+	if v, ok := os.LookupEnv(EnvTraceSink); ok && v != "" {
+		// Validate eagerly: a typo in the address should fail the run's
+		// start, not be discovered at End after measuring for an hour.
+		if _, _, err := sink.SplitAddr(v); err != nil {
+			return nil, fmt.Errorf("%s: %w", EnvTraceSink, err)
+		}
+		opts = append(opts, WithRemoteTrace(v))
 	}
 	return opts, nil
 }

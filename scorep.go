@@ -12,6 +12,7 @@ import (
 	"repro/internal/otf2"
 	"repro/internal/pomp"
 	"repro/internal/region"
+	"repro/internal/sink"
 	"repro/internal/trace"
 )
 
@@ -249,6 +250,70 @@ func TraceArchiveFormatVersion(v int) TraceArchiveOption {
 // NewTraceArchiveWriter starts a binary trace archive on w.
 func NewTraceArchiveWriter(w io.Writer, opts ...TraceArchiveOption) *TraceArchiveWriter {
 	return otf2.NewWriter(w, opts...)
+}
+
+// TraceSinkClient streams one process's event trace to a scorep-daemon
+// measurement service (see WithRemoteTrace for the session-integrated
+// form). It is a TraceEventSink: events encode through the per-thread
+// archive-writer path into a bounded frame buffer drained by a
+// background sender.
+type TraceSinkClient = sink.Client
+
+// TraceSinkServer is the daemon side of the measurement service:
+// sharded ingest of many concurrent client streams, one archive per
+// stream (cmd/scorep-daemon wraps it; embed it for in-process fleets).
+type TraceSinkServer = sink.Server
+
+// TraceSinkClientOption configures a TraceSinkClient.
+type TraceSinkClientOption = sink.ClientOption
+
+// TraceSinkServerOption configures a TraceSinkServer.
+type TraceSinkServerOption = sink.ServerOption
+
+// TraceSinkStreamInfo describes one stream a TraceSinkServer ingested.
+type TraceSinkStreamInfo = sink.StreamInfo
+
+// TraceSinkBackpressure selects a client's full-buffer policy.
+type TraceSinkBackpressure = sink.BackpressurePolicy
+
+// Backpressure policies for a TraceSinkClient whose daemon falls
+// behind: block the producer (lossless, the default) or drop whole
+// event batches before encoding, counting them.
+const (
+	TraceSinkBlock = sink.BackpressureBlock
+	TraceSinkDrop  = sink.BackpressureDrop
+)
+
+// DialTraceSink creates a client streaming to the daemon at addr
+// ("unix:///path.sock", "tcp://host:port", or a bare host:port). The
+// connection is established lazily with retry/backoff. Close the
+// client after the recorder's Finish; Close seals the stream and
+// surfaces daemon-side failures. Sessions normally use WithRemoteTrace
+// instead; Dial is the power-user form for custom recorders or
+// non-default backpressure.
+func DialTraceSink(addr string, opts ...TraceSinkClientOption) (*TraceSinkClient, error) {
+	return sink.Dial(addr, opts...)
+}
+
+// NewTraceSinkServer creates a measurement-service server ingesting
+// shards into dir. Drive it with Serve on a listener (or ServeConn for
+// in-process streams), Close it, then seal the fleet experiment with
+// SaveFleetExperiment over its Streams.
+func NewTraceSinkServer(dir string, opts ...TraceSinkServerOption) (*TraceSinkServer, error) {
+	return sink.NewServer(dir, opts...)
+}
+
+// TraceSinkStreamID names the client's stream and thereby its shard
+// file (trace-<id>.otf2) in the daemon's fleet experiment.
+func TraceSinkStreamID(id string) TraceSinkClientOption { return sink.WithStreamID(id) }
+
+// TraceSinkBufferBytes bounds the client's framed send buffer.
+func TraceSinkBufferBytes(n int) TraceSinkClientOption { return sink.WithBufferBytes(n) }
+
+// TraceSinkBackpressurePolicy selects the client's full-buffer policy
+// (default TraceSinkBlock).
+func TraceSinkBackpressurePolicy(p TraceSinkBackpressure) TraceSinkClientOption {
+	return sink.WithBackpressure(p)
 }
 
 // NewStreamingTraceRecorder creates a bounded-memory event-trace

@@ -2,6 +2,7 @@ package scorep
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/omp"
 	"repro/internal/region"
+	"repro/internal/sink"
 	"repro/internal/trace"
 )
 
@@ -38,6 +40,12 @@ type Session struct {
 	m   *Measurement
 	rec *TraceRecorder
 
+	// net is the remote trace sink client of a WithRemoteTrace session
+	// (owned by the session: End closes it); netErr records a remote
+	// sink that could not even be constructed (malformed address).
+	net    *sink.Client
+	netErr error
+
 	started time.Time
 
 	mu      sync.Mutex
@@ -58,7 +66,28 @@ func NewSession(opts ...Option) *Session {
 		clk = clock.NewSystem()
 	}
 
-	s := &Session{cfg: cfg, started: time.Now()}
+	s := &Session{started: time.Now()}
+	if cfg.tracing && cfg.remoteAddr != "" && cfg.streamingSink == nil {
+		// Remote tracing: the streaming sink is a network client
+		// encoding through the same per-thread archive-writer path a
+		// file sink uses. Dial only rejects malformed addresses (the
+		// connection itself is lazy); NewSession cannot return an
+		// error, so that failure is latched and surfaced at End, with
+		// tracing disabled rather than silently recorded into nothing.
+		var copts []sink.ClientOption
+		if cfg.remoteStream != "" {
+			copts = append(copts, sink.WithStreamID(cfg.remoteStream))
+		}
+		cl, err := sink.Dial(cfg.remoteAddr, copts...)
+		if err != nil {
+			s.netErr = fmt.Errorf("remote trace sink %s: %w", cfg.remoteAddr, err)
+			cfg.tracing = false
+		} else {
+			s.net = cl
+			cfg.streamingSink = cl
+		}
+	}
+	s.cfg = cfg
 	var listeners []Listener
 	if cfg.profiling {
 		s.m = measure.NewWithClock(clk, region.Default)
@@ -115,6 +144,11 @@ func (s *Session) Scheduler() SchedulerKind { return s.cfg.sched }
 // or "" when no directory is configured.
 func (s *Session) ExperimentDir() string { return s.cfg.expDir }
 
+// RemoteTraceSink returns the remote sink client of a WithRemoteTrace
+// session (for inspecting Err and the backpressure drop count), or nil.
+// The session owns the client; End closes it.
+func (s *Session) RemoteTraceSink() *TraceSinkClient { return s.net }
+
 // End finalizes the measurement environment: it closes the profiling
 // locations, flushes and detaches the trace recorder, and captures the
 // runtime's scheduler statistics. The returned Results exposes every
@@ -145,6 +179,18 @@ func (s *Session) End() (*Results, error) {
 			tr = nil
 			err = s.rec.Err()
 		}
+	}
+	if s.net != nil {
+		// Close the remote stream: flush the archive tail, send the
+		// end-of-stream frame and wait for the daemon's seal ack. The
+		// recorder latches the client's WriteEvents error, so skip a
+		// Close error that merely repeats it.
+		if cerr := s.net.Close(); cerr != nil && (err == nil || err.Error() != cerr.Error()) {
+			err = errors.Join(err, fmt.Errorf("remote trace sink: %w", cerr))
+		}
+	}
+	if s.netErr != nil {
+		err = errors.Join(err, s.netErr)
 	}
 
 	s.results = &Results{
