@@ -94,6 +94,12 @@ func TestCommandLineTools(t *testing.T) {
 	if !strings.Contains(out, "management/execution ratio") {
 		t.Errorf("live analyze missing trace metrics:\n%s", out)
 	}
+	// -json works in every mode: a report input emits its findings in
+	// the same envelope the trace modes use.
+	out = runOut("scorep-analyze", "-in", repA, "-json")
+	if !strings.HasPrefix(strings.TrimSpace(out), "{") {
+		t.Errorf("scorep-analyze -in -json did not emit a JSON object:\n%s", out)
+	}
 
 	// scorep-timeline: live run with save, then re-render from file.
 	out = run("scorep-timeline", "-code", "sort", "-size", "tiny", "-threads", "2", "-save", tracePath)
@@ -163,6 +169,21 @@ func TestCommandLineTools(t *testing.T) {
 	}
 	if !strings.Contains(seqJSON, "ManagementRatio") {
 		t.Errorf("-json analysis output malformed:\n%s", seqJSON)
+	}
+	// The bottleneck analysis is deterministic too, and rides the same
+	// JSON envelope (its findings are surfaced at the top level).
+	seqBN := runOut("scorep-analyze", "-trace", archivePath, "-bottlenecks", "-json", "-parallel", "1")
+	parBN := runOut("scorep-analyze", "-trace", archivePath, "-bottlenecks", "-json", "-parallel", "4")
+	if seqBN != parBN {
+		t.Errorf("parallel bottleneck JSON differs from sequential:\nseq: %s\npar: %s", seqBN, parBN)
+	}
+	if !strings.Contains(seqBN, `"bottlenecks"`) || !strings.Contains(seqBN, "CriticalPath") ||
+		!strings.Contains(seqBN, `"findings"`) {
+		t.Errorf("-bottlenecks -json output malformed:\n%s", seqBN)
+	}
+	out = run("scorep-analyze", "-trace", archivePath, "-bottlenecks")
+	if !strings.Contains(out, "critical path:") || !strings.Contains(out, "per-thread waits:") {
+		t.Errorf("-bottlenecks text output malformed:\n%s", out)
 	}
 	seqTL := run("scorep-timeline", "-in", archivePath, "-width", "40", "-parallel", "1")
 	parTL := run("scorep-timeline", "-in", archivePath, "-width", "40", "-parallel", "4")
@@ -319,7 +340,7 @@ func TestCommandLineTools(t *testing.T) {
 	mustFail("scorep-timeline", "-in", tracePath, "-exp", expDir)
 	mustFail("scorep-analyze", "-in", repA, "-trace", tracePath)
 	mustFail("scorep-convert", "-in", tracePath, "-exp", expDir, "-stats")
-	mustFail("scorep-analyze", "-in", repA, "-json")          // -json is trace-analysis only
+	mustFail("scorep-analyze", "-in", repA, "-bottlenecks")   // a report holds no trace
 	mustFail("scorep-analyze", "-in", repA, "-parallel", "4") // -parallel is trace-analysis only
 	mustFail("scorep-report", "-in", repA, "-parallel", "2")  // -parallel is -diff only
 	// Query/compression flags apply to specific modes only.

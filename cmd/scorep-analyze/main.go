@@ -3,17 +3,30 @@
 //
 // It analyzes a saved profile report:
 //
-//	scorep-analyze -in report.json
+//	scorep-analyze -in report.json [-json]
 //
 // a saved event trace (JSONL or binary otf2-style archive by
 // extension; archives are analyzed streaming, in bounded memory, so
 // they may be far larger than RAM — by default in parallel, with one
 // decode/analysis worker per processor; -parallel pins the worker
 // count, and -parallel 1 forces the sequential path. The analysis is
-// identical at every worker count. -json emits the metrics as JSON):
+// identical at every worker count):
 //
-//	scorep-analyze -trace trace.otf2 [-parallel 4] [-json]
+//	scorep-analyze -trace trace.otf2 [-parallel 4] [-bottlenecks] [-json]
 //	scorep-analyze -trace trace.jsonl
+//
+// -bottlenecks additionally runs the automatic bottleneck analysis
+// (wait-state classification, task-graph critical path with per-region
+// what-if savings — see the "Bottleneck analysis" section of the
+// package documentation) and reports its findings alongside the trace
+// metrics. It applies to every trace-bearing subject (-trace, -exp,
+// -code) and honors -window, -tids and -parallel; the result is
+// identical at every worker count.
+//
+// -json emits everything the invocation analyzed as one JSON object
+// in every mode: "findings" (profile findings plus, with -bottlenecks,
+// the bottleneck findings), "traceAnalysis", "bottlenecks", and — for
+// a fleet experiment — "shards" and "fleet".
 //
 // Trace analysis (-trace or -exp input) can be clipped to a slice of
 // the recording with -window t0:t1 (inclusive bounds, either side
@@ -28,10 +41,11 @@
 // an experiment archive (profile findings plus trace metrics; a trace
 // truncated by a crashed run is salvaged to its intact prefix; a fleet
 // experiment sealed by scorep-daemon reports each process's shard and
-// the fleet-wide aggregate):
+// the fleet-wide aggregate — with -bottlenecks, the per-shard
+// bottleneck analyses and the fleet bottleneck summary too):
 //
-//	scorep-analyze -exp scorep-run [-window :5000]
-//	scorep-analyze -exp scorep-fleet
+//	scorep-analyze -exp scorep-run [-window :5000] [-bottlenecks]
+//	scorep-analyze -exp scorep-fleet [-bottlenecks] [-json]
 //
 // or runs a BOTS code live through a profiling+tracing session and
 // reports both the profile findings and the trace-derived management
@@ -56,18 +70,46 @@ import (
 	"repro/internal/stats"
 )
 
+// analysisJSON is the envelope -json emits: every analysis product of
+// the selected subject in one object, with absent sections omitted.
+// The same invocation at any -parallel setting produces byte-identical
+// output.
+type analysisJSON struct {
+	Findings      []scorep.Finding           `json:"findings,omitempty"`
+	TraceAnalysis *scorep.TraceAnalysis      `json:"traceAnalysis,omitempty"`
+	Bottlenecks   *scorep.BottleneckAnalysis `json:"bottlenecks,omitempty"`
+	Shards        []shardJSON                `json:"shards,omitempty"`
+	Fleet         *fleetJSON                 `json:"fleet,omitempty"`
+}
+
+// shardJSON is one per-process trace shard of a fleet experiment.
+type shardJSON struct {
+	Stream      string                     `json:"stream"`
+	File        string                     `json:"file"`
+	Complete    bool                       `json:"complete"`
+	Analysis    *scorep.TraceAnalysis      `json:"analysis"`
+	Bottlenecks *scorep.BottleneckAnalysis `json:"bottlenecks,omitempty"`
+}
+
+// fleetJSON is the fleet-wide aggregate of a fleet experiment.
+type fleetJSON struct {
+	Analysis    *scorep.TraceAnalysis          `json:"analysis"`
+	Bottlenecks *scorep.BottleneckFleetSummary `json:"bottlenecks,omitempty"`
+}
+
 func main() {
 	rf := bots.RegisterRunFlags(flag.CommandLine, "")
 	var (
-		in        = flag.String("in", "", "saved report JSON to analyze")
-		tracePath = flag.String("trace", "", "saved event trace to analyze (.otf2 = binary archive, otherwise JSONL)")
-		expDir    = flag.String("exp", "", "experiment directory: analyze it (without -code) or write the live run's archive to it (with -code)")
-		saveTrace = flag.String("save-trace", "", "save the live run's trace (format by extension)")
-		parallel  = flag.Int("parallel", 0, "trace decode/analysis workers (0 = one per processor, 1 = sequential; results are identical)")
-		asJSON    = flag.Bool("json", false, "with -trace: emit the trace analysis as JSON instead of text")
-		window    = flag.String("window", "", "clip trace analysis to the inclusive time window t0:t1 (either bound may be empty)")
-		tids      = flag.String("tids", "", "clip trace analysis to a comma-separated thread-ID subset")
-		compress  = flag.Bool("compress", false, "with -save-trace to an .otf2 archive: flate-compress event chunks")
+		in          = flag.String("in", "", "saved report JSON to analyze")
+		tracePath   = flag.String("trace", "", "saved event trace to analyze (.otf2 = binary archive, otherwise JSONL)")
+		expDir      = flag.String("exp", "", "experiment directory: analyze it (without -code) or write the live run's archive to it (with -code)")
+		saveTrace   = flag.String("save-trace", "", "save the live run's trace (format by extension)")
+		parallel    = flag.Int("parallel", 0, "trace decode/analysis workers (0 = one per processor, 1 = sequential; results are identical)")
+		asJSON      = flag.Bool("json", false, "emit the analysis as one JSON object instead of text")
+		bottlenecks = flag.Bool("bottlenecks", false, "with a trace-bearing input: run the automatic bottleneck analysis (wait states, critical path, what-if savings)")
+		window      = flag.String("window", "", "clip trace analysis to the inclusive time window t0:t1 (either bound may be empty)")
+		tids        = flag.String("tids", "", "clip trace analysis to a comma-separated thread-ID subset")
+		compress    = flag.Bool("compress", false, "with -save-trace to an .otf2 archive: flate-compress event chunks")
 	)
 	flag.Parse()
 
@@ -88,8 +130,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-save-trace only applies to live runs (-code)")
 		os.Exit(2)
 	}
-	if *asJSON && *tracePath == "" {
-		fmt.Fprintln(os.Stderr, "-json only applies to trace analysis (-trace)")
+	if *bottlenecks && *in != "" {
+		fmt.Fprintln(os.Stderr, "-bottlenecks needs a trace (-trace, -exp or -code); a report (-in) holds no trace")
 		os.Exit(2)
 	}
 	if flagWasSet("parallel") && *in != "" {
@@ -120,7 +162,12 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		scorep.FormatFindings(os.Stdout, scorep.AnalyzeReport(rep))
+		findings := scorep.AnalyzeReport(rep)
+		if *asJSON {
+			emitJSON(analysisJSON{Findings: findings})
+			return
+		}
+		scorep.FormatFindings(os.Stdout, findings)
 
 	case *tracePath != "":
 		a, qst, warning, err := otf2.AnalyzeFileQuery(*tracePath, query, *parallel)
@@ -131,18 +178,33 @@ func main() {
 		if qst.Indexed && !query.All() {
 			fmt.Fprintf(os.Stderr, "index: read %d of %d chunks\n", qst.ChunksRead, qst.ChunksTotal)
 		}
-		if *asJSON {
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(a); err != nil {
+		var b *scorep.BottleneckAnalysis
+		if *bottlenecks {
+			var bwarn string
+			b, _, bwarn, err = otf2.AnalyzeFileBottlenecks(*tracePath, query, *parallel)
+			if err != nil {
 				fail(err)
 			}
+			if bwarn != warning {
+				warn(bwarn)
+			}
+		}
+		if *asJSON {
+			out := analysisJSON{TraceAnalysis: a, Bottlenecks: b}
+			if b != nil {
+				out.Findings = b.Findings
+			}
+			emitJSON(out)
 			return
 		}
 		a.Format(os.Stdout)
+		if b != nil {
+			fmt.Println()
+			b.Format(os.Stdout)
+		}
 
 	case rf.Code == "" && *expDir != "":
-		analyzeExperiment(*expDir, *parallel, query)
+		analyzeExperiment(*expDir, *parallel, query, *asJSON, *bottlenecks)
 
 	case rf.Code != "":
 		spec, size, err := rf.Resolve()
@@ -168,13 +230,30 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		var b *scorep.BottleneckAnalysis
+		if *bottlenecks {
+			b = res.Bottlenecks()
+		}
 
-		fmt.Printf("== profile analysis: %s size=%s threads=%d cutoff=%v ==\n",
-			spec.Name, rf.Size, rf.Threads, rf.Cutoff)
-		scorep.FormatFindings(os.Stdout, res.Findings())
+		if *asJSON {
+			out := analysisJSON{TraceAnalysis: res.TraceAnalysis(), Bottlenecks: b}
+			out.Findings = append(out.Findings, res.Findings()...)
+			if b != nil {
+				out.Findings = append(out.Findings, b.Findings...)
+			}
+			emitJSON(out)
+		} else {
+			fmt.Printf("== profile analysis: %s size=%s threads=%d cutoff=%v ==\n",
+				spec.Name, rf.Size, rf.Threads, rf.Cutoff)
+			scorep.FormatFindings(os.Stdout, res.Findings())
 
-		fmt.Println()
-		res.TraceAnalysis().Format(os.Stdout)
+			fmt.Println()
+			res.TraceAnalysis().Format(os.Stdout)
+			if b != nil {
+				fmt.Println()
+				b.Format(os.Stdout)
+			}
+		}
 
 		if *saveTrace != "" {
 			var wopts []otf2.WriterOption
@@ -184,10 +263,10 @@ func main() {
 			if err := otf2.WriteFile(*saveTrace, res.Trace(), wopts...); err != nil {
 				fail(err)
 			}
-			fmt.Printf("\nwrote %s (%d events)\n", *saveTrace, res.Trace().NumEvents())
+			notef(*asJSON, "\nwrote %s (%d events)\n", *saveTrace, res.Trace().NumEvents())
 		}
 		if *expDir != "" {
-			fmt.Printf("\nwrote experiment %s\n", *expDir)
+			notef(*asJSON, "\nwrote experiment %s\n", *expDir)
 		}
 
 	default:
@@ -198,26 +277,34 @@ func main() {
 
 // analyzeExperiment reports everything an experiment archive holds:
 // configuration summary, profile findings, trace metrics (clipped to
-// the query when one was given).
-func analyzeExperiment(dir string, parallel int, query scorep.TraceQuery) {
+// the query when one was given) and — with bottlenecks — the automatic
+// bottleneck analysis of every trace the experiment holds.
+func analyzeExperiment(dir string, parallel int, query scorep.TraceQuery, asJSON, bottlenecks bool) {
 	exp, err := scorep.OpenExperiment(dir)
 	if err != nil {
 		fail(err)
 	}
 	exp.AnalysisParallelism = parallel
 	m := exp.Meta
-	fmt.Printf("== experiment %s ==\n", dir)
-	fmt.Printf("config: profiling=%v tracing=%v scheduler=%s threads=%d tasks=%d wall=%s gomaxprocs=%d %s\n\n",
-		m.Config.Profiling, m.Config.Tracing, m.Config.Scheduler,
-		m.Threads, m.TasksCreated, stats.FormatNs(m.WallTimeNs), m.GOMAXPROCS, m.GoVersion)
+	var out analysisJSON
+	if !asJSON {
+		fmt.Printf("== experiment %s ==\n", dir)
+		fmt.Printf("config: profiling=%v tracing=%v scheduler=%s threads=%d tasks=%d wall=%s gomaxprocs=%d %s\n\n",
+			m.Config.Profiling, m.Config.Tracing, m.Config.Scheduler,
+			m.Threads, m.TasksCreated, stats.FormatNs(m.WallTimeNs), m.GOMAXPROCS, m.GoVersion)
+	}
 
 	if m.HasProfile {
 		findings, err := exp.Findings()
 		if err != nil {
 			fail(err)
 		}
-		scorep.FormatFindings(os.Stdout, findings)
-		fmt.Println()
+		if asJSON {
+			out.Findings = append(out.Findings, findings...)
+		} else {
+			scorep.FormatFindings(os.Stdout, findings)
+			fmt.Println()
+		}
 	}
 	if m.HasTrace {
 		var a *scorep.TraceAnalysis
@@ -234,41 +321,117 @@ func analyzeExperiment(dir string, parallel int, query scorep.TraceQuery) {
 		if err != nil {
 			fail(err)
 		}
+		var b *scorep.BottleneckAnalysis
+		if bottlenecks {
+			if query.All() {
+				b, err = exp.Bottlenecks()
+			} else {
+				b, _, err = exp.BottlenecksQuery(query)
+			}
+			if err != nil {
+				fail(err)
+			}
+		}
 		for _, w := range exp.Warnings() {
 			warn(w)
 		}
-		a.Format(os.Stdout)
+		if asJSON {
+			out.TraceAnalysis = a
+			out.Bottlenecks = b
+			if b != nil {
+				out.Findings = append(out.Findings, b.Findings...)
+			}
+		} else {
+			a.Format(os.Stdout)
+			if b != nil {
+				fmt.Println()
+				b.Format(os.Stdout)
+			}
+		}
 	}
 	shards := exp.TraceShards()
 	if len(shards) > 0 {
 		// A fleet experiment (scorep-daemon): per-process shard metrics,
 		// then the fleet-wide aggregate merged across all of them.
 		for i, sh := range shards {
+			a, err := exp.ShardTraceAnalysis(i)
+			if err != nil {
+				fail(err)
+			}
+			var b *scorep.BottleneckAnalysis
+			if bottlenecks {
+				if b, err = exp.ShardBottlenecks(i); err != nil {
+					fail(err)
+				}
+			}
+			if asJSON {
+				out.Shards = append(out.Shards, shardJSON{
+					Stream: sh.Stream, File: sh.File, Complete: sh.Complete,
+					Analysis: a, Bottlenecks: b,
+				})
+				continue
+			}
 			status := "complete"
 			if !sh.Complete {
 				status = "truncated"
 			}
 			fmt.Printf("-- shard %s (%s, %s) --\n", sh.Stream, sh.File, status)
-			a, err := exp.ShardTraceAnalysis(i)
-			if err != nil {
-				fail(err)
-			}
 			a.Format(os.Stdout)
+			if b != nil {
+				b.Format(os.Stdout)
+			}
 			fmt.Println()
 		}
 		fleet, err := exp.FleetTraceAnalysis()
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("== fleet aggregate (%d shards) ==\n", len(shards))
-		fleet.Format(os.Stdout)
+		var fb *scorep.BottleneckFleetSummary
+		if bottlenecks {
+			if fb, err = exp.FleetBottlenecks(); err != nil {
+				fail(err)
+			}
+		}
+		if asJSON {
+			out.Fleet = &fleetJSON{Analysis: fleet, Bottlenecks: fb}
+		} else {
+			fmt.Printf("== fleet aggregate (%d shards) ==\n", len(shards))
+			fleet.Format(os.Stdout)
+			if fb != nil {
+				fmt.Println()
+				fb.Format(os.Stdout)
+			}
+		}
 		for _, w := range exp.Warnings() {
 			warn(w)
 		}
 	}
+	if asJSON {
+		emitJSON(out)
+		return
+	}
 	if !m.HasProfile && !m.HasTrace && len(shards) == 0 {
 		fmt.Println("experiment holds neither profile nor trace; nothing to analyze")
 	}
+}
+
+// emitJSON writes the analysis envelope to stdout, indented.
+func emitJSON(v analysisJSON) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fail(err)
+	}
+}
+
+// notef prints a side-effect notice: to stdout normally, to stderr in
+// JSON mode so stdout stays one machine-readable object.
+func notef(toStderr bool, format string, args ...any) {
+	w := os.Stdout
+	if toStderr {
+		w = os.Stderr
+	}
+	fmt.Fprintf(w, format, args...)
 }
 
 // flagWasSet reports whether the named flag was given explicitly on the

@@ -23,7 +23,8 @@
 // (stream/write, 1 vs 4 writer threads at GOMAXPROCS 1 and 4, plus the
 // v1 and flate-compressed encodings of the single-thread write),
 // archive decoding (stream/decode), out-of-core analysis sequential vs
-// parallel (stream/analyze), index-driven random chunk access
+// parallel (stream/analyze, with stream/analyze/bottlenecks measuring
+// the automatic bottleneck analysis), index-driven random chunk access
 // (stream/seek) and time-window queries (stream/analyze/windowed, with
 // a chunk-read-frac metric showing how much of the archive the index
 // pruned), all reporting events/sec and bytes/event — clock/* the
@@ -641,6 +642,28 @@ func traceTimeBounds(tr *trace.Trace) (lo, hi int64) {
 	return lo, hi
 }
 
+// benchArchiveBottlenecks measures the out-of-core bottleneck analysis
+// (wait-state classification, critical path, what-if savings) over the
+// archive; one op is one full pass. workers == 1 is the sequential
+// baseline the parallel variant is compared against — the results are
+// identical, only the wall clock differs.
+func benchArchiveBottlenecks(workers, gomaxprocs, tasksPerThread int) func(*testing.B) {
+	return func(b *testing.B) {
+		prev := runtime.GOMAXPROCS(gomaxprocs)
+		defer runtime.GOMAXPROCS(prev)
+		b.ReportAllocs()
+		in := archiveFor(4, tasksPerThread)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := otf2.AnalyzeBottlenecks(bytes.NewReader(in.data), otf2.Query{}, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		reportPerEvent(b, in.events)
+	}
+}
+
 // benchArchiveSeek measures random access into a v2 archive via the
 // footer index: one op is one Seek to an event chunk plus a full decode
 // of that chunk — the unit cost a time-window query pays per matching
@@ -810,6 +833,11 @@ func buildSpecs(quick bool) []spec {
 	add("stream/analyze/seq/cpu=1/"+st, false, true, benchArchiveAnalyze(1, 1, streamTasks))
 	add("stream/analyze/par/workers=4/cpu=1/"+st, false, true, benchArchiveAnalyze(4, 1, streamTasks))
 	add("stream/analyze/par/workers=4/cpu=4/"+st, false, true, benchArchiveAnalyze(4, 4, streamTasks))
+	// Out-of-core bottleneck analysis over the same archive (full mode:
+	// >= 1M events): per-event cost of the wait-state classification and
+	// critical-path construction on top of the plain decode+analyze pass.
+	add("stream/analyze/bottlenecks/seq/cpu=1/"+st, false, true, benchArchiveBottlenecks(1, 1, streamTasks))
+	add("stream/analyze/bottlenecks/par/workers=4/cpu=4/"+st, false, true, benchArchiveBottlenecks(4, 4, streamTasks))
 	// Seekable-archive benches: random chunk access via the footer index
 	// and the windowed query path it exists for.
 	add("stream/seek/indexed/"+st, false, true, benchArchiveSeek(streamTasks))

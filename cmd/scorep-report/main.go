@@ -25,7 +25,9 @@
 //	scorep-report -exp scorep-run -window 1000:2000 -threads 0,1
 //
 // A fleet experiment sealed by scorep-daemon (per-process trace shards,
-// no profile) renders per-shard trace metrics and the fleet aggregate:
+// no profile) renders per-shard trace metrics, the fleet aggregate and
+// the fleet bottleneck summary (fleet-summed wait states with the worst
+// shard per kind, and the shard with the longest critical path):
 //
 //	scorep-report -exp scorep-fleet
 package main
@@ -176,6 +178,17 @@ func renderFleet(dir string, exp *scorep.Experiment) {
 	}
 	fmt.Printf("\n== fleet aggregate (%d shards) ==\n", len(shards))
 	fleet.Format(os.Stdout)
+	// The fleet bottleneck summary: per wait-state kind the fleet-summed
+	// time and the worst shard, plus the shard with the longest critical
+	// path (see scorep-analyze -bottlenecks for the full per-shard view).
+	fb, err := exp.FleetBottlenecks()
+	if err != nil {
+		fail(err)
+	}
+	if fb != nil {
+		fmt.Println()
+		fb.Format(os.Stdout)
+	}
 	for _, w := range exp.Warnings() {
 		fmt.Fprintf(os.Stderr, "warning: %s\n", w)
 	}

@@ -237,7 +237,7 @@
 //
 // Reproduce with:
 //
-//	go run ./cmd/scorep-bench -baseline BENCH_PR6.json -out BENCH_PR7.json
+//	go run ./cmd/scorep-bench -baseline BENCH_PR7.json -out BENCH_PR8.json
 //
 // scorep-bench runs the Fig. 13/14/15 experiments and these
 // microbenchmarks with warmup and repetitions and emits machine-readable
@@ -246,7 +246,8 @@
 // stream/record (per-event record path), stream/write (concurrent
 // archive writes, 1 vs 4 threads at GOMAXPROCS 1 and 4, plus v1 and
 // compressed encodings), stream/decode and stream/analyze (sequential
-// vs parallel), stream/seek (index-driven random chunk access) and
+// vs parallel, incl. stream/analyze/bottlenecks for the bottleneck
+// pass), stream/seek (index-driven random chunk access) and
 // stream/analyze/windowed (time-window queries, with a chunk-read-frac
 // metric). CI runs `scorep-bench -quick -check-allocs -check-write-gate`
 // on every change and fails when a hot-path benchmark allocates more
@@ -339,6 +340,85 @@
 // converts between the two formats and reports size/event statistics;
 // scorep-timeline and scorep-analyze accept either format, chosen by
 // file extension (".otf2" is binary).
+//
+// # Bottleneck analysis
+//
+// The bottleneck analysis is the Scalasca-style automatic step the
+// paper's conclusion points to: it consumes the per-thread event
+// streams (in memory, out of core over an archive, or per shard of a
+// fleet experiment) and answers "where did the time go, whose fault
+// was it, and what would fixing it buy". Entry points:
+// Results.Bottlenecks, Experiment.Bottlenecks / BottlenecksQuery /
+// ShardBottlenecks / FleetBottlenecks, AnalyzeBottlenecks (in-memory),
+// AnalyzeTraceArchiveBottlenecks (out-of-core, same access structure
+// and salvage contract as AnalyzeTraceArchiveQuery) and
+// MergeBottleneckAnalyses (fleet). On the command line:
+// scorep-analyze -bottlenecks (any trace-bearing input; honors
+// -window, -tids, -parallel and -json), and scorep-report prints the
+// fleet bottleneck summary of a fleet experiment. The result is
+// reflect.DeepEqual- and JSON-byte-identical at every worker count and
+// on every access path; region references are plain name strings, and
+// all iteration orders and tie-breaks are deterministic.
+//
+// Wait-state classification. A thread's idle time is measured inside
+// top-level synchronization instances — the interval from entering a
+// Taskwait, Barrier or ImplicitBarrier region at nesting depth zero to
+// the matching exit. Within such an instance, every sub-interval where
+// the thread executes no task fragment is idle, and each idle
+// nanosecond is classified exactly once:
+//
+//   - LATE_TASK_SPAWN: idle before the first execution of a task that
+//     another thread was still creating — the portion of the task's
+//     first dispatch gap that precedes the creator's EvTaskCreateEnd.
+//     The cause is the creating thread; the region is the task's.
+//     (Idle after the create completed, resume gaps, and gaps before
+//     self-created tasks count as plain dispatch latency, not waiting.)
+//   - STARVED_THIEF: idle while a task created by a different thread
+//     was pending — created but not yet begun anywhere. Work existed
+//     and was not distributed. The cause is the creator whose pending
+//     windows overlap the idle span longest (ties: smallest thread
+//     id); the region is that creator's most-overlapping task's.
+//   - BARRIER_IMBALANCE: idle (not already classified as starvation)
+//     between the thread's own arrival at a collective barrier
+//     instance and the last participant's arrival. Barrier instances
+//     are matched across threads by region and per-thread visit
+//     ordinal, and need >= 2 participants; the cause is the last
+//     arriver (ties: smallest thread id).
+//
+// The remainder is reported as unclassified idle. Wait states are
+// aggregated per (kind, victim, cause, region) with interval counts,
+// and per-thread totals (ThreadWaits) partition each thread's idle
+// exactly.
+//
+// Critical path. The task-graph critical path is reconstructed by a
+// backward walk from the last-finishing thread's last event: task
+// segments attribute their inclusive time to the task's region; at a
+// task's first fragment the walk takes the spawn edge to the creating
+// thread at EvTaskCreateEnd (the gap in between is SpawnWait); at a
+// resumed fragment it takes the join edge to the completion that
+// unblocked the scheduling point (JoinWait); at a barrier exit it
+// jumps to the last arriver (the skew is in Other). The invariant
+// Length == sum(Regions[i].Time) + SpawnWait + JoinWait + Other always
+// holds. Per region, Share is its fraction of the path, and the
+// what-if model is fixed-path: shrinking a region by X% saves X% of
+// its on-path time (WhatIf10/25/50 = Time/10, Time/4, Time/2) — an
+// upper bound on the wall-time reduction, since the path can re-route
+// through other work once shortened.
+//
+// Findings. Wait states aggregate into Results.Findings-style typed
+// findings (LATE_TASK_SPAWN, STARVED_THIEF, BARRIER_IMBALANCE) with
+// severity = waited time / (wall time x threads) clamped to [0, 1] and
+// an Attribution naming victim and cause threads, the region, and the
+// waited time (victim -1 = several threads); the largest non-implicit
+// critical-path region becomes a CRITICAL_PATH_HOTSPOT finding whose
+// severity is its path share. A fleet's per-shard analyses merge into
+// a FleetSummary: per wait-state kind the fleet-summed time and the
+// worst shard, plus the shard with the longest critical path.
+//
+// The stream/analyze/bottlenecks benches measure the out-of-core
+// bottleneck pass on the 1M-event archive (sequential vs 4 workers;
+// see BENCH_PR8.json), and CI cmp's the -bottlenecks -json outputs at
+// -parallel 1 and 4 on every change.
 //
 // See examples/ for runnable programs (quickstart is the Session-API
 // walkthrough) and internal/exp for the harness that regenerates every

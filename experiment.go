@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bottleneck"
 	"repro/internal/cube"
 	"repro/internal/otf2"
 	"repro/internal/region"
@@ -262,6 +263,9 @@ type Experiment struct {
 	shards        []TraceShard
 	shardsSet     bool
 	shardAnalyses map[int]*TraceAnalysis
+
+	bottlenecks      *BottleneckAnalysis
+	shardBottlenecks map[int]*BottleneckAnalysis
 }
 
 // OpenExperiment loads the experiment archive at dir, the counterpart
@@ -387,6 +391,52 @@ func (e *Experiment) TraceAnalysisQuery(q TraceQuery) (*TraceAnalysis, TraceQuer
 	return a, st, nil
 }
 
+// Bottlenecks runs the bottleneck analysis (wait-state classification,
+// critical path, what-if savings) over the archived trace, or returns
+// (nil, nil) when the experiment holds no trace. Like TraceAnalysis it
+// reuses a materialized trace, streams the archive out-of-core
+// otherwise, salvages truncated traces with a warning, and caches the
+// result.
+func (e *Experiment) Bottlenecks() (*BottleneckAnalysis, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.bottlenecks != nil || !e.Meta.HasTrace {
+		return e.bottlenecks, nil
+	}
+	if e.traceLoaded {
+		e.bottlenecks = bottleneck.AnalyzeQuery(e.trace, TraceQuery{}, e.AnalysisParallelism)
+		return e.bottlenecks, nil
+	}
+	a, _, warn, err := otf2.AnalyzeFileBottlenecks(e.TracePath(), TraceQuery{}, e.AnalysisParallelism)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %s: %w", e.TracePath(), err)
+	}
+	e.addWarning(warn)
+	e.bottlenecks = a
+	return a, nil
+}
+
+// BottlenecksQuery is Bottlenecks restricted to the sub-trace matching
+// q, with the same index-driven access and fallback as
+// TraceAnalysisQuery. Results are not cached: each call reflects its
+// own query.
+func (e *Experiment) BottlenecksQuery(q TraceQuery) (*BottleneckAnalysis, TraceQueryStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.Meta.HasTrace {
+		return nil, TraceQueryStats{}, nil
+	}
+	if e.traceLoaded {
+		return bottleneck.AnalyzeQuery(q.Filter(e.trace), TraceQuery{}, e.AnalysisParallelism), TraceQueryStats{}, nil
+	}
+	a, st, warn, err := otf2.AnalyzeFileBottlenecks(e.TracePath(), q, e.AnalysisParallelism)
+	if err != nil {
+		return nil, st, fmt.Errorf("experiment: %s: %w", e.TracePath(), err)
+	}
+	e.addWarning(warn)
+	return a, st, nil
+}
+
 // TraceShards enumerates the per-process trace shards of a
 // multi-process experiment: the list sealed in meta.json by
 // scorep-daemon when present, otherwise whatever trace-*.otf2 files the
@@ -493,6 +543,54 @@ func (e *Experiment) FleetTraceAnalysis() (*TraceAnalysis, error) {
 		as[i] = a
 	}
 	return trace.MergeAnalyses(as...), nil
+}
+
+// ShardBottlenecks runs the bottleneck analysis over shard i of
+// TraceShards, out-of-core and cached per shard, salvaging truncated
+// shards with a per-shard warning like ShardTraceAnalysis.
+func (e *Experiment) ShardBottlenecks(i int) (*BottleneckAnalysis, error) {
+	shards := e.TraceShards()
+	if i < 0 || i >= len(shards) {
+		return nil, fmt.Errorf("experiment: shard %d out of range (%d shards)", i, len(shards))
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if a, ok := e.shardBottlenecks[i]; ok {
+		return a, nil
+	}
+	path := filepath.Join(e.Dir, shards[i].File)
+	a, _, warn, err := otf2.AnalyzeFileBottlenecks(path, TraceQuery{}, e.AnalysisParallelism)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: shard %s: %w", shards[i].File, err)
+	}
+	if warn != "" {
+		e.addWarning(fmt.Sprintf("shard %s: %s", shards[i].File, warn))
+	}
+	if e.shardBottlenecks == nil {
+		e.shardBottlenecks = make(map[int]*BottleneckAnalysis)
+	}
+	e.shardBottlenecks[i] = a
+	return a, nil
+}
+
+// FleetBottlenecks aggregates the per-shard bottleneck analyses into
+// the fleet summary: per-kind fleet-summed wait-state totals with the
+// worst shard each, and the shard with the longest critical path.
+// Returns (nil, nil) when the experiment has no shards.
+func (e *Experiment) FleetBottlenecks() (*BottleneckFleetSummary, error) {
+	shards := e.TraceShards()
+	if len(shards) == 0 {
+		return nil, nil
+	}
+	byStream := make(map[string]*BottleneckAnalysis, len(shards))
+	for i := range shards {
+		a, err := e.ShardBottlenecks(i)
+		if err != nil {
+			return nil, err
+		}
+		byStream[shards[i].Stream] = a
+	}
+	return bottleneck.MergeFleet(byStream), nil
 }
 
 // Findings diagnoses tasking inefficiencies in the archived profile, or

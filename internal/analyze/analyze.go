@@ -13,6 +13,7 @@
 package analyze
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -49,15 +50,41 @@ const (
 	// task instances is high; memory for runtime and profiler grows with
 	// it (Section V-B: dependency chains / recursion depth).
 	DeepConcurrency
+
+	// The remaining kinds are emitted by the wait-state classifier in
+	// internal/bottleneck, not by the report detectors above. They carry
+	// root-cause Attribution (which thread/region caused which other
+	// thread's wait).
+
+	// LateTaskSpawn: a thread's dispatch latency overlapped the spawn of
+	// the task it then ran — the consumer was ready before the producer
+	// had published the work (Scalasca's late-sender, transposed to
+	// tasking).
+	LateTaskSpawn
+	// StarvedThief: a thread sat idle at a scheduling point while
+	// another thread held created-but-unstarted tasks — work existed but
+	// was not stolen/distributed.
+	StarvedThief
+	// BarrierImbalance: per-thread arrival-time skew at a matched
+	// barrier instance; early arrivers wait for the last thread
+	// (Scalasca's Wait-at-Barrier).
+	BarrierImbalance
+	// CriticalPathHotspot: one region dominates the task-graph critical
+	// path; only shrinking it can shorten the run (what-if model).
+	CriticalPathHotspot
 )
 
 var kindNames = map[Kind]string{
-	SmallTasks:        "SMALL_TASKS",
-	CreationDominates: "CREATION_DOMINATES",
-	SingleCreator:     "SINGLE_CREATOR",
-	BarrierWaiting:    "BARRIER_WAITING",
-	LargeTasks:        "LARGE_TASKS",
-	DeepConcurrency:   "DEEP_CONCURRENCY",
+	SmallTasks:          "SMALL_TASKS",
+	CreationDominates:   "CREATION_DOMINATES",
+	SingleCreator:       "SINGLE_CREATOR",
+	BarrierWaiting:      "BARRIER_WAITING",
+	LargeTasks:          "LARGE_TASKS",
+	DeepConcurrency:     "DEEP_CONCURRENCY",
+	LateTaskSpawn:       "LATE_TASK_SPAWN",
+	StarvedThief:        "STARVED_THIEF",
+	BarrierImbalance:    "BARRIER_IMBALANCE",
+	CriticalPathHotspot: "CRITICAL_PATH_HOTSPOT",
 }
 
 // String returns the finding kind tag.
@@ -66,6 +93,28 @@ func (k Kind) String() string {
 		return s
 	}
 	return fmt.Sprintf("KIND(%d)", int(k))
+}
+
+// MarshalJSON emits the kind as its string tag so JSON reports stay
+// readable and stable if the enum is ever reordered.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// Attribution pins a wait-state finding to its root cause: which thread
+// waited, which thread (and which region's work) made it wait, and for
+// how long. Nil on findings without per-thread attribution.
+type Attribution struct {
+	// Victim is the waiting thread; -1 when the finding aggregates
+	// several victims.
+	Victim int `json:"victim"`
+	// CauseThread is the thread responsible for the wait (the late
+	// spawner, the hoarder, the last barrier arriver); -1 if unknown.
+	CauseThread int `json:"causeThread"`
+	// CauseRegion names the region whose work induced the wait.
+	CauseRegion string `json:"causeRegion,omitempty"`
+	// WaitNs is the attributed waiting time in nanoseconds.
+	WaitNs int64 `json:"waitNs"`
 }
 
 // Finding is one diagnosed inefficiency.
@@ -81,6 +130,9 @@ type Finding struct {
 	Evidence string
 	// Hint is the paper's optimization advice for the pattern.
 	Hint string
+	// Attribution carries root-cause data for wait-state findings;
+	// nil for the report detectors' structural findings.
+	Attribution *Attribution `json:",omitempty"`
 }
 
 // Thresholds tune the detectors; zero values select defaults.
@@ -315,5 +367,25 @@ func Format(w io.Writer, findings []Finding) {
 			fmt.Fprintf(w, " @ %s", f.Construct)
 		}
 		fmt.Fprintf(w, "\n      evidence: %s\n      hint:     %s\n", f.Evidence, f.Hint)
+		if a := f.Attribution; a != nil {
+			fmt.Fprintf(w, "      cause:    %s\n", a.Describe())
+		}
 	}
+}
+
+// Describe renders the attribution as one human-readable clause.
+func (a *Attribution) Describe() string {
+	victim := "multiple threads"
+	if a.Victim >= 0 {
+		victim = fmt.Sprintf("thread %d", a.Victim)
+	}
+	cause := "unknown thread"
+	if a.CauseThread >= 0 {
+		cause = fmt.Sprintf("thread %d", a.CauseThread)
+	}
+	s := fmt.Sprintf("%s waited %s on %s", victim, stats.FormatNs(a.WaitNs), cause)
+	if a.CauseRegion != "" {
+		s += fmt.Sprintf(" (%s)", a.CauseRegion)
+	}
+	return s
 }

@@ -1,0 +1,488 @@
+// Package bottleneck implements Scalasca-style automatic bottleneck
+// analysis over the per-thread task event streams: wait-state
+// classification with root-cause attribution, a task-graph critical
+// path, and per-region "what-if" savings projections.
+//
+// Where internal/trace answers "how much time went to task management
+// vs. execution" in aggregate, this package answers *why threads
+// waited* and *which wait matters*. It classifies three wait states,
+// each the tasking transposition of a classic Scalasca MPI pattern:
+//
+//   - Late task spawn (late-sender): a thread's dispatch gap overlapped
+//     the spawning of the task it then ran — the consumer was ready
+//     before the producer had published the work.
+//   - Starved thief: a thread sat idle inside a scheduling-point region
+//     while another thread held created-but-unstarted tasks — work
+//     existed elsewhere but was not distributed.
+//   - Barrier imbalance (Wait-at-Barrier): per-thread arrival skew at a
+//     matched barrier instance; every early arriver waits for the last.
+//
+// On top of the per-thread timelines it reconstructs the task-graph
+// critical path — the chain of task fragments, spawn edges and barrier
+// hand-offs that bounds the wall time — and projects what-if savings:
+// how much wall time a 10/25/50% reduction of one region's on-path time
+// could save, bounded by the critical path.
+//
+// The collectors mirror internal/trace's analyzers: a sequential
+// Collector, and a ParallelCollector shardable per thread whose Finish
+// is reflect.DeepEqual-identical to the sequential one at any worker
+// count. The sync-region bookkeeping is driven through the same
+// trace.SyncCoverage state machine as ThreadAnalysis.IdleInSync, so the
+// two layers share one definition of sync coverage by construction.
+// Analysis results carry region *names*, never *region.Region pointers,
+// so results from different Registry instances compare equal.
+package bottleneck
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/analyze"
+	"repro/internal/region"
+	"repro/internal/trace"
+)
+
+// ImplicitRegion is the pseudo-region name used for critical-path time
+// spent outside explicit task fragments (the implicit task).
+const ImplicitRegion = "<implicit task>"
+
+// UnknownRegion is the pseudo-region name for fragments of tasks whose
+// creation fell outside the analyzed window.
+const UnknownRegion = "<unknown task>"
+
+// Analysis is the full bottleneck report for one recording. All fields
+// are value types and region names (no registry pointers), so analyses
+// of the same event stream are reflect.DeepEqual-comparable regardless
+// of worker count, archive format or registry instance.
+type Analysis struct {
+	// Threads is the number of threads observed.
+	Threads int
+	// StartTime and EndTime bound the observed events; WallTime is
+	// their difference.
+	StartTime int64
+	EndTime   int64
+	WallTime  int64
+	// PerThread breaks each thread's waiting down by class.
+	PerThread map[int]*ThreadWaits
+	// WaitStates are the classified waits, aggregated per
+	// (kind, victim, cause, region) and deterministically ordered.
+	WaitStates []WaitState
+	// Barriers are the matched collective barrier instances.
+	Barriers []BarrierInstance
+	// CriticalPath is the reconstructed task-graph critical path.
+	CriticalPath CriticalPath
+	// Findings are the wait states and path hotspot rendered as typed
+	// findings with severity and root-cause attribution, ordered by
+	// severity.
+	Findings []analyze.Finding
+}
+
+// ThreadWaits partitions one thread's waiting time. Dispatch gaps split
+// into LateSpawnWait + PlainDispatchWait; idle spans inside sync
+// regions split into StarvedWait + BarrierWait + UnclassifiedIdle.
+type ThreadWaits struct {
+	ThreadID int
+	// LateSpawnWait is dispatch-gap time overlapping the spawn of the
+	// task the gap ended in (the spawner was still publishing).
+	LateSpawnWait int64
+	// PlainDispatchWait is the rest of the dispatch-gap time (scheduler
+	// overhead proper).
+	PlainDispatchWait int64
+	// StarvedWait is idle time while another thread held
+	// created-but-unstarted tasks.
+	StarvedWait int64
+	// BarrierWait is idle time attributable to barrier arrival skew
+	// (waiting for the last arriver).
+	BarrierWait int64
+	// UnclassifiedIdle is the idle remainder no classifier claimed.
+	UnclassifiedIdle int64
+}
+
+// TotalWait sums every classified and unclassified wait bucket.
+func (t *ThreadWaits) TotalWait() int64 {
+	return t.LateSpawnWait + t.PlainDispatchWait + t.StarvedWait + t.BarrierWait + t.UnclassifiedIdle
+}
+
+// WaitState is one classified wait aggregate: victim thread Thread
+// waited Time ns (over Count intervals) because of CauseThread, tied to
+// Region (the late-spawned task's region, the hoarded task's region, or
+// the barrier region).
+type WaitState struct {
+	Kind        analyze.Kind
+	Thread      int
+	CauseThread int
+	Region      string
+	Time        int64
+	Count       int64
+}
+
+// BarrierInstance is one matched collective barrier: the n-th visit
+// (Ordinal, 0-based) of every participating thread to the same barrier
+// region. Skew = LastArrival - FirstArrival; LastThread is the last
+// arriver (the thread the others waited for).
+type BarrierInstance struct {
+	Region       string
+	Ordinal      int
+	Threads      int
+	FirstArrival int64
+	LastArrival  int64
+	LastThread   int
+	Skew         int64
+}
+
+// CriticalPath is the reconstructed longest dependency chain. Length =
+// EndTime - StartTime and partitions exactly into the per-region times
+// plus the three wait buckets: sum(Regions[i].Time) + SpawnWait +
+// JoinWait + Other == Length.
+type CriticalPath struct {
+	StartTime int64
+	EndTime   int64
+	Length    int64
+	// Segments counts the attributed path spans.
+	Segments int64
+	// SpawnWait is path time between a task's creation and its first
+	// fragment (the task sat created-but-unstarted on the path).
+	SpawnWait int64
+	// JoinWait is path time between a child task's completion and the
+	// parent's resumption.
+	JoinWait int64
+	// Other is barrier hand-off overhead plus any walk remainder the
+	// reconstruction could not attribute.
+	Other int64
+	// Regions is the per-region on-path time, descending.
+	Regions []PathRegion
+}
+
+// PathRegion is one region's share of the critical path, with what-if
+// projections: WhatIfN is the projected wall-time saving if the
+// region's on-path time shrank by N% (savings model: the path structure
+// is held fixed, so the projection is an upper bound tight for
+// path-dominating regions).
+type PathRegion struct {
+	Region   string
+	Time     int64
+	Share    float64
+	WhatIf10 int64
+	WhatIf25 int64
+	WhatIf50 int64
+}
+
+// span is a half-open time interval [Start, End).
+type span struct{ start, end int64 }
+
+// taskCreate is one observed task creation (EvTaskCreateBegin ..
+// EvTaskCreateEnd on the creating thread's stream).
+type taskCreate struct {
+	id         uint64
+	region     string
+	begin, end int64
+}
+
+// taskStamp is a (task, time) pair for begins and ends.
+type taskStamp struct {
+	id   uint64
+	time int64
+}
+
+// frag is one executed task fragment.
+type frag struct {
+	task       uint64
+	start, end int64
+}
+
+// dispatchGap is one consumed readiness window ending at a fragment
+// begin; firstBegin records whether the fragment began via EvTaskBegin
+// (the task's very first fragment) rather than a resume switch.
+type dispatchGap struct {
+	task       uint64
+	start, end int64
+	firstBegin bool
+}
+
+// barrierVisit is one enter/exit of an explicit or implicit barrier
+// region on one thread. key is the region's full descriptor (used for
+// cross-thread matching), name its display name.
+type barrierVisit struct {
+	key, name   string
+	enter, exit int64
+}
+
+// threadCollector accumulates one thread's raw material. It owns no
+// references into pipeline-recycled event slices: only region names and
+// scalar facts are retained.
+type threadCollector struct {
+	tid int
+
+	sc        trace.SyncCoverage
+	coverEnd  int64 // end of the last covered span in the open sync instance
+	fragStart int64
+	inFrag    bool
+	curTask   uint64
+	inCreate  bool
+	createAt  int64
+
+	firstValid bool
+	firstTime  int64
+	lastTime   int64
+
+	created  []taskCreate
+	begins   []taskStamp
+	ends     []taskStamp
+	frags    []frag
+	gaps     []dispatchGap
+	idles    []span
+	barriers []barrierVisit
+	barStack []barrierVisit // open barrier enters (exit pending)
+}
+
+func barrierRegion(r *region.Region) bool {
+	if r == nil {
+		return false
+	}
+	return r.Type == region.Barrier || r.Type == region.ImplicitBarrier
+}
+
+func (tc *threadCollector) observe(ev trace.Event) {
+	if !tc.firstValid {
+		tc.firstTime = ev.Time
+		tc.firstValid = true
+	}
+	tc.lastTime = ev.Time
+
+	switch ev.Type {
+	case trace.EvEnter:
+		if trace.SchedulingPointEvent(ev) {
+			if tc.sc.Depth == 0 {
+				tc.coverEnd = ev.Time
+			}
+			tc.sc.EnterSync(ev.Time)
+		}
+		if barrierRegion(ev.Region) {
+			tc.barStack = append(tc.barStack, barrierVisit{
+				key: ev.Region.String(), name: ev.Region.Name, enter: ev.Time,
+			})
+		}
+	case trace.EvExit:
+		if trace.SchedulingPointEvent(ev) {
+			if _, _, closed := tc.sc.ExitSync(ev.Time); closed {
+				// Trailing idle: the tail of the instance no fragment
+				// or dispatch gap covered.
+				if ev.Time > tc.coverEnd {
+					tc.idles = append(tc.idles, span{tc.coverEnd, ev.Time})
+				}
+			}
+		}
+		if barrierRegion(ev.Region) && len(tc.barStack) > 0 {
+			b := tc.barStack[len(tc.barStack)-1]
+			tc.barStack = tc.barStack[:len(tc.barStack)-1]
+			b.exit = ev.Time
+			tc.barriers = append(tc.barriers, b)
+		}
+	case trace.EvTaskCreateBegin:
+		tc.createAt = ev.Time
+		tc.inCreate = true
+	case trace.EvTaskCreateEnd:
+		if tc.inCreate {
+			name := UnknownRegion
+			if ev.Region != nil {
+				name = ev.Region.Name
+			}
+			tc.created = append(tc.created, taskCreate{
+				id: ev.TaskID, region: name, begin: tc.createAt, end: ev.Time,
+			})
+			tc.inCreate = false
+		}
+	case trace.EvTaskBegin:
+		tc.endFragment(ev.Time)
+		tc.beginFragment(ev.Time, ev.TaskID, true)
+		tc.begins = append(tc.begins, taskStamp{ev.TaskID, ev.Time})
+	case trace.EvTaskEnd:
+		tc.endFragment(ev.Time)
+		tc.ends = append(tc.ends, taskStamp{ev.TaskID, ev.Time})
+		if tc.sc.Depth > 0 {
+			tc.sc.MarkReady(ev.Time)
+		}
+	case trace.EvTaskSwitch:
+		tc.endFragment(ev.Time)
+		if ev.TaskID != 0 {
+			tc.beginFragment(ev.Time, ev.TaskID, false)
+		} else if tc.sc.Depth > 0 {
+			tc.sc.MarkReady(ev.Time)
+		}
+	}
+}
+
+func (tc *threadCollector) endFragment(t int64) {
+	if !tc.inFrag {
+		return
+	}
+	tc.frags = append(tc.frags, frag{tc.curTask, tc.fragStart, t})
+	tc.sc.Cover(t - tc.fragStart)
+	if tc.sc.Depth > 0 {
+		tc.coverEnd = t
+	}
+	tc.inFrag = false
+}
+
+func (tc *threadCollector) beginFragment(t int64, task uint64, firstBegin bool) {
+	if start, _, ok := tc.sc.TakeDispatch(t); ok {
+		// Idle between the last covered span and the (possibly
+		// re-stamped) readiness the gap starts at.
+		if tc.sc.Depth > 0 && start > tc.coverEnd {
+			tc.idles = append(tc.idles, span{tc.coverEnd, start})
+		}
+		tc.gaps = append(tc.gaps, dispatchGap{task: task, start: start, end: t, firstBegin: firstBegin})
+		if tc.sc.Depth > 0 {
+			tc.coverEnd = t
+		}
+	} else if tc.sc.Depth > 0 && t > tc.coverEnd {
+		// Fragment begins with no open readiness (e.g. directly after a
+		// suspension): the uncovered span before it is idle.
+		tc.idles = append(tc.idles, span{tc.coverEnd, t})
+		tc.coverEnd = t
+	}
+	tc.fragStart = t
+	tc.curTask = task
+	tc.inFrag = true
+}
+
+// Collector is the sequential bottleneck collector. Feed every event of
+// every thread in per-thread order via Observe, then call Finish once.
+type Collector struct {
+	threads map[int]*threadCollector
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{threads: make(map[int]*threadCollector)}
+}
+
+// Observe feeds one event of thread tid. Events of one thread must
+// arrive in stream order; threads may interleave arbitrarily.
+func (c *Collector) Observe(tid int, ev trace.Event) {
+	tc, ok := c.threads[tid]
+	if !ok {
+		tc = &threadCollector{tid: tid}
+		c.threads[tid] = tc
+	}
+	tc.observe(ev)
+}
+
+// ObserveQuery is Observe restricted to events matching q.
+func (c *Collector) ObserveQuery(tid int, ev trace.Event, q trace.Query) {
+	if q.Match(tid, ev) {
+		c.Observe(tid, ev)
+	}
+}
+
+// Finish runs classification and path reconstruction and returns the
+// analysis. The collector must not be reused afterwards.
+func (c *Collector) Finish() *Analysis { return finishCollectors(c.threads) }
+
+// ParallelCollector is the shard-safe collector: ObserveBatch may be
+// called concurrently for different threads, with each thread's batches
+// delivered in order by one goroutine at a time (the same contract as
+// trace.ParallelAnalyzer). Finish is reflect.DeepEqual-identical to the
+// sequential Collector on the same stream.
+type ParallelCollector struct {
+	mu      sync.Mutex
+	threads map[int]*threadCollector
+}
+
+// NewParallelCollector returns an empty parallel collector.
+func NewParallelCollector() *ParallelCollector {
+	return &ParallelCollector{threads: make(map[int]*threadCollector)}
+}
+
+// ObserveBatch feeds one in-order run of thread tid's events. The lock
+// covers only the shard lookup; the scan runs unlocked under the
+// per-thread serialization contract. The batch slice is not retained.
+func (p *ParallelCollector) ObserveBatch(tid int, events []trace.Event) {
+	p.mu.Lock()
+	tc, ok := p.threads[tid]
+	if !ok {
+		tc = &threadCollector{tid: tid}
+		p.threads[tid] = tc
+	}
+	p.mu.Unlock()
+	for i := range events {
+		tc.observe(events[i])
+	}
+}
+
+// ObserveBatchQuery is ObserveBatch restricted to events matching q.
+// Like trace.ParallelAnalyzer.ObserveBatchQuery, the thread's state is
+// created lazily on the first matching event so threads the query
+// excludes never surface in PerThread.
+func (p *ParallelCollector) ObserveBatchQuery(tid int, events []trace.Event, q trace.Query) {
+	if !q.MatchThread(tid) {
+		return
+	}
+	if !q.Windowed {
+		p.ObserveBatch(tid, events)
+		return
+	}
+	var tc *threadCollector
+	for i := range events {
+		if !q.MatchTime(events[i].Time) {
+			continue
+		}
+		if tc == nil {
+			p.mu.Lock()
+			tc = p.threads[tid]
+			if tc == nil {
+				tc = &threadCollector{tid: tid}
+				p.threads[tid] = tc
+			}
+			p.mu.Unlock()
+		}
+		tc.observe(events[i])
+	}
+}
+
+// Finish runs classification and returns the analysis. All ObserveBatch
+// calls must have completed; the collector must not be reused.
+func (p *ParallelCollector) Finish() *Analysis { return finishCollectors(p.threads) }
+
+// Analyze runs the bottleneck analysis over an in-memory trace.
+func Analyze(tr *trace.Trace) *Analysis {
+	c := NewCollector()
+	for tid, events := range tr.Threads {
+		for i := range events {
+			c.Observe(tid, events[i])
+		}
+	}
+	return c.Finish()
+}
+
+// AnalyzeQuery analyzes the sub-trace matching q using up to workers
+// goroutines (one per thread at a time; workers <= 0 uses GOMAXPROCS).
+// The result is reflect.DeepEqual-identical at every worker count.
+func AnalyzeQuery(tr *trace.Trace, q trace.Query, workers int) *Analysis {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(tr.Threads) <= 1 {
+		c := NewCollector()
+		for tid, events := range tr.Threads {
+			for i := range events {
+				c.ObserveQuery(tid, events[i], q)
+			}
+		}
+		return c.Finish()
+	}
+	pc := NewParallelCollector()
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for tid, events := range tr.Threads {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(tid int, events []trace.Event) {
+			defer wg.Done()
+			pc.ObserveBatchQuery(tid, events, q)
+			<-sem
+		}(tid, events)
+	}
+	wg.Wait()
+	return pc.Finish()
+}

@@ -1,0 +1,396 @@
+package bottleneck
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/analyze"
+	"repro/internal/region"
+	"repro/internal/trace"
+)
+
+// lateSpawnTrace plants one late spawner: thread 0 publishes task 1 at
+// t=250 while thread 1 has been ready at its taskwait since t=110. The
+// victim's dispatch gap [110,300) therefore overlaps the creation up to
+// t=250: 140 ns of late-spawn wait, 50 ns of plain dispatch.
+func lateSpawnTrace() *trace.Trace {
+	reg := region.NewRegistry()
+	task := reg.Register("spawn.task", "s.go", 1, region.Task)
+	tw := reg.Register("spawn.tw", "s.go", 2, region.Taskwait)
+	return &trace.Trace{Threads: map[int][]trace.Event{
+		0: {
+			{Time: 100, Type: trace.EvThreadBegin},
+			{Time: 200, Type: trace.EvTaskCreateBegin, Region: task},
+			{Time: 250, Type: trace.EvTaskCreateEnd, Region: task, TaskID: 1},
+			{Time: 260, Type: trace.EvEnter, Region: tw},
+			{Time: 265, Type: trace.EvExit, Region: tw},
+			{Time: 270, Type: trace.EvThreadEnd},
+		},
+		1: {
+			{Time: 100, Type: trace.EvThreadBegin},
+			{Time: 110, Type: trace.EvEnter, Region: tw},
+			{Time: 300, Type: trace.EvTaskBegin, Region: task, TaskID: 1},
+			{Time: 350, Type: trace.EvTaskEnd, Region: task, TaskID: 1},
+			{Time: 360, Type: trace.EvExit, Region: tw},
+			{Time: 370, Type: trace.EvThreadEnd},
+		},
+	}}
+}
+
+func TestLateSpawnClassification(t *testing.T) {
+	a := Analyze(lateSpawnTrace())
+
+	want := []WaitState{{
+		Kind: analyze.LateTaskSpawn, Thread: 1, CauseThread: 0,
+		Region: "spawn.task", Time: 140, Count: 1,
+	}}
+	if !reflect.DeepEqual(a.WaitStates, want) {
+		t.Fatalf("wait states = %+v, want %+v", a.WaitStates, want)
+	}
+
+	tw1 := a.PerThread[1]
+	if tw1.LateSpawnWait != 140 || tw1.PlainDispatchWait != 50 {
+		t.Fatalf("thread 1 waits = %+v, want late 140 plain 50", tw1)
+	}
+	if tw1.UnclassifiedIdle != 10 { // trailing [350,360] in the taskwait
+		t.Fatalf("thread 1 unclassified idle = %d, want 10", tw1.UnclassifiedIdle)
+	}
+
+	// Critical path: thread 1 finishes last at 370; the walk crosses
+	// the spawn edge back to thread 0's creation at 250.
+	cp := a.CriticalPath
+	if cp.Length != 270 || cp.SpawnWait != 50 || cp.JoinWait != 0 || cp.Other != 0 {
+		t.Fatalf("critical path = %+v, want length 270 spawn 50", cp)
+	}
+	wantRegions := []PathRegion{
+		{Region: ImplicitRegion, Time: 170, Share: 170.0 / 270.0, WhatIf10: 17, WhatIf25: 42, WhatIf50: 85},
+		{Region: "spawn.task", Time: 50, Share: 50.0 / 270.0, WhatIf10: 5, WhatIf25: 12, WhatIf50: 25},
+	}
+	if !reflect.DeepEqual(cp.Regions, wantRegions) {
+		t.Fatalf("path regions = %+v, want %+v", cp.Regions, wantRegions)
+	}
+	pathSum := cp.SpawnWait + cp.JoinWait + cp.Other
+	for _, pr := range cp.Regions {
+		pathSum += pr.Time
+	}
+	if pathSum != cp.Length {
+		t.Fatalf("path partition %d != length %d", pathSum, cp.Length)
+	}
+
+	assertFinding(t, a.Findings, analyze.LateTaskSpawn, "spawn.task", &analyze.Attribution{
+		Victim: 1, CauseThread: 0, CauseRegion: "spawn.task", WaitNs: 140,
+	})
+	assertFinding(t, a.Findings, analyze.CriticalPathHotspot, "spawn.task", nil)
+}
+
+// starvedThiefTrace plants one starved thief: thread 0 creates tasks 1
+// (hoardA, pending [120,150)) and 2 (hoardB, pending [130,210)) and
+// runs both itself while thread 1 idles in its taskwait [130,250].
+// 80 ns of that idle overlaps pending work held by thread 0.
+func starvedThiefTrace() *trace.Trace {
+	reg := region.NewRegistry()
+	taskA := reg.Register("hoardA.task", "h.go", 1, region.Task)
+	taskB := reg.Register("hoardB.task", "h.go", 2, region.Task)
+	tw := reg.Register("hoard.tw", "h.go", 3, region.Taskwait)
+	return &trace.Trace{Threads: map[int][]trace.Event{
+		0: {
+			{Time: 100, Type: trace.EvThreadBegin},
+			{Time: 110, Type: trace.EvTaskCreateBegin, Region: taskA},
+			{Time: 120, Type: trace.EvTaskCreateEnd, Region: taskA, TaskID: 1},
+			{Time: 125, Type: trace.EvTaskCreateBegin, Region: taskB},
+			{Time: 130, Type: trace.EvTaskCreateEnd, Region: taskB, TaskID: 2},
+			{Time: 140, Type: trace.EvEnter, Region: tw},
+			{Time: 150, Type: trace.EvTaskBegin, Region: taskA, TaskID: 1},
+			{Time: 200, Type: trace.EvTaskEnd, Region: taskA, TaskID: 1},
+			{Time: 210, Type: trace.EvTaskBegin, Region: taskB, TaskID: 2},
+			{Time: 260, Type: trace.EvTaskEnd, Region: taskB, TaskID: 2},
+			{Time: 270, Type: trace.EvExit, Region: tw},
+			{Time: 280, Type: trace.EvThreadEnd},
+		},
+		1: {
+			{Time: 100, Type: trace.EvThreadBegin},
+			{Time: 130, Type: trace.EvEnter, Region: tw},
+			{Time: 250, Type: trace.EvExit, Region: tw},
+			{Time: 255, Type: trace.EvThreadEnd},
+		},
+	}}
+}
+
+func TestStarvedThiefClassification(t *testing.T) {
+	a := Analyze(starvedThiefTrace())
+
+	// The cause region is the single most-overlapping pending task:
+	// hoardB (80 ns) over hoardA (20 ns).
+	want := []WaitState{{
+		Kind: analyze.StarvedThief, Thread: 1, CauseThread: 0,
+		Region: "hoardB.task", Time: 80, Count: 1,
+	}}
+	if !reflect.DeepEqual(a.WaitStates, want) {
+		t.Fatalf("wait states = %+v, want %+v", a.WaitStates, want)
+	}
+
+	tw1 := a.PerThread[1]
+	if tw1.StarvedWait != 80 || tw1.UnclassifiedIdle != 40 {
+		t.Fatalf("thread 1 waits = %+v, want starved 80 unclassified 40", tw1)
+	}
+	// The hoarder's own dispatch gaps are plain: self-created tasks are
+	// never late-spawn waits.
+	tw0 := a.PerThread[0]
+	if tw0.LateSpawnWait != 0 || tw0.PlainDispatchWait != 20 || tw0.StarvedWait != 0 {
+		t.Fatalf("thread 0 waits = %+v, want plain 20 only", tw0)
+	}
+
+	assertFinding(t, a.Findings, analyze.StarvedThief, "hoardB.task", &analyze.Attribution{
+		Victim: 1, CauseThread: 0, CauseRegion: "hoardB.task", WaitNs: 80,
+	})
+}
+
+// skewedBarrierTrace plants a skewed barrier: threads 0/1/2 arrive at
+// 200/300/500 and all leave at 510. Thread 2 is the last arriver every
+// earlier thread waits for.
+func skewedBarrierTrace() *trace.Trace {
+	reg := region.NewRegistry()
+	bar := reg.Register("skew.bar", "b.go", 1, region.Barrier)
+	tr := &trace.Trace{Threads: make(map[int][]trace.Event)}
+	arrivals := []int64{200, 300, 500}
+	for tid, arr := range arrivals {
+		tr.Threads[tid] = []trace.Event{
+			{Time: 100, Type: trace.EvThreadBegin},
+			{Time: arr, Type: trace.EvEnter, Region: bar},
+			{Time: 510, Type: trace.EvExit, Region: bar},
+			{Time: 520, Type: trace.EvThreadEnd},
+		}
+	}
+	return tr
+}
+
+func TestBarrierImbalanceClassification(t *testing.T) {
+	a := Analyze(skewedBarrierTrace())
+
+	wantBarriers := []BarrierInstance{{
+		Region: "skew.bar", Ordinal: 0, Threads: 3,
+		FirstArrival: 200, LastArrival: 500, LastThread: 2, Skew: 300,
+	}}
+	if !reflect.DeepEqual(a.Barriers, wantBarriers) {
+		t.Fatalf("barriers = %+v, want %+v", a.Barriers, wantBarriers)
+	}
+
+	want := []WaitState{
+		{Kind: analyze.BarrierImbalance, Thread: 0, CauseThread: 2, Region: "skew.bar", Time: 300, Count: 1},
+		{Kind: analyze.BarrierImbalance, Thread: 1, CauseThread: 2, Region: "skew.bar", Time: 200, Count: 1},
+	}
+	if !reflect.DeepEqual(a.WaitStates, want) {
+		t.Fatalf("wait states = %+v, want %+v", a.WaitStates, want)
+	}
+	for tid, wantWait := range map[int]int64{0: 300, 1: 200, 2: 0} {
+		if got := a.PerThread[tid].BarrierWait; got != wantWait {
+			t.Fatalf("thread %d barrier wait = %d, want %d", tid, got, wantWait)
+		}
+		// [lastArrival, exit] release tails stay unclassified.
+		if got := a.PerThread[tid].UnclassifiedIdle; got != 10 {
+			t.Fatalf("thread %d unclassified idle = %d, want 10", tid, got)
+		}
+	}
+
+	// The walk hands off through the barrier to the last arriver:
+	// 10 ns release overhead, the rest implicit-task time.
+	cp := a.CriticalPath
+	if cp.Length != 420 || cp.Other != 10 || cp.SpawnWait != 0 || cp.JoinWait != 0 {
+		t.Fatalf("critical path = %+v, want length 420 other 10", cp)
+	}
+	if len(cp.Regions) != 1 || cp.Regions[0].Region != ImplicitRegion || cp.Regions[0].Time != 410 {
+		t.Fatalf("path regions = %+v, want implicit 410", cp.Regions)
+	}
+
+	// The finding aggregates both victims: Victim collapses to -1.
+	assertFinding(t, a.Findings, analyze.BarrierImbalance, "skew.bar", &analyze.Attribution{
+		Victim: -1, CauseThread: 2, CauseRegion: "skew.bar", WaitNs: 500,
+	})
+}
+
+func assertFinding(t *testing.T, findings []analyze.Finding, kind analyze.Kind, construct string, attr *analyze.Attribution) {
+	t.Helper()
+	for _, f := range findings {
+		if f.Kind != kind {
+			continue
+		}
+		if f.Construct != construct {
+			t.Fatalf("%v finding construct = %q, want %q", kind, f.Construct, construct)
+		}
+		if attr != nil && !reflect.DeepEqual(f.Attribution, attr) {
+			t.Fatalf("%v attribution = %+v, want %+v", kind, f.Attribution, attr)
+		}
+		if f.Severity < 0 || f.Severity > 1 {
+			t.Fatalf("%v severity %f out of [0,1]", kind, f.Severity)
+		}
+		return
+	}
+	t.Fatalf("no %v finding in %+v", kind, findings)
+}
+
+// TestParallelMatchesSequential is the determinism property: the
+// sharded collector must be reflect.DeepEqual-identical to the
+// sequential one at every worker count, on every planted scenario and
+// on a larger mixed trace.
+func TestParallelMatchesSequential(t *testing.T) {
+	traces := map[string]*trace.Trace{
+		"late-spawn":  lateSpawnTrace(),
+		"starved":     starvedThiefTrace(),
+		"barrier":     skewedBarrierTrace(),
+		"mixed-large": mixedTrace(8, 200),
+	}
+	for name, tr := range traces {
+		want := Analyze(tr)
+		for _, workers := range []int{0, 1, 2, 4, 8} {
+			got := AnalyzeQuery(tr, trace.Query{}, workers)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%s workers=%d: parallel bottleneck analysis diverges\n got %+v\nwant %+v",
+					name, workers, got, want)
+			}
+		}
+	}
+}
+
+// mixedTrace builds a many-thread trace exercising every event type:
+// per-thread task lifecycles under a taskwait inside a parallel region.
+func mixedTrace(threads, tasks int) *trace.Trace {
+	reg := region.NewRegistry()
+	par := reg.Register("m.par", "m.go", 1, region.Parallel)
+	task := reg.Register("m.task", "m.go", 2, region.Task)
+	tw := reg.Register("m.tw", "m.go", 3, region.Taskwait)
+	tr := &trace.Trace{Threads: make(map[int][]trace.Event)}
+	var id uint64
+	for t := 0; t < threads; t++ {
+		ts := int64(100 * t)
+		tick := func(d int64) int64 { ts += d; return ts }
+		evs := []trace.Event{
+			{Time: tick(1), Type: trace.EvThreadBegin},
+			{Time: tick(2), Type: trace.EvEnter, Region: par},
+			{Time: tick(3), Type: trace.EvEnter, Region: tw},
+		}
+		for i := 0; i < tasks; i++ {
+			id++
+			evs = append(evs,
+				trace.Event{Time: tick(2), Type: trace.EvTaskCreateBegin, Region: task},
+				trace.Event{Time: tick(5), Type: trace.EvTaskCreateEnd, Region: task, TaskID: id},
+				trace.Event{Time: tick(1), Type: trace.EvTaskBegin, Region: task, TaskID: id},
+				trace.Event{Time: tick(int64(7 + i%11)), Type: trace.EvTaskEnd, Region: task, TaskID: id},
+				trace.Event{Time: tick(1), Type: trace.EvTaskSwitch},
+			)
+		}
+		evs = append(evs,
+			trace.Event{Time: tick(4), Type: trace.EvExit, Region: tw},
+			trace.Event{Time: tick(1), Type: trace.EvExit, Region: par},
+			trace.Event{Time: tick(1), Type: trace.EvThreadEnd},
+		)
+		tr.Threads[t] = evs
+	}
+	return tr
+}
+
+// TestSharedSyncCoverage proves the satellite-2 contract: the
+// bottleneck collector's wait partition reconciles exactly with the
+// trace analyzer's aggregate dispatch latency and idle-in-sync, because
+// both drive the same SyncCoverage state machine.
+func TestSharedSyncCoverage(t *testing.T) {
+	for name, tr := range map[string]*trace.Trace{
+		"late-spawn": lateSpawnTrace(),
+		"starved":    starvedThiefTrace(),
+		"barrier":    skewedBarrierTrace(),
+		"mixed":      mixedTrace(4, 50),
+	} {
+		ta := trace.Analyze(tr)
+		ba := Analyze(tr)
+		for tid, th := range ta.PerThread {
+			bw := ba.PerThread[tid]
+			if bw == nil {
+				bw = &ThreadWaits{ThreadID: tid}
+			}
+			if got, want := bw.LateSpawnWait+bw.PlainDispatchWait, th.DispatchLatency.Sum; got != want {
+				t.Fatalf("%s thread %d: dispatch partition %d != DispatchLatency %d", name, tid, got, want)
+			}
+			if got, want := bw.StarvedWait+bw.BarrierWait+bw.UnclassifiedIdle, th.IdleInSync; got != want {
+				t.Fatalf("%s thread %d: idle partition %d != IdleInSync %d", name, tid, got, want)
+			}
+		}
+	}
+}
+
+// TestQuerySubsetsMatchFiltered checks window/thread queries equal
+// filter-then-analyze, the same reference semantics trace.AnalyzeQuery
+// guarantees.
+func TestQuerySubsetsMatchFiltered(t *testing.T) {
+	tr := mixedTrace(4, 30)
+	queries := []trace.Query{
+		{},
+		{Threads: []int{1, 3}},
+		{MinTime: 150, MaxTime: 900, Windowed: true},
+		{MinTime: 200, MaxTime: 2000, Windowed: true, Threads: []int{0, 2}},
+	}
+	for _, q := range queries {
+		want := Analyze(q.Filter(tr))
+		for _, workers := range []int{1, 4} {
+			if got := AnalyzeQuery(tr, q, workers); !reflect.DeepEqual(want, got) {
+				t.Fatalf("query %v workers=%d diverges from filter-then-analyze", q, workers)
+			}
+		}
+	}
+}
+
+func TestMergeFleet(t *testing.T) {
+	shards := map[string]*Analysis{
+		"fib":  Analyze(lateSpawnTrace()),
+		"sort": Analyze(skewedBarrierTrace()),
+	}
+	fs := MergeFleet(shards)
+	if fs.Shards != 2 {
+		t.Fatalf("shards = %d, want 2", fs.Shards)
+	}
+	byKind := make(map[analyze.Kind]FleetKindTotal)
+	for _, kt := range fs.Kinds {
+		byKind[kt.Kind] = kt
+	}
+	if kt := byKind[analyze.LateTaskSpawn]; kt.Time != 140 || kt.WorstShard != "fib" {
+		t.Fatalf("late-spawn fleet total = %+v, want 140 from fib", kt)
+	}
+	if kt := byKind[analyze.BarrierImbalance]; kt.Time != 500 || kt.WorstShard != "sort" {
+		t.Fatalf("barrier fleet total = %+v, want 500 from sort", kt)
+	}
+	// Longest critical path: barrier trace (420) vs late-spawn (270).
+	if fs.LongestPathShard != "sort" || fs.LongestPathLength != 420 {
+		t.Fatalf("longest path = %s/%d, want sort/420", fs.LongestPathShard, fs.LongestPathLength)
+	}
+
+	var sb strings.Builder
+	fs.Format(&sb)
+	for _, want := range []string{"fleet bottleneck summary", "LATE_TASK_SPAWN", "worst shard fib", "longest critical path: shard sort"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("fleet format missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestFormatSmoke(t *testing.T) {
+	a := Analyze(lateSpawnTrace())
+	var sb strings.Builder
+	a.Format(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"bottleneck analysis", "LATE_TASK_SPAWN", "critical path",
+		"what-if", "per-thread waits", "bottleneck findings",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	a := Analyze(&trace.Trace{Threads: map[int][]trace.Event{}})
+	if a.Threads != 0 || len(a.WaitStates) != 0 || len(a.Findings) != 0 {
+		t.Fatalf("empty trace analysis = %+v", a)
+	}
+	var sb strings.Builder
+	a.Format(&sb) // must not panic
+}

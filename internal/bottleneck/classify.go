@@ -1,0 +1,581 @@
+package bottleneck
+
+import (
+	"sort"
+
+	"repro/internal/analyze"
+)
+
+// taskInfo is the merged cross-thread view of one task instance.
+type taskInfo struct {
+	id          uint64
+	region      string
+	creator     int
+	createBegin int64
+	createEnd   int64
+	created     bool
+	beginThread int
+	firstBegin  int64
+	hasBegin    bool
+	endThread   int
+	end         int64
+	hasEnd      bool
+}
+
+// pendingWindow is a task's created-but-unstarted span.
+type pendingWindow struct {
+	task    uint64
+	creator int
+	region  string
+	start   int64 // createEnd
+	end     int64 // firstBegin, or analysis end when never begun
+}
+
+// finishCollectors merges the per-thread raw material and runs
+// classification and critical-path reconstruction. Every loop iterates
+// threads in sorted-tid order and uses deterministic tie-breaks, so the
+// result is identical regardless of observation sharding.
+func finishCollectors(threads map[int]*threadCollector) *Analysis {
+	a := &Analysis{PerThread: make(map[int]*ThreadWaits)}
+
+	tids := make([]int, 0, len(threads))
+	for tid := range threads {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	a.Threads = len(tids)
+	if len(tids) == 0 {
+		a.CriticalPath.Regions = []PathRegion{}
+		a.WaitStates = []WaitState{}
+		a.Barriers = []BarrierInstance{}
+		a.Findings = []analyze.Finding{}
+		return a
+	}
+
+	first := true
+	for _, tid := range tids {
+		tc := threads[tid]
+		if !tc.firstValid {
+			continue
+		}
+		if first || tc.firstTime < a.StartTime {
+			a.StartTime = tc.firstTime
+		}
+		if first || tc.lastTime > a.EndTime {
+			a.EndTime = tc.lastTime
+		}
+		first = false
+	}
+	a.WallTime = a.EndTime - a.StartTime
+
+	tasks := mergeTasks(threads, tids)
+	waits := newWaitTally()
+
+	classifyDispatchGaps(a, threads, tids, tasks, waits)
+	instances, visitIndex := matchBarriers(a, threads, tids)
+	classifyIdle(a, threads, tids, tasks, instances, waits)
+
+	a.WaitStates = waits.sorted()
+	buildCriticalPath(a, threads, tids, tasks, instances, visitIndex)
+	a.Findings = emitFindings(a)
+	return a
+}
+
+// mergeTasks builds the global task table from all threads' create,
+// begin and end stamps. Iteration is in sorted-tid order; duplicate
+// records for one task id (malformed or windowed traces) keep the first
+// seen in that order.
+func mergeTasks(threads map[int]*threadCollector, tids []int) map[uint64]*taskInfo {
+	tasks := make(map[uint64]*taskInfo)
+	get := func(id uint64) *taskInfo {
+		ti, ok := tasks[id]
+		if !ok {
+			ti = &taskInfo{id: id, region: UnknownRegion, creator: -1, beginThread: -1, endThread: -1}
+			tasks[id] = ti
+		}
+		return ti
+	}
+	for _, tid := range tids {
+		tc := threads[tid]
+		for i := range tc.created {
+			c := &tc.created[i]
+			ti := get(c.id)
+			if !ti.created {
+				ti.created = true
+				ti.creator = tid
+				ti.createBegin = c.begin
+				ti.createEnd = c.end
+				ti.region = c.region
+			}
+		}
+		for _, b := range tc.begins {
+			ti := get(b.id)
+			if !ti.hasBegin {
+				ti.hasBegin = true
+				ti.beginThread = tid
+				ti.firstBegin = b.time
+			}
+		}
+		for _, e := range tc.ends {
+			ti := get(e.id)
+			// Keep the latest end: a task may be suspended and resumed,
+			// but EvTaskEnd is terminal, so any duplicate means a
+			// malformed stream — the latest is the safest completion.
+			if !ti.hasEnd || e.time > ti.end {
+				ti.hasEnd = true
+				ti.endThread = tid
+				ti.end = e.time
+			}
+		}
+	}
+	return tasks
+}
+
+// waitTally aggregates classified waits per (kind, victim, cause,
+// region).
+type waitTally struct {
+	m map[waitKey]*WaitState
+}
+
+type waitKey struct {
+	kind        analyze.Kind
+	thread      int
+	causeThread int
+	region      string
+}
+
+func newWaitTally() *waitTally { return &waitTally{m: make(map[waitKey]*WaitState)} }
+
+func (t *waitTally) add(kind analyze.Kind, victim, cause int, region string, d int64) {
+	if d <= 0 {
+		return
+	}
+	k := waitKey{kind, victim, cause, region}
+	ws, ok := t.m[k]
+	if !ok {
+		ws = &WaitState{Kind: kind, Thread: victim, CauseThread: cause, Region: region}
+		t.m[k] = ws
+	}
+	ws.Time += d
+	ws.Count++
+}
+
+func (t *waitTally) sorted() []WaitState {
+	out := make([]WaitState, 0, len(t.m))
+	for _, ws := range t.m {
+		out = append(out, *ws)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Thread != b.Thread {
+			return a.Thread < b.Thread
+		}
+		if a.CauseThread != b.CauseThread {
+			return a.CauseThread < b.CauseThread
+		}
+		return a.Region < b.Region
+	})
+	return out
+}
+
+// classifyDispatchGaps splits every dispatch gap into a late-spawn
+// portion (the gap overlapped the spawned task's creation, and the
+// creator is a different thread) and a plain-dispatch remainder.
+//
+// Detection rule: for a gap [g.start, g.end) on victim w ending at the
+// FIRST begin of task T, with T created by thread c != w and
+// g.start < T.createEnd, the span [g.start, min(T.createEnd, g.end)] is
+// LateTaskSpawn wait caused by c on T's region. Everything else —
+// resume gaps, self-created tasks, tasks whose creation fell outside
+// the window — is plain dispatch latency.
+func classifyDispatchGaps(a *Analysis, threads map[int]*threadCollector, tids []int, tasks map[uint64]*taskInfo, waits *waitTally) {
+	for _, tid := range tids {
+		tc := threads[tid]
+		tw := perThread(a, tid)
+		for _, g := range tc.gaps {
+			gapLen := g.end - g.start
+			if gapLen <= 0 {
+				continue
+			}
+			late := int64(0)
+			var ti *taskInfo
+			if g.firstBegin {
+				ti = tasks[g.task]
+			}
+			if ti != nil && ti.created && ti.creator != tid && g.start < ti.createEnd {
+				lateEnd := ti.createEnd
+				if lateEnd > g.end {
+					lateEnd = g.end
+				}
+				late = lateEnd - g.start
+				waits.add(analyze.LateTaskSpawn, tid, ti.creator, ti.region, late)
+			}
+			tw.LateSpawnWait += late
+			tw.PlainDispatchWait += gapLen - late
+		}
+	}
+}
+
+// matchBarriers matches the per-thread barrier visits into collective
+// instances: the n-th visit of each thread to the same barrier region
+// (by full descriptor) forms instance n. Instances with at least two
+// participants are collective; Skew is the arrival spread and
+// LastThread the last arriver (ties: smallest tid).
+//
+// Taskwait regions are thread-local synchronization and are not
+// collectively matched.
+func matchBarriers(a *Analysis, threads map[int]*threadCollector, tids []int) (map[instanceKey]*instance, map[int][]visitRef) {
+	type visit struct {
+		tid         int
+		enter, exit int64
+	}
+	byKey := make(map[instanceKey][]visit)
+	names := make(map[string]string)
+	for _, tid := range tids {
+		ordinal := make(map[string]int)
+		tc := threads[tid]
+		for _, bv := range tc.barriers {
+			n := ordinal[bv.key]
+			ordinal[bv.key] = n + 1
+			k := instanceKey{region: bv.key, ordinal: n}
+			byKey[k] = append(byKey[k], visit{tid, bv.enter, bv.exit})
+			names[bv.key] = bv.name
+		}
+	}
+
+	instances := make(map[instanceKey]*instance)
+	visitIndex := make(map[int][]visitRef)
+	keys := make([]instanceKey, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].region != keys[j].region {
+			return keys[i].region < keys[j].region
+		}
+		return keys[i].ordinal < keys[j].ordinal
+	})
+	for _, k := range keys {
+		vs := byKey[k]
+		if len(vs) < 2 {
+			continue
+		}
+		inst := &instance{key: k, name: names[k.region]}
+		inst.firstArrival = vs[0].enter
+		inst.lastArrival = vs[0].enter
+		inst.lastThread = vs[0].tid
+		inst.arrivals = make(map[int]int64, len(vs))
+		inst.exits = make(map[int]int64, len(vs))
+		for _, v := range vs {
+			inst.arrivals[v.tid] = v.enter
+			inst.exits[v.tid] = v.exit
+			if v.enter < inst.firstArrival {
+				inst.firstArrival = v.enter
+			}
+			if v.enter > inst.lastArrival {
+				inst.lastArrival = v.enter
+				inst.lastThread = v.tid
+			}
+		}
+		// Deterministic last-arriver tie-break: smallest tid among the
+		// latest arrivals.
+		for _, v := range vs {
+			if v.enter == inst.lastArrival && v.tid < inst.lastThread {
+				inst.lastThread = v.tid
+			}
+		}
+		instances[k] = inst
+		for _, v := range vs {
+			visitIndex[v.tid] = append(visitIndex[v.tid], visitRef{inst: inst, enter: v.enter, exit: v.exit})
+		}
+		a.Barriers = append(a.Barriers, BarrierInstance{
+			Region:       inst.name,
+			Ordinal:      k.ordinal,
+			Threads:      len(vs),
+			FirstArrival: inst.firstArrival,
+			LastArrival:  inst.lastArrival,
+			LastThread:   inst.lastThread,
+			Skew:         inst.lastArrival - inst.firstArrival,
+		})
+	}
+	if a.Barriers == nil {
+		a.Barriers = []BarrierInstance{}
+	}
+	for tid := range visitIndex {
+		refs := visitIndex[tid]
+		sort.Slice(refs, func(i, j int) bool { return refs[i].exit < refs[j].exit })
+	}
+	return instances, visitIndex
+}
+
+type instanceKey struct {
+	region  string
+	ordinal int
+}
+
+type instance struct {
+	key          instanceKey
+	name         string
+	firstArrival int64
+	lastArrival  int64
+	lastThread   int
+	arrivals     map[int]int64
+	exits        map[int]int64
+}
+
+// visitRef ties one thread's barrier visit to its matched instance,
+// sorted by exit time per thread for the critical-path walk.
+type visitRef struct {
+	inst        *instance
+	enter, exit int64
+}
+
+// classifyIdle splits every idle span inside a sync region into a
+// starved-thief portion (overlap with another thread's
+// created-but-unstarted tasks), a barrier-imbalance portion (the
+// remainder that falls between this thread's arrival and the last
+// arrival of a matched barrier instance), and unclassified idle.
+// Starved-thief takes precedence over barrier imbalance: work that
+// existed but was not distributed is the actionable diagnosis.
+func classifyIdle(a *Analysis, threads map[int]*threadCollector, tids []int, tasks map[uint64]*taskInfo, instances map[instanceKey]*instance, waits *waitTally) {
+	// Pending windows, sorted by start, for the sweep.
+	var pending []pendingWindow
+	taskIDs := make([]uint64, 0, len(tasks))
+	for id := range tasks {
+		taskIDs = append(taskIDs, id)
+	}
+	sort.Slice(taskIDs, func(i, j int) bool { return taskIDs[i] < taskIDs[j] })
+	for _, id := range taskIDs {
+		ti := tasks[id]
+		if !ti.created {
+			continue
+		}
+		end := a.EndTime
+		if ti.hasBegin {
+			end = ti.firstBegin
+		}
+		if end <= ti.createEnd {
+			continue
+		}
+		pending = append(pending, pendingWindow{
+			task: id, creator: ti.creator, region: ti.region, start: ti.createEnd, end: end,
+		})
+	}
+	sort.Slice(pending, func(i, j int) bool {
+		if pending[i].start != pending[j].start {
+			return pending[i].start < pending[j].start
+		}
+		return pending[i].task < pending[j].task
+	})
+
+	for _, tid := range tids {
+		tc := threads[tid]
+		tw := perThread(a, tid)
+		// Barrier wait windows for this thread: [arrival, lastArrival]
+		// of every matched instance it participated in where it was not
+		// the last arriver.
+		var barWins []span
+		for _, inst := range instancesFor(instances, tid) {
+			arr := inst.arrivals[tid]
+			if inst.lastThread != tid && inst.lastArrival > arr {
+				barWins = append(barWins, span{arr, inst.lastArrival})
+			}
+		}
+		sort.Slice(barWins, func(i, j int) bool { return barWins[i].start < barWins[j].start })
+
+		next := 0
+		var active []pendingWindow
+		for _, idle := range tc.idles {
+			idleLen := idle.end - idle.start
+			if idleLen <= 0 {
+				continue
+			}
+			// Sweep pending windows into the active set.
+			for next < len(pending) && pending[next].start < idle.end {
+				active = append(active, pending[next])
+				next++
+			}
+			// Prune windows that ended before this idle span.
+			live := active[:0]
+			for _, pw := range active {
+				if pw.end > idle.start {
+					live = append(live, pw)
+				}
+			}
+			active = live
+
+			// Starved-thief: overlap with other threads' pending tasks.
+			// The classified portion is the union of the overlaps; the
+			// cause is the creator with the largest summed overlap, the
+			// region its single most-overlapping task.
+			var overlaps []span
+			perCreator := make(map[int]int64)
+			bestTask := make(map[int]*pendingWindow)
+			bestTaskOv := make(map[int]int64)
+			for i := range active {
+				pw := &active[i]
+				if pw.creator == tid || pw.creator < 0 {
+					continue
+				}
+				ov := overlap(idle, span{pw.start, pw.end})
+				if ov.end <= ov.start {
+					continue
+				}
+				overlaps = append(overlaps, ov)
+				d := ov.end - ov.start
+				perCreator[pw.creator] += d
+				if d > bestTaskOv[pw.creator] || (d == bestTaskOv[pw.creator] && bestTask[pw.creator] != nil && pw.task < bestTask[pw.creator].task) {
+					bestTaskOv[pw.creator] = d
+					bestTask[pw.creator] = pw
+				}
+			}
+			merged := mergeSpans(overlaps)
+			var starved int64
+			for _, s := range merged {
+				starved += s.end - s.start
+			}
+			if starved > 0 {
+				cause := -1
+				var causeTime int64
+				creators := make([]int, 0, len(perCreator))
+				for c := range perCreator {
+					creators = append(creators, c)
+				}
+				sort.Ints(creators)
+				for _, c := range creators {
+					if perCreator[c] > causeTime {
+						causeTime = perCreator[c]
+						cause = c
+					}
+				}
+				reg := UnknownRegion
+				if bt := bestTask[cause]; bt != nil {
+					reg = bt.region
+				}
+				waits.add(analyze.StarvedThief, tid, cause, reg, starved)
+				tw.StarvedWait += starved
+			}
+
+			// Barrier imbalance: the unclaimed remainder intersected
+			// with this thread's barrier wait windows.
+			remainder := subtractSpans(idle, merged)
+			var barrier int64
+			for _, r := range remainder {
+				for _, bw := range barWins {
+					ov := overlap(r, bw)
+					if ov.end > ov.start {
+						barrier += ov.end - ov.start
+					}
+				}
+			}
+			if barrier > 0 {
+				// Attribute to the instance containing the idle span's
+				// start (deterministic: windows are per-thread disjoint
+				// in well-formed traces; first match wins).
+				cause, reg := barrierCause(instances, tid, idle)
+				waits.add(analyze.BarrierImbalance, tid, cause, reg, barrier)
+				tw.BarrierWait += barrier
+			}
+
+			tw.UnclassifiedIdle += idleLen - starved - barrier
+		}
+	}
+}
+
+// instancesFor lists the matched instances thread tid participated in,
+// in deterministic key order.
+func instancesFor(instances map[instanceKey]*instance, tid int) []*instance {
+	keys := make([]instanceKey, 0, len(instances))
+	for k, inst := range instances {
+		if _, ok := inst.arrivals[tid]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].region != keys[j].region {
+			return keys[i].region < keys[j].region
+		}
+		return keys[i].ordinal < keys[j].ordinal
+	})
+	out := make([]*instance, len(keys))
+	for i, k := range keys {
+		out[i] = instances[k]
+	}
+	return out
+}
+
+// barrierCause names the last arriver and region of the instance whose
+// wait window overlaps the idle span (first in key order).
+func barrierCause(instances map[instanceKey]*instance, tid int, idle span) (int, string) {
+	for _, inst := range instancesFor(instances, tid) {
+		arr := inst.arrivals[tid]
+		if inst.lastThread == tid {
+			continue
+		}
+		if ov := overlap(idle, span{arr, inst.lastArrival}); ov.end > ov.start {
+			return inst.lastThread, inst.name
+		}
+	}
+	return -1, ""
+}
+
+func perThread(a *Analysis, tid int) *ThreadWaits {
+	tw, ok := a.PerThread[tid]
+	if !ok {
+		tw = &ThreadWaits{ThreadID: tid}
+		a.PerThread[tid] = tw
+	}
+	return tw
+}
+
+func overlap(a, b span) span {
+	s, e := a.start, a.end
+	if b.start > s {
+		s = b.start
+	}
+	if b.end < e {
+		e = b.end
+	}
+	return span{s, e}
+}
+
+// mergeSpans unions possibly-overlapping spans into disjoint ones.
+func mergeSpans(spans []span) []span {
+	if len(spans) == 0 {
+		return nil
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+	out := spans[:1]
+	for _, s := range spans[1:] {
+		last := &out[len(out)-1]
+		if s.start <= last.end {
+			if s.end > last.end {
+				last.end = s.end
+			}
+		} else {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// subtractSpans removes the (disjoint, sorted) holes from base.
+func subtractSpans(base span, holes []span) []span {
+	var out []span
+	cur := base.start
+	for _, h := range holes {
+		if h.start > cur {
+			out = append(out, span{cur, h.start})
+		}
+		if h.end > cur {
+			cur = h.end
+		}
+	}
+	if base.end > cur {
+		out = append(out, span{cur, base.end})
+	}
+	return out
+}

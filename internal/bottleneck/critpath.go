@@ -1,0 +1,294 @@
+package bottleneck
+
+import (
+	"sort"
+)
+
+// pathSegment is one span of a thread's timeline: a task fragment
+// (task != 0) or implicit-task filler (task == 0).
+type pathSegment struct {
+	task       uint64
+	start, end int64
+}
+
+// timeline is one thread's complete, gap-free segment sequence over
+// [firstTime, lastTime].
+type timeline struct {
+	tid  int
+	segs []pathSegment
+}
+
+// buildCriticalPath reconstructs the task-graph critical path by a
+// backward walk over the per-thread timelines and fills
+// a.CriticalPath. The walk starts at the globally last-finishing thread
+// and follows dependency edges backward:
+//
+//   - Inside a task fragment, the span is attributed to the task's
+//     region.
+//   - At a task's first fragment begin, a spawn edge jumps to the
+//     creating thread at creation end; the begin-to-createEnd gap is
+//     SpawnWait.
+//   - At a resumed fragment's begin, a join edge jumps to the child
+//     task (the latest task completion inside the suspension window);
+//     the resume-to-completion gap is JoinWait. Without a candidate the
+//     walk continues backward on the same thread.
+//   - Inside implicit-task filler, a matched barrier instance whose
+//     exit falls in the span hands off to the instance's last arriver
+//     at its arrival time; the release span (exit - lastArrival) is
+//     Other. Each instance is traversed at most once.
+//
+// Every step moves the cursor strictly backward in time, attributing
+// each span to exactly one bucket, so sum(Regions.Time) + SpawnWait +
+// JoinWait + Other == Length. If the walk gets stuck before the global
+// start (a thread began later than the recording with no inbound
+// edge), the remainder is Other.
+func buildCriticalPath(a *Analysis, threads map[int]*threadCollector, tids []int, tasks map[uint64]*taskInfo, instances map[instanceKey]*instance, visitIndex map[int][]visitRef) {
+	cp := &a.CriticalPath
+	cp.StartTime = a.StartTime
+	cp.EndTime = a.EndTime
+	cp.Length = a.EndTime - a.StartTime
+	cp.Regions = []PathRegion{}
+	if cp.Length <= 0 {
+		return
+	}
+
+	// Per-thread timelines.
+	lines := make(map[int]*timeline, len(tids))
+	totalSegs := 0
+	for _, tid := range tids {
+		tc := threads[tid]
+		if !tc.firstValid {
+			continue
+		}
+		tl := &timeline{tid: tid}
+		cur := tc.firstTime
+		for _, f := range tc.frags {
+			if f.start > cur {
+				tl.segs = append(tl.segs, pathSegment{0, cur, f.start})
+			}
+			if f.end > f.start {
+				tl.segs = append(tl.segs, pathSegment{f.task, f.start, f.end})
+			}
+			if f.end > cur {
+				cur = f.end
+			}
+		}
+		if tc.inFrag && tc.lastTime > cur {
+			// A fragment still open at stream end (truncated trace):
+			// close it at the last observed time.
+			if tc.fragStart > cur {
+				tl.segs = append(tl.segs, pathSegment{0, cur, tc.fragStart})
+				cur = tc.fragStart
+			}
+			tl.segs = append(tl.segs, pathSegment{tc.curTask, cur, tc.lastTime})
+			cur = tc.lastTime
+		}
+		if tc.lastTime > cur {
+			tl.segs = append(tl.segs, pathSegment{0, cur, tc.lastTime})
+		}
+		lines[tid] = tl
+		totalSegs += len(tl.segs)
+	}
+
+	// Global task completions, sorted by time, for join edges.
+	type completion struct {
+		time int64
+		tid  int
+		task uint64
+	}
+	var completions []completion
+	for _, tid := range tids {
+		for _, e := range threads[tid].ends {
+			completions = append(completions, completion{e.time, tid, e.id})
+		}
+	}
+	sort.Slice(completions, func(i, j int) bool {
+		if completions[i].time != completions[j].time {
+			return completions[i].time < completions[j].time
+		}
+		if completions[i].tid != completions[j].tid {
+			return completions[i].tid < completions[j].tid
+		}
+		return completions[i].task < completions[j].task
+	})
+
+	// Per-task fragments sorted by end, for suspension windows.
+	taskFrags := make(map[uint64][]span)
+	for _, tid := range tids {
+		for _, f := range threads[tid].frags {
+			taskFrags[f.task] = append(taskFrags[f.task], span{f.start, f.end})
+		}
+	}
+	for id := range taskFrags {
+		fs := taskFrags[id]
+		sort.Slice(fs, func(i, j int) bool { return fs[i].end < fs[j].end })
+	}
+
+	// Walk state.
+	pathTime := make(map[string]int64)
+	attr := func(region string, d int64) {
+		if d > 0 {
+			pathTime[region] += d
+			cp.Segments++
+		}
+	}
+	regionOf := func(task uint64) string {
+		if task == 0 {
+			return ImplicitRegion
+		}
+		if ti := tasks[task]; ti != nil {
+			return ti.region
+		}
+		return UnknownRegion
+	}
+
+	// Start on the thread whose timeline ends last (tie: smallest tid).
+	w := -1
+	for _, tid := range tids {
+		tc := threads[tid]
+		if !tc.firstValid {
+			continue
+		}
+		if w == -1 || tc.lastTime > threads[w].lastTime {
+			w = tid
+		}
+	}
+	if w == -1 {
+		return
+	}
+	t := threads[w].lastTime
+	if t < cp.EndTime {
+		// Another thread's extent ends the recording but has no events?
+		// Cannot happen (EndTime is a thread's lastTime), but guard.
+		cp.Other += cp.EndTime - t
+	}
+
+	consumed := make(map[instanceKey]bool)
+	maxSteps := 4*totalSegs + 16
+	for steps := 0; t > cp.StartTime; steps++ {
+		if steps >= maxSteps {
+			cp.Other += t - cp.StartTime
+			break
+		}
+		tl := lines[w]
+		seg := segmentAt(tl, t)
+		if seg == nil {
+			// Below this thread's first event with no inbound edge.
+			cp.Other += t - cp.StartTime
+			break
+		}
+		if seg.task != 0 {
+			attr(regionOf(seg.task), t-seg.start)
+			t = seg.start
+			ti := tasks[seg.task]
+			if ti != nil && ti.hasBegin && ti.beginThread == w && ti.firstBegin == seg.start {
+				// First fragment: spawn edge to the creator.
+				if ti.created && ti.createEnd <= t {
+					cp.SpawnWait += t - ti.createEnd
+					w = ti.creator
+					t = ti.createEnd
+				}
+				// Unknown creation: continue backward on this thread.
+			} else {
+				// Resumed fragment: join edge to the latest completion
+				// in the suspension window.
+				suspStart := int64(-1)
+				if fs := taskFrags[seg.task]; len(fs) > 0 {
+					i := sort.Search(len(fs), func(i int) bool { return fs[i].end > seg.start })
+					if i > 0 {
+						suspStart = fs[i-1].end
+					}
+				}
+				i := sort.Search(len(completions), func(i int) bool { return completions[i].time > t })
+				for i--; i >= 0; i-- {
+					c := completions[i]
+					if c.time < suspStart {
+						break
+					}
+					if c.task == seg.task {
+						continue
+					}
+					cp.JoinWait += t - c.time
+					w = c.tid
+					t = c.time
+					break
+				}
+				// Without a candidate the walk continues backward on
+				// this thread.
+			}
+		} else {
+			// Implicit filler: prefer a barrier hand-off whose exit
+			// falls inside the span.
+			if ref := latestBarrierExit(visitIndex[w], seg.start, t, consumed); ref != nil {
+				inst := ref.inst
+				attr(ImplicitRegion, t-ref.exit)
+				consumed[inst.key] = true
+				last, arr := inst.lastThread, inst.lastArrival
+				if arr > ref.exit {
+					arr = ref.exit // malformed clocks: never move forward
+				}
+				cp.Other += ref.exit - arr
+				w = last
+				t = arr
+			} else {
+				attr(ImplicitRegion, t-seg.start)
+				t = seg.start
+			}
+		}
+	}
+
+	// Fold the per-region path time into the sorted report with what-if
+	// projections.
+	names := make([]string, 0, len(pathTime))
+	for name := range pathTime {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d := pathTime[name]
+		pr := PathRegion{
+			Region:   name,
+			Time:     d,
+			Share:    float64(d) / float64(cp.Length),
+			WhatIf10: d / 10,
+			WhatIf25: d / 4,
+			WhatIf50: d / 2,
+		}
+		cp.Regions = append(cp.Regions, pr)
+	}
+	sort.SliceStable(cp.Regions, func(i, j int) bool { return cp.Regions[i].Time > cp.Regions[j].Time })
+}
+
+// segmentAt returns the segment of tl covering (start, t], or nil when
+// t is at or before the thread's first event.
+func segmentAt(tl *timeline, t int64) *pathSegment {
+	if tl == nil || len(tl.segs) == 0 {
+		return nil
+	}
+	// First segment whose end >= t; its start must be < t.
+	i := sort.Search(len(tl.segs), func(i int) bool { return tl.segs[i].end >= t })
+	if i == len(tl.segs) {
+		return nil
+	}
+	if tl.segs[i].start >= t {
+		return nil
+	}
+	return &tl.segs[i]
+}
+
+// latestBarrierExit finds the unconsumed matched-barrier visit of one
+// thread with the largest exit in (start, end], or nil.
+func latestBarrierExit(refs []visitRef, start, end int64, consumed map[instanceKey]bool) *visitRef {
+	// refs are sorted by exit; binary search the upper bound.
+	i := sort.Search(len(refs), func(i int) bool { return refs[i].exit > end })
+	for i--; i >= 0; i-- {
+		r := &refs[i]
+		if r.exit <= start {
+			return nil
+		}
+		if !consumed[r.inst.key] {
+			return r
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package bottleneck
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analyze"
+	"repro/internal/stats"
+)
+
+// hints per wait-state kind: the optimization advice the pattern
+// prescribes.
+var kindHints = map[analyze.Kind]string{
+	analyze.LateTaskSpawn:    "the consumer outran the producer: spawn tasks earlier, or parallelize/split the creating loop",
+	analyze.StarvedThief:     "work existed but was not distributed: check scheduler stealing, task affinity, or create tasks from more threads",
+	analyze.BarrierImbalance: "threads reach the barrier at skewed times: balance the work before it or drop the barrier if redundant",
+}
+
+// emitFindings renders the classified wait states and the critical-path
+// hotspot as typed findings with severity and root-cause attribution.
+// Wait states are aggregated per (kind, cause thread, region) across
+// victims; severity is the aggregate wait as a fraction of the total
+// thread-time budget (WallTime x Threads). Ordered by severity
+// (descending), stable on the deterministic wait-state order.
+func emitFindings(a *Analysis) []analyze.Finding {
+	findings := []analyze.Finding{}
+	budget := a.WallTime * int64(a.Threads)
+	if budget <= 0 {
+		budget = 1
+	}
+
+	type aggKey struct {
+		kind   analyze.Kind
+		cause  int
+		region string
+	}
+	type agg struct {
+		time    int64
+		count   int64
+		victim  int
+		victims int
+	}
+	byKey := make(map[aggKey]*agg)
+	var order []aggKey
+	for _, ws := range a.WaitStates {
+		k := aggKey{ws.Kind, ws.CauseThread, ws.Region}
+		g, ok := byKey[k]
+		if !ok {
+			g = &agg{victim: ws.Thread}
+			byKey[k] = g
+			order = append(order, k)
+		}
+		if g.victims == 0 || ws.Thread != g.victim {
+			g.victims++
+			if g.victims > 1 {
+				g.victim = -1
+			}
+		}
+		g.time += ws.Time
+		g.count += ws.Count
+	}
+
+	for _, k := range order {
+		g := byKey[k]
+		if g.time <= 0 {
+			continue
+		}
+		victims := "1 thread"
+		if g.victims > 1 {
+			victims = fmt.Sprintf("%d threads", g.victims)
+		}
+		findings = append(findings, analyze.Finding{
+			Kind:      k.kind,
+			Severity:  clamp01(float64(g.time) / float64(budget)),
+			Construct: k.region,
+			Evidence: fmt.Sprintf("%s waited %s across %d interval(s)",
+				victims, stats.FormatNs(g.time), g.count),
+			Hint: kindHints[k.kind],
+			Attribution: &analyze.Attribution{
+				Victim:      g.victim,
+				CauseThread: k.cause,
+				CauseRegion: k.region,
+				WaitNs:      g.time,
+			},
+		})
+	}
+
+	// Critical-path hotspot: the top explicit region on the path.
+	for _, pr := range a.CriticalPath.Regions {
+		if pr.Region == ImplicitRegion || pr.Region == UnknownRegion {
+			continue
+		}
+		findings = append(findings, analyze.Finding{
+			Kind:      analyze.CriticalPathHotspot,
+			Severity:  clamp01(pr.Share),
+			Construct: pr.Region,
+			Evidence: fmt.Sprintf("%s of the %s critical path (%.0f%%); -50%% would save up to %s",
+				stats.FormatNs(pr.Time), stats.FormatNs(a.CriticalPath.Length),
+				100*pr.Share, stats.FormatNs(pr.WhatIf50)),
+			Hint: "only shortening critical-path regions shortens the run; optimize here first",
+		})
+		break
+	}
+
+	sort.SliceStable(findings, func(i, j int) bool { return findings[i].Severity > findings[j].Severity })
+	return findings
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,153 @@
+package bottleneck
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/analyze"
+	"repro/internal/stats"
+)
+
+// Format writes the human-readable bottleneck report.
+func (a *Analysis) Format(w io.Writer) {
+	fmt.Fprintf(w, "bottleneck analysis: %d thread(s), wall %s\n",
+		a.Threads, stats.FormatNs(a.WallTime))
+
+	fmt.Fprintln(w, "wait states:")
+	if len(a.WaitStates) == 0 {
+		fmt.Fprintln(w, "  none classified")
+	}
+	for _, ws := range a.WaitStates {
+		cause := "?"
+		if ws.CauseThread >= 0 {
+			cause = fmt.Sprintf("thread %d", ws.CauseThread)
+		}
+		fmt.Fprintf(w, "  %-18s thread %d <- %s @ %s: %s (%d interval(s))\n",
+			ws.Kind, ws.Thread, cause, ws.Region, stats.FormatNs(ws.Time), ws.Count)
+	}
+
+	if len(a.Barriers) > 0 {
+		fmt.Fprintln(w, "barriers:")
+		for _, b := range a.Barriers {
+			fmt.Fprintf(w, "  %s #%d: %d thread(s), skew %s (last: thread %d)\n",
+				b.Region, b.Ordinal, b.Threads, stats.FormatNs(b.Skew), b.LastThread)
+		}
+	}
+
+	cp := &a.CriticalPath
+	fmt.Fprintf(w, "critical path: %s (spawn wait %s, join wait %s, other %s)\n",
+		stats.FormatNs(cp.Length), stats.FormatNs(cp.SpawnWait),
+		stats.FormatNs(cp.JoinWait), stats.FormatNs(cp.Other))
+	for i, pr := range cp.Regions {
+		fmt.Fprintf(w, "  %2d. %-24s %10s  %5.1f%%  what-if -10%%/-25%%/-50%%: %s/%s/%s\n",
+			i+1, pr.Region, stats.FormatNs(pr.Time), 100*pr.Share,
+			stats.FormatNs(pr.WhatIf10), stats.FormatNs(pr.WhatIf25), stats.FormatNs(pr.WhatIf50))
+	}
+
+	if len(a.PerThread) > 0 {
+		fmt.Fprintln(w, "per-thread waits:")
+		tids := make([]int, 0, len(a.PerThread))
+		for tid := range a.PerThread {
+			tids = append(tids, tid)
+		}
+		sort.Ints(tids)
+		for _, tid := range tids {
+			tw := a.PerThread[tid]
+			fmt.Fprintf(w, "  thread %d: late-spawn %s, dispatch %s, starved %s, barrier %s, unclassified %s\n",
+				tid, stats.FormatNs(tw.LateSpawnWait), stats.FormatNs(tw.PlainDispatchWait),
+				stats.FormatNs(tw.StarvedWait), stats.FormatNs(tw.BarrierWait),
+				stats.FormatNs(tw.UnclassifiedIdle))
+		}
+	}
+
+	fmt.Fprintln(w, "bottleneck findings:")
+	analyze.Format(w, a.Findings)
+}
+
+// FleetKindTotal is one wait-state kind summed across a fleet's shards,
+// with the worst shard called out.
+type FleetKindTotal struct {
+	Kind       analyze.Kind
+	Time       int64
+	Count      int64
+	WorstShard string
+	WorstTime  int64
+}
+
+// FleetSummary aggregates per-shard bottleneck analyses of one fleet
+// experiment: fleet-summed wait-state totals per kind with the worst
+// shard each, and the shard with the longest critical path (the fleet's
+// wall-time bound when shards run concurrently).
+type FleetSummary struct {
+	Shards            int
+	Kinds             []FleetKindTotal
+	LongestPathShard  string
+	LongestPathLength int64
+}
+
+// MergeFleet folds per-shard analyses (keyed by shard/stream id) into
+// the fleet summary. Iteration is in sorted-id order and ties keep the
+// earlier id, so the summary is deterministic.
+func MergeFleet(shards map[string]*Analysis) *FleetSummary {
+	fs := &FleetSummary{Kinds: []FleetKindTotal{}}
+	ids := make([]string, 0, len(shards))
+	for id := range shards {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	perKind := make(map[analyze.Kind]*FleetKindTotal)
+	var kinds []analyze.Kind
+	for _, id := range ids {
+		a := shards[id]
+		if a == nil {
+			continue
+		}
+		fs.Shards++
+		shardKind := make(map[analyze.Kind]int64)
+		for _, ws := range a.WaitStates {
+			shardKind[ws.Kind] += ws.Time
+			kt, ok := perKind[ws.Kind]
+			if !ok {
+				kt = &FleetKindTotal{Kind: ws.Kind}
+				perKind[ws.Kind] = kt
+				kinds = append(kinds, ws.Kind)
+			}
+			kt.Time += ws.Time
+			kt.Count += ws.Count
+		}
+		for kind, t := range shardKind {
+			kt := perKind[kind]
+			if t > kt.WorstTime || kt.WorstShard == "" {
+				kt.WorstTime = t
+				kt.WorstShard = id
+			}
+		}
+		if a.CriticalPath.Length > fs.LongestPathLength || fs.LongestPathShard == "" {
+			fs.LongestPathLength = a.CriticalPath.Length
+			fs.LongestPathShard = id
+		}
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fs.Kinds = append(fs.Kinds, *perKind[k])
+	}
+	return fs
+}
+
+// Format writes the fleet bottleneck summary.
+func (fs *FleetSummary) Format(w io.Writer) {
+	fmt.Fprintf(w, "fleet bottleneck summary (%d shard(s)):\n", fs.Shards)
+	if len(fs.Kinds) == 0 {
+		fmt.Fprintln(w, "  no wait states classified")
+	}
+	for _, kt := range fs.Kinds {
+		fmt.Fprintf(w, "  %-18s fleet total %s over %d interval(s); worst shard %s (%s)\n",
+			kt.Kind, stats.FormatNs(kt.Time), kt.Count, kt.WorstShard, stats.FormatNs(kt.WorstTime))
+	}
+	if fs.LongestPathShard != "" {
+		fmt.Fprintf(w, "  longest critical path: shard %s (%s)\n",
+			fs.LongestPathShard, stats.FormatNs(fs.LongestPathLength))
+	}
+}

@@ -219,19 +219,18 @@ func MergeAnalyses(as ...*Analysis) *Analysis {
 	return m
 }
 
-// threadState is the per-thread scan state machine.
+// threadState is the per-thread scan state machine. The sync-region
+// bookkeeping (nesting, readiness, covered vs. idle time) lives in the
+// embedded SyncCoverage — the same engine the bottleneck classifier
+// drives, so both layers share one definition of sync coverage.
 type threadState struct {
 	ta *ThreadAnalysis
 
-	syncDepth      int   // nesting of scheduling-point regions
-	readyAt        int64 // when the thread last became ready to dispatch
-	readyValid     bool
-	fragmentStart  int64
-	inFragment     bool
-	createStart    int64
-	inCreate       bool
-	syncEnter      int64
-	taskTimeInSync int64 // fragment+dispatch time inside current sync
+	sc            SyncCoverage
+	fragmentStart int64
+	inFragment    bool
+	createStart   int64
+	inCreate      bool
 }
 
 func schedulingPoint(r *region.Region) bool {
@@ -249,22 +248,15 @@ func (st *threadState) endFragment(t int64) {
 	if st.inFragment {
 		d := t - st.fragmentStart
 		st.ta.TaskExecution.Add(d)
-		if st.syncDepth > 0 {
-			st.taskTimeInSync += d
-		}
+		st.sc.Cover(d)
 		st.ta.Fragments++
 		st.inFragment = false
 	}
 }
 
 func (st *threadState) beginFragment(t int64) {
-	if st.readyValid {
-		d := t - st.readyAt
+	if _, d, ok := st.sc.TakeDispatch(t); ok {
 		st.ta.DispatchLatency.Add(d)
-		if st.syncDepth > 0 {
-			st.taskTimeInSync += d
-		}
-		st.readyValid = false
 	}
 	st.fragmentStart = t
 	st.inFragment = true
@@ -274,25 +266,16 @@ func (st *threadState) step(ev Event) {
 	switch ev.Type {
 	case EvEnter:
 		if schedulingPoint(ev.Region) {
-			if st.syncDepth == 0 {
-				st.syncEnter = ev.Time
-				st.taskTimeInSync = 0
-			}
-			st.syncDepth++
 			// Entering a scheduling point makes the thread ready to
 			// pick up tasks: the paper's "enter of the last
 			// synchronization point".
-			st.readyAt = ev.Time
-			st.readyValid = true
+			st.sc.EnterSync(ev.Time)
 		}
 	case EvExit:
 		if schedulingPoint(ev.Region) {
-			st.syncDepth--
-			st.readyValid = false
-			if st.syncDepth == 0 {
-				total := ev.Time - st.syncEnter
+			if total, idle, closed := st.sc.ExitSync(ev.Time); closed {
 				st.ta.SyncRegionTime += total
-				if idle := total - st.taskTimeInSync; idle > 0 {
+				if idle > 0 {
 					st.ta.IdleInSync += idle
 				}
 			}
@@ -316,9 +299,8 @@ func (st *threadState) step(ev Event) {
 		st.endFragment(ev.Time)
 		// After a task ends inside a sync region the thread is
 		// immediately ready for the next dispatch.
-		if st.syncDepth > 0 {
-			st.readyAt = ev.Time
-			st.readyValid = true
+		if st.sc.Depth > 0 {
+			st.sc.MarkReady(ev.Time)
 		}
 	case EvTaskSwitch:
 		// A switch ends the current fragment (if any) and begins a
@@ -327,9 +309,8 @@ func (st *threadState) step(ev Event) {
 		st.endFragment(ev.Time)
 		if ev.TaskID != 0 {
 			st.beginFragment(ev.Time)
-		} else if st.syncDepth > 0 {
-			st.readyAt = ev.Time
-			st.readyValid = true
+		} else if st.sc.Depth > 0 {
+			st.sc.MarkReady(ev.Time)
 		}
 	}
 }

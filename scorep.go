@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"repro/internal/analyze"
+	"repro/internal/bottleneck"
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/cube"
@@ -402,6 +403,47 @@ func ReadTraceArchiveQuery(r io.Reader, q TraceQuery, workers int) (*Trace, Trac
 	return otf2.ReadAllQuery(r, region.NewRegistry(), q, workers)
 }
 
+// BottleneckAnalysis is the Scalasca-style automatic bottleneck report:
+// wait-state classification with root-cause attribution (late task
+// spawn, starved thief, barrier imbalance), the task-graph critical
+// path, and per-region what-if savings projections. See the "Bottleneck
+// analysis" section of the package documentation for the detection
+// rules.
+type BottleneckAnalysis = bottleneck.Analysis
+
+// BottleneckWaitState is one classified wait aggregate of a bottleneck
+// analysis.
+type BottleneckWaitState = bottleneck.WaitState
+
+// BottleneckCriticalPath is the reconstructed task-graph critical path.
+type BottleneckCriticalPath = bottleneck.CriticalPath
+
+// BottleneckFleetSummary aggregates per-shard bottleneck analyses of a
+// fleet experiment.
+type BottleneckFleetSummary = bottleneck.FleetSummary
+
+// AnalyzeBottlenecks runs the bottleneck analysis over an in-memory
+// trace; workers as in AnalyzeTraceParallel (<= 0 one per processor).
+// The result is identical at every worker count.
+func AnalyzeBottlenecks(tr *Trace, workers int) *BottleneckAnalysis {
+	return bottleneck.AnalyzeQuery(tr, TraceQuery{}, workers)
+}
+
+// AnalyzeTraceArchiveBottlenecks runs the bottleneck analysis over the
+// sub-trace of an archive matching q, with the same index-driven
+// access, sequential fallback and truncation salvage as
+// AnalyzeTraceArchiveQuery.
+func AnalyzeTraceArchiveBottlenecks(r io.Reader, q TraceQuery, workers int) (*BottleneckAnalysis, TraceQueryStats, error) {
+	return otf2.AnalyzeBottlenecks(r, q, workers)
+}
+
+// MergeBottleneckAnalyses folds per-shard bottleneck analyses (keyed by
+// shard stream id) into the fleet summary: per-kind fleet-summed wait
+// totals with the worst shard each, and the longest critical path.
+func MergeBottleneckAnalyses(shards map[string]*BottleneckAnalysis) *BottleneckFleetSummary {
+	return bottleneck.MergeFleet(shards)
+}
+
 // ReportDiff is a structural diff of two reports of the same program —
 // the run-comparison workflow enabled by the paper's runtime-independent
 // call-tree structure (Section IV-B3).
@@ -445,6 +487,10 @@ func ComputeUtilization(tr *Trace) []Utilization { return trace.ComputeUtilizati
 
 // Finding is one automatically diagnosed tasking inefficiency.
 type Finding = analyze.Finding
+
+// FindingKind identifies the diagnosis pattern behind a Finding or a
+// classified wait state.
+type FindingKind = analyze.Kind
 
 // AnalyzeReport diagnoses tasking inefficiencies in a report using the
 // paper's Section III patterns (small tasks, creation overhead, single

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bottleneck"
 	"repro/internal/clock"
 	"repro/internal/measure"
 	"repro/internal/omp"
@@ -223,6 +224,7 @@ type Results struct {
 	mu          sync.Mutex
 	report      *Report
 	analysis    *TraceAnalysis
+	bottlenecks *BottleneckAnalysis
 	findings    []Finding
 	findingsSet bool
 }
@@ -258,6 +260,21 @@ func (r *Results) TraceAnalysis() *TraceAnalysis {
 		r.analysis = trace.AnalyzeParallel(r.trace, r.cfg.analysisWorkers)
 	}
 	return r.analysis
+}
+
+// Bottlenecks runs the Scalasca-style bottleneck analysis (wait-state
+// classification, task-graph critical path, what-if savings) over the
+// recorded trace, or returns nil when no in-memory trace exists. Like
+// TraceAnalysis it shards across per-thread workers (see
+// WithAnalysisParallelism) with a result identical to the sequential
+// analysis, and is computed once and cached.
+func (r *Results) Bottlenecks() *BottleneckAnalysis {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.bottlenecks == nil && r.trace != nil {
+		r.bottlenecks = bottleneck.AnalyzeQuery(r.trace, trace.Query{}, r.cfg.analysisWorkers)
+	}
+	return r.bottlenecks
 }
 
 // Findings diagnoses tasking inefficiencies in the profile using the
