@@ -50,12 +50,14 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/bots"
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/measure"
 	"repro/internal/omp"
 	"repro/internal/otf2"
@@ -625,6 +627,106 @@ func benchNetWrite(streams int, socket bool, tasksPerThread int) func(*testing.B
 	}
 }
 
+// benchNetReconnect measures event shipping throughput through one
+// mid-stream connection loss per stream: fault injection severs each
+// stream's first connection around the midpoint of the expected bytes,
+// forcing a reconnect + byte-exact resume inside the timed region. The
+// delta against net/write/socket is the reconnect path itself — redial,
+// resume handshake, and replay of the unacknowledged suffix. Reported
+// resumes confirm the sever actually fired (calibration runs too small
+// to reach the sever point ship clean and report 0).
+func benchNetReconnect(streams, tasksPerThread int) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		in := archiveFor(streams, tasksPerThread)
+		dir, err := os.MkdirTemp("", "scorep-bench-net")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+
+		srv, err := sink.NewServer(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sock := filepath.Join(dir, "d.sock")
+		ln, err := net.Listen("unix", sock)
+		if err != nil {
+			b.Fatal(err)
+		}
+		go srv.Serve(ln)
+
+		per := (b.N + streams - 1) / streams
+		// ~6 bytes/event on the wire: sever near the midpoint, but never
+		// inside the handshake of a tiny calibration run.
+		sever := int64(per) * 3
+		if sever < 4096 {
+			sever = 4096
+		}
+		var resumes atomic.Int64
+		var wg sync.WaitGroup
+		b.ResetTimer()
+		for s := 0; s < streams; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				evs := in.tr.Threads[s]
+				var dials atomic.Int64
+				cl, err := sink.NewClient(func() (net.Conn, error) {
+					c, err := net.Dial("unix", sock)
+					if err != nil {
+						return nil, err
+					}
+					if dials.Add(1) == 1 {
+						// Distinct per-stream sever points keep the
+						// reconnect storms from synchronizing.
+						return faultinject.NewConn(c, faultinject.SeverWriteAfter(sever+701*int64(s))), nil
+					}
+					return c, nil
+				}, sink.WithStreamID(fmt.Sprintf("r%d", s)),
+					sink.WithReconnect(8, time.Millisecond, 10*time.Second))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				const batch = 512
+				for done := 0; done < per; {
+					lo := done % len(evs)
+					hi := lo + batch
+					if hi > len(evs) {
+						hi = len(evs)
+					}
+					if hi-lo > per-done {
+						hi = lo + per - done
+					}
+					if err := cl.WriteEvents(0, evs[lo:hi]); err != nil {
+						b.Error(err)
+						return
+					}
+					done += hi - lo
+				}
+				if err := cl.Close(); err != nil {
+					b.Error(err)
+					return
+				}
+				resumes.Add(cl.Resumes())
+			}(s)
+		}
+		wg.Wait()
+		b.StopTimer()
+		if err := srv.Close(); err != nil {
+			b.Fatal(err)
+		}
+		written := int64(per) * int64(streams)
+		if written > 0 {
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(written)/s, "events/sec")
+			}
+			b.ReportMetric(float64(resumes.Load()), "resumes")
+		}
+	}
+}
+
 // traceTimeBounds returns the earliest and latest event timestamps.
 func traceTimeBounds(tr *trace.Trace) (lo, hi int64) {
 	first := true
@@ -860,6 +962,8 @@ func buildSpecs(quick bool) []spec {
 	add("net/write/socket/streams=1/"+nt, false, true, benchNetWrite(1, true, netTasks))
 	add("net/write/file/streams=4/"+nt, false, true, benchNetWrite(4, false, netTasks))
 	add("net/write/socket/streams=4/"+nt, false, true, benchNetWrite(4, true, netTasks))
+	add("net/reconnect/streams=1/"+nt, false, true, benchNetReconnect(1, netTasks))
+	add("net/reconnect/streams=4/"+nt, false, true, benchNetReconnect(4, netTasks))
 
 	// Figure experiments on the BOTS codes.
 	size := bots.SizeSmall

@@ -8,7 +8,11 @@
 // Ingest is sharded: each stream has its own goroutine and file, so a
 // slow or crashing client never stalls the others; a severed connection
 // keeps the intact prefix of that shard, salvageable like any truncated
-// archive.
+// archive. A v2 client reconnects and resumes a severed stream
+// byte-exactly, and a daemon restarted over an existing experiment
+// directory recovers every shard's intact prefix from the stream
+// journal and accepts resumes at it — a crashed daemon costs nothing a
+// client's replay window covers.
 //
 // Usage:
 //
@@ -16,8 +20,12 @@
 //	scorep-daemon -listen tcp://:7007 -exp scorep-fleet -streams 2
 //
 // The daemon serves until SIGINT/SIGTERM, or — with -streams N — until
-// N streams have ended, then seals the experiment and exits. Exit
-// status 1 reports a server-side ingest failure (shard I/O).
+// N streams have ended (sealed streams recovered from a previous
+// daemon's journal count). On the first signal it drains: no new
+// connections, in-flight streams get -drain-timeout to finish, then
+// stragglers are severed (their shards keep the durable prefix,
+// resumable by a future daemon). A second signal severs immediately.
+// Exit status 1 reports a server-side ingest failure (shard I/O).
 package main
 
 import (
@@ -37,10 +45,13 @@ import (
 
 func main() {
 	var (
-		listen  = flag.String("listen", "unix:///tmp/scorep-daemon.sock", "address to accept streams on (unix:///path.sock, tcp://host:port)")
-		expDir  = flag.String("exp", "scorep-fleet", "fleet experiment directory (one trace shard per stream + meta.json)")
-		streams = flag.Int("streams", 0, "exit after this many streams ended (0: serve until SIGINT/SIGTERM)")
-		quiet   = flag.Bool("quiet", false, "suppress per-stream log lines")
+		listen    = flag.String("listen", "unix:///tmp/scorep-daemon.sock", "address to accept streams on (unix:///path.sock, tcp://host:port)")
+		expDir    = flag.String("exp", "scorep-fleet", "fleet experiment directory (one trace shard per stream + meta.json)")
+		streams   = flag.Int("streams", 0, "exit after this many streams ended (0: serve until SIGINT/SIGTERM)")
+		drain     = flag.Duration("drain-timeout", 10*time.Second, "grace for in-flight streams on shutdown before severing them (0: sever immediately)")
+		idle      = flag.Duration("idle-timeout", 0, "seal a stream that sends nothing for this long (0: never; wedged clients hold their shard open forever)")
+		handshake = flag.Duration("handshake-timeout", 10*time.Second, "deadline for a new connection's handshake")
+		quiet     = flag.Bool("quiet", false, "suppress per-stream log lines")
 	)
 	flag.Parse()
 
@@ -66,13 +77,32 @@ func main() {
 	)
 	stop := func() { once.Do(func() { close(shutdown) }) }
 
-	srv, err := sink.NewServer(*expDir, sink.WithLog(logf), sink.WithStreamDone(func(sink.StreamInfo) {
-		if *streams > 0 && ended.Add(1) >= int64(*streams) {
-			stop()
-		}
-	}))
+	opts := []sink.ServerOption{
+		sink.WithLog(logf),
+		sink.WithHandshakeTimeout(*handshake),
+		sink.WithStreamDone(func(sink.StreamInfo) {
+			if *streams > 0 && ended.Add(1) >= int64(*streams) {
+				stop()
+			}
+		}),
+	}
+	if *idle > 0 {
+		opts = append(opts, sink.WithIdleTimeout(*idle))
+	}
+	srv, err := sink.NewServer(*expDir, opts...)
 	if err != nil {
 		fail(err)
+	}
+	if n := srv.Recovered(); n > 0 {
+		logf("recovered %d stream(s) from a previous daemon's journal", n)
+		// Streams a previous daemon already sealed count toward
+		// -streams: a restarted daemon with the same flag exits once
+		// the fleet total is reached, not N additional streams later.
+		for _, st := range srv.Streams() {
+			if st.Sealed && *streams > 0 && ended.Add(1) >= int64(*streams) {
+				stop()
+			}
+		}
 	}
 
 	ln, err := net.Listen(network, address)
@@ -81,19 +111,28 @@ func main() {
 	}
 	logf("listening on %s, experiment %s", *listen, *expDir)
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
+		grace := *drain
 		select {
 		case <-sig:
+			logf("shutdown: draining in-flight streams (up to %s; signal again to sever now)", grace)
 		case <-shutdown:
+			// -streams satisfied: every counted stream already sealed,
+			// the drain only covers connection teardown.
 		}
-		_ = srv.Close() // stops the accept loop and waits for in-flight streams
+		go func() {
+			<-sig
+			logf("second signal: severing in-flight streams")
+			_ = srv.Shutdown(0)
+		}()
+		_ = srv.Shutdown(grace)
 	}()
 
 	start := time.Now()
 	serveErr := srv.Serve(ln)
-	_ = srv.Close() // idempotent; covers the -streams path where Serve returned first
+	_ = srv.Shutdown(0) // idempotent; covers the -streams path where Serve returned first
 
 	infos := srv.Streams()
 	shards := make([]scorep.TraceShard, len(infos))
@@ -104,6 +143,8 @@ func main() {
 			Stream:        st.ID,
 			Bytes:         st.Bytes,
 			DroppedEvents: st.DroppedEvents,
+			GapBytes:      st.GapBytes,
+			Resumes:       st.Resumes,
 			Complete:      st.Complete,
 		}
 		if st.Complete {

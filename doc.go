@@ -85,6 +85,14 @@
 //     "tcp://host:port", or a bare host:port) — stream the trace to the
 //     measurement service instead of keeping it locally (the
 //     WithRemoteTrace option; implies tracing).
+//   - SCOREP_TRACE_SINK_RETRIES: initial connect attempts to the
+//     daemon, an integer >= 1 (the WithRemoteTraceRetry option).
+//   - SCOREP_TRACE_SINK_RECONNECTS: reconnect attempts per outage, an
+//     integer >= 0; 0 disables mid-stream reconnection (the
+//     WithRemoteTraceReconnect option).
+//   - SCOREP_TRACE_SINK_FALLBACK: local archive path the stream spills
+//     to when the daemon is lost for good; "off" or "none" disables
+//     the default fallback (the WithRemoteTraceFallback option).
 //
 // # Remote tracing
 //
@@ -102,11 +110,16 @@
 // actually full; the full-buffer policy is block (lossless, default)
 // or drop-with-count (DialTraceSink + TraceSinkDrop, the power-user
 // form). Connections are established lazily with retry/backoff, so
-// daemon and clients can start in any order.
+// daemon and clients can start in any order; a connection severed
+// mid-run is survived by reconnect and byte-exact resume, and a
+// daemon lost for good degrades to a local fallback archive — see
+// Fault tolerance below.
 //
 // The daemon is cmd/scorep-daemon:
 //
-//	scorep-daemon -listen unix:///tmp/scorep-daemon.sock -exp scorep-fleet [-streams N] [-quiet]
+//	scorep-daemon -listen unix:///tmp/scorep-daemon.sock -exp scorep-fleet
+//	              [-streams N] [-drain-timeout 10s] [-idle-timeout 0]
+//	              [-handshake-timeout 10s] [-quiet]
 //
 // It accepts any number of concurrent streams (sharded ingest — no
 // cross-stream lock anywhere on the data path), writes each stream to
@@ -139,6 +152,102 @@
 // ingest failure — and closes. A malformed handshake closes the
 // connection without registering a stream; a connection severed before
 // 'Z' keeps the flushed prefix on disk, marked incomplete.
+//
+// # Fault tolerance
+//
+// The fleet pipeline is built so that any single failure — a severed
+// connection, a crashed or restarted daemon, a full disk under one
+// shard, a wedged client — costs at most one stream's tail, and loses
+// it loudly: every surviving shard stays salvageable, every loss is
+// counted, and a loss the client's replay window covers is no loss at
+// all (the resumed shard is bit-identical to an undisturbed run).
+//
+// Wire protocol version 2 adds resumable streams to the v1 byte
+// stream above; a v2 daemon still accepts v1 sessions unchanged. The
+// v2 handshake is the v1 handshake with version byte 0x02 and one
+// extra field: uvarint(token), a nonzero random stream token. The
+// daemon replies with a hello — 'H', one status byte (0 new stream, 1
+// resumed), then uvarint(durable), the count of archive bytes it
+// holds durably for this stream; the client must continue sending
+// from exactly that archive offset. As data frames arrive the daemon
+// periodically flushes the shard and acknowledges progress with 'K'
+// followed by uvarint(durable) (every 256 KiB by default; the
+// WithAckInterval server option tunes it). The client keeps a bounded
+// replay window of bytes at and above the last ack (WithReplayWindow,
+// default 4 MiB), evicting only below it. When a connection dies
+// mid-stream, the client redials with jittered exponential backoff
+// under a per-outage attempt count and elapsed-time budget
+// (WithReconnect) and handshakes again with the same id and token:
+// the daemon re-registers the stream, truncates nothing, and tells it
+// where to resume. A client whose window no longer reaches the
+// daemon's durable offset (the daemon lost flushed-but-unsealed bytes
+// in a crash beyond what the window retains) does not guess: archive
+// chunks chain per-thread timestamp deltas, so appending after a hole
+// would corrupt the shard. It declares the gap with a 'G' frame
+// followed by uvarint(gapBytes); the daemon seals the shard at its
+// durable prefix — a valid, salvageable archive — records the counted
+// gap, and answers 'A' with status 2 (gap-sealed). The daemon may
+// also send the final 'A' mid-stream with status 1 when its own disk
+// fails; only that one shard is affected. Stream identity is (id,
+// token): a reconnect with a matching pair resumes (preempting a
+// half-dead previous connection first), a different token under the
+// same id is a different process and gets a uniquified id, and a
+// sealed-incomplete stream refuses resumption explicitly rather than
+// growing a corrupt tail.
+//
+// Daemon crash recovery. The daemon journals stream identity and
+// status — never byte counts it would have to trust — to
+// sink-journal.json in the experiment directory, written atomically
+// (temp file + rename) on every registration and seal. The journal is
+// JSON: {"version": 1, "streams": [{"id", "token", "file", "bytes",
+// "frames", "droppedEvents", "gapBytes", "resumes", "complete",
+// "sealed", "err"}, ...]}. A daemon restarted over the directory
+// replays it: for each stream it re-derives the durable byte count
+// from the shard file itself by scanning the longest intact chunk
+// prefix (the same cut-point logic the lenient readers use) and
+// truncating the file to that boundary — so a flush torn by the crash
+// is discarded rather than resumed after. Sealed streams keep their
+// recorded fate (a sealed-complete shard that lost bytes on disk is
+// demoted to failed, never silently shortened); unsealed streams wait
+// for their client's reconnect, whose replay window covers the
+// truncated tail — the crash-recovered shard then seals bit-identical
+// to an undisturbed run. Sealed streams recovered from the journal
+// count toward the daemon's -streams exit threshold.
+//
+// Degradation. Failures that cannot be resumed degrade one step at a
+// time, never silently: a daemon-side disk failure (ENOSPC, short
+// write) on one shard seals that shard failed-but-salvaged while
+// every other stream keeps ingesting; a client that exhausts its
+// reconnect budget, hits an unresumable gap, or is refused by the
+// daemon spills the stream losslessly to a local fallback archive
+// (WithFallbackArchive; sessions default to <experiment
+// dir>/fallback.otf2 when an experiment directory is configured, see
+// WithRemoteTraceFallback) — the whole retained window is written
+// first, so a fallback starting at archive offset 0 is a complete
+// standalone archive, and one starting higher continues the daemon
+// shard's durable prefix from exactly where it was sealed (shard
+// bytes + gap = fallback start offset; the fallback file is not
+// named trace-*.otf2, so shard globbing never confuses the two). The
+// session records the outcome in meta.json (RemoteFallback,
+// RemoteResumes, RemoteGapBytes) and exposes it via
+// Results.RemoteFallback/RemoteResumes/RemoteGapBytes. On the server,
+// a handshake read deadline (WithHandshakeTimeout) keeps half-open
+// connections from parking goroutines forever, and a per-stream idle
+// watchdog (WithIdleTimeout; -idle-timeout on the daemon) seals a
+// wedged stream's intact prefix without disturbing its neighbors.
+// Shutdown drains: the daemon's first SIGINT/SIGTERM stops accepting
+// and gives in-flight streams -drain-timeout to finish before
+// severing them (a second signal severs immediately); severed shards
+// keep their durable prefix and stay resumable by a restarted daemon.
+//
+// The fault-injection harness behind these guarantees is the reusable
+// internal/faultinject package: net.Conn wrappers that sever after an
+// exact byte count, slice writes, or add latency, and io.Writer
+// wrappers that return ENOSPC after a capacity or fail transiently
+// with EIO — the sink tests drive the full fault matrix (mid-frame
+// sever, daemon kill+restart, one-shard disk fault, reconnect-budget
+// exhaustion, at 1 and 4 concurrent streams) deterministically
+// through them.
 //
 // # Power-user layer
 //

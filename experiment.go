@@ -73,10 +73,33 @@ type TraceShard struct {
 	// policy discarded before encoding (holes in the recording, not
 	// archive damage).
 	DroppedEvents int64 `json:"droppedEvents,omitempty"`
+	// GapBytes counts archive bytes lost between this shard's durable
+	// prefix and the producer's resume point when the producer declared
+	// an unresumable gap after a daemon crash. The shard was sealed at
+	// the prefix; the missing bytes live in the producer's local
+	// fallback archive when one was configured.
+	GapBytes int64 `json:"gapBytes,omitempty"`
+	// Resumes counts mid-stream reconnections that resumed this shard
+	// after a severed connection or daemon restart.
+	Resumes int64 `json:"resumes,omitempty"`
 	// Complete reports a cleanly sealed shard. False marks the intact
 	// prefix of a severed stream — still readable, salvaged with a
 	// truncation warning.
 	Complete bool `json:"complete"`
+}
+
+// RemoteFallbackInfo records that a remote-tracing session lost its
+// daemon for good and spilled the trace to a local fallback archive
+// (see WithRemoteTraceFallback), as recorded in meta.json.
+type RemoteFallbackInfo struct {
+	// File is the fallback archive path as configured.
+	File string `json:"file"`
+	// StartOffset is the archive byte offset of the file's first byte:
+	// 0 means a complete standalone archive, a larger offset means the
+	// file continues the daemon shard's durable prefix.
+	StartOffset int64 `json:"startOffset"`
+	// Reason describes the failure that caused the degradation.
+	Reason string `json:"reason,omitempty"`
 }
 
 // ExperimentMeta is the contents of an experiment's meta.json: the
@@ -114,6 +137,15 @@ type ExperimentMeta struct {
 	// predate it ignore the field, and Experiment falls back to
 	// globbing trace-*.otf2 when it is absent.
 	TraceShards []TraceShard `json:"traceShards,omitempty"`
+
+	// RemoteFallback, RemoteResumes and RemoteGapBytes record the fate
+	// of a remote-tracing session's stream: the local archive it
+	// spilled to when the daemon was lost for good (nil otherwise), how
+	// often it reconnected and resumed mid-stream, and how many archive
+	// bytes an unresumable gap lost remotely.
+	RemoteFallback *RemoteFallbackInfo `json:"remoteFallback,omitempty"`
+	RemoteResumes  int64               `json:"remoteResumes,omitempty"`
+	RemoteGapBytes int64               `json:"remoteGapBytes,omitempty"`
 }
 
 // SaveExperiment writes the run's experiment archive to dir (created if
@@ -140,8 +172,11 @@ func (r *Results) SaveExperiment(dir string) error {
 			Scheduler:      r.cfg.sched.String(),
 			RemoteSink:     r.cfg.remoteAddr,
 		},
-		Threads:      r.stats.Threads,
-		TasksCreated: r.stats.TasksCreated,
+		Threads:        r.stats.Threads,
+		TasksCreated:   r.stats.TasksCreated,
+		RemoteFallback: r.remoteFallback,
+		RemoteResumes:  r.remoteResumes,
+		RemoteGapBytes: r.remoteGapBytes,
 	}
 	if rep := r.Report(); rep != nil {
 		meta.HasProfile = true

@@ -3,10 +3,12 @@ package scorep_test
 import (
 	"net"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"testing"
 	"time"
 
@@ -268,5 +270,212 @@ func TestRemoteTraceEnvAndErrors(t *testing.T) {
 	fleetWorkload(s, 20, par, task, tw)
 	if _, err := s.End(); err == nil {
 		t.Fatal("End returned nil though the daemon never existed")
+	}
+}
+
+// TestFleetDaemonRestartResume kills the in-process daemon mid-stream,
+// restarts it over the same experiment directory and socket, and checks
+// the session's stream resumes so that the sealed fleet experiment's
+// analysis is reflect.DeepEqual-identical to an undisturbed run — the
+// daemon-crash half of the fault matrix, end to end through the facade.
+func TestFleetDaemonRestartResume(t *testing.T) {
+	par := scorep.RegisterRegion("fr.parallel", "fleet_test.go", 30, scorep.RegionParallel)
+	task := scorep.RegisterRegion("fr.task", "fleet_test.go", 31, scorep.RegionTask)
+	tw := scorep.RegisterRegion("fr.taskwait", "fleet_test.go", 32, scorep.RegionTaskwait)
+
+	// Undisturbed reference under the same deterministic clock.
+	ref := scorep.NewSession(scorep.WithTracing(), scorep.WithoutProfiling(),
+		scorep.WithClock(countingClock()))
+	fleetWorkload(ref, 200, par, task, tw)
+	fleetWorkload(ref, 200, par, task, tw)
+	refRes, err := ref.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refRes.TraceAnalysis()
+
+	base := t.TempDir()
+	dir := filepath.Join(base, "exp")
+	sock := filepath.Join(base, "d.sock")
+	startDaemon := func() (*scorep.TraceSinkServer, chan struct{}) {
+		srv, err := scorep.NewTraceSinkServer(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("unix", sock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = srv.Serve(ln)
+		}()
+		return srv, done
+	}
+
+	srv1, done1 := startDaemon()
+	s := scorep.NewSession(
+		scorep.WithRemoteTrace("unix://"+sock),
+		scorep.WithRemoteTraceStream("survivor"),
+		scorep.WithRemoteTraceReconnect(50, 5*time.Millisecond, 20*time.Second),
+		scorep.WithoutProfiling(),
+		scorep.WithClock(countingClock()))
+	fleetWorkload(s, 200, par, task, tw)
+
+	// Kill the daemon like a crash: no drain, connections severed.
+	if err := srv1.Shutdown(0); err != nil {
+		t.Fatal(err)
+	}
+	<-done1
+	srv2, done2 := startDaemon()
+
+	fleetWorkload(s, 200, par, task, tw)
+	res, err := s.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteGapBytes() != 0 {
+		t.Fatalf("stream gapped %d bytes; the replay window must cover a fresh daemon", res.RemoteGapBytes())
+	}
+	if fb := res.RemoteFallback(); fb != nil {
+		t.Fatalf("stream degraded to fallback %+v instead of resuming", fb)
+	}
+
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done2
+	var shards []scorep.TraceShard
+	for _, st := range srv2.Streams() {
+		shards = append(shards, scorep.TraceShard{
+			File: st.File, Stream: st.ID, Bytes: st.Bytes,
+			DroppedEvents: st.DroppedEvents, GapBytes: st.GapBytes,
+			Resumes: st.Resumes, Complete: st.Complete,
+		})
+	}
+	if err := scorep.SaveFleetExperiment(dir, time.Second, shards); err != nil {
+		t.Fatal(err)
+	}
+
+	exp, err := scorep.OpenExperiment(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := exp.TraceShards()
+	if len(got) != 1 || !got[0].Complete || got[0].GapBytes != 0 {
+		t.Fatalf("TraceShards = %+v, want one complete gapless shard", got)
+	}
+	a, err := exp.ShardTraceAnalysis(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, a) {
+		t.Fatalf("resumed shard's analysis differs from the undisturbed run:\nwant %+v\ngot  %+v", want, a)
+	}
+	if len(exp.Warnings()) != 0 {
+		t.Fatalf("resumed fleet produced warnings: %v", exp.Warnings())
+	}
+}
+
+// TestFleetDaemonSIGKILLRestart is the real-process variant: it builds
+// cmd/scorep-daemon, SIGKILLs the running daemon mid-stream, restarts
+// it over the same experiment directory, and checks the session resumes
+// and the daemon's own sealed meta.json reports a complete, gapless,
+// resumed shard whose analysis matches an undisturbed run.
+func TestFleetDaemonSIGKILLRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a real daemon process")
+	}
+	par := scorep.RegisterRegion("fk.parallel", "fleet_test.go", 40, scorep.RegionParallel)
+	task := scorep.RegisterRegion("fk.task", "fleet_test.go", 41, scorep.RegionTask)
+	tw := scorep.RegisterRegion("fk.taskwait", "fleet_test.go", 42, scorep.RegionTaskwait)
+
+	ref := scorep.NewSession(scorep.WithTracing(), scorep.WithoutProfiling(),
+		scorep.WithClock(countingClock()))
+	fleetWorkload(ref, 200, par, task, tw)
+	fleetWorkload(ref, 200, par, task, tw)
+	refRes, err := ref.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refRes.TraceAnalysis()
+
+	base := t.TempDir()
+	bin := filepath.Join(base, "scorep-daemon")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/scorep-daemon")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building scorep-daemon: %v\n%s", err, out)
+	}
+	dir := filepath.Join(base, "exp")
+	sock := filepath.Join(base, "d.sock")
+	startDaemon := func(extra ...string) *exec.Cmd {
+		args := append([]string{"-listen", "unix://" + sock, "-exp", dir, "-quiet"}, extra...)
+		cmd := exec.Command(bin, args...)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd
+	}
+
+	d1 := startDaemon()
+	s := scorep.NewSession(
+		scorep.WithRemoteTrace("unix://"+sock),
+		scorep.WithRemoteTraceStream("survivor"),
+		scorep.WithRemoteTraceReconnect(50, 5*time.Millisecond, 20*time.Second),
+		scorep.WithoutProfiling(),
+		scorep.WithClock(countingClock()))
+	fleetWorkload(s, 200, par, task, tw)
+
+	// The shard file appears once the handshake registered the stream —
+	// only then is a SIGKILL a genuine mid-stream crash.
+	shard := filepath.Join(dir, "trace-survivor.otf2")
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if _, err := os.Stat(shard); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stream never reached the daemon")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := d1.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = d1.Wait()
+
+	// Restart over the same experiment directory; -streams 1 makes the
+	// daemon seal the fleet experiment and exit once the stream ends.
+	d2 := startDaemon("-streams", "1")
+	fleetWorkload(s, 200, par, task, tw)
+	res, err := s.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteResumes() == 0 {
+		t.Fatal("stream never resumed though the daemon was SIGKILLed mid-stream")
+	}
+	if res.RemoteGapBytes() != 0 || res.RemoteFallback() != nil {
+		t.Fatalf("stream lost data: gap=%d fallback=%+v", res.RemoteGapBytes(), res.RemoteFallback())
+	}
+	if err := d2.Wait(); err != nil {
+		t.Fatalf("restarted daemon exited with %v", err)
+	}
+
+	exp, err := scorep.OpenExperiment(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := exp.TraceShards()
+	if len(got) != 1 || !got[0].Complete || got[0].GapBytes != 0 || got[0].Resumes == 0 {
+		t.Fatalf("TraceShards = %+v, want one complete gapless resumed shard", got)
+	}
+	a, err := exp.ShardTraceAnalysis(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, a) {
+		t.Fatalf("resumed shard's analysis differs from the undisturbed run:\nwant %+v\ngot  %+v", want, a)
 	}
 }

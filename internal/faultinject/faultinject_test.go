@@ -1,0 +1,115 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"syscall"
+	"testing"
+)
+
+// drain consumes everything the peer sends and returns the bytes.
+func drain(t *testing.T, c net.Conn) <-chan []byte {
+	t.Helper()
+	out := make(chan []byte, 1)
+	go func() {
+		var buf bytes.Buffer
+		b := make([]byte, 256)
+		for {
+			n, err := c.Read(b)
+			buf.Write(b[:n])
+			if err != nil {
+				out <- buf.Bytes()
+				return
+			}
+		}
+	}()
+	return out
+}
+
+func TestConnSeverAfterExactByte(t *testing.T) {
+	c1, c2 := net.Pipe()
+	got := drain(t, c2)
+	fc := NewConn(c1, SeverWriteAfter(10), SliceWrites(4))
+
+	n, err := fc.Write(bytes.Repeat([]byte{0xab}, 64))
+	if !errors.Is(err, ErrSevered) {
+		t.Fatalf("Write error = %v, want ErrSevered", err)
+	}
+	if n != 10 {
+		t.Fatalf("delivered %d bytes, want exactly 10", n)
+	}
+	if !fc.Severed() {
+		t.Fatal("Severed() = false after trip")
+	}
+	if b := <-got; len(b) != 10 {
+		t.Fatalf("peer saw %d bytes, want 10", len(b))
+	}
+
+	// Both directions are dead now.
+	if _, err := fc.Write([]byte{1}); !errors.Is(err, ErrSevered) {
+		t.Fatalf("post-sever Write error = %v, want ErrSevered", err)
+	}
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, ErrSevered) {
+		t.Fatalf("post-sever Read error = %v, want ErrSevered", err)
+	}
+}
+
+func TestConnPassthroughAndManualSever(t *testing.T) {
+	c1, c2 := net.Pipe()
+	got := drain(t, c2)
+	fc := NewConn(c1, SliceWrites(3))
+
+	if n, err := fc.Write([]byte("hello world")); err != nil || n != 11 {
+		t.Fatalf("Write = (%d, %v), want (11, nil)", n, err)
+	}
+	fc.Sever()
+	fc.Sever() // idempotent
+	if b := <-got; string(b) != "hello world" {
+		t.Fatalf("peer saw %q", b)
+	}
+	if fc.Written() != 11 {
+		t.Fatalf("Written() = %d, want 11", fc.Written())
+	}
+}
+
+func TestWriterCapacityShortWrite(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink, CapacityBytes(5))
+
+	n, err := w.Write([]byte("abcdefgh"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Write error = %v, want ENOSPC", err)
+	}
+	if n != 5 || sink.String() != "abcde" {
+		t.Fatalf("short write delivered %d bytes (%q), want 5", n, sink.String())
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("post-full Write error = %v, want ENOSPC", err)
+	}
+	if w.Written() != 5 {
+		t.Fatalf("Written() = %d, want 5", w.Written())
+	}
+}
+
+func TestWriterTransientEIO(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink, TransientEIOEvery(3))
+
+	var errs int
+	for i := 0; i < 9; i++ {
+		if _, err := w.Write([]byte{byte('a' + i)}); err != nil {
+			if !errors.Is(err, syscall.EIO) {
+				t.Fatalf("call %d: error = %v, want EIO", i, err)
+			}
+			errs++
+		}
+	}
+	if errs != 3 {
+		t.Fatalf("got %d EIO faults over 9 calls, want 3", errs)
+	}
+	if sink.String() != "abdeghi"[:6]+"i" && sink.Len() != 6 {
+		// calls 3, 6, 9 fail (1-indexed): c, f, i dropped.
+		t.Fatalf("sink = %q, want the 6 surviving bytes", sink.String())
+	}
+}

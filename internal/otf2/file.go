@@ -1,6 +1,8 @@
 package otf2
 
 import (
+	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -244,6 +246,83 @@ func StatFile(path string) (*ArchiveStats, error) {
 		}
 	}
 	return st, nil
+}
+
+// IntactPrefixSize scans the chunk framing of the archive at path and
+// returns the byte length of its intact prefix: the 8-byte header plus
+// every complete chunk before the first truncated or over-long one.
+// This is the cut point the lenient readers salvage to, computed
+// without decoding any payload (chunk headers are read, payloads are
+// skipped), so it is O(chunks) in time and O(1) in memory. A file
+// shorter than the header, or one whose magic or version byte is wrong,
+// has an intact prefix of 0. The typical caller is crash recovery:
+// truncating a shard to its intact prefix makes the file a valid,
+// fully readable archive prefix again, and the returned size is the
+// durable byte offset a resuming writer must continue from.
+func IntactPrefixSize(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 64<<10)
+	hdr := make([]byte, len(magic)+1)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil
+		}
+		return 0, err
+	}
+	if string(hdr[:len(magic)]) != magic ||
+		(hdr[len(magic)] != version1 && hdr[len(magic)] != version2) {
+		return 0, nil
+	}
+	intact := int64(len(hdr))
+	pos := intact
+	for {
+		if _, err := br.ReadByte(); err != nil { // chunk kind
+			if err == io.EOF {
+				return intact, nil
+			}
+			return 0, err
+		}
+		pos++
+		n, err := binary.ReadUvarint(countingByteReader{br, &pos})
+		if err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return intact, nil
+			}
+			return 0, err
+		}
+		if n > maxChunkLen {
+			// An impossible length means the header itself is damaged;
+			// everything from this chunk on is unusable.
+			return intact, nil
+		}
+		skipped, err := br.Discard(int(n))
+		pos += int64(skipped)
+		if err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return intact, nil
+			}
+			return 0, err
+		}
+		intact = pos
+	}
+}
+
+// countingByteReader counts the bytes a varint decode consumes.
+type countingByteReader struct {
+	r   *bufio.Reader
+	pos *int64
+}
+
+func (c countingByteReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		*c.pos++
+	}
+	return b, err
 }
 
 // WriteFile saves a trace to path in the format chosen by its

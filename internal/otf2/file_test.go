@@ -141,6 +141,88 @@ func TestAnalyzeFileFormatsAgree(t *testing.T) {
 	}
 }
 
+// TestIntactPrefixSize checks the cut-point scan against the readers'
+// salvage behavior: the intact prefix of a complete archive is the
+// whole file, the prefix of a mid-chunk cut is chunk-aligned, and
+// truncating to it yields an archive that reads cleanly with exactly
+// the events the lenient reader salvages.
+func TestIntactPrefixSize(t *testing.T) {
+	dir := t.TempDir()
+	reg := region.NewRegistry()
+	tr := fileTestTrace(reg, 2000)
+
+	path := filepath.Join(dir, "t.otf2")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriterSize(f, 1024)
+	if err := w.WriteEvents(0, tr.Threads[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	archive, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if n, err := IntactPrefixSize(path); err != nil || n != int64(len(archive)) {
+		t.Fatalf("complete archive: IntactPrefixSize = (%d, %v), want (%d, nil)", n, err, len(archive))
+	}
+
+	// Cut mid-chunk; the scan must land on the chunk boundary before the
+	// cut, and the truncated-to-prefix file must read without salvage.
+	cutPath := filepath.Join(dir, "cut.otf2")
+	cut := lastEventChunkOffset(t, archive) + 3
+	if err := os.WriteFile(cutPath, archive[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prefix, err := IntactPrefixSize(cutPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prefix <= int64(len(magic)+1) || prefix >= cut {
+		t.Fatalf("IntactPrefixSize = %d, want a chunk boundary in (8, %d)", prefix, cut)
+	}
+	salvaged, warning, err := ReadFileLenient(cutPath, region.NewRegistry(), 1)
+	if err != nil || warning == "" {
+		t.Fatalf("ReadFileLenient(cut) = (_, %q, %v), want salvage warning", warning, err)
+	}
+	if err := os.Truncate(cutPath, prefix); err != nil {
+		t.Fatal(err)
+	}
+	clean, warning, err := ReadFileLenient(cutPath, region.NewRegistry(), 1)
+	if err != nil || warning != "" {
+		t.Fatalf("truncated-to-prefix archive = (_, %q, %v), want clean read", warning, err)
+	}
+	if clean.NumEvents() != salvaged.NumEvents() {
+		t.Errorf("prefix archive has %d events, lenient salvage had %d", clean.NumEvents(), salvaged.NumEvents())
+	}
+
+	// Degenerate files: empty, short header, wrong magic.
+	for name, content := range map[string][]byte{
+		"empty.otf2": nil,
+		"short.otf2": []byte(magic[:4]),
+		"bad.otf2":   []byte("NOTOTF2\x01extra"),
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if n, err := IntactPrefixSize(p); err != nil || n != 0 {
+			t.Errorf("%s: IntactPrefixSize = (%d, %v), want (0, nil)", name, n, err)
+		}
+	}
+	if _, err := IntactPrefixSize(filepath.Join(dir, "missing.otf2")); err == nil {
+		t.Error("IntactPrefixSize accepted a missing file")
+	}
+}
+
 func TestLenientHelpersRealErrors(t *testing.T) {
 	missing := filepath.Join(t.TempDir(), "missing.otf2")
 	if _, _, err := ReadFileLenient(missing, region.NewRegistry(), 1); err == nil {

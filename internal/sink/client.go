@@ -1,9 +1,14 @@
 package sink
 
 import (
+	"bufio"
+	"context"
+	cryptorand "crypto/rand"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"os"
 	"sync"
@@ -34,32 +39,58 @@ const (
 
 // Client defaults.
 const (
-	// DefaultBufferBytes bounds the framed bytes buffered between the
-	// encoding threads and the background sender.
+	// DefaultBufferBytes bounds the unacked archive bytes buffered
+	// between the encoding threads and the background sender — the
+	// backpressure debt a slow or absent daemon can impose.
 	DefaultBufferBytes = 1 << 20
 	// DefaultDialAttempts and DefaultDialBackoff shape the lazy-connect
-	// retry loop: backoff doubles per attempt (50ms, 100ms, ... — about
-	// 1.5s in total), covering the "daemon still starting" race without
-	// stalling a doomed run for long.
+	// retry loop: backoff doubles per attempt with jitter (≈50ms,
+	// 100ms, ... — about 1.5s in total), covering the "daemon still
+	// starting" race without stalling a doomed run for long.
 	DefaultDialAttempts = 5
 	DefaultDialBackoff  = 50 * time.Millisecond
+	// DefaultDialBudget caps the total elapsed time of one connect
+	// loop, whatever the attempt count and backoff say.
+	DefaultDialBudget = 10 * time.Second
 	// DefaultAckTimeout bounds how long Close waits for the daemon's
 	// seal acknowledgment.
 	DefaultAckTimeout = 10 * time.Second
+	// DefaultReconnectAttempts, DefaultReconnectBackoff and
+	// DefaultReconnectBudget shape the per-outage reconnect loop of a
+	// v2 stream: after a mid-stream sever the sender redials with
+	// jittered doubling backoff until one of the three budgets runs
+	// out, then degrades (fallback archive or latched error).
+	DefaultReconnectAttempts = 8
+	DefaultReconnectBackoff  = 100 * time.Millisecond
+	DefaultReconnectBudget   = 20 * time.Second
+	// DefaultReplayBytes is the acked history the client retains below
+	// the server's durable offset. It must cover the server's flush
+	// lag plus one archive chunk, so a daemon crash that recovers to a
+	// chunk boundary can still be resumed bit-identically.
+	DefaultReplayBytes = 4 << 20
 )
 
 // ClientOption configures a Client.
 type ClientOption func(*clientConfig)
 
 type clientConfig struct {
-	streamID     string
-	bufBytes     int
-	policy       BackpressurePolicy
-	dialAttempts int
-	dialBackoff  time.Duration
-	ackTimeout   time.Duration
-	writerOpts   []otf2.WriterOption
-	dial         func() (net.Conn, error)
+	streamID          string
+	token             uint64
+	protocol          byte
+	bufBytes          int
+	replayBytes       int
+	policy            BackpressurePolicy
+	dialAttempts      int
+	dialBackoff       time.Duration
+	dialBudget        time.Duration
+	reconnectAttempts int
+	reconnectBackoff  time.Duration
+	reconnectBudget   time.Duration
+	ackTimeout        time.Duration
+	fallbackPath      string
+	ctx               context.Context
+	writerOpts        []otf2.WriterOption
+	dial              func() (net.Conn, error)
 }
 
 // WithStreamID names the client's stream — and thereby its shard file,
@@ -70,12 +101,40 @@ func WithStreamID(id string) ClientOption {
 	return func(c *clientConfig) { c.streamID = id }
 }
 
-// WithBufferBytes bounds the framed bytes buffered between the encoding
-// threads and the background sender (default DefaultBufferBytes).
+// WithStreamToken fixes the stream token a v2 client presents in its
+// handshake (default: random). The token identifies the stream across
+// reconnects; tests fix it to exercise resume determinism.
+func WithStreamToken(token uint64) ClientOption {
+	return func(c *clientConfig) { c.token = token }
+}
+
+// WithProtocolVersion pins the wire protocol the client speaks:
+// ProtocolV2 (the default — resumable streams, requires a v2 daemon)
+// or ProtocolV1 (fire-and-forget, talks to old daemons; reconnection
+// is disabled because v1 cannot resume).
+func WithProtocolVersion(v int) ClientOption {
+	return func(c *clientConfig) { c.protocol = byte(v) }
+}
+
+// WithBufferBytes bounds the unacked archive bytes buffered between
+// the encoding threads and the background sender (default
+// DefaultBufferBytes).
 func WithBufferBytes(n int) ClientOption {
 	return func(c *clientConfig) {
 		if n > 0 {
 			c.bufBytes = n
+		}
+	}
+}
+
+// WithReplayWindow sets how many server-acked bytes the client retains
+// for crash-recovery replay (default DefaultReplayBytes). Zero retains
+// nothing: a severed connection is still resumable, but a daemon crash
+// that loses flushed-but-unsealed bytes becomes an explicit gap.
+func WithReplayWindow(n int) ClientOption {
+	return func(c *clientConfig) {
+		if n >= 0 {
+			c.replayBytes = n
 		}
 	}
 }
@@ -87,8 +146,8 @@ func WithBackpressure(p BackpressurePolicy) ClientOption {
 }
 
 // WithDialRetry shapes the connect retry loop: up to attempts dials,
-// sleeping backoff (doubling) between them. attempts <= 1 means a
-// single attempt.
+// sleeping a jittered backoff (doubling) between them. attempts <= 1
+// means a single attempt.
 func WithDialRetry(attempts int, backoff time.Duration) ClientOption {
 	return func(c *clientConfig) {
 		if attempts >= 1 {
@@ -98,6 +157,47 @@ func WithDialRetry(attempts int, backoff time.Duration) ClientOption {
 			c.dialBackoff = backoff
 		}
 	}
+}
+
+// WithDialBudget caps the total elapsed time of the initial connect
+// loop regardless of attempts and backoff (default DefaultDialBudget;
+// <= 0 removes the cap).
+func WithDialBudget(d time.Duration) ClientOption {
+	return func(c *clientConfig) { c.dialBudget = d }
+}
+
+// WithReconnect shapes the per-outage reconnect loop of a v2 stream:
+// up to attempts redials per outage, jittered doubling backoff, and a
+// total elapsed budget per outage. attempts <= 0 disables reconnection
+// entirely — a severed connection is then terminal, as under v1.
+func WithReconnect(attempts int, backoff, budget time.Duration) ClientOption {
+	return func(c *clientConfig) {
+		c.reconnectAttempts = attempts
+		if backoff > 0 {
+			c.reconnectBackoff = backoff
+		}
+		c.reconnectBudget = budget
+	}
+}
+
+// WithContext attaches a context to the client's connect and reconnect
+// loops: cancellation aborts backoff sleeps and pending attempts
+// immediately (the stream then degrades like any other exhausted
+// budget).
+func WithContext(ctx context.Context) ClientOption {
+	return func(c *clientConfig) { c.ctx = ctx }
+}
+
+// WithFallbackArchive names a local archive file the client spills to
+// when the remote stream is lost for good — dial or reconnect budget
+// exhausted, an unresumable gap, or a daemon-reported ingest failure.
+// The spill is lossless from the archive offset Fallback reports: the
+// retained window is written first, then recording continues into the
+// file, so offset 0 (the common case) is a complete standalone
+// archive. Empty (the default) disables spilling: terminal transport
+// failures latch Err instead.
+func WithFallbackArchive(path string) ClientOption {
+	return func(c *clientConfig) { c.fallbackPath = path }
 }
 
 // WithAckTimeout bounds how long Close waits for the daemon's seal
@@ -117,22 +217,33 @@ func WithWriterOptions(opts ...otf2.WriterOption) ClientOption {
 // Client streams one process's event trace to a measurement daemon. It
 // implements trace.EventSink: recording threads encode their event
 // batches concurrently through the embedded otf2.Writer (the same
-// per-thread hot path a file sink uses) into a bounded frame buffer
-// that a single background goroutine drains to the connection. The
-// connection is established lazily by that sender, with retry/backoff,
-// so constructing a Client never blocks the measured program's start.
+// per-thread hot path a file sink uses) into a bounded window that a
+// single background goroutine drains to the connection. The connection
+// is established lazily by that sender, with retry/backoff, so
+// constructing a Client never blocks the measured program's start.
 //
-// Every failure — dial exhaustion, a dropped connection, a daemon
-// ingest error — is latched (Err) and unblocks all waiting recording
-// threads; recording then degrades to discarding, exactly like a
-// failing local disk under the streaming recorder's contract.
+// Under protocol v2 the window doubles as a replay buffer: a severed
+// connection is survived by reconnect (jittered backoff, per-outage
+// attempt and elapsed budgets) and byte-exact replay from the server's
+// durable offset. Only when the stream is lost for good — budgets
+// exhausted, an unresumable gap, a daemon-side ingest failure — does
+// the client degrade: to a lossless local fallback archive when
+// WithFallbackArchive is set, else by latching the error (Err) and
+// unblocking all waiting recording threads, exactly like a failing
+// local disk under the streaming recorder's contract.
 type Client struct {
 	cfg clientConfig
-	fr  *framer
+	win *sendWindow
 	w   *otf2.Writer
 
 	err     atomic.Pointer[error]
 	dropped atomic.Int64
+
+	resumes       atomic.Int64
+	gapBytes      atomic.Int64
+	fellBack      atomic.Bool
+	fallbackStart atomic.Int64
+	fallbackWhy   atomic.Pointer[error]
 
 	done      chan struct{} // closed when the sender goroutine exits
 	closeOnce sync.Once
@@ -151,36 +262,51 @@ func Dial(addr string, opts ...ClientOption) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewClient(func() (net.Conn, error) {
+		return net.DialTimeout(network, address, 5*time.Second)
+	}, opts...)
+}
+
+// NewClient creates a Client that obtains every connection — the
+// initial one and reconnects — from dial. This is the seam tests and
+// embedders use to interpose fault injection or custom transports.
+func NewClient(dial func() (net.Conn, error), opts ...ClientOption) (*Client, error) {
 	cfg := defaultClientConfig()
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	cfg.dial = func() (net.Conn, error) {
-		return net.DialTimeout(network, address, 5*time.Second)
-	}
+	cfg.dial = dial
 	return newClient(cfg)
 }
 
 // NewClientConn creates a Client streaming over an existing connection
 // (tests drive a Server directly through net.Pipe this way). The Client
-// takes ownership of conn and closes it.
+// takes ownership of conn and closes it; since the connection cannot
+// be re-established, reconnection is disabled.
 func NewClientConn(conn net.Conn, opts ...ClientOption) (*Client, error) {
 	cfg := defaultClientConfig()
 	for _, opt := range opts {
 		opt(&cfg)
 	}
 	cfg.dialAttempts = 1
+	cfg.reconnectAttempts = 0
 	cfg.dial = func() (net.Conn, error) { return conn, nil }
 	return newClient(cfg)
 }
 
 func defaultClientConfig() clientConfig {
 	return clientConfig{
-		streamID:     fmt.Sprintf("p%d", os.Getpid()),
-		bufBytes:     DefaultBufferBytes,
-		dialAttempts: DefaultDialAttempts,
-		dialBackoff:  DefaultDialBackoff,
-		ackTimeout:   DefaultAckTimeout,
+		streamID:          fmt.Sprintf("p%d", os.Getpid()),
+		protocol:          ProtocolVersion,
+		bufBytes:          DefaultBufferBytes,
+		replayBytes:       DefaultReplayBytes,
+		dialAttempts:      DefaultDialAttempts,
+		dialBackoff:       DefaultDialBackoff,
+		dialBudget:        DefaultDialBudget,
+		reconnectAttempts: DefaultReconnectAttempts,
+		reconnectBackoff:  DefaultReconnectBackoff,
+		reconnectBudget:   DefaultReconnectBudget,
+		ackTimeout:        DefaultAckTimeout,
 	}
 }
 
@@ -189,18 +315,40 @@ func newClient(cfg clientConfig) (*Client, error) {
 		return nil, fmt.Errorf("sink: invalid stream id %q (want 1..%d bytes of [A-Za-z0-9._-])",
 			cfg.streamID, MaxStreamIDLen)
 	}
+	if cfg.protocol != ProtocolV1 && cfg.protocol != ProtocolV2 {
+		return nil, fmt.Errorf("sink: unsupported protocol version %d (want %d or %d)",
+			cfg.protocol, ProtocolV1, ProtocolV2)
+	}
+	if cfg.protocol == ProtocolV1 {
+		// v1 has no durable acks, so there is nothing to resume from.
+		cfg.reconnectAttempts = 0
+	}
+	if cfg.token == 0 {
+		cfg.token = randomToken()
+	}
 	c := &Client{cfg: cfg, done: make(chan struct{})}
-	c.fr = newFramer(cfg.bufBytes, cfg.policy == BackpressureBlock)
-	c.w = otf2.NewWriter(c.fr, cfg.writerOpts...)
+	c.win = newSendWindow(cfg.bufBytes, cfg.replayBytes,
+		cfg.policy == BackpressureBlock, cfg.protocol == ProtocolV1)
+	c.w = otf2.NewWriter(c.win, cfg.writerOpts...)
 	go c.run()
 	return c, nil
+}
+
+// randomToken draws a nonzero 64-bit stream token.
+func randomToken() uint64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		return uint64(os.Getpid())<<32 | uint64(time.Now().UnixNano())&0xffffffff | 1
+	}
+	return binary.LittleEndian.Uint64(b[:]) | 1
 }
 
 // StreamID returns the stream id the client announces in its handshake.
 func (c *Client) StreamID() string { return c.cfg.streamID }
 
-// Err returns the first transport or daemon failure, or nil. Once set,
-// every subsequent WriteEvents returns it.
+// Err returns the first unrecoverable transport or daemon failure, or
+// nil. Once set, every subsequent WriteEvents returns it. A stream that
+// degraded to its fallback archive is not an error: see Fallback.
 func (c *Client) Err() error {
 	if p := c.err.Load(); p != nil {
 		return *p
@@ -212,13 +360,57 @@ func (c *Client) Err() error {
 // discarded so far.
 func (c *Client) Dropped() int64 { return c.dropped.Load() }
 
+// Resumes returns how many times the stream reconnected and resumed
+// after a mid-stream sever.
+func (c *Client) Resumes() int64 { return c.resumes.Load() }
+
+// GapBytes returns the size of the unresumable gap the client declared
+// to the server (0 if the stream never gapped). A nonzero gap means
+// the daemon's shard was sealed at its durable prefix and the bytes in
+// between were lost remotely — they are still in the local fallback
+// archive when one is configured.
+func (c *Client) GapBytes() int64 { return c.gapBytes.Load() }
+
+// Fallback reports the local spill, if the stream degraded to one:
+// the fallback archive path, the archive byte offset of its first byte
+// (0 means the file is a complete standalone archive; a larger offset
+// means it continues the daemon shard's durable prefix), and the
+// failure that caused the degradation.
+func (c *Client) Fallback() (path string, startOffset int64, reason error, ok bool) {
+	if !c.fellBack.Load() {
+		return "", 0, nil, false
+	}
+	if p := c.fallbackWhy.Load(); p != nil {
+		reason = *p
+	}
+	return c.cfg.fallbackPath, c.fallbackStart.Load(), reason, true
+}
+
 // fail latches the first error and releases every blocked producer.
 func (c *Client) fail(err error) {
 	if err == nil {
 		return
 	}
 	c.err.CompareAndSwap(nil, &err)
-	c.fr.failLatch(err)
+	c.win.failLatch(err)
+}
+
+// terminal handles an unrecoverable remote failure: spill to the
+// fallback archive when configured, else latch the error.
+func (c *Client) terminal(reason error) {
+	if c.cfg.fallbackPath == "" {
+		c.fail(reason)
+		return
+	}
+	start, err := c.win.beginSpill(c.cfg.fallbackPath, reason)
+	if err != nil {
+		c.fail(errors.Join(reason, err))
+		return
+	}
+	why := reason
+	c.fallbackWhy.Store(&why)
+	c.fallbackStart.Store(start)
+	c.fellBack.Store(true)
 }
 
 // WriteEvents implements trace.EventSink. The backpressure decision is
@@ -230,7 +422,7 @@ func (c *Client) WriteEvents(thread int, events []trace.Event) error {
 	if err := c.Err(); err != nil {
 		return err
 	}
-	admit, err := c.fr.admit()
+	admit, err := c.win.admit()
 	if err != nil {
 		return err
 	}
@@ -243,48 +435,306 @@ func (c *Client) WriteEvents(thread int, events []trace.Event) error {
 
 // Close flushes the archive (sealing partial chunks and, for format v2,
 // the footer index), sends the end-of-stream frame and waits for the
-// daemon's seal acknowledgment. It returns the first error of the whole
-// stream's life — encode, transport, or daemon-side — and is
+// daemon's seal acknowledgment (or seals the local fallback archive,
+// if the stream degraded). It returns the first unrecoverable error of
+// the whole stream's life — encode, transport, or daemon-side — and is
 // idempotent. Events must not be written after Close.
 func (c *Client) Close() error {
 	c.closeOnce.Do(func() {
 		werr := c.w.Close()
-		c.fr.closeStream()
+		c.win.closeStream()
 		<-c.done
+		serr := c.win.finishSpill()
 		c.closeErr = c.Err()
 		if c.closeErr == nil && werr != nil {
 			c.closeErr = werr
+		}
+		if c.closeErr == nil && serr != nil {
+			c.closeErr = serr
 		}
 	})
 	return c.closeErr
 }
 
-// run is the background sender: it connects (with retry/backoff),
-// performs the handshake, drains the frame buffer, and finishes the
-// stream with the end-of-stream frame and ack wait.
+// transientError marks a failure of one connection attempt or one
+// established connection — the class the reconnect loop may retry.
+// Everything else (daemon-reported ingest failure, protocol
+// violations, exhausted budgets, cancellation) is terminal.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+func transient(err error) error { return &transientError{err: err} }
+
+func isTransient(err error) bool {
+	var te *transientError
+	return errors.As(err, &te)
+}
+
+// run is the background sender: it connects (with retry/backoff and
+// budgets), performs the handshake, pumps the window to the
+// connection, and — under v2 — survives severed connections by
+// reconnecting and replaying from the server's durable offset.
 func (c *Client) run() {
 	defer close(c.done)
-	conn, err := c.connect()
-	if err != nil {
-		c.fail(fmt.Errorf("sink: connect: %w", err))
-		return
+	scratch := make([]byte, 0, 256<<10)
+	reconnects := 0
+	for {
+		conn, durable, err := c.connect(reconnects > 0)
+		if err != nil {
+			c.terminal(err)
+			return
+		}
+		if c.cfg.protocol >= ProtocolV2 {
+			if reconnects > 0 {
+				c.resumes.Add(1)
+			}
+			if err := c.win.rewind(durable); err != nil {
+				var ge *gapError
+				if errors.As(err, &ge) {
+					gap := ge.have - ge.durable
+					c.gapBytes.Store(gap)
+					c.declareGap(conn, gap)
+					_ = conn.Close()
+					c.terminal(err)
+					return
+				}
+				_ = conn.Close()
+				c.terminal(err)
+				return
+			}
+		}
+		err = c.pump(conn, scratch)
+		_ = conn.Close()
+		if err == nil {
+			return
+		}
+		if !isTransient(err) || c.cfg.reconnectAttempts <= 0 {
+			c.terminal(err)
+			return
+		}
+		reconnects++
 	}
-	defer conn.Close()
-	hs := make([]byte, 0, len(Magic)+1+binary.MaxVarintLen64+len(c.cfg.streamID))
+}
+
+// connect dials (with jittered doubling backoff, an attempt cap, an
+// elapsed-time budget and optional context cancellation) and completes
+// the handshake, returning the connection and — under v2 — the
+// server's durable offset for this stream.
+func (c *Client) connect(reconnect bool) (net.Conn, int64, error) {
+	attempts, backoff, budget := c.cfg.dialAttempts, c.cfg.dialBackoff, c.cfg.dialBudget
+	what := "connect"
+	if reconnect {
+		attempts, backoff, budget = c.cfg.reconnectAttempts, c.cfg.reconnectBackoff, c.cfg.reconnectBudget
+		what = "reconnect"
+	}
+	if attempts < 1 {
+		attempts = 1
+	}
+	var deadline time.Time
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			d := jitterBackoff(backoff)
+			backoff *= 2
+			if !deadline.IsZero() {
+				rem := time.Until(deadline)
+				if rem <= 0 {
+					break
+				}
+				if d > rem {
+					d = rem
+				}
+			}
+			if err := sleepCtx(c.cfg.ctx, d); err != nil {
+				return nil, 0, fmt.Errorf("sink: %s canceled: %w", what, err)
+			}
+		}
+		if c.cfg.ctx != nil {
+			if err := c.cfg.ctx.Err(); err != nil {
+				return nil, 0, fmt.Errorf("sink: %s canceled: %w", what, err)
+			}
+		}
+		conn, err := c.cfg.dial()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		durable, err := c.handshake(conn)
+		if err != nil {
+			_ = conn.Close()
+			lastErr = err
+			continue
+		}
+		return conn, durable, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("budget exhausted before any attempt")
+	}
+	return nil, 0, fmt.Errorf("sink: %s: %w", what, lastErr)
+}
+
+// jitterBackoff spreads a backoff over [d/2, d), so a fleet of clients
+// severed by one daemon crash does not redial in lockstep.
+func jitterBackoff(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := int64(d) / 2
+	return time.Duration(half + rand.Int63n(half))
+}
+
+// sleepCtx sleeps d, aborting early on context cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// handshake writes the client handshake on conn and, under v2, reads
+// the server hello, returning the durable offset to resume from.
+func (c *Client) handshake(conn net.Conn) (int64, error) {
+	if c.cfg.ackTimeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(c.cfg.ackTimeout))
+		defer func() { _ = conn.SetDeadline(time.Time{}) }()
+	}
+	hs := make([]byte, 0, len(Magic)+1+2*binary.MaxVarintLen64+len(c.cfg.streamID))
 	hs = append(hs, Magic...)
-	hs = append(hs, ProtocolVersion)
+	hs = append(hs, c.cfg.protocol)
 	hs = binary.AppendUvarint(hs, uint64(len(c.cfg.streamID)))
 	hs = append(hs, c.cfg.streamID...)
+	if c.cfg.protocol >= ProtocolV2 {
+		hs = binary.AppendUvarint(hs, c.cfg.token)
+	}
 	if _, err := conn.Write(hs); err != nil {
-		c.fail(fmt.Errorf("sink: handshake: %w", err))
+		return 0, fmt.Errorf("handshake: %w", err)
+	}
+	if c.cfg.protocol < ProtocolV2 {
+		return 0, nil
+	}
+	// Read the hello byte by byte: nothing may be buffered past it,
+	// the ack reader owns every later byte.
+	cr := &connByteReader{c: conn}
+	kind, err := cr.ReadByte()
+	if err != nil {
+		return 0, fmt.Errorf("reading hello: %w", err)
+	}
+	switch kind {
+	case frameHello:
+		status, err := cr.ReadByte()
+		if err != nil {
+			return 0, fmt.Errorf("reading hello: %w", err)
+		}
+		if status != helloNew && status != helloResumed {
+			return 0, fmt.Errorf("reading hello: unknown status %d", status)
+		}
+		durable, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return 0, fmt.Errorf("reading hello durable offset: %w", err)
+		}
+		return int64(durable), nil
+	case ackByte:
+		// The server refused with a final ack instead of a hello.
+		status, err := cr.ReadByte()
+		if err != nil {
+			return 0, fmt.Errorf("reading hello: %w", err)
+		}
+		return 0, fmt.Errorf("daemon refused stream (status %d)", status)
+	default:
+		return 0, fmt.Errorf("reading hello: unexpected frame %q", kind)
+	}
+}
+
+// connByteReader reads single bytes off a net.Conn without buffering
+// ahead.
+type connByteReader struct {
+	c net.Conn
+	b [1]byte
+}
+
+func (r *connByteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(r.c, r.b[:]); err != nil {
+		return 0, err
+	}
+	return r.b[0], nil
+}
+
+// declareGap tells the server the client cannot resume: the shard is
+// sealed at the durable prefix with an explicit counted gap. Best
+// effort — the stream is lost either way.
+func (c *Client) declareGap(conn net.Conn, gap int64) {
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64)
+	buf = append(buf, frameGap)
+	buf = binary.AppendUvarint(buf, uint64(gap))
+	if _, err := conn.Write(buf); err != nil {
 		return
 	}
+	if c.cfg.ackTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(c.cfg.ackTimeout))
+	}
+	var ack [2]byte
+	_, _ = io.ReadFull(conn, ack[:])
+}
+
+// connState is the sender's view of one established connection, shared
+// with its ack-reader goroutine.
+type connState struct {
+	conn  net.Conn
+	dead  chan struct{} // closed when the reader exits
+	final chan byte     // the final ack status, buffered
+
+	mu  sync.Mutex
+	err error
+}
+
+func (cs *connState) setErr(err error) {
+	cs.mu.Lock()
+	if cs.err == nil {
+		cs.err = err
+	}
+	cs.mu.Unlock()
+}
+
+func (cs *connState) getErr() error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.err
+}
+
+// pump drains the window into conn until the stream completes (nil) or
+// the connection fails (transient error: the caller reconnects).
+func (c *Client) pump(conn net.Conn, scratch []byte) error {
+	cs := &connState{conn: conn, dead: make(chan struct{}), final: make(chan byte, 1)}
+	v2 := c.cfg.protocol >= ProtocolV2
+	if v2 {
+		go c.readAcks(cs)
+	}
 	for {
-		batch, done := c.fr.next()
+		if v2 {
+			if err := cs.getErr(); err != nil {
+				return err
+			}
+		}
+		batch, done, kicked := c.win.next(scratch)
+		if kicked {
+			continue
+		}
 		if len(batch) > 0 {
-			if _, err := conn.Write(batch); err != nil {
-				c.fail(fmt.Errorf("sink: send: %w", err))
-				return
+			if err := writeFrames(conn, batch); err != nil {
+				return transient(fmt.Errorf("sink: send: %w", err))
 			}
 		}
 		if done {
@@ -295,155 +745,116 @@ func (c *Client) run() {
 	eos = append(eos, frameEOS)
 	eos = binary.AppendUvarint(eos, uint64(c.dropped.Load()))
 	if _, err := conn.Write(eos); err != nil {
-		c.fail(fmt.Errorf("sink: end of stream: %w", err))
-		return
+		return transient(fmt.Errorf("sink: end of stream: %w", err))
 	}
+	if !v2 {
+		return c.readFinalAckV1(conn)
+	}
+	var timeout <-chan time.Time
+	if c.cfg.ackTimeout > 0 {
+		t := time.NewTimer(c.cfg.ackTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case status := <-cs.final:
+		if status == ackOK {
+			return nil
+		}
+		return fmt.Errorf("sink: daemon reported ingest failure (ack status %d)", status)
+	case <-cs.dead:
+		select {
+		case status := <-cs.final:
+			if status == ackOK {
+				return nil
+			}
+			return fmt.Errorf("sink: daemon reported ingest failure (ack status %d)", status)
+		default:
+		}
+		if err := cs.getErr(); err != nil {
+			return err
+		}
+		return transient(errors.New("sink: connection closed before seal ack"))
+	case <-timeout:
+		return transient(errors.New("sink: timeout waiting for seal ack"))
+	}
+}
+
+// readFinalAckV1 implements the v1 tail: one 2-byte ack after eos.
+func (c *Client) readFinalAckV1(conn net.Conn) error {
 	if c.cfg.ackTimeout > 0 {
 		_ = conn.SetReadDeadline(time.Now().Add(c.cfg.ackTimeout))
 	}
 	var ack [2]byte
 	if _, err := io.ReadFull(conn, ack[:]); err != nil {
-		c.fail(fmt.Errorf("sink: reading seal ack: %w", err))
-		return
+		return transient(fmt.Errorf("sink: reading seal ack: %w", err))
 	}
 	if ack[0] != ackByte || ack[1] != ackOK {
-		c.fail(fmt.Errorf("sink: daemon reported ingest failure (ack %q status %d)", ack[0], ack[1]))
+		return fmt.Errorf("sink: daemon reported ingest failure (ack %q status %d)", ack[0], ack[1])
 	}
+	return nil
 }
 
-// connect dials with retry/backoff; transient refusals (daemon not up
-// yet) are retried, the last error is returned when attempts run out.
-func (c *Client) connect() (net.Conn, error) {
-	backoff := c.cfg.dialBackoff
-	var err error
-	for i := 0; i < c.cfg.dialAttempts; i++ {
-		if i > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
+// readAcks consumes the server's side of a v2 connection: durable
+// acks feed the window (freeing producer space and replay history),
+// the final ack ends the stream. Any exit closes cs.dead and kicks the
+// sender awake so it notices promptly even while idle.
+func (c *Client) readAcks(cs *connState) {
+	defer func() {
+		close(cs.dead)
+		c.win.kick()
+	}()
+	br := bufio.NewReaderSize(cs.conn, 512)
+	for {
+		kind, err := br.ReadByte()
+		if err != nil {
+			cs.setErr(transient(fmt.Errorf("sink: connection lost: %w", err)))
+			return
 		}
-		var conn net.Conn
-		if conn, err = c.cfg.dial(); err == nil {
-			return conn, nil
-		}
-	}
-	return nil, err
-}
-
-// framer sits between the archive writer and the sender goroutine: it
-// cuts the writer's byte stream into length-prefixed frames in a
-// bounded buffer. Producers (recording threads, serialized by the
-// writer's io lock) append; the single sender swaps the whole buffer
-// out. A latched failure empties the buffer and wakes every waiter, so
-// no recording thread can stay blocked on a dead connection.
-type framer struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	buf    []byte
-	spare  []byte // recycled drained buffer, so steady state reuses two buffers
-	max    int
-	block  bool
-	closed bool
-	failed error
-}
-
-func newFramer(max int, block bool) *framer {
-	f := &framer{max: max, block: block}
-	f.cond = sync.NewCond(&f.mu)
-	return f
-}
-
-// admit is the pre-encode backpressure gate. It returns (true, nil) to
-// encode, (false, nil) to drop the batch (drop policy, buffer over
-// bound), or an error once the stream has failed or been closed.
-func (f *framer) admit() (bool, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.block {
-		for len(f.buf) >= f.max && f.failed == nil && !f.closed {
-			f.cond.Wait()
+		switch kind {
+		case frameAck:
+			n, err := binary.ReadUvarint(br)
+			if err != nil {
+				cs.setErr(transient(fmt.Errorf("sink: reading durable ack: %w", err)))
+				return
+			}
+			c.win.ack(int64(n))
+		case ackByte:
+			status, err := br.ReadByte()
+			if err != nil {
+				cs.setErr(transient(fmt.Errorf("sink: reading seal ack: %w", err)))
+				return
+			}
+			cs.final <- status
+			if status != ackOK {
+				cs.setErr(fmt.Errorf("sink: daemon reported ingest failure (ack status %d)", status))
+			}
+			return
+		default:
+			cs.setErr(fmt.Errorf("sink: unexpected frame %q from server", kind))
+			return
 		}
 	}
-	switch {
-	case f.failed != nil:
-		return false, f.failed
-	case f.closed:
-		return false, fmt.Errorf("sink: write after Close")
-	case !f.block && len(f.buf) >= f.max:
-		return false, nil
-	}
-	return true, nil
 }
 
-// Write implements io.Writer for the archive writer: p is framed and
-// appended to the send buffer, split so no frame payload exceeds
-// MaxFramePayload. Under the block policy Write waits for buffer space
-// (it runs on the encoding thread, under the writer's io lock — exactly
-// where a slow file sink would block too); under the drop policy it
-// always appends, because dropping bytes mid-archive would corrupt the
-// stream — the bound is enforced on whole batches in admit instead.
-func (f *framer) Write(p []byte) (int, error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	n := len(p)
+// writeFrames ships a run of archive bytes as data frames, splitting
+// at MaxFramePayload.
+func writeFrames(conn net.Conn, p []byte) error {
+	var hdr [1 + binary.MaxVarintLen64]byte
 	for len(p) > 0 {
-		if f.failed != nil {
-			// The stream is dead; swallow the bytes so the archive
-			// writer latches one error and encoding threads move on.
-			return 0, f.failed
-		}
-		if f.block {
-			for len(f.buf) >= f.max && f.failed == nil && !f.closed {
-				f.cond.Wait()
-			}
-			if f.failed != nil {
-				return 0, f.failed
-			}
-		}
 		chunk := p
 		if len(chunk) > MaxFramePayload {
 			chunk = chunk[:MaxFramePayload]
 		}
-		f.buf = append(f.buf, frameData)
-		f.buf = binary.AppendUvarint(f.buf, uint64(len(chunk)))
-		f.buf = append(f.buf, chunk...)
+		hdr[0] = frameData
+		n := binary.PutUvarint(hdr[1:], uint64(len(chunk)))
+		if _, err := conn.Write(hdr[:1+n]); err != nil {
+			return err
+		}
+		if _, err := conn.Write(chunk); err != nil {
+			return err
+		}
 		p = p[len(chunk):]
-		f.cond.Broadcast()
 	}
-	return n, nil
-}
-
-// next hands the sender everything buffered so far, waiting for data
-// when the buffer is empty. done reports that the stream was closed and
-// fully drained.
-func (f *framer) next() (batch []byte, done bool) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	for len(f.buf) == 0 && !f.closed && f.failed == nil {
-		f.cond.Wait()
-	}
-	batch, f.buf = f.buf, f.spare[:0]
-	f.spare = batch[:0] // the sender returns before the next swap uses it
-	f.cond.Broadcast()
-	return batch, (f.closed || f.failed != nil) && len(f.buf) == 0
-}
-
-// failLatch kills the stream: the pending buffer is discarded and every
-// waiter (producers in admit/Write, the sender in next) is released.
-func (f *framer) failLatch(err error) {
-	f.mu.Lock()
-	if f.failed == nil {
-		f.failed = err
-	}
-	f.buf = nil
-	f.cond.Broadcast()
-	f.mu.Unlock()
-}
-
-// closeStream marks the end of the stream: the sender drains what is
-// buffered and finishes.
-func (f *framer) closeStream() {
-	f.mu.Lock()
-	f.closed = true
-	f.cond.Broadcast()
-	f.mu.Unlock()
+	return nil
 }

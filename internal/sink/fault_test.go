@@ -221,10 +221,12 @@ func TestDialFailureLatches(t *testing.T) {
 }
 
 // TestDaemonAckFailure checks the client surfaces a daemon that saw the
-// end of stream but could not seal the shard (ackFailed path).
+// end of stream but could not seal the shard (ackFailed path). The fake
+// daemon speaks no hello, so the client is pinned to protocol v1; the
+// v2 mid-stream failure ack is covered by the disk-fault tests.
 func TestDaemonAckFailure(t *testing.T) {
 	c1, c2 := net.Pipe()
-	cl, err := NewClientConn(c1, WithStreamID("unsealed"))
+	cl, err := NewClientConn(c1, WithStreamID("unsealed"), WithProtocolVersion(ProtocolV1))
 	if err != nil {
 		t.Fatal(err)
 	}

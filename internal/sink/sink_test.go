@@ -508,14 +508,10 @@ func TestValidStreamID(t *testing.T) {
 	}
 }
 
-// TestRawProtocolBytes speaks the wire protocol by hand — pinning the
-// byte-level spec doc.go promises (a reimplementation must be able to
-// produce exactly this).
+// TestRawProtocolBytes speaks both wire protocol versions by hand —
+// pinning the byte-level spec doc.go promises (a reimplementation must
+// be able to produce exactly this).
 func TestRawProtocolBytes(t *testing.T) {
-	srv, err := NewServer(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
 	// Build a tiny valid archive out of band.
 	reg := region.NewRegistry()
 	batches := synthBatches(reg, 1, 1, 2)
@@ -526,44 +522,113 @@ func TestRawProtocolBytes(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	c1, c2 := net.Pipe()
-	serveDone := make(chan error, 1)
-	go func() { serveDone <- srv.ServeConn(c2) }()
+	t.Run("v1", func(t *testing.T) {
+		srv, err := NewServer(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c1, c2 := net.Pipe()
+		serveDone := make(chan error, 1)
+		go func() { serveDone <- srv.ServeConn(c2) }()
 
-	bw := bufio.NewWriter(c1)
-	bw.WriteString(Magic)
-	bw.WriteByte(ProtocolVersion)
-	var tmp [binary.MaxVarintLen64]byte
-	id := "manual"
-	bw.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(id)))])
-	bw.WriteString(id)
-	// Ship the archive in two frames, split mid-stream.
-	for _, part := range [][]byte{payload[:3], payload[3:]} {
-		bw.WriteByte(frameData)
-		bw.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(part)))])
-		bw.Write(part)
-	}
-	bw.WriteByte(frameEOS)
-	bw.Write(tmp[:binary.PutUvarint(tmp[:], 0)])
-	if err := bw.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	var ack [2]byte
-	if _, err := io.ReadFull(c1, ack[:]); err != nil {
-		t.Fatal(err)
-	}
-	if ack[0] != ackByte || ack[1] != ackOK {
-		t.Fatalf("ack = %v", ack)
-	}
-	c1.Close()
-	if err := <-serveDone; err != nil {
-		t.Fatal(err)
-	}
-	got, err := os.ReadFile(filepath.Join(srv.Dir(), "trace-manual.otf2"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if string(got) != string(payload) {
-		t.Fatalf("relayed shard differs from payload (%d vs %d bytes)", len(got), len(payload))
-	}
+		bw := bufio.NewWriter(c1)
+		bw.WriteString(Magic)
+		bw.WriteByte(ProtocolV1)
+		var tmp [binary.MaxVarintLen64]byte
+		id := "manual"
+		bw.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(id)))])
+		bw.WriteString(id)
+		// Ship the archive in two frames, split mid-stream.
+		for _, part := range [][]byte{payload[:3], payload[3:]} {
+			bw.WriteByte(frameData)
+			bw.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(part)))])
+			bw.Write(part)
+		}
+		bw.WriteByte(frameEOS)
+		bw.Write(tmp[:binary.PutUvarint(tmp[:], 0)])
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		var ack [2]byte
+		if _, err := io.ReadFull(c1, ack[:]); err != nil {
+			t.Fatal(err)
+		}
+		if ack[0] != ackByte || ack[1] != ackOK {
+			t.Fatalf("ack = %v", ack)
+		}
+		c1.Close()
+		if err := <-serveDone; err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(srv.Dir(), "trace-manual.otf2"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(payload) {
+			t.Fatalf("relayed shard differs from payload (%d vs %d bytes)", len(got), len(payload))
+		}
+	})
+
+	t.Run("v2", func(t *testing.T) {
+		srv, err := NewServer(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c1, c2 := net.Pipe()
+		serveDone := make(chan error, 1)
+		go func() { serveDone <- srv.ServeConn(c2) }()
+
+		var tmp [binary.MaxVarintLen64]byte
+		bw := bufio.NewWriter(c1)
+		bw.WriteString(Magic)
+		bw.WriteByte(ProtocolV2)
+		id := "manual2"
+		bw.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(id)))])
+		bw.WriteString(id)
+		bw.Write(tmp[:binary.PutUvarint(tmp[:], 0xfeed)]) // stream token
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		// The v2 server answers a fresh stream with hello: 'H', status
+		// new, durable offset 0.
+		cr := bufio.NewReader(c1)
+		var hello [2]byte
+		if _, err := io.ReadFull(cr, hello[:]); err != nil {
+			t.Fatal(err)
+		}
+		if hello[0] != frameHello || hello[1] != helloNew {
+			t.Fatalf("hello = %v", hello)
+		}
+		if durable, err := binary.ReadUvarint(cr); err != nil || durable != 0 {
+			t.Fatalf("hello durable = (%d, %v), want (0, nil)", durable, err)
+		}
+		for _, part := range [][]byte{payload[:3], payload[3:]} {
+			bw.WriteByte(frameData)
+			bw.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(part)))])
+			bw.Write(part)
+		}
+		bw.WriteByte(frameEOS)
+		bw.Write(tmp[:binary.PutUvarint(tmp[:], 0)])
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		var ack [2]byte
+		if _, err := io.ReadFull(cr, ack[:]); err != nil {
+			t.Fatal(err)
+		}
+		if ack[0] != ackByte || ack[1] != ackOK {
+			t.Fatalf("ack = %v", ack)
+		}
+		c1.Close()
+		if err := <-serveDone; err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(srv.Dir(), "trace-manual2.otf2"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(payload) {
+			t.Fatalf("relayed shard differs from payload (%d vs %d bytes)", len(got), len(payload))
+		}
+	})
 }

@@ -3,7 +3,9 @@ package scorep
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/sink"
 )
@@ -23,6 +25,9 @@ type sessionConfig struct {
 	streamingChunk  int
 	remoteAddr      string
 	remoteStream    string
+	remoteRetry     *remoteRetryConfig
+	remoteReconnect *remoteReconnectConfig
+	remoteFallback  *string // nil: auto (expDir/fallback.otf2), "": disabled
 	filters         []string
 	sched           SchedulerKind
 	clk             Clock
@@ -122,6 +127,53 @@ func WithRemoteTraceStream(id string) Option {
 	return func(c *sessionConfig) { c.remoteStream = id }
 }
 
+type remoteRetryConfig struct {
+	attempts int
+	backoff  time.Duration
+}
+
+type remoteReconnectConfig struct {
+	attempts int
+	backoff  time.Duration
+	budget   time.Duration
+}
+
+// WithRemoteTraceRetry shapes the remote sink's initial connect loop:
+// up to attempts dials with a jittered doubling backoff between them
+// (attempts <= 1 means a single attempt; backoff <= 0 keeps the
+// default). Ignored without WithRemoteTrace.
+func WithRemoteTraceRetry(attempts int, backoff time.Duration) Option {
+	return func(c *sessionConfig) {
+		c.remoteRetry = &remoteRetryConfig{attempts: attempts, backoff: backoff}
+	}
+}
+
+// WithRemoteTraceReconnect shapes the remote sink's per-outage
+// reconnect loop — a severed connection or restarted daemon is
+// survived by up to attempts redials (jittered doubling backoff,
+// bounded by a total elapsed budget per outage) and byte-exact resume.
+// attempts <= 0 disables reconnection: a severed connection is then
+// terminal (or degrades to the fallback archive). Ignored without
+// WithRemoteTrace.
+func WithRemoteTraceReconnect(attempts int, backoff, budget time.Duration) Option {
+	return func(c *sessionConfig) {
+		c.remoteReconnect = &remoteReconnectConfig{attempts: attempts, backoff: backoff, budget: budget}
+	}
+}
+
+// WithRemoteTraceFallback names the local archive file a remote-tracing
+// session spills the trace to when the daemon is lost for good (connect
+// or reconnect budget exhausted, unresumable gap, daemon-reported
+// ingest failure) — the run then still ends with a lossless local
+// recording, noted in meta.json as RemoteFallback. The default is
+// automatic: <experiment dir>/fallback.otf2 when an experiment
+// directory is configured, otherwise no fallback. An empty path
+// disables spilling entirely (terminal transport failures surface as
+// errors at End). Ignored without WithRemoteTrace.
+func WithRemoteTraceFallback(path string) Option {
+	return func(c *sessionConfig) { c.remoteFallback = &path }
+}
+
 // WithFilter wraps the profiling measurement in a region filter —
 // Score-P's measurement filtering, the standard remedy when
 // instrumentation of small functions dominates overhead. Patterns
@@ -191,13 +243,16 @@ func WithExperimentDirectory(dir string) Option {
 
 // Score-P-style environment variables honored by NewSessionFromEnv.
 const (
-	EnvEnableProfiling     = "SCOREP_ENABLE_PROFILING"     // bool: profile the run (default true)
-	EnvEnableTracing       = "SCOREP_ENABLE_TRACING"       // bool: record an event trace (default false)
-	EnvFiltering           = "SCOREP_FILTERING"            // comma-separated region filter patterns
-	EnvExperimentDirectory = "SCOREP_EXPERIMENT_DIRECTORY" // experiment archive directory, saved at End
-	EnvTaskScheduler       = "SCOREP_TASK_SCHEDULER"       // "central-queue" or "work-stealing"
-	EnvTraceCompression    = "SCOREP_TRACE_COMPRESSION"    // "none" or "flate": archived trace compression
-	EnvTraceSink           = "SCOREP_TRACE_SINK"           // scorep-daemon address: stream the trace remotely
+	EnvEnableProfiling     = "SCOREP_ENABLE_PROFILING"      // bool: profile the run (default true)
+	EnvEnableTracing       = "SCOREP_ENABLE_TRACING"        // bool: record an event trace (default false)
+	EnvFiltering           = "SCOREP_FILTERING"             // comma-separated region filter patterns
+	EnvExperimentDirectory = "SCOREP_EXPERIMENT_DIRECTORY"  // experiment archive directory, saved at End
+	EnvTaskScheduler       = "SCOREP_TASK_SCHEDULER"        // "central-queue" or "work-stealing"
+	EnvTraceCompression    = "SCOREP_TRACE_COMPRESSION"     // "none" or "flate": archived trace compression
+	EnvTraceSink           = "SCOREP_TRACE_SINK"            // scorep-daemon address: stream the trace remotely
+	EnvTraceSinkRetries    = "SCOREP_TRACE_SINK_RETRIES"    // int: initial connect attempts to the daemon
+	EnvTraceSinkReconnects = "SCOREP_TRACE_SINK_RECONNECTS" // int: reconnect attempts per outage (0 disables)
+	EnvTraceSinkFallback   = "SCOREP_TRACE_SINK_FALLBACK"   // path: local spill archive ("off" disables)
 )
 
 // NewSessionFromEnv creates a session configured from Score-P-style
@@ -277,6 +332,27 @@ func optionsFromEnv() ([]Option, error) {
 			return nil, fmt.Errorf("%s: %w", EnvTraceSink, err)
 		}
 		opts = append(opts, WithRemoteTrace(v))
+	}
+	if v, ok := os.LookupEnv(EnvTraceSinkRetries); ok {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("%s: invalid attempt count %q (want an integer >= 1)", EnvTraceSinkRetries, v)
+		}
+		opts = append(opts, WithRemoteTraceRetry(n, 0))
+	}
+	if v, ok := os.LookupEnv(EnvTraceSinkReconnects); ok {
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%s: invalid attempt count %q (want an integer >= 0)", EnvTraceSinkReconnects, v)
+		}
+		opts = append(opts, WithRemoteTraceReconnect(n, 0, 0))
+	}
+	if v, ok := os.LookupEnv(EnvTraceSinkFallback); ok {
+		switch strings.ToLower(strings.TrimSpace(v)) {
+		case "off", "none":
+			v = ""
+		}
+		opts = append(opts, WithRemoteTraceFallback(v))
 	}
 	return opts, nil
 }

@@ -2,6 +2,7 @@ package scorep
 
 import (
 	"io"
+	"time"
 
 	"repro/internal/analyze"
 	"repro/internal/bottleneck"
@@ -315,6 +316,37 @@ func TraceSinkBufferBytes(n int) TraceSinkClientOption { return sink.WithBufferB
 // (default TraceSinkBlock).
 func TraceSinkBackpressurePolicy(p TraceSinkBackpressure) TraceSinkClientOption {
 	return sink.WithBackpressure(p)
+}
+
+// TraceSinkDialRetry shapes the client's initial connect loop: up to
+// attempts dials with a jittered doubling backoff between them.
+func TraceSinkDialRetry(attempts int, backoff time.Duration) TraceSinkClientOption {
+	return sink.WithDialRetry(attempts, backoff)
+}
+
+// TraceSinkReconnect shapes the client's per-outage reconnect loop — a
+// severed connection or restarted daemon is survived by up to attempts
+// redials (jittered doubling backoff, bounded by a total elapsed
+// budget per outage) and byte-exact replay from the daemon's durable
+// offset. attempts <= 0 disables reconnection.
+func TraceSinkReconnect(attempts int, backoff, budget time.Duration) TraceSinkClientOption {
+	return sink.WithReconnect(attempts, backoff, budget)
+}
+
+// TraceSinkReplayWindow sets how many daemon-acked bytes the client
+// retains for crash-recovery replay: a restarted daemon whose durable
+// offset regressed to a chunk boundary is resumed byte-exactly as long
+// as the regression fits the window; a larger regression becomes an
+// explicit, counted gap.
+func TraceSinkReplayWindow(n int) TraceSinkClientOption {
+	return sink.WithReplayWindow(n)
+}
+
+// TraceSinkFallbackArchive names a local archive the client spills the
+// stream to, losslessly, when the daemon is lost for good (budget
+// exhaustion, unresumable gap, ingest failure).
+func TraceSinkFallbackArchive(path string) TraceSinkClientOption {
+	return sink.WithFallbackArchive(path)
 }
 
 // NewStreamingTraceRecorder creates a bounded-memory event-trace

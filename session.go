@@ -3,6 +3,7 @@ package scorep
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -79,6 +80,19 @@ func NewSession(opts ...Option) *Session {
 		if cfg.remoteStream != "" {
 			copts = append(copts, sink.WithStreamID(cfg.remoteStream))
 		}
+		if r := cfg.remoteRetry; r != nil {
+			copts = append(copts, sink.WithDialRetry(r.attempts, r.backoff))
+		}
+		if r := cfg.remoteReconnect; r != nil {
+			budget := r.budget
+			if budget <= 0 {
+				budget = sink.DefaultReconnectBudget
+			}
+			copts = append(copts, sink.WithReconnect(r.attempts, r.backoff, budget))
+		}
+		if path := resolveRemoteFallback(&cfg); path != "" {
+			copts = append(copts, sink.WithFallbackArchive(path))
+		}
 		cl, err := sink.Dial(cfg.remoteAddr, copts...)
 		if err != nil {
 			s.netErr = fmt.Errorf("remote trace sink %s: %w", cfg.remoteAddr, err)
@@ -120,6 +134,22 @@ func NewSession(opts ...Option) *Session {
 	s.rt = omp.NewRuntime(l)
 	s.rt.Sched = cfg.sched
 	return s
+}
+
+// resolveRemoteFallback maps the tri-state fallback configuration to a
+// concrete path: an explicit WithRemoteTraceFallback wins (empty
+// disables); the default is <experiment dir>/fallback.otf2 when an
+// experiment directory is configured, otherwise no fallback. The
+// fallback file is deliberately not named trace-*.otf2, so a fleet
+// directory's shard glob never picks it up as a daemon shard.
+func resolveRemoteFallback(cfg *sessionConfig) string {
+	if cfg.remoteFallback != nil {
+		return *cfg.remoteFallback
+	}
+	if cfg.expDir != "" {
+		return filepath.Join(cfg.expDir, "fallback.otf2")
+	}
+	return ""
 }
 
 // Runtime returns the session's task runtime, the execution engine the
@@ -201,6 +231,20 @@ func (s *Session) End() (*Results, error) {
 		stats: s.rt.LastTeamStats(),
 		wall:  wall,
 	}
+	if s.net != nil {
+		// Surface the stream's fate into the results (and thereby the
+		// experiment's meta.json): resumes survived, bytes lost to an
+		// unresumable gap, and the local spill the stream degraded to.
+		s.results.remoteResumes = s.net.Resumes()
+		s.results.remoteGapBytes = s.net.GapBytes()
+		if path, start, reason, ok := s.net.Fallback(); ok {
+			info := &RemoteFallbackInfo{File: path, StartOffset: start}
+			if reason != nil {
+				info.Reason = reason.Error()
+			}
+			s.results.remoteFallback = info
+		}
+	}
 	if s.cfg.expDir != "" {
 		if serr := s.results.SaveExperiment(s.cfg.expDir); serr != nil {
 			err = errors.Join(err, serr)
@@ -220,6 +264,12 @@ type Results struct {
 	trace *Trace
 	stats TeamStats
 	wall  time.Duration
+
+	// Remote-tracing stream fate (see Session.End): recorded in the
+	// experiment's meta.json and exposed via RemoteFallback.
+	remoteFallback *RemoteFallbackInfo
+	remoteResumes  int64
+	remoteGapBytes int64
 
 	mu          sync.Mutex
 	report      *Report
@@ -291,6 +341,22 @@ func (r *Results) Findings() []Finding {
 	}
 	return r.findings
 }
+
+// RemoteFallback reports the local archive a remote-tracing session
+// spilled to after losing its daemon for good, or nil when the stream
+// ended normally (or no fallback was configured). RemoteResumes and
+// RemoteGapBytes complete the picture: how often the stream survived a
+// severed connection by resuming, and how many archive bytes an
+// unresumable gap lost remotely.
+func (r *Results) RemoteFallback() *RemoteFallbackInfo { return r.remoteFallback }
+
+// RemoteResumes returns how many times the remote trace stream
+// reconnected and resumed mid-stream (0 for local sessions).
+func (r *Results) RemoteResumes() int64 { return r.remoteResumes }
+
+// RemoteGapBytes returns the archive bytes lost remotely to an
+// unresumable gap (0 for local sessions and gap-free streams).
+func (r *Results) RemoteGapBytes() int64 { return r.remoteGapBytes }
 
 // TeamStats returns the scheduler counters of the run's last parallel
 // region.
