@@ -104,6 +104,27 @@ func TestHotPathZeroAllocs(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
+	t.Run("flight-trace", func(t *testing.T) {
+		// Ring 4 x 64 events: 1024 warmup iterations fill the ring many
+		// times over, so the probes measure steady-state eviction — the
+		// sealed chunk swaps into the ring and the evicted chunk's
+		// backing array is reused, with no allocation per event.
+		reg := region.NewRegistry()
+		rs := newZeroAllocRegions(reg)
+		rec := trace.NewFlightRecorder(clock.NewSystem(), 4, 64)
+		assertZeroAllocs(t, "flight-trace", rec, reg, rs)
+		rec.Finish()
+	})
+	t.Run("fused-profile+flight", func(t *testing.T) {
+		reg := region.NewRegistry()
+		rs := newZeroAllocRegions(reg)
+		clk := clock.NewSystem()
+		m := measure.NewWithClock(clk, reg)
+		rec := trace.NewFlightRecorder(clk, 4, 64)
+		assertZeroAllocs(t, "fused-profile+flight", trace.NewTee(m, rec), reg, rs)
+		m.Finish()
+		rec.Finish()
+	})
 	t.Run("fused-profile+trace", func(t *testing.T) {
 		reg := region.NewRegistry()
 		rs := newZeroAllocRegions(reg)

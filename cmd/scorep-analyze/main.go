@@ -75,11 +75,12 @@ import (
 // The same invocation at any -parallel setting produces byte-identical
 // output.
 type analysisJSON struct {
-	Findings      []scorep.Finding           `json:"findings,omitempty"`
-	TraceAnalysis *scorep.TraceAnalysis      `json:"traceAnalysis,omitempty"`
-	Bottlenecks   *scorep.BottleneckAnalysis `json:"bottlenecks,omitempty"`
-	Shards        []shardJSON                `json:"shards,omitempty"`
-	Fleet         *fleetJSON                 `json:"fleet,omitempty"`
+	Findings       []scorep.Finding           `json:"findings,omitempty"`
+	FlightRecorder *scorep.FlightRecorderInfo `json:"flightRecorder,omitempty"`
+	TraceAnalysis  *scorep.TraceAnalysis      `json:"traceAnalysis,omitempty"`
+	Bottlenecks    *scorep.BottleneckAnalysis `json:"bottlenecks,omitempty"`
+	Shards         []shardJSON                `json:"shards,omitempty"`
+	Fleet          *fleetJSON                 `json:"fleet,omitempty"`
 }
 
 // shardJSON is one per-process trace shard of a fleet experiment.
@@ -292,6 +293,23 @@ func analyzeExperiment(dir string, parallel int, query scorep.TraceQuery, asJSON
 		fmt.Printf("config: profiling=%v tracing=%v scheduler=%s threads=%d tasks=%d wall=%s gomaxprocs=%d %s\n\n",
 			m.Config.Profiling, m.Config.Tracing, m.Config.Scheduler,
 			m.Threads, m.TasksCreated, stats.FormatNs(m.WallTimeNs), m.GOMAXPROCS, m.GoVersion)
+	}
+	if fr := m.FlightRecorder; fr != nil {
+		// The trace is only the flight recorder's retained window; say
+		// what was evicted before it so the analysis reads correctly.
+		if asJSON {
+			out.FlightRecorder = fr
+		} else {
+			fmt.Printf("flight recorder: ring=%dx%d retained-events=%d dropped-events=%d dropped-chunks=%d",
+				fr.RingChunks, fr.ChunkEvents, fr.RetainedEvents, fr.DroppedEvents, fr.DroppedChunks)
+			if fr.Trigger != "" {
+				fmt.Printf(" trigger=%s", fr.Trigger)
+			}
+			fmt.Printf("\n\n")
+		}
+		if fr.Partial {
+			warn(fmt.Sprintf("partial flight-recorder dump (%s): trace.otf2 holds only the intact prefix of the window", fr.Error))
+		}
 	}
 
 	if m.HasProfile {

@@ -310,6 +310,31 @@ func benchStreamRecord(b *testing.B) {
 	}
 }
 
+// benchFlightRecord measures steady-state flight-recorder recording:
+// the ring is filled during warmup, so every measured event goes through
+// the seal-and-evict path's amortized cost (mutex, append, occasional
+// backing-array reuse) — the price of always-on crash-safe measurement.
+func benchFlightRecord(b *testing.B) {
+	b.ReportAllocs()
+	rec := trace.NewFlightRecorder(clock.NewSystem(), 8, 256)
+	rt := omp.NewRuntime(rec)
+	rt.Parallel(1, benchPar, func(t *omp.Thread) {
+		for i := 0; i < 4096; i++ { // > ring capacity: reach steady-state eviction
+			pomp.Function(t, benchWork, nopFn)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pomp.Function(t, benchWork, nopFn)
+		}
+		b.StopTimer()
+	})
+	st := rec.FlightStatsNow()
+	if st.DroppedEvents == 0 {
+		b.Fatal("flight bench never reached steady-state eviction")
+	}
+	rec.Finish()
+}
+
 // benchClock measures the timestamp read cost.
 func benchClock(zeroValue bool) func(*testing.B) {
 	return func(b *testing.B) {
@@ -904,8 +929,10 @@ func buildSpecs(quick bool) []spec {
 		add("event/task-spawn/"+cfg, cfg != "uninst", true, benchTaskSpawn(cfg))
 	}
 
-	// Streaming record incl. binary encoding, and the clock.
+	// Streaming record incl. binary encoding, flight-recorder
+	// steady-state recording, and the clock.
 	add("stream/record", true, true, benchStreamRecord)
+	add("flight/record", true, true, benchFlightRecord)
 	add("clock/now", false, true, benchClock(false))
 	add("clock/now-zero-value", false, true, benchClock(true))
 

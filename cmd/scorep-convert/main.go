@@ -215,6 +215,13 @@ func printArchiveStats(label, path string) {
 			fmt.Printf("%d:%d", tid, st.ThreadChunks[tid])
 		}
 	}
+	if fi := st.Flight; fi != nil {
+		fmt.Printf(" flight-recorder=ring:%dx%d retained-events=%d dropped-events=%d dropped-chunks=%d",
+			fi.RingChunks, fi.ChunkEvents, fi.RetainedEvents, fi.DroppedEvents, fi.DroppedChunks)
+		if !st.Indexed {
+			warn(fmt.Sprintf("%s: flight-recorder dump has no footer index (partial dump?); events readable up to the truncation point", path))
+		}
+	}
 	fmt.Println()
 }
 

@@ -120,6 +120,21 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		printFlightRecorder(exp.Meta.FlightRecorder)
+		if !exp.Meta.HasProfile && exp.Meta.FlightRecorder != nil && len(exp.TraceShards()) == 0 {
+			// A flight-recorder dump directory holds a trace window but
+			// no profile: render the window's trace metrics instead of
+			// the (absent) call-path report.
+			a, err := exp.TraceAnalysis()
+			if err != nil {
+				fail(err)
+			}
+			a.Format(os.Stdout)
+			for _, w := range exp.Warnings() {
+				fmt.Fprintf(os.Stderr, "warning: %s\n", w)
+			}
+			return
+		}
 		if !exp.Meta.HasProfile && len(exp.TraceShards()) > 0 {
 			// A daemon-sealed fleet experiment holds trace shards but no
 			// profile: render the per-shard and fleet trace metrics
@@ -147,6 +162,25 @@ func main() {
 	}
 	if querySet {
 		printTraceMetrics(*in, query)
+	}
+}
+
+// printFlightRecorder surfaces a flight-recorder experiment's eviction
+// accounting: the archived trace is only the retained window, so the
+// dropped counts say how much history the report does NOT cover. A
+// partial (truncated) dump additionally warns on stderr.
+func printFlightRecorder(fr *scorep.FlightRecorderInfo) {
+	if fr == nil {
+		return
+	}
+	fmt.Printf("flight recorder: ring=%dx%d retained-events=%d dropped-events=%d dropped-chunks=%d",
+		fr.RingChunks, fr.ChunkEvents, fr.RetainedEvents, fr.DroppedEvents, fr.DroppedChunks)
+	if fr.Trigger != "" {
+		fmt.Printf(" trigger=%s", fr.Trigger)
+	}
+	fmt.Println()
+	if fr.Partial {
+		fmt.Fprintf(os.Stderr, "warning: partial flight-recorder dump (%s): trace.otf2 holds only the intact prefix of the window\n", fr.Error)
 	}
 }
 

@@ -93,6 +93,16 @@
 //   - SCOREP_TRACE_SINK_FALLBACK: local archive path the stream spills
 //     to when the daemon is lost for good; "off" or "none" disables
 //     the default fallback (the WithRemoteTraceFallback option).
+//   - SCOREP_FLIGHT_RECORDER: flight-recorder tracing (see Flight
+//     recorder below). A boolean spelling toggles the mode with the
+//     default ring depth; an integer >= 1 enables it with that many
+//     retained chunks per thread (the WithFlightRecorder option;
+//     implies tracing). Anything else is an error.
+//   - SCOREP_DUMP_SIGNAL: the OS signal that triggers a flight-recorder
+//     dump — HUP, INT, QUIT, USR1, USR2 or TERM, case-insensitive,
+//     with or without the "SIG" prefix ("USR2", "sigusr2"); "none" or
+//     "off" disables the signal trigger (the WithDumpSignal option;
+//     default SIGUSR1). Anything else is an error.
 //
 // # Remote tracing
 //
@@ -249,11 +259,79 @@
 // exhaustion, at 1 and 4 concurrent streams) deterministically
 // through them.
 //
+// # Flight recorder
+//
+// WithFlightRecorder(ringChunks) turns tracing into crash-safe
+// always-on measurement: instead of accumulating the whole run (memory
+// grows without bound) or streaming it to disk (I/O on the hot path),
+// each thread retains only its most recent window of events, and that
+// window can be materialized as a complete, analyzable experiment at
+// any moment — which is what makes it safe to leave measurement on in
+// production and still capture the moments that matter: the window
+// that led up to a crash, a stall, or an operator's signal.
+//
+// The retention mechanism: events accumulate into the thread's current
+// chunk of WithFlightChunkEvents(n) events (default: the streaming
+// chunk size); a full chunk is sealed into a per-thread ring of
+// ringChunks chunks (<= 0 picks DefaultFlightRingChunks); once the
+// ring is full, each seal evicts the oldest chunk whole, adding its
+// event count to the thread's dropped-events and dropped-chunks
+// counters. Memory is O(threads x ringChunks x chunkEvents) regardless
+// of run length, and steady-state recording reuses the evicted chunk's
+// backing array — the per-event path stays zero-allocation (the
+// flight/record bench and the alloc gate in CI hold it there). Nothing
+// is ever dropped silently: every evicted event is counted, the counts
+// travel inside every dump, and every CLI surfaces them.
+//
+// A dump — Session.DumpFlightRecorder(dir), or any trigger below —
+// snapshots every thread's retained window (concurrently with
+// recording; the rings are only briefly locked per thread, the session
+// is never paused) and writes an ordinary experiment directory:
+// trace.otf2, a valid SPOTF2 v2 archive holding the window's events,
+// definitions and footer index, plus meta.json with the session
+// configuration and the eviction accounting (meta's "flightRecorder"
+// object: ringChunks, chunkEvents, retainedEvents, droppedEvents,
+// droppedChunks, trigger, and partial+error when the archive write
+// failed midway). The archive additionally embeds the accounting as a
+// chunk of kind 'F' placed directly after the header, before all event
+// data — so even a dump cut off by a full disk keeps its accounting
+// inside the salvageable prefix (see Trace formats for the payload
+// layout). Dump directories are read by OpenExperiment and every CLI
+// like any experiment; an empty dir argument auto-numbers flight-NNN
+// under the session's experiment directory (scorep-flight-NNN in the
+// working directory otherwise).
+//
+// Four triggers produce dumps. (1) The explicit API call above.
+// (2) An OS signal: SIGUSR1 by default, rebindable or disableable via
+// WithDumpSignal / SCOREP_DUMP_SIGNAL — `kill -USR1 <pid>` captures a
+// production process's last window without touching it. (3) Panic
+// salvage: `defer s.DumpOnPanic(dir)` around measured code dumps the
+// window that led up to a panic and then re-panics with the original
+// value, so the crash still crashes but its prehistory survives.
+// (4) A bottleneck threshold: WithBottleneckTrigger(minSeverity,
+// interval) analyzes the current window every interval with the
+// automatic bottleneck analysis and dumps once when any finding's
+// severity (0..1) reaches minSeverity — the trace of a degradation is
+// captured while it happens, not reconstructed after.
+//
+// Introspection is live and free of event copying:
+// Session.FlightRecorderStats returns the ring configuration,
+// per-thread retained/dropped counters and the dump-trigger history;
+// Session.FlightRecorderHandler serves the same JSON over HTTP (GET)
+// and accepts dump-now requests (POST, optional "dir" parameter); the
+// expvar "scorep.flightrecorder" publishes it to any expvar scraper.
+// Session.End of a flight session returns the final window as the
+// trace, Results.FlightRecorder reports its accounting, and a saved
+// experiment records both. Session.WriteFlightRecorderArchive streams
+// the current window as a bare archive to any io.Writer for custom
+// sinks.
+//
 // # Power-user layer
 //
 // The session owns the wiring; the pieces stay exported for custom
 // setups: NewMeasurement/NewMeasurementWithClock (profiling),
-// NewTraceRecorder/NewStreamingTraceRecorder (tracing), NewFilter,
+// NewTraceRecorder/NewStreamingTraceRecorder (tracing),
+// NewFlightTraceRecorder (flight-recorder tracing), NewFilter,
 // NewTee (fan out one event stream to several listeners), NewRuntime,
 // and the report/trace serialization functions. Results.Locations
 // exposes the raw per-thread profiles behind Results.Report.
@@ -414,6 +492,14 @@
 // from the end of the file. WithCompression(TraceCompressionFlate) (or
 // scorep-convert -compress) DEFLATEs each sealed event chunk into a 'C'
 // chunk; v1 readers are unaffected because v1 archives contain neither.
+// A flight-recorder dump (see Flight recorder) additionally carries one
+// chunk of kind 'F' placed directly after the header — before any event
+// chunk, so a dump truncated by a disk fault still keeps its accounting
+// in the salvageable prefix. Its payload is uvarint(ringChunks)
+// uvarint(chunkEvents) uvarint(retainedEvents) uvarint(nthreads),
+// followed per thread (ascending thread ID) by varint(tid)
+// uvarint(droppedEvents) uvarint(droppedChunks). 'F' is v2-only and is
+// skipped like any other unknown chunk kind by readers that predate it.
 // TraceArchiveFormatVersion(1) / scorep-convert -format-version 1
 // downgrade to the sequential-only v1 byte stream — v1 -> v2 -> v1
 // round-trips the event stream byte-identically, and v1 archives stay

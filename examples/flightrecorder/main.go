@@ -1,0 +1,134 @@
+// flightrecorder demonstrates crash-safe always-on measurement: the
+// session records into a flight-recorder ring that retains only the
+// last few sealed chunks per thread (O(1) memory however long the run),
+// and the retained window can be dumped as a complete, analyzable
+// experiment at any moment — by API call, by OS signal, or by the
+// panic-salvage wrapper when the measured code crashes.
+//
+// While it runs, send the process SIGUSR1 (`kill -USR1 <pid>`) and a
+// dump directory flight-NNN appears under the experiment directory;
+// afterwards the program takes one explicit dump itself. Every dump is
+// a normal experiment directory: inspect it with
+//
+//	scorep-analyze -exp <dir>/flight-001 -bottlenecks
+//	scorep-report <dir>/flight-001
+//
+// and the reported dropped-events/chunks counts say how much history
+// the ring evicted before the dump.
+//
+// Run: go run ./examples/flightrecorder [-exp dir] [-dur 3s] [-panic]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	scorep "repro"
+)
+
+var (
+	parR  = scorep.RegisterRegion("flight.parallel", "flightrecorder/main.go", 1, scorep.RegionParallel)
+	taskR = scorep.RegisterRegion("flight.task", "flightrecorder/main.go", 2, scorep.RegionTask)
+	twR   = scorep.RegisterRegion("flight.taskwait", "flightrecorder/main.go", 3, scorep.RegionTaskwait)
+	workR = scorep.RegisterRegion("flight.busywork", "flightrecorder/main.go", 4, scorep.RegionFunction)
+)
+
+// busywork burns deterministic CPU so the trace has visible durations.
+func busywork(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i * i % 7
+	}
+	return s
+}
+
+// round runs one instrumented parallel region: thread 0 creates a batch
+// of tasks, the team drains them in the implicit barrier.
+func round(s *scorep.Session, threads, tasks int, sink *int) {
+	s.Parallel(threads, parR, func(t *scorep.Thread) {
+		if t.ID != 0 {
+			return
+		}
+		for i := 0; i < tasks; i++ {
+			t.NewTask(taskR, func(c *scorep.Thread) {
+				scorep.InstrumentFunction(c, workR, func() {
+					*sink += busywork(20_000)
+				})
+			})
+		}
+		t.Taskwait(twR)
+	})
+}
+
+func main() {
+	expDir := flag.String("exp", "flight-demo", "experiment directory (dumps land in <dir>/flight-NNN)")
+	dur := flag.Duration("dur", 3*time.Second, "how long to keep recording (send SIGUSR1 meanwhile)")
+	threads := flag.Int("threads", 4, "threads per parallel region")
+	ring := flag.Int("ring", 4, "retained sealed chunks per thread")
+	chunk := flag.Int("chunk", 256, "events per chunk")
+	doPanic := flag.Bool("panic", false, "crash the workload to demonstrate the panic-salvage dump")
+	flag.Parse()
+
+	// Always-on measurement: the ring keeps the last ring*chunk events
+	// per thread, everything older is evicted (and counted as dropped).
+	s := scorep.NewSession(
+		scorep.WithFlightRecorder(*ring),
+		scorep.WithFlightChunkEvents(*chunk),
+		scorep.WithExperimentDirectory(*expDir),
+	)
+	fmt.Printf("recording with flight recorder (ring %dx%d) for %s — pid %d, try: kill -USR1 %d\n",
+		*ring, *chunk, *dur, os.Getpid(), os.Getpid())
+
+	sink := 0
+	if *doPanic {
+		// The salvage wrapper dumps the window that led up to the crash
+		// before re-panicking; the outer recover just keeps the demo alive.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					fmt.Printf("workload panicked (%v) — crash window dumped\n", r)
+				}
+			}()
+			defer s.DumpOnPanic("")
+			round(s, *threads, 64, &sink)
+			panic("simulated crash in measured code")
+		}()
+	}
+
+	deadline := time.Now().Add(*dur)
+	for time.Now().Before(deadline) {
+		round(s, *threads, 64, &sink)
+	}
+
+	// Live introspection: what do the rings hold right now, what was
+	// evicted, how many dumps have triggers taken so far? The same JSON
+	// is served by s.FlightRecorderHandler() and the expvar
+	// "scorep.flightrecorder".
+	st := s.FlightRecorderStats()
+	fmt.Printf("live: retained-events=%d dropped-events=%d dropped-chunks=%d dumps-so-far=%d\n",
+		st.RetainedEvents, st.DroppedEvents, st.DroppedChunks, st.Dumps)
+	if st.LastDumpDir != "" {
+		fmt.Printf("last dump: %s (trigger=%s)\n", st.LastDumpDir, st.LastTrigger)
+	}
+
+	// An explicit dump: a complete experiment directory with the current
+	// window, readable by scorep-analyze / scorep-report / scorep-convert.
+	dir, err := s.DumpFlightRecorder("")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("dumped window to %s (scorep-analyze -exp %s -bottlenecks)\n", dir, dir)
+
+	res, err := s.End()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if fr := res.FlightRecorder(); fr != nil {
+		fmt.Printf("final window: retained-events=%d dropped-events=%d dropped-chunks=%d (sink %d)\n",
+			fr.RetainedEvents, fr.DroppedEvents, fr.DroppedChunks, sink)
+	}
+}

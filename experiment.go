@@ -138,6 +138,13 @@ type ExperimentMeta struct {
 	// globbing trace-*.otf2 when it is absent.
 	TraceShards []TraceShard `json:"traceShards,omitempty"`
 
+	// FlightRecorder records a flight-recorder run's eviction accounting:
+	// the archived trace is the retained window, and DroppedEvents/
+	// DroppedChunks count what the rings evicted before it. Nil for
+	// full-trace runs. For triggered dumps it also names the trigger and
+	// marks partial (salvage-prefix) archives.
+	FlightRecorder *FlightRecorderInfo `json:"flightRecorder,omitempty"`
+
 	// RemoteFallback, RemoteResumes and RemoteGapBytes record the fate
 	// of a remote-tracing session's stream: the local archive it
 	// spilled to when the daemon was lost for good (nil otherwise), how
@@ -194,6 +201,13 @@ func (r *Results) SaveExperiment(dir string) error {
 		meta.TraceFormat = fmt.Sprintf("spotf2-v%d", otf2.FormatVersion)
 		meta.Config.TraceCompression = r.cfg.traceComp.String()
 		if err := writeExperimentFile(dir, experimentTraceFile, func(f *os.File) error {
+			// A flight-recorder run archives its retained window with
+			// the eviction-accounting chunk up front; full traces are
+			// written plain.
+			if r.flightStats != nil {
+				meta.FlightRecorder = flightRecorderInfo(*r.flightStats, "end", nil)
+				return otf2.WriteFlightDump(f, tr, otf2.FlightInfoFromStats(*r.flightStats), otf2.WithCompression(r.cfg.traceComp))
+			}
 			return otf2.Write(f, tr, otf2.WithCompression(r.cfg.traceComp))
 		}); err != nil {
 			return err

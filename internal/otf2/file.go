@@ -180,6 +180,10 @@ type ArchiveStats struct {
 	IndexedEvents int
 	// ThreadChunks maps thread ID -> event chunk count (index required).
 	ThreadChunks map[int]int
+	// Flight is the flight-recorder accounting of a dump archive (nil
+	// otherwise). It is read from the front of the archive, so it is
+	// reported even for truncated, index-less dumps.
+	Flight *FlightInfo
 }
 
 // StatFile inspects a binary archive's physical layout without
@@ -207,6 +211,10 @@ func StatFile(path string) (*ArchiveStats, error) {
 	if st.FormatVersion != int(version1) && st.FormatVersion != int(version2) {
 		return nil, corrupt("unsupported format version %d", st.FormatVersion)
 	}
+	// Flight-recorder accounting sits at the front of a dump archive
+	// (before any definition or event chunk), so a short sequential scan
+	// finds it even when the archive is truncated and index-less.
+	st.Flight = scanFlightInfo(f)
 	ix, err := ReadIndex(f)
 	if err != nil {
 		if errors.Is(err, ErrNoIndex) {
@@ -246,6 +254,37 @@ func StatFile(path string) (*ArchiveStats, error) {
 		}
 	}
 	return st, nil
+}
+
+// scanFlightInfo reads chunks sequentially from f's current position
+// (directly after the header) until it finds the 'F' accounting chunk
+// or reaches the first event chunk. Dumps place 'F' before everything
+// else, so the scan touches at most a couple of chunk headers. It is
+// best-effort: any read or decode failure reports "no accounting".
+func scanFlightInfo(f io.Reader) *FlightInfo {
+	br := bufio.NewReader(f)
+	var buf []byte
+	for {
+		kind, payload, err := readChunkInto(br, buf)
+		buf = payload
+		if err != nil {
+			return nil
+		}
+		switch kind {
+		case chunkFlight:
+			info, err := decodeFlightInfo(payload)
+			if err != nil {
+				return nil
+			}
+			return info
+		case chunkDefs:
+			continue
+		default:
+			// An event chunk (or the index of an event-less archive):
+			// no accounting ahead of the event stream means none at all.
+			return nil
+		}
+	}
 }
 
 // IntactPrefixSize scans the chunk framing of the archive at path and

@@ -1,0 +1,172 @@
+package otf2
+
+import (
+	"encoding/binary"
+	"io"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// FlightThreadInfo is one thread's eviction accounting in a
+// flight-recorder dump: how many events and chunks that thread's ring
+// discarded before the dump was taken.
+type FlightThreadInfo struct {
+	Thread        int
+	DroppedEvents uint64
+	DroppedChunks uint64
+}
+
+// FlightInfo is the decoded 'F' chunk of a flight-recorder dump: the
+// ring configuration, the retained window size, and the per-thread
+// dropped-event/chunk totals (ascending thread ID). It is how an
+// archive states "this is the tail of a longer run, and this much of
+// the front was evicted" — the accounting every reader and CLI
+// surfaces so window truncation is visible, never silent.
+type FlightInfo struct {
+	// RingChunks and ChunkEvents state the recorder configuration: each
+	// thread retained at most RingChunks sealed chunks of ChunkEvents
+	// events (plus one partial chunk).
+	RingChunks  int
+	ChunkEvents int
+	// RetainedEvents is the total event count the dump retained across
+	// all threads.
+	RetainedEvents int
+	// DroppedEvents and DroppedChunks total the per-thread counters.
+	DroppedEvents uint64
+	DroppedChunks uint64
+	// Threads holds the per-thread accounting, ascending by thread ID.
+	Threads []FlightThreadInfo
+}
+
+// FlightInfoFromStats converts a recorder's trace.FlightStats snapshot
+// into the archive's FlightInfo form.
+func FlightInfoFromStats(st trace.FlightStats) *FlightInfo {
+	info := &FlightInfo{
+		RingChunks:     st.RingChunks,
+		ChunkEvents:    st.ChunkEvents,
+		RetainedEvents: st.RetainedEvents,
+		DroppedEvents:  st.DroppedEvents,
+		DroppedChunks:  st.DroppedChunks,
+	}
+	for _, ts := range st.Threads {
+		info.Threads = append(info.Threads, FlightThreadInfo{
+			Thread:        ts.Thread,
+			DroppedEvents: ts.DroppedEvents,
+			DroppedChunks: ts.DroppedChunks,
+		})
+	}
+	return info
+}
+
+// appendFlightPayload encodes info as an 'F' chunk payload.
+func appendFlightPayload(p []byte, info *FlightInfo) []byte {
+	p = binary.AppendUvarint(p, uint64(info.RingChunks))
+	p = binary.AppendUvarint(p, uint64(info.ChunkEvents))
+	p = binary.AppendUvarint(p, uint64(info.RetainedEvents))
+	p = binary.AppendUvarint(p, uint64(len(info.Threads)))
+	for _, ts := range info.Threads {
+		p = binary.AppendVarint(p, int64(ts.Thread))
+		p = binary.AppendUvarint(p, ts.DroppedEvents)
+		p = binary.AppendUvarint(p, ts.DroppedChunks)
+	}
+	return p
+}
+
+// decodeFlightInfo parses an 'F' chunk payload.
+func decodeFlightInfo(payload []byte) (*FlightInfo, error) {
+	c := cursor{payload: payload}
+	ring, err := c.uvarint("flight ring chunks")
+	if err != nil {
+		return nil, err
+	}
+	chunk, err := c.uvarint("flight chunk events")
+	if err != nil {
+		return nil, err
+	}
+	retained, err := c.uvarint("flight retained events")
+	if err != nil {
+		return nil, err
+	}
+	n, err := c.uvarint("flight thread count")
+	if err != nil {
+		return nil, err
+	}
+	if maxFit := uint64(len(payload)-c.pos)/3 + 1; n > maxFit {
+		return nil, corrupt("flight thread count %d overruns chunk", n)
+	}
+	info := &FlightInfo{
+		RingChunks:     int(ring),
+		ChunkEvents:    int(chunk),
+		RetainedEvents: int(retained),
+		Threads:        make([]FlightThreadInfo, 0, n),
+	}
+	for i := uint64(0); i < n; i++ {
+		tid, err := c.varint("flight thread id")
+		if err != nil {
+			return nil, err
+		}
+		de, err := c.uvarint("flight dropped events")
+		if err != nil {
+			return nil, err
+		}
+		dc, err := c.uvarint("flight dropped chunks")
+		if err != nil {
+			return nil, err
+		}
+		info.Threads = append(info.Threads, FlightThreadInfo{
+			Thread:        int(tid),
+			DroppedEvents: de,
+			DroppedChunks: dc,
+		})
+		info.DroppedEvents += de
+		info.DroppedChunks += dc
+	}
+	return info, nil
+}
+
+// WriteFlightInfo appends info's 'F' chunk to the archive. A
+// flight-recorder dump calls it first, before any event is written, so
+// the accounting chunk lands directly after the header — inside the
+// salvageable prefix of even a dump cut off by a full disk. Requires
+// format version 2.
+func (w *Writer) WriteFlightInfo(info *FlightInfo) error {
+	if err := w.Err(); err != nil {
+		return err
+	}
+	if w.version != version2 {
+		w.setErr(corrupt("flight-recorder accounting requires format version 2"))
+		return w.Err()
+	}
+	p := appendFlightPayload(make([]byte, 0, 16+24*len(info.Threads)), info)
+	w.iomu.Lock()
+	w.writeChunkLocked(chunkFlight, p, nil)
+	w.iomu.Unlock()
+	return w.Err()
+}
+
+// WriteFlightDump serializes a flight-recorder window as a complete
+// archive on w: the 'F' accounting chunk first, then the retained
+// events ordered by thread then time, then (v2) the footer index and
+// trailer. The result is a valid archive every reader, query and
+// analysis path consumes like any other; its FlightInfo travels with
+// it.
+func WriteFlightDump(w io.Writer, tr *trace.Trace, info *FlightInfo, opts ...WriterOption) error {
+	aw := NewWriter(w, opts...)
+	if info != nil {
+		if err := aw.WriteFlightInfo(info); err != nil {
+			return err
+		}
+	}
+	ids := make([]int, 0, len(tr.Threads))
+	for id := range tr.Threads {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if err := aw.WriteEvents(id, tr.Threads[id]); err != nil {
+			return err
+		}
+	}
+	return aw.Close()
+}

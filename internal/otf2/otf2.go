@@ -33,6 +33,7 @@
 //	kind 'C' — events, compressed                (v2)
 //	kind 'I' — footer index                      (v2)
 //	kind 'T' — trailer locating the index        (v2)
+//	kind 'F' — flight-recorder accounting        (v2)
 //
 // Readers skip chunks with unknown kinds so the format can grow; a v2
 // archive read front to back therefore decodes on the v1 chunk walk
@@ -90,6 +91,26 @@
 // reject larger declarations before allocating. The writer keeps a
 // sealed chunk raw when compression does not shrink it, so 'E' and 'C'
 // chunks may interleave freely within one archive.
+//
+// # Flight-recorder accounting (v2)
+//
+// An archive dumped from a flight recorder (a ring buffer retaining
+// only the most recent window of the event stream) carries one 'F'
+// chunk stating what the window dropped, so truncation is visible to
+// every consumer:
+//
+//	flight := uvarint(ringChunks) uvarint(chunkEvents) uvarint(retainedEvents)
+//	          uvarint(nthreads) fthread[nthreads]
+//	fthread := varint(threadID) uvarint(droppedEvents) uvarint(droppedChunks)
+//
+// ringChunks and chunkEvents state the ring configuration (chunks per
+// thread, events per chunk); retainedEvents is the total event count
+// the dump retained; per thread (ascending ID) the dropped counters
+// tally the events and chunks evicted from that thread's ring before
+// the dump. The writer emits the 'F' chunk directly after the header,
+// before any definition or event chunk, so even a dump cut off by a
+// full disk keeps its accounting in the salvageable prefix. Readers
+// that predate the chunk kind skip it like any unknown kind.
 //
 // # Footer index and trailer (v2)
 //
@@ -172,6 +193,7 @@ const (
 	chunkCompressed = 'C'
 	chunkIndex      = 'I'
 	chunkTrailer    = 'T'
+	chunkFlight     = 'F'
 
 	defClock  = 0x01
 	defString = 0x02

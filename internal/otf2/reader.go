@@ -210,6 +210,11 @@ type Reader struct {
 
 	lastTime map[int]int64
 	err      error
+
+	// flight holds the archive's flight-recorder accounting once its
+	// 'F' chunk has been walked past (the writer places it directly
+	// after the header, so it is available before the first event).
+	flight *FlightInfo
 }
 
 // cutOrIOErr classifies a read failure: a clean or short end of input
@@ -366,11 +371,24 @@ func (r *Reader) nextChunk() error {
 		return r.startEvents()
 	case chunkEvents:
 		return r.startEvents()
+	case chunkFlight:
+		info, err := decodeFlightInfo(payload)
+		if err != nil {
+			return err
+		}
+		r.flight = info
+		return nil
 	default:
 		// Index, trailer, and any future chunk kind: skip.
 		return nil
 	}
 }
+
+// FlightInfo returns the flight-recorder accounting of a dump archive,
+// or nil when none has been read (a non-dump archive, or a walk that
+// has not yet passed the 'F' chunk — dumps place it before the first
+// event chunk, so any Next call surfaces it).
+func (r *Reader) FlightInfo() *FlightInfo { return r.flight }
 
 // startEvents parses the thread/count head of the event payload the
 // cursor points at and makes it the current chunk.

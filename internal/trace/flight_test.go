@@ -1,0 +1,236 @@
+package trace
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/omp"
+	"repro/internal/region"
+)
+
+// flightEvent records one event with a deterministic timestamp on the
+// given thread.
+func flightEvent(r *Recorder, th *omp.Thread, ts int64) {
+	r.recordAt(th, ts, EvEnter, nil, 0)
+}
+
+func TestFlightRecorderEvictsOldestExactly(t *testing.T) {
+	// ring=3 chunks of 4 events: after 20 events exactly 5 chunks were
+	// sealed, the ring retains the newest 3, so chunks 0 and 1 (events
+	// 0..7) were dropped.
+	r := NewFlightRecorder(clock.NewManual(0), 3, 4)
+	th := &omp.Thread{ID: 0}
+	for ts := int64(0); ts < 20; ts++ {
+		flightEvent(r, th, ts)
+	}
+
+	tr, st := r.FlightSnapshot()
+	if st.RingChunks != 3 || st.ChunkEvents != 4 {
+		t.Fatalf("config in stats = %dx%d, want 3x4", st.RingChunks, st.ChunkEvents)
+	}
+	if st.DroppedChunks != 2 || st.DroppedEvents != 8 {
+		t.Fatalf("dropped = %d chunks / %d events, want 2/8", st.DroppedChunks, st.DroppedEvents)
+	}
+	if st.RetainedEvents != 12 {
+		t.Fatalf("retained = %d, want 12", st.RetainedEvents)
+	}
+	want := make([]Event, 0, 12)
+	for ts := int64(8); ts < 20; ts++ {
+		want = append(want, Event{Time: ts, Type: EvEnter})
+	}
+	if !reflect.DeepEqual(tr.Threads[0], want) {
+		t.Fatalf("retained window = %v, want times 8..19 in order", tr.Threads[0])
+	}
+	if len(st.Threads) != 1 || st.Threads[0] != (FlightThreadStats{Thread: 0, RetainedEvents: 12, DroppedEvents: 8, DroppedChunks: 2}) {
+		t.Fatalf("per-thread stats = %+v", st.Threads)
+	}
+
+	// The stats-only snapshot agrees and does not disturb recording.
+	if now := r.FlightStatsNow(); !reflect.DeepEqual(now, st) {
+		t.Fatalf("FlightStatsNow = %+v, want %+v", now, st)
+	}
+	flightEvent(r, th, 20)
+	if st2 := r.FlightStatsNow(); st2.RetainedEvents != 13 {
+		t.Fatalf("retained after one more event = %d, want 13", st2.RetainedEvents)
+	}
+}
+
+func TestFlightRecorderPartialChunkRetained(t *testing.T) {
+	r := NewFlightRecorder(clock.NewManual(0), 2, 4)
+	th := &omp.Thread{ID: 3}
+	for ts := int64(0); ts < 6; ts++ { // one sealed chunk + 2 partial
+		flightEvent(r, th, ts)
+	}
+	tr, st := r.FlightSnapshot()
+	if st.RetainedEvents != 6 || st.DroppedEvents != 0 || st.DroppedChunks != 0 {
+		t.Fatalf("stats = %+v, want 6 retained, nothing dropped", st)
+	}
+	evs := tr.Threads[3]
+	if len(evs) != 6 {
+		t.Fatalf("window holds %d events, want 6", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Time != int64(i) {
+			t.Fatalf("event %d time = %d, want %d (ordered, partial chunk last)", i, ev.Time, i)
+		}
+	}
+}
+
+func TestFlightRecorderDefaultsAndAccessors(t *testing.T) {
+	r := NewFlightRecorder(clock.NewManual(0), 0, 0)
+	if !r.FlightEnabled() {
+		t.Fatal("FlightEnabled = false for a flight recorder")
+	}
+	if r.FlightRingChunks() != DefaultFlightRingChunks {
+		t.Fatalf("default ring = %d, want %d", r.FlightRingChunks(), DefaultFlightRingChunks)
+	}
+	if r.FlightChunkEvents() != DefaultChunkEvents {
+		t.Fatalf("default chunk = %d, want %d", r.FlightChunkEvents(), DefaultChunkEvents)
+	}
+	plain := NewRecorder(clock.NewManual(0))
+	if plain.FlightEnabled() || plain.FlightRingChunks() != 0 || plain.FlightChunkEvents() != 0 {
+		t.Fatal("plain recorder reports flight configuration")
+	}
+}
+
+func TestFlightRecorderFinishReturnsWindowAndResets(t *testing.T) {
+	r := NewFlightRecorder(clock.NewManual(0), 2, 2)
+	th := &omp.Thread{ID: 0}
+	for ts := int64(0); ts < 7; ts++ {
+		flightEvent(r, th, ts)
+	}
+	tr := r.Finish()
+	// 3 sealed chunks, ring keeps 2 (times 2..5) + partial (time 6).
+	if got := len(tr.Threads[0]); got != 5 {
+		t.Fatalf("finished window = %d events, want 5", got)
+	}
+	if tr.Threads[0][0].Time != 2 || tr.Threads[0][4].Time != 6 {
+		t.Fatalf("window spans %d..%d, want 2..6", tr.Threads[0][0].Time, tr.Threads[0][4].Time)
+	}
+	// Finish reset the recorder: counters start over.
+	th2 := &omp.Thread{ID: 0}
+	flightEvent(r, th2, 100)
+	if st := r.FlightStatsNow(); st.RetainedEvents != 1 || st.DroppedEvents != 0 {
+		t.Fatalf("stats after Finish+1 event = %+v, want fresh", st)
+	}
+}
+
+// TestFlightRecorderBoundedMemory is the issue's acceptance scenario:
+// 10 million events through a ring of 8 stay within the fixed window
+// bound, with every evicted event accounted for — and steady-state
+// recording (ring already full) does not allocate.
+func TestFlightRecorderBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10M-event soak skipped in -short")
+	}
+	const ring, chunk, total = 8, 256, 10_000_000
+	r := NewFlightRecorder(clock.NewManual(0), ring, chunk)
+	th := &omp.Thread{ID: 0}
+	for ts := int64(0); ts < total; ts++ {
+		flightEvent(r, th, ts)
+	}
+	st := r.FlightStatsNow()
+	bound := (ring + 1) * chunk // ring plus the partial chunk being filled
+	if st.RetainedEvents > bound {
+		t.Fatalf("retained %d events, bound is %d", st.RetainedEvents, bound)
+	}
+	if got := uint64(st.RetainedEvents) + st.DroppedEvents; got != total {
+		t.Fatalf("retained+dropped = %d, want %d (every event accounted for)", got, total)
+	}
+	tr, _ := r.FlightSnapshot()
+	evs := tr.Threads[0]
+	if int64(evs[len(evs)-1].Time) != total-1 {
+		t.Fatalf("window does not end at the newest event: %d", evs[len(evs)-1].Time)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time != evs[i-1].Time+1 {
+			t.Fatalf("window not contiguous at %d: %d after %d", i, evs[i].Time, evs[i-1].Time)
+		}
+	}
+
+	// Steady state: the ring is full, so sealing reuses the evicted
+	// chunk's backing array — no allocation per event.
+	ts := int64(total)
+	if allocs := testing.AllocsPerRun(4096, func() {
+		flightEvent(r, th, ts)
+		ts++
+	}); allocs != 0 {
+		t.Fatalf("steady-state flight recording allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestFlightRecorderConcurrentSnapshot dumps while 4 threads record
+// (run under -race): snapshots must be internally consistent, and the
+// final quiesced snapshot must equal the reference window computed from
+// what each goroutine wrote.
+func TestFlightRecorderConcurrentSnapshot(t *testing.T) {
+	const threads, perThread, ring, chunk = 4, 5000, 4, 64
+	reg := region.NewRegistry()
+	work := reg.Register("work", "f.go", 1, region.Task)
+	r := NewFlightRecorder(clock.NewManual(0), ring, chunk)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for id := 0; id < threads; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := &omp.Thread{ID: id}
+			<-start
+			for ts := int64(0); ts < perThread; ts++ {
+				r.recordAt(th, ts, EvEnter, work, uint64(id))
+			}
+		}(id)
+	}
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() {
+		defer snaps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tr, st := r.FlightSnapshot()
+			got := 0
+			for _, evs := range tr.Threads {
+				got += len(evs)
+				for i := 1; i < len(evs); i++ {
+					if evs[i].Time < evs[i-1].Time {
+						t.Error("snapshot window not time-ordered")
+						return
+					}
+				}
+			}
+			if got != st.RetainedEvents {
+				t.Errorf("snapshot has %d events but stats claim %d", got, st.RetainedEvents)
+				return
+			}
+		}
+	}()
+	close(start)
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+
+	// Quiesced: the window is exactly the newest events of each thread.
+	tr, st := r.FlightSnapshot()
+	for id := 0; id < threads; id++ {
+		evs := tr.Threads[id]
+		first := perThread - len(evs)
+		want := make([]Event, 0, len(evs))
+		for ts := int64(first); ts < perThread; ts++ {
+			want = append(want, Event{Time: ts, Type: EvEnter, Region: work, TaskID: uint64(id)})
+		}
+		if !reflect.DeepEqual(evs, want) {
+			t.Fatalf("thread %d window diverges from reference (len %d)", id, len(evs))
+		}
+	}
+	if got := uint64(st.RetainedEvents) + st.DroppedEvents; got != threads*perThread {
+		t.Fatalf("retained+dropped = %d, want %d", got, threads*perThread)
+	}
+}

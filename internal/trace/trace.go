@@ -127,6 +127,10 @@ type Recorder struct {
 	sink        EventSink
 	chunkEvents int
 
+	// ring > 0 selects flight-recorder mode (NewFlightRecorder): each
+	// thread retains only its last ring sealed chunks; see flight.go.
+	ring int
+
 	// sinkErr latches the first sink failure. It is an atomic pointer
 	// (not a mutex-guarded field) so the steady-state record path —
 	// including the pre-flush failed-check — never touches a lock.
@@ -141,6 +145,16 @@ type Recorder struct {
 type buffer struct {
 	rec    *Recorder
 	events []Event
+
+	// Flight-recorder state, used only when rec.ring > 0 and then
+	// guarded by mu (the ring is mutated by its thread but snapshotted
+	// by dump triggers running on arbitrary goroutines). ringv holds the
+	// sealed chunks, oldest at head once the ring is full.
+	mu            sync.Mutex
+	ringv         [][]Event
+	head          int
+	droppedEvents uint64
+	droppedChunks uint64
 }
 
 // NewRecorder creates a trace recorder reading time from clk (use
@@ -228,6 +242,10 @@ func (r *Recorder) record(t *omp.Thread, typ EventType, reg *region.Region, task
 // uses it to share a single clock read between profile and trace.
 func (r *Recorder) recordAt(t *omp.Thread, now int64, typ EventType, reg *region.Region, task uint64) {
 	b := r.buffer(t)
+	if r.ring > 0 {
+		b.recordFlight(r, Event{Time: now, Type: typ, Region: reg, TaskID: task})
+		return
+	}
 	b.events = append(b.events, Event{Time: now, Type: typ, Region: reg, TaskID: task})
 	if r.sink != nil && len(b.events) >= r.chunkEvents {
 		r.flush(t.ID, b)
@@ -295,6 +313,15 @@ func (r *Recorder) TaskSwitch(t *omp.Thread, tk *omp.Task) {
 // recording is whatever the sink wrote. Check Err (and close the sink)
 // afterwards.
 func (r *Recorder) Finish() *Trace {
+	if r.ring > 0 {
+		// Flight mode: the recording is the retained window. Reset the
+		// buffer map so the recorder can be reused like the other modes.
+		tr, _ := r.FlightSnapshot()
+		r.mu.Lock()
+		r.buffers = make(map[int]*buffer)
+		r.mu.Unlock()
+		return tr
+	}
 	if r.sink != nil {
 		// Snapshot the buffer map under the lock, flush outside it, so
 		// r.mu is never held across sink I/O.

@@ -5,6 +5,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/sink"
@@ -35,6 +36,20 @@ type sessionConfig struct {
 	expDir          string
 	analysisWorkers int
 	traceComp       TraceCompression
+
+	// Flight-recorder configuration: flightRing > 0 selects the
+	// ring-buffer tracing mode; dumpSignal/dumpSignalSet and btTrigger
+	// arm the automatic dump triggers.
+	flightRing    int
+	flightChunk   int
+	dumpSignal    os.Signal
+	dumpSignalSet bool
+	btTrigger     *bottleneckTriggerConfig
+}
+
+type bottleneckTriggerConfig struct {
+	minSeverity float64
+	interval    time.Duration
 }
 
 func defaultConfig() sessionConfig {
@@ -66,6 +81,7 @@ func WithTracing() Option {
 		c.tracing = true
 		c.streamingSink = nil
 		c.remoteAddr = ""
+		c.flightRing = 0
 	}
 }
 
@@ -77,6 +93,7 @@ func WithoutTracing() Option {
 		c.tracing = false
 		c.streamingSink = nil
 		c.remoteAddr = ""
+		c.flightRing = 0
 	}
 }
 
@@ -93,6 +110,7 @@ func WithStreamingTrace(sink TraceEventSink, chunkEvents int) Option {
 		c.streamingSink = sink
 		c.streamingChunk = chunkEvents
 		c.remoteAddr = ""
+		c.flightRing = 0
 	}
 }
 
@@ -116,6 +134,70 @@ func WithRemoteTrace(addr string) Option {
 		c.tracing = true
 		c.streamingSink = nil
 		c.remoteAddr = addr
+		c.flightRing = 0
+	}
+}
+
+// WithFlightRecorder enables flight-recorder tracing: an always-on
+// bounded recording that retains only the most recent window of each
+// thread's event stream — ringChunks sealed chunks per thread (<= 0
+// picks the default, 8), oldest chunk evicted first with the evicted
+// events counted per thread. Memory is O(threads x ring), forever, so
+// the mode can stay on in production runs of any length. The window is
+// materialized on demand as a complete, valid trace archive by
+// Session.DumpFlightRecorder, the configured dump signal (SIGUSR1 by
+// default; see WithDumpSignal), Session.DumpOnPanic, or the bottleneck
+// threshold trigger (WithBottleneckTrigger); at End the retained window
+// becomes Results.Trace like an ordinary in-memory recording, with its
+// eviction accounting in Results.FlightRecorder and meta.json.
+//
+// Flight recording is an exclusive tracing mode: it overrides an
+// earlier WithStreamingTrace/WithRemoteTrace, and a later one overrides
+// it.
+func WithFlightRecorder(ringChunks int) Option {
+	return func(c *sessionConfig) {
+		c.tracing = true
+		c.streamingSink = nil
+		c.remoteAddr = ""
+		c.flightRing = ringChunks
+		if c.flightRing <= 0 {
+			c.flightRing = DefaultFlightRingChunks
+		}
+	}
+}
+
+// WithFlightChunkEvents sets the flight recorder's chunk granularity:
+// events per sealed ring chunk (<= 0 picks the default, 4096). The
+// retained window is ringChunks x chunkEvents events per thread, plus
+// one partial chunk. Ignored without WithFlightRecorder.
+func WithFlightChunkEvents(n int) Option {
+	return func(c *sessionConfig) { c.flightChunk = n }
+}
+
+// WithDumpSignal selects the OS signal that triggers a flight-recorder
+// dump (default SIGUSR1). The dump is written to an automatically
+// numbered directory — flight-NNN under the experiment directory when
+// one is configured, scorep-flight-NNN in the working directory
+// otherwise. Passing nil disables the signal trigger. Ignored without
+// WithFlightRecorder.
+func WithDumpSignal(sig os.Signal) Option {
+	return func(c *sessionConfig) {
+		c.dumpSignal = sig
+		c.dumpSignalSet = true
+	}
+}
+
+// WithBottleneckTrigger arms the analysis-driven dump trigger of a
+// flight-recorder session: every interval (<= 0 picks 1s) the retained
+// window is snapshotted and run through the bottleneck analysis, and
+// when any finding's severity reaches minSeverity (clamped to [0,1];
+// severities are wait time over the run's total thread-time budget) a
+// dump is written to an automatically numbered directory and the
+// trigger disarms — one dump per session, capturing the window that
+// first showed the problem. Ignored without WithFlightRecorder.
+func WithBottleneckTrigger(minSeverity float64, interval time.Duration) Option {
+	return func(c *sessionConfig) {
+		c.btTrigger = &bottleneckTriggerConfig{minSeverity: minSeverity, interval: interval}
 	}
 }
 
@@ -253,6 +335,8 @@ const (
 	EnvTraceSinkRetries    = "SCOREP_TRACE_SINK_RETRIES"    // int: initial connect attempts to the daemon
 	EnvTraceSinkReconnects = "SCOREP_TRACE_SINK_RECONNECTS" // int: reconnect attempts per outage (0 disables)
 	EnvTraceSinkFallback   = "SCOREP_TRACE_SINK_FALLBACK"   // path: local spill archive ("off" disables)
+	EnvFlightRecorder      = "SCOREP_FLIGHT_RECORDER"       // bool or ring size: flight-recorder tracing
+	EnvDumpSignal          = "SCOREP_DUMP_SIGNAL"           // signal name triggering a dump ("none" disables)
 )
 
 // NewSessionFromEnv creates a session configured from Score-P-style
@@ -354,6 +438,29 @@ func optionsFromEnv() ([]Option, error) {
 		}
 		opts = append(opts, WithRemoteTraceFallback(v))
 	}
+	if v, ok := os.LookupEnv(EnvFlightRecorder); ok {
+		// Boolean spellings toggle the mode with the default ring; an
+		// integer >= 1 both enables it and sets the ring depth.
+		if on, err := parseEnvBool(EnvFlightRecorder, v); err == nil {
+			if on {
+				opts = append(opts, WithFlightRecorder(0))
+			} else {
+				opts = append(opts, func(c *sessionConfig) { c.flightRing = 0 })
+			}
+		} else if n, nerr := strconv.Atoi(strings.TrimSpace(v)); nerr == nil && n >= 1 {
+			opts = append(opts, WithFlightRecorder(n))
+		} else {
+			return nil, fmt.Errorf("%s: invalid flight-recorder setting %q (want a boolean or a ring size >= 1)",
+				EnvFlightRecorder, v)
+		}
+	}
+	if v, ok := os.LookupEnv(EnvDumpSignal); ok {
+		sig, err := parseSignalName(v)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", EnvDumpSignal, err)
+		}
+		opts = append(opts, WithDumpSignal(sig))
+	}
 	return opts, nil
 }
 
@@ -367,6 +474,31 @@ func parseEnvBool(name, v string) (bool, error) {
 		return false, nil
 	}
 	return false, fmt.Errorf("%s: invalid boolean %q (want true/false, yes/no, on/off, 1/0)", name, v)
+}
+
+// parseSignalName maps a signal name to the os.Signal a dump trigger
+// can listen for. The optional "SIG" prefix and case are ignored;
+// "none" and "off" disable the trigger (nil signal).
+func parseSignalName(v string) (os.Signal, error) {
+	name := strings.ToUpper(strings.TrimSpace(v))
+	name = strings.TrimPrefix(name, "SIG")
+	switch name {
+	case "NONE", "OFF", "":
+		return nil, nil
+	case "HUP":
+		return syscall.SIGHUP, nil
+	case "INT":
+		return syscall.SIGINT, nil
+	case "QUIT":
+		return syscall.SIGQUIT, nil
+	case "USR1":
+		return syscall.SIGUSR1, nil
+	case "USR2":
+		return syscall.SIGUSR2, nil
+	case "TERM":
+		return syscall.SIGTERM, nil
+	}
+	return nil, fmt.Errorf("unknown signal %q (want HUP, INT, QUIT, USR1, USR2, TERM, or \"none\")", v)
 }
 
 // parseSchedulerName maps a scheduler name (as printed by

@@ -358,6 +358,44 @@ func NewStreamingTraceRecorder(sink TraceEventSink, chunkEvents int) *TraceRecor
 	return trace.NewStreamingRecorder(clock.NewSystem(), sink, chunkEvents)
 }
 
+// TraceFlightStats is a flight-recorder retention/eviction snapshot:
+// what the per-thread rings currently hold and what they have dropped.
+type TraceFlightStats = trace.FlightStats
+
+// TraceFlightThreadStats is one thread's share of a TraceFlightStats.
+type TraceFlightThreadStats = trace.FlightThreadStats
+
+// TraceFlightInfo is the eviction accounting embedded in a
+// flight-recorder dump archive (the 'F' chunk): how much the dump
+// retained and how much the rings had evicted before it.
+type TraceFlightInfo = otf2.FlightInfo
+
+// TraceFlightThreadInfo is one thread's share of a TraceFlightInfo.
+type TraceFlightThreadInfo = otf2.FlightThreadInfo
+
+// NewFlightTraceRecorder creates a flight-recorder event-trace recorder
+// on the system clock: each thread retains only its last ringChunks
+// sealed chunks of chunkEvents events (plus the partial chunk being
+// filled), evicting the oldest chunk whole when the ring is full —
+// always-on recording in O(ringChunks*chunkEvents) memory per thread.
+// ringChunks <= 0 picks DefaultFlightRingChunks, chunkEvents <= 0 the
+// streaming default. Snapshot the retained window any time with
+// FlightSnapshot; Finish returns the final window. Most callers want
+// the Session layer instead (WithFlightRecorder), which adds triggered
+// dumps.
+func NewFlightTraceRecorder(ringChunks, chunkEvents int) *TraceRecorder {
+	return trace.NewFlightRecorder(clock.NewSystem(), ringChunks, chunkEvents)
+}
+
+// WriteTraceFlightDump serializes a flight-recorder snapshot as a valid
+// binary trace archive with the eviction accounting (info) embedded as
+// the archive's first chunk, before definitions and events — so even a
+// truncated dump that kept only a short prefix still states its dropped
+// counts. Readers treat the result like any other archive.
+func WriteTraceFlightDump(w io.Writer, tr *Trace, info *TraceFlightInfo, opts ...TraceArchiveOption) error {
+	return otf2.WriteFlightDump(w, tr, info, opts...)
+}
+
 // WriteTraceArchive serializes a trace in the binary archive format —
 // typically 15-20x smaller than WriteTraceJSONL (more with
 // TraceArchiveCompression).
@@ -381,6 +419,16 @@ func ReadTraceArchiveParallel(r io.Reader, workers int) (*Trace, error) {
 // binary archive in bounded memory, without loading the trace; the
 // result is identical to AnalyzeTrace of the same recording.
 func AnalyzeTraceArchive(r io.Reader) (*TraceAnalysis, error) { return otf2.Analyze(r) }
+
+// TraceArchiveStats describes an archive file's physical layout —
+// format version, footer index, per-thread chunk counts, compression
+// effectiveness, and (for flight-recorder dumps) the embedded eviction
+// accounting.
+type TraceArchiveStats = otf2.ArchiveStats
+
+// StatTraceArchive reads an archive file's layout statistics without
+// decoding its events (see scorep-convert -stats).
+func StatTraceArchive(path string) (*TraceArchiveStats, error) { return otf2.StatFile(path) }
 
 // AnalyzeTraceArchiveParallel is AnalyzeTraceArchive with a sequential
 // frame scanner fanning chunk decoding out to a worker pool and

@@ -48,6 +48,10 @@ type Session struct {
 	net    *sink.Client
 	netErr error
 
+	// flight holds the dump/trigger machinery of a WithFlightRecorder
+	// session (see flight.go), nil otherwise.
+	flight *flightState
+
 	started time.Time
 
 	mu      sync.Mutex
@@ -113,9 +117,12 @@ func NewSession(opts ...Option) *Session {
 		listeners = append(listeners, l)
 	}
 	if cfg.tracing {
-		if cfg.streamingSink != nil {
+		switch {
+		case cfg.flightRing > 0:
+			s.rec = trace.NewFlightRecorder(clk, cfg.flightRing, cfg.flightChunk)
+		case cfg.streamingSink != nil:
 			s.rec = trace.NewStreamingRecorder(clk, cfg.streamingSink, cfg.streamingChunk)
-		} else {
+		default:
 			s.rec = trace.NewRecorder(clk)
 		}
 		listeners = append(listeners, s.rec)
@@ -133,6 +140,9 @@ func NewSession(opts ...Option) *Session {
 	}
 	s.rt = omp.NewRuntime(l)
 	s.rt.Sched = cfg.sched
+	if s.rec != nil && s.rec.FlightEnabled() {
+		s.flight = newFlightState(s)
+	}
 	return s
 }
 
@@ -202,8 +212,17 @@ func (s *Session) End() (*Results, error) {
 	}
 	var tr *Trace
 	var err error
+	var flightStats *trace.FlightStats
 	if s.rec != nil {
-		tr = s.rec.Finish()
+		if s.flight != nil {
+			// Flight mode: stop the dump triggers, then take the final
+			// window with its exactly matching eviction accounting.
+			s.flight.stop()
+			ftr, fst := s.rec.FlightSnapshot()
+			tr, flightStats = ftr, &fst
+		} else {
+			tr = s.rec.Finish()
+		}
 		if s.cfg.streamingSink != nil {
 			// Streaming mode: the recording lives in the sink; the
 			// returned trace is empty by contract.
@@ -225,11 +244,12 @@ func (s *Session) End() (*Results, error) {
 	}
 
 	s.results = &Results{
-		cfg:   s.cfg,
-		m:     s.m,
-		trace: tr,
-		stats: s.rt.LastTeamStats(),
-		wall:  wall,
+		cfg:         s.cfg,
+		m:           s.m,
+		trace:       tr,
+		stats:       s.rt.LastTeamStats(),
+		wall:        wall,
+		flightStats: flightStats,
 	}
 	if s.net != nil {
 		// Surface the stream's fate into the results (and thereby the
@@ -270,6 +290,11 @@ type Results struct {
 	remoteFallback *RemoteFallbackInfo
 	remoteResumes  int64
 	remoteGapBytes int64
+
+	// Flight-recorder accounting of the final window (see Session.End):
+	// recorded in the experiment's meta.json and its trace archive, and
+	// exposed via FlightRecorder.
+	flightStats *trace.FlightStats
 
 	mu          sync.Mutex
 	report      *Report
@@ -340,6 +365,18 @@ func (r *Results) Findings() []Finding {
 		r.findingsSet = true
 	}
 	return r.findings
+}
+
+// FlightRecorder reports the flight recorder's final accounting — ring
+// configuration, retained window size, dropped events/chunks — or nil
+// for sessions without a flight recorder. The same information is
+// recorded in the experiment's meta.json and in the archived trace's
+// accounting chunk.
+func (r *Results) FlightRecorder() *FlightRecorderInfo {
+	if r.flightStats == nil {
+		return nil
+	}
+	return flightRecorderInfo(*r.flightStats, "end", nil)
 }
 
 // RemoteFallback reports the local archive a remote-tracing session
